@@ -1,0 +1,230 @@
+// Benchmarks regenerating the paper's figures. Each benchmark runs one
+// experiment end-to-end on the simulator and reports the figure's
+// headline series as custom metrics (simulated MB/s or milliseconds).
+// Wall-clock ns/op measures harness cost only; the reproduced values
+// are the sim_* metrics. Run a single figure with:
+//
+//	go test -bench=Fig10 -benchtime=1x
+package seqstream_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"seqstream/internal/experiments"
+)
+
+// benchOpts keeps benchmark runs short while preserving shapes.
+func benchOpts() experiments.Options {
+	return experiments.Options{Warmup: time.Second, Measure: 2 * time.Second, Seed: 1}
+}
+
+// longOpts is used by experiments that need detection warmup at high
+// stream counts.
+func longOpts() experiments.Options {
+	return experiments.Options{Warmup: 4 * time.Second, Measure: 6 * time.Second, Seed: 1}
+}
+
+// metricName flattens a series/x pair into a metric label.
+func metricName(series, x string) string {
+	r := strings.NewReplacer(" ", "_", "=", "", "#", "", "(", "", ")", "", "/", "-")
+	return "sim_" + r.Replace(series) + "@" + r.Replace(x)
+}
+
+// runFigure executes the experiment once per benchmark iteration and
+// reports the selected cells.
+func runFigure(b *testing.B, id string, opts experiments.Options, cells [][2]string, unit string) {
+	b.Helper()
+	entry, err := experiments.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var last experiments.Result
+	for i := 0; i < b.N; i++ {
+		res, err := entry.Run(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for _, cell := range cells {
+		x, series := cell[0], cell[1]
+		v, ok := last.Value(x, series)
+		if !ok {
+			b.Fatalf("%s: missing cell (%s, %s)", id, x, series)
+		}
+		b.ReportMetric(v, metricName(series, x)+"_"+unit)
+	}
+}
+
+func BenchmarkFig01ThroughputCollapse(b *testing.B) {
+	runFigure(b, "fig01", benchOpts(), [][2]string{
+		{"256K", "60 streams"},
+		{"256K", "500 streams"},
+		{"64K", "100 streams"},
+	}, "MBps")
+}
+
+func BenchmarkFig02SchedulerComparison(b *testing.B) {
+	runFigure(b, "fig02", benchOpts(), [][2]string{
+		{"1", "anticipatory"},
+		{"256", "anticipatory"},
+		{"256", "noop"},
+	}, "MBps")
+}
+
+func BenchmarkFig04RequestSize(b *testing.B) {
+	runFigure(b, "fig04", benchOpts(), [][2]string{
+		{"64K", "1 streams"},
+		{"64K", "30 streams"},
+		{"256K", "100 streams"},
+	}, "MBps")
+}
+
+func BenchmarkFig05XddSingleDisk(b *testing.B) {
+	runFigure(b, "fig05", benchOpts(), [][2]string{
+		{"8K", "1 streams"},
+		{"8K", "10 streams"},
+		{"8K", "50 streams"},
+	}, "MBps")
+}
+
+func BenchmarkFig06SegmentSize(b *testing.B) {
+	runFigure(b, "fig06", benchOpts(), [][2]string{
+		{"32K", "30 streams"},
+		{"2M", "30 streams"},
+	}, "MBps")
+}
+
+func BenchmarkFig07ReadAheadFixedCache(b *testing.B) {
+	runFigure(b, "fig07", benchOpts(), [][2]string{
+		{"128x64K", "30 streams"},
+		{"8x1M", "1 streams"},
+		{"8x1M", "30 streams"},
+	}, "MBps")
+}
+
+func BenchmarkFig08ControllerPrefetch(b *testing.B) {
+	runFigure(b, "fig08", benchOpts(), [][2]string{
+		{"512K", "60 streams"},
+		{"4M", "60 streams"},
+		{"4M", "1 streams"},
+	}, "MBps")
+}
+
+func BenchmarkFig10CoreReadAhead(b *testing.B) {
+	runFigure(b, "fig10", longOpts(), [][2]string{
+		{"100", "R=8M"},
+		{"100", "no readahead"},
+		{"10", "R=8M"},
+	}, "MBps")
+}
+
+func BenchmarkFig11MemorySize(b *testing.B) {
+	runFigure(b, "fig11", longOpts(), [][2]string{
+		{"8", "S=1 RA=8M"},
+		{"256", "S=100 RA=8M"},
+		{"256", "S=100 RA=256K"},
+	}, "MBps")
+}
+
+func BenchmarkFig12EightDiskDispatchAll(b *testing.B) {
+	runFigure(b, "fig12", longOpts(), [][2]string{
+		{"10", "R=2M"},
+		{"100", "R=2M"},
+		{"100", "no readahead"},
+	}, "MBps")
+}
+
+func BenchmarkFig13DispatchStagedSplit(b *testing.B) {
+	runFigure(b, "fig13", longOpts(), [][2]string{
+		{"30", "D=#disks N=128"},
+		{"30", "D=S (from Fig12)"},
+	}, "MBps")
+}
+
+func BenchmarkFig14SingleDiskSmallDispatch(b *testing.B) {
+	runFigure(b, "fig14", longOpts(), [][2]string{
+		{"30", "D=1 N=128 R=512K"},
+		{"30", "R=2M D=S (Fig10)"},
+	}, "MBps")
+}
+
+func BenchmarkFig15ResponseTime(b *testing.B) {
+	runFigure(b, "fig15", longOpts(), [][2]string{
+		{"256K", "S=100 M=256MB"},
+		{"8M", "S=100 M=256MB"},
+		{"8M", "S=1 M=8MB"},
+	}, "ms")
+}
+
+func BenchmarkAblationDispatchPolicy(b *testing.B) {
+	runFigure(b, "abl-policy", benchOpts(), [][2]string{
+		{"60", "round-robin"},
+		{"60", "nearest-offset"},
+	}, "MBps")
+}
+
+func BenchmarkAblationClassifierOffset(b *testing.B) {
+	runFigure(b, "abl-region", benchOpts(), [][2]string{
+		{"8", "60 streams"},
+		{"256", "60 streams"},
+	}, "MBps")
+}
+
+func BenchmarkAblationGCPeriod(b *testing.B) {
+	runFigure(b, "abl-gc", benchOpts(), [][2]string{
+		{"100ms", "live streams"},
+		{"8s", "live streams"},
+	}, "MBps")
+}
+
+func BenchmarkAblationOutstanding(b *testing.B) {
+	runFigure(b, "abl-outstanding", benchOpts(), [][2]string{
+		{"1", "30 streams"},
+		{"8", "30 streams"},
+	}, "MBps")
+}
+
+func BenchmarkAblationLatencyDistribution(b *testing.B) {
+	runFigure(b, "abl-latency", benchOpts(), [][2]string{
+		{"p50", "scheduled R=1M"},
+		{"p99", "scheduled R=1M"},
+		{"p50", "direct"},
+	}, "ms")
+}
+
+func BenchmarkAblationNearSeq(b *testing.B) {
+	runFigure(b, "abl-nearseq", benchOpts(), [][2]string{
+		{"1/4", "strict"},
+		{"1/4", "near-seq window=1M"},
+	}, "MBps")
+}
+
+// BenchmarkHeadline reports the paper's single headline number: the
+// improvement factor of the stream scheduler over the direct path at
+// 100 streams on one disk.
+func BenchmarkHeadline(b *testing.B) {
+	entry, err := experiments.Lookup("fig10")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var factor float64
+	for i := 0; i < b.N; i++ {
+		res, err := entry.Run(longOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sched, ok1 := res.Value("100", "R=8M")
+		base, ok2 := res.Value("100", "no readahead")
+		if !ok1 || !ok2 || base == 0 {
+			b.Fatal("missing cells")
+		}
+		factor = sched / base
+	}
+	b.ReportMetric(factor, "improvement_x")
+	if factor < 4 {
+		b.Errorf("improvement %.1fx below the paper's 4x", factor)
+	}
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("run -list: %v", err)
+	}
+}
+
+func TestRunNoArgs(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no-arg run should fail with usage error")
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run([]string{"-fig", "fig99"}); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunOneFigureQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run")
+	}
+	err := run([]string{"-fig", "fig06", "-warmup", "500ms", "-measure", "1s"})
+	if err != nil {
+		t.Fatalf("run fig06: %v", err)
+	}
+	_ = time.Second
+}

@@ -1,0 +1,88 @@
+// Command streamload emulates the paper's client machines: it drives
+// many synchronous sequential streams against a streamnode over TCP
+// and reports per-stream and aggregate throughput plus response times.
+//
+// Usage:
+//
+//	streamload -addr 127.0.0.1:7070 -streams 100 -requests 256 -reqsize 64KiB
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"seqstream/internal/netserve"
+	"seqstream/internal/units"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("streamload", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:7070", "storage node address")
+		disk     = fs.Int("disk", 0, "target disk id")
+		capacity = fs.String("capacity", "4GiB", "target disk capacity (stream placement span)")
+		streams  = fs.Int("streams", 10, "number of sequential streams")
+		requests = fs.Int("requests", 128, "requests per stream")
+		reqSize  = fs.String("reqsize", "64KiB", "request size")
+		wantData = fs.Bool("data", false, "request payloads (off to mirror the paper's setup)")
+		writes   = fs.Bool("write", false, "issue write streams instead of reads (node must run -ingest)")
+		perOut   = fs.Bool("per-stream", false, "print per-stream statistics")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	capBytes, err := units.ParseSize(*capacity)
+	if err != nil {
+		return err
+	}
+	rs, err := units.ParseSize(*reqSize)
+	if err != nil {
+		return err
+	}
+
+	client, err := netserve.Dial(*addr)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	var flags uint16
+	if *wantData {
+		flags = netserve.FlagWantData
+	}
+	if *writes {
+		flags |= netserve.FlagWrite
+	}
+	started := time.Now()
+	if err := client.RunStreams(uint16(*disk), capBytes, *streams, *requests, rs, flags); err != nil {
+		return err
+	}
+	elapsed := time.Since(started)
+
+	rec := client.Recorder()
+	lat := rec.MergedLatency()
+	fmt.Printf("streams=%d requests=%d bytes=%dMB wall=%v\n",
+		rec.Streams(), rec.TotalRequests(), rec.TotalBytes()>>20, elapsed.Round(time.Millisecond))
+	fmt.Printf("aggregate=%.1f MB/s wall=%.1f MB/s\n", rec.AggregateMBps(), rec.WallThroughput()/1e6)
+	fmt.Printf("latency mean=%v p50=%v p99=%v max=%v\n",
+		lat.Mean().Round(time.Microsecond), lat.Quantile(0.5).Round(time.Microsecond),
+		lat.Quantile(0.99).Round(time.Microsecond), lat.Max().Round(time.Microsecond))
+	if *perOut {
+		for _, id := range rec.StreamIDs() {
+			s := rec.Stream(id)
+			fmt.Printf("  stream %3d: %.2f MB/s mean=%v\n",
+				id, s.Throughput()/1e6, s.Latency.Mean().Round(time.Microsecond))
+		}
+	}
+	return nil
+}

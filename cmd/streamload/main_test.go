@@ -1,0 +1,77 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"seqstream/internal/blockdev"
+	"seqstream/internal/core"
+	"seqstream/internal/netserve"
+)
+
+func startNode(t *testing.T) *netserve.Server {
+	t.Helper()
+	dev, err := blockdev.NewMemDevice(1, 1<<30, 200*time.Microsecond, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := core.NewServer(dev, blockdev.NewRealClock(), core.DefaultConfig(32<<20, 1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(node.Close)
+	ing, err := core.NewIngest(dev, blockdev.NewRealClock(), core.IngestConfig{
+		ChunkSize: 1 << 20, Memory: 16 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ing.Close)
+	srv, err := netserve.NewServer(node, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.EnableWrites(ing)
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func TestRunReadLoad(t *testing.T) {
+	srv := startNode(t)
+	err := run([]string{
+		"-addr", srv.Addr(), "-streams", "4", "-requests", "16",
+		"-capacity", "1GiB", "-reqsize", "64KiB", "-per-stream",
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if srv.Stats().Requests != 64 {
+		t.Errorf("server requests = %d", srv.Stats().Requests)
+	}
+}
+
+func TestRunWriteLoad(t *testing.T) {
+	srv := startNode(t)
+	err := run([]string{
+		"-addr", srv.Addr(), "-streams", "2", "-requests", "8",
+		"-capacity", "1GiB", "-write",
+	})
+	if err != nil {
+		t.Fatalf("run -write: %v", err)
+	}
+}
+
+func TestRunBadArgs(t *testing.T) {
+	if err := run([]string{"-reqsize", "bogus"}); err == nil {
+		t.Error("bad reqsize accepted")
+	}
+	if err := run([]string{"-capacity", "bogus"}); err == nil {
+		t.Error("bad capacity accepted")
+	}
+	if err := run([]string{"-addr", "127.0.0.1:1"}); err == nil {
+		t.Error("dead address accepted")
+	}
+	if err := run([]string{"-zzz"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,180 @@
+// Command streamnode runs a storage node: the paper's host-level
+// stream scheduler serving reads over TCP from an in-memory or
+// file-backed device.
+//
+// Usage:
+//
+//	streamnode -listen 127.0.0.1:7070 -disks 2 -capacity 4GiB
+//	streamnode -listen 127.0.0.1:7070 -files disk0.img,disk1.img
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"seqstream/internal/blockdev"
+	"seqstream/internal/core"
+	"seqstream/internal/netserve"
+	"seqstream/internal/units"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// node bundles the built server stack for run and for tests.
+type node struct {
+	srv     *netserve.Server
+	core    *core.Server
+	ingest  *core.Ingest
+	closers []func()
+}
+
+func (n *node) Close() {
+	n.srv.Close()
+	if n.ingest != nil {
+		n.ingest.Close()
+	}
+	n.core.Close()
+	for _, c := range n.closers {
+		c()
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("streamnode", flag.ContinueOnError)
+	var (
+		listen   = fs.String("listen", "127.0.0.1:7070", "listen address")
+		disks    = fs.Int("disks", 1, "number of in-memory disks (ignored with -files)")
+		capacity = fs.String("capacity", "4GiB", "per-disk capacity for in-memory disks")
+		latency  = fs.Duration("latency", 5*time.Millisecond, "simulated per-read latency for in-memory disks")
+		files    = fs.String("files", "", "comma-separated file paths to serve instead of memory disks")
+		memory   = fs.String("memory", "256MiB", "staging memory (M)")
+		ra       = fs.String("readahead", "1MiB", "read-ahead per disk request (R)")
+		n        = fs.Int("requests-per-stream", 1, "disk requests per dispatch residency (N)")
+		d        = fs.Int("dispatch", 0, "dispatch set size (D); 0 derives M/(R*N)")
+		ingest   = fs.Bool("ingest", false, "accept FlagWrite requests through the write-once coalescer")
+		chunk    = fs.String("chunk", "1MiB", "ingest chunk size (with -ingest)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	nd, err := build(buildParams{
+		listen: *listen, disks: *disks, capacity: *capacity, latency: *latency,
+		files: *files, memory: *memory, ra: *ra, n: *n, d: *d,
+		ingest: *ingest, chunk: *chunk,
+	})
+	if err != nil {
+		return err
+	}
+	defer nd.Close()
+
+	cfg := nd.core.Config()
+	fmt.Printf("streamnode listening on %s (D=%d R=%d N=%d M=%d ingest=%v)\n",
+		nd.srv.Addr(), cfg.DispatchSize, cfg.ReadAhead, cfg.RequestsPerStream, cfg.Memory, nd.ingest != nil)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	st := nd.core.Stats()
+	fmt.Printf("shutting down: requests=%d streams=%d fetched=%dMB delivered=%dMB hits=%d\n",
+		st.Requests, st.StreamsDetected, st.BytesFetched>>20, st.BytesDelivered>>20,
+		st.BufferHits+st.QueuedServed)
+	return nil
+}
+
+// buildParams carries the parsed flags.
+type buildParams struct {
+	listen   string
+	disks    int
+	capacity string
+	latency  time.Duration
+	files    string
+	memory   string
+	ra       string
+	n        int
+	d        int
+	ingest   bool
+	chunk    string
+}
+
+// build assembles the device, scheduler, optional ingest, and TCP
+// server.
+func build(p buildParams) (*node, error) {
+	out := &node{}
+	var dev blockdev.Device
+	if p.files != "" {
+		fd, err := blockdev.OpenFileDevice(strings.Split(p.files, ","), 0)
+		if err != nil {
+			return nil, err
+		}
+		out.closers = append(out.closers, func() { fd.Close() })
+		dev = fd
+	} else {
+		capBytes, err := units.ParseSize(p.capacity)
+		if err != nil {
+			return nil, err
+		}
+		md, err := blockdev.NewMemDevice(p.disks, capBytes, p.latency, true)
+		if err != nil {
+			return nil, err
+		}
+		dev = md
+	}
+
+	mem, err := units.ParseSize(p.memory)
+	if err != nil {
+		return nil, err
+	}
+	raBytes, err := units.ParseSize(p.ra)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{
+		DispatchSize:      p.d,
+		ReadAhead:         raBytes,
+		RequestsPerStream: p.n,
+		Memory:            mem,
+	}
+	cfg.ApplyDefaults()
+	coreSrv, err := core.NewServer(dev, blockdev.NewRealClock(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	out.core = coreSrv
+
+	srv, err := netserve.NewServer(coreSrv, p.listen)
+	if err != nil {
+		coreSrv.Close()
+		return nil, err
+	}
+	out.srv = srv
+
+	if p.ingest {
+		chunkBytes, err := units.ParseSize(p.chunk)
+		if err != nil {
+			out.Close()
+			return nil, err
+		}
+		ing, err := core.NewIngest(dev, blockdev.NewRealClock(), core.IngestConfig{
+			ChunkSize: chunkBytes,
+			Memory:    mem,
+		})
+		if err != nil {
+			out.Close()
+			return nil, err
+		}
+		out.ingest = ing
+		srv.EnableWrites(ing)
+	}
+	return out, nil
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"seqstream/internal/netserve"
+)
+
+func testParams() buildParams {
+	return buildParams{
+		listen: "127.0.0.1:0", disks: 1, capacity: "256MiB",
+		latency: 200 * time.Microsecond,
+		memory:  "32MiB", ra: "1MiB", n: 1,
+	}
+}
+
+func TestBuildAndServe(t *testing.T) {
+	nd, err := build(testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Close()
+	client, err := netserve.Dial(nd.srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if err := client.RunStreams(0, 256<<20, 4, 16, 64<<10, 0); err != nil {
+		t.Fatalf("RunStreams: %v", err)
+	}
+	if nd.core.Stats().Requests != 64 {
+		t.Errorf("node requests = %d", nd.core.Stats().Requests)
+	}
+}
+
+func TestBuildWithIngest(t *testing.T) {
+	p := testParams()
+	p.ingest = true
+	p.chunk = "1MiB"
+	nd, err := build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Close()
+	client, err := netserve.Dial(nd.srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if err := client.RunStreams(0, 256<<20, 2, 32, 64<<10, netserve.FlagWrite); err != nil {
+		t.Fatalf("write streams: %v", err)
+	}
+	nd.ingest.Flush()
+	if nd.ingest.Stats().Writes != 64 {
+		t.Errorf("ingest writes = %d", nd.ingest.Stats().Writes)
+	}
+}
+
+func TestBuildBadParams(t *testing.T) {
+	cases := []func(*buildParams){
+		func(p *buildParams) { p.capacity = "bogus" },
+		func(p *buildParams) { p.memory = "bogus" },
+		func(p *buildParams) { p.ra = "bogus" },
+		func(p *buildParams) { p.disks = 0 },
+		func(p *buildParams) { p.ingest = true; p.chunk = "bogus" },
+		func(p *buildParams) { p.files = "/nonexistent/nope.img" },
+		func(p *buildParams) { p.listen = "256.256.256.256:1" },
+	}
+	for i, mutate := range cases {
+		p := testParams()
+		mutate(&p)
+		nd, err := build(p)
+		if err == nil {
+			nd.Close()
+			t.Errorf("case %d: bad params accepted", i)
+		}
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

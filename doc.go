@@ -1,0 +1,9 @@
+// Package seqstream reproduces "Reducing Disk I/O Performance
+// Sensitivity for Large Numbers of Sequential Streams" (ICDCS 2009):
+// a discrete-event disk/controller simulator, Linux-style I/O
+// scheduler baselines, and the paper's host-level stream scheduler
+// (classifier, dispatch set, buffered set), together with a benchmark
+// harness that regenerates every figure of the paper's evaluation.
+//
+// See README.md for the layout and DESIGN.md for the system inventory.
+package seqstream

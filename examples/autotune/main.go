@@ -1,0 +1,124 @@
+// Autotune: §5.4's point that a node can achieve high utilization in
+// different I/O subsystem configurations by setting (D, R, N, M)
+// appropriately. The same 480-stream workload runs on a small node
+// (1 disk, 64 MB of staging memory) and a large node (8 disks, 512 MB),
+// each with parameters derived from the node description, and the
+// scheduler keeps both insensitive to the stream count.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"seqstream/internal/blockdev"
+	"seqstream/internal/core"
+	"seqstream/internal/iostack"
+	"seqstream/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// nodeSpec describes the hardware the tuner sees.
+type nodeSpec struct {
+	name   string
+	stack  iostack.Config
+	disks  int
+	memory int64
+}
+
+// tune derives the paper's four parameters from the node description
+// using the library's static tuner (§5.4).
+func tune(spec nodeSpec) (core.Config, error) {
+	return core.Tune(core.NodeSpec{
+		Disks:     spec.disks,
+		Memory:    spec.memory,
+		MediaRate: spec.stack.Controllers[0].Disks[0].Geometry.MediaRateOuter,
+	})
+}
+
+func run() error {
+	nodes := []nodeSpec{
+		{name: "small (1 disk, 64MB)", stack: iostack.BaseConfig(iostack.Options{}), disks: 1, memory: 64 << 20},
+		{name: "large (8 disks, 512MB)", stack: iostack.Testbed8Config(iostack.Options{}), disks: 8, memory: 512 << 20},
+	}
+	streamCounts := []int{10, 60, 480}
+
+	for _, spec := range nodes {
+		cfg, err := tune(spec)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s -> tuned D=%d R=%dMB N=%d M=%dMB\n",
+			spec.name, cfg.DispatchSize, cfg.ReadAhead>>20, cfg.RequestsPerStream, cfg.Memory>>20)
+		var base float64
+		for _, s := range streamCounts {
+			mbps, err := measure(spec, cfg, s)
+			if err != nil {
+				return err
+			}
+			if base == 0 {
+				base = mbps
+			}
+			fmt.Printf("  %4d streams: %7.1f MB/s (%.0f%% of %d-stream run)\n",
+				s, mbps, 100*mbps/base, streamCounts[0])
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func measure(spec nodeSpec, cfg core.Config, streams int) (float64, error) {
+	eng := sim.NewEngine()
+	host, err := iostack.New(eng, spec.stack)
+	if err != nil {
+		return 0, err
+	}
+	dev, err := blockdev.NewSimDevice(host)
+	if err != nil {
+		return 0, err
+	}
+	node, err := core.NewServer(dev, blockdev.NewSimClock(eng), cfg)
+	if err != nil {
+		return 0, err
+	}
+	defer node.Close()
+
+	const reqSize = 64 << 10
+	const warmup = 30 * time.Second
+	const window = 20 * time.Second
+	perDisk := (streams + spec.disks - 1) / spec.disks
+	capacity := dev.Capacity(0)
+	spacing := capacity / int64(perDisk)
+	spacing -= spacing % 512
+
+	var bytes int64
+	for i := 0; i < streams; i++ {
+		disk := i % spec.disks
+		next := int64(i/spec.disks) * spacing
+		var issue func()
+		issue = func() {
+			off := next
+			next += reqSize
+			if err := node.Submit(core.Request{Disk: disk, Offset: off, Length: reqSize,
+				Done: func(core.Response) {
+					if now := eng.Now(); now >= warmup && now <= warmup+window {
+						bytes += reqSize
+					}
+					issue()
+				}}); err != nil {
+				return
+			}
+		}
+		issue()
+	}
+	if err := eng.RunUntil(warmup + window); err != nil {
+		return 0, err
+	}
+	return float64(bytes) / window.Seconds() / 1e6, nil
+}

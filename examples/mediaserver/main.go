@@ -1,0 +1,171 @@
+// Mediaserver: the introduction's motivating scenario. A media service
+// must sustain playout streams of a fixed bitrate (e.g. 1 MB/s VoD
+// streams) from as few disks as possible. This example measures how
+// many streams one disk sustains at the target bitrate with the plain
+// I/O path versus the stream scheduler, and therefore how many disks a
+// 200-stream service needs.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"seqstream/internal/blockdev"
+	"seqstream/internal/core"
+	"seqstream/internal/iostack"
+	"seqstream/internal/sim"
+)
+
+const (
+	bitrate  = 1e6      // bytes/s per playout stream
+	reqSize  = 64 << 10 // media player read granularity
+	deadline = 0.95     // fraction of requests that must meet the bitrate pace
+	service  = 200      // streams the whole service must sustain
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Printf("target: %d playout streams at %.0f KB/s each (%.0f MB/s total)\n\n",
+		service, bitrate/1e3, service*bitrate/1e6)
+
+	directCap, err := capacitySearch(false)
+	if err != nil {
+		return err
+	}
+	schedCap, err := capacitySearch(true)
+	if err != nil {
+		return err
+	}
+
+	report := func(name string, perDisk int) {
+		disks := (service + perDisk - 1) / perDisk
+		fmt.Printf("%-24s %3d streams/disk -> %d disks for the service\n", name, perDisk, disks)
+	}
+	report("direct I/O path:", directCap)
+	report("stream scheduler:", schedCap)
+	fmt.Printf("\ndisk savings: %.1fx fewer spindles\n",
+		float64((service+directCap-1)/directCap)/float64((service+schedCap-1)/schedCap))
+	return nil
+}
+
+// capacitySearch finds the largest stream count one disk sustains at
+// the bitrate (binary search over stream counts).
+func capacitySearch(scheduled bool) (int, error) {
+	lo, hi := 1, 64
+	// Expand until failure.
+	for {
+		ok, err := sustains(hi, scheduled)
+		if err != nil {
+			return 0, err
+		}
+		if !ok || hi >= 512 {
+			break
+		}
+		lo, hi = hi, hi*2
+	}
+	for lo < hi-1 {
+		mid := (lo + hi) / 2
+		ok, err := sustains(mid, scheduled)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+// sustains reports whether `streams` paced readers each hold the
+// bitrate on one disk: a stream is on pace if it completes its reads
+// within the pacing interval (deadline fraction of the time).
+func sustains(streams int, scheduled bool) (bool, error) {
+	eng := sim.NewEngine()
+	host, err := iostack.New(eng, iostack.BaseConfig(iostack.Options{}))
+	if err != nil {
+		return false, err
+	}
+
+	var submit func(off, n int64, done func()) error
+	if scheduled {
+		dev, err := blockdev.NewSimDevice(host)
+		if err != nil {
+			return false, err
+		}
+		// Double-buffer per stream: one staged read-ahead being played
+		// plus one in flight, so boundary crossings never stall.
+		cfg := core.DefaultConfig(int64(2*streams)*(4<<20), 4<<20)
+		node, err := core.NewServer(dev, blockdev.NewSimClock(eng), cfg)
+		if err != nil {
+			return false, err
+		}
+		defer node.Close()
+		submit = func(off, n int64, done func()) error {
+			return node.Submit(core.Request{Disk: 0, Offset: off, Length: n,
+				Done: func(core.Response) { done() }})
+		}
+	} else {
+		submit = func(off, n int64, done func()) error {
+			return host.ReadAt(0, off, n, func(iostack.Result) { done() })
+		}
+	}
+
+	// Paced playout: each stream must read reqSize every interval to
+	// hold the bitrate; reads that complete after the next tick are
+	// late.
+	interval := time.Duration(float64(reqSize) / bitrate * float64(time.Second))
+	capacity := host.DiskCapacity(0)
+	spacing := capacity / int64(streams)
+	spacing -= spacing % 512
+	const warmup = 8 * time.Second // stream detection + first fetches
+	const horizon = 28 * time.Second
+	var total, late int
+
+	// Playout starts are staggered across one read-ahead consumption
+	// window (viewers do not press play in lockstep); without this the
+	// streams cross their buffer boundaries simultaneously and the
+	// fetch bursts queue behind each other.
+	raWindow := time.Duration(float64(4<<20) / bitrate * float64(time.Second))
+	for s := 0; s < streams; s++ {
+		phase := time.Duration(s) * raWindow / time.Duration(streams)
+		next := int64(s) * spacing
+		var tick func()
+		tick = func() {
+			issued := eng.Now()
+			off := next
+			next += reqSize
+			if err := submit(off, reqSize, func() {
+				if issued < warmup {
+					return
+				}
+				total++
+				if eng.Now()-issued > interval {
+					late++
+				}
+			}); err != nil {
+				return
+			}
+			if eng.Now() < horizon {
+				eng.Schedule(interval, tick)
+			}
+		}
+		eng.Schedule(phase, tick)
+	}
+	if err := eng.RunUntil(horizon); err != nil {
+		return false, err
+	}
+	if total == 0 {
+		return false, nil
+	}
+	onTime := 1 - float64(late)/float64(total)
+	return onTime >= deadline, nil
+}

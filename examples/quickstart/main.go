@@ -1,0 +1,111 @@
+// Quickstart: build a simulated storage node, push 100 sequential
+// streams through the host-level stream scheduler, and compare the
+// delivered throughput against the same workload issued directly to
+// the disks (the paper's headline experiment, Figure 10).
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"seqstream/internal/blockdev"
+	"seqstream/internal/core"
+	"seqstream/internal/iostack"
+	"seqstream/internal/sim"
+)
+
+const (
+	streams   = 100
+	reqSize   = 64 << 10
+	readAhead = 8 << 20
+	warmup    = 4 * time.Second
+	measure   = 8 * time.Second
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	direct, err := measureDirect()
+	if err != nil {
+		return err
+	}
+	scheduled, err := measureScheduled()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload: %d sequential streams of synchronous %dKB reads, one disk\n",
+		streams, reqSize>>10)
+	fmt.Printf("  direct to disk:        %6.1f MB/s\n", direct)
+	fmt.Printf("  with stream scheduler: %6.1f MB/s  (R=%dMB, M=S*R, D=S)\n",
+		scheduled, readAhead>>20)
+	fmt.Printf("  improvement:           %6.1fx\n", scheduled/direct)
+	return nil
+}
+
+// drive runs the synchronous streams against submit and returns MB/s
+// measured in the steady-state window.
+func drive(eng *sim.Engine, capacity int64, submit func(off, n int64, done func()) error) (float64, error) {
+	spacing := capacity / streams
+	spacing -= spacing % 512
+	var bytes int64
+	for s := 0; s < streams; s++ {
+		next := int64(s) * spacing
+		var issue func()
+		issue = func() {
+			off := next
+			next += reqSize
+			if err := submit(off, reqSize, func() {
+				if now := eng.Now(); now >= warmup && now <= warmup+measure {
+					bytes += reqSize
+				}
+				issue()
+			}); err != nil {
+				return // stream ran off the disk
+			}
+		}
+		issue()
+	}
+	if err := eng.RunUntil(warmup + measure); err != nil {
+		return 0, err
+	}
+	return float64(bytes) / measure.Seconds() / 1e6, nil
+}
+
+func measureDirect() (float64, error) {
+	eng := sim.NewEngine()
+	host, err := iostack.New(eng, iostack.BaseConfig(iostack.Options{}))
+	if err != nil {
+		return 0, err
+	}
+	return drive(eng, host.DiskCapacity(0), func(off, n int64, done func()) error {
+		return host.ReadAt(0, off, n, func(iostack.Result) { done() })
+	})
+}
+
+func measureScheduled() (float64, error) {
+	eng := sim.NewEngine()
+	host, err := iostack.New(eng, iostack.BaseConfig(iostack.Options{}))
+	if err != nil {
+		return 0, err
+	}
+	dev, err := blockdev.NewSimDevice(host)
+	if err != nil {
+		return 0, err
+	}
+	cfg := core.DefaultConfig(streams*readAhead, readAhead)
+	node, err := core.NewServer(dev, blockdev.NewSimClock(eng), cfg)
+	if err != nil {
+		return 0, err
+	}
+	defer node.Close()
+	return drive(eng, dev.Capacity(0), func(off, n int64, done func()) error {
+		return node.Submit(core.Request{Disk: 0, Offset: off, Length: n,
+			Done: func(core.Response) { done() }})
+	})
+}

@@ -1,0 +1,3 @@
+module seqstream
+
+go 1.22

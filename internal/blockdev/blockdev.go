@@ -1,0 +1,78 @@
+// Package blockdev abstracts the block device and clock the host-level
+// stream scheduler runs against, so the same scheduler code drives both
+// the discrete-event simulator and real files through the OS.
+package blockdev
+
+import (
+	"errors"
+	"time"
+)
+
+// Clock provides time and timers. The simulated implementation advances
+// virtual time on the event engine; the real implementation wraps the
+// wall clock.
+type Clock interface {
+	// Now returns the time since the clock's epoch.
+	Now() time.Duration
+	// Schedule runs fn after d. The returned function cancels the
+	// timer; cancelling after the timer fired is a no-op.
+	Schedule(d time.Duration, fn func()) (cancel func())
+}
+
+// Device is an asynchronous multi-disk read target.
+//
+// Completion callbacks may run on the simulation event loop (simulated
+// devices) or on internal worker goroutines (real devices); callers
+// that share state across completions must serialize accordingly.
+type Device interface {
+	// Disks returns the number of addressable drives.
+	Disks() int
+	// Capacity returns the byte size of a drive.
+	Capacity(disk int) int64
+	// ReadAt reads [off, off+length) from a drive and invokes done
+	// exactly once. data is nil for devices that do not materialize
+	// bytes (simulators). A non-nil error is reported through done;
+	// ReadAt itself returns an error only for malformed requests.
+	ReadAt(disk int, off, length int64, done func(data []byte, err error)) error
+}
+
+// BufferAccounting is optionally implemented by devices whose cost
+// model depends on the number of live host I/O buffers (the simulated
+// host). The core scheduler calls it as buffers come and go.
+type BufferAccounting interface {
+	SetLiveBuffers(n int)
+}
+
+// CPUAccounting is optionally implemented by devices that model host
+// CPU cost. The core scheduler charges each request it completes from
+// host memory (rather than through the device) so buffer management is
+// accounted either way.
+type CPUAccounting interface {
+	// ChargeRequest serializes the host-side cost of delivering an
+	// n-byte request and calls done when the work retires.
+	ChargeRequest(n int64, done func())
+}
+
+// Writer is optionally implemented by devices that accept writes (the
+// write-once ingest extension). data may be nil for devices that do
+// not materialize bytes; length governs the device work either way.
+type Writer interface {
+	WriteAt(disk int, off, length int64, data []byte, done func(err error)) error
+}
+
+// ErrBadRequest reports a structurally invalid read.
+var ErrBadRequest = errors.New("blockdev: bad request")
+
+// ErrReadOnly reports a write to a device without write support.
+var ErrReadOnly = errors.New("blockdev: device is read-only")
+
+// CheckRequest validates a read against a device.
+func CheckRequest(d Device, disk int, off, length int64) error {
+	if disk < 0 || disk >= d.Disks() {
+		return ErrBadRequest
+	}
+	if off < 0 || length <= 0 || off+length > d.Capacity(disk) {
+		return ErrBadRequest
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package blockdev
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrInjected is the error FaultDevice delivers on faulted reads.
+var ErrInjected = errors.New("blockdev: injected fault")
+
+// FaultDevice wraps a Device and fails every Nth read, for failure-
+// injection tests: completions still arrive exactly once, carrying
+// ErrInjected instead of data.
+type FaultDevice struct {
+	inner Device
+	every int64
+
+	mu      sync.Mutex
+	count   int64
+	faults  int64
+	stopped bool
+}
+
+var _ Device = (*FaultDevice)(nil)
+
+// NewFaultDevice fails every `every`-th read (1 = every read). It
+// returns an error when every < 1 or inner is nil.
+func NewFaultDevice(inner Device, every int64) (*FaultDevice, error) {
+	if inner == nil {
+		return nil, errors.New("blockdev: nil inner device")
+	}
+	if every < 1 {
+		return nil, errors.New("blockdev: fault period must be >= 1")
+	}
+	return &FaultDevice{inner: inner, every: every}, nil
+}
+
+// Faults returns how many reads were failed.
+func (d *FaultDevice) Faults() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.faults
+}
+
+// StopFaulting disables further injected failures (reads pass
+// through).
+func (d *FaultDevice) StopFaulting() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stopped = true
+}
+
+// Disks implements Device.
+func (d *FaultDevice) Disks() int { return d.inner.Disks() }
+
+// Capacity implements Device.
+func (d *FaultDevice) Capacity(disk int) int64 { return d.inner.Capacity(disk) }
+
+// ReadAt implements Device.
+func (d *FaultDevice) ReadAt(disk int, off, length int64, done func([]byte, error)) error {
+	if err := CheckRequest(d, disk, off, length); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.count++
+	fault := !d.stopped && d.count%d.every == 0
+	if fault {
+		d.faults++
+	}
+	d.mu.Unlock()
+	if !fault {
+		return d.inner.ReadAt(disk, off, length, done)
+	}
+	// Deliver the failure through the inner device's completion
+	// machinery so timing (sim events, worker goroutines) is realistic.
+	return d.inner.ReadAt(disk, off, length, func([]byte, error) {
+		if done != nil {
+			done(nil, ErrInjected)
+		}
+	})
+}

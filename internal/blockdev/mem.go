@@ -1,0 +1,120 @@
+package blockdev
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// MemDevice is an in-memory Device for real-time servers, examples,
+// and tests: reads complete after an optional artificial latency on a
+// timer goroutine. Data is a deterministic function of the offset so
+// integrity can be checked without storing bytes.
+type MemDevice struct {
+	disks    int
+	capacity int64
+	latency  time.Duration
+	fill     bool
+
+	mu     sync.Mutex
+	reads  int64
+	writes int64
+}
+
+var (
+	_ Device = (*MemDevice)(nil)
+	_ Writer = (*MemDevice)(nil)
+)
+
+// NewMemDevice builds a device with disks drives of capacity bytes
+// each. latency delays each completion; fill controls whether read
+// data is materialized.
+func NewMemDevice(disks int, capacity int64, latency time.Duration, fill bool) (*MemDevice, error) {
+	if disks <= 0 {
+		return nil, errors.New("blockdev: need at least one disk")
+	}
+	if capacity <= 0 {
+		return nil, errors.New("blockdev: capacity must be positive")
+	}
+	if latency < 0 {
+		return nil, errors.New("blockdev: latency must be >= 0")
+	}
+	return &MemDevice{disks: disks, capacity: capacity, latency: latency, fill: fill}, nil
+}
+
+// Disks implements Device.
+func (d *MemDevice) Disks() int { return d.disks }
+
+// Capacity implements Device.
+func (d *MemDevice) Capacity(int) int64 { return d.capacity }
+
+// Reads returns the number of completed reads.
+func (d *MemDevice) Reads() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.reads
+}
+
+// Writes returns the number of completed writes.
+func (d *MemDevice) Writes() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.writes
+}
+
+// WriteAt implements Writer: the payload is discarded after the
+// configured latency.
+func (d *MemDevice) WriteAt(disk int, off, length int64, _ []byte, done func(error)) error {
+	if err := CheckRequest(d, disk, off, length); err != nil {
+		return err
+	}
+	complete := func() {
+		d.mu.Lock()
+		d.writes++
+		d.mu.Unlock()
+		if done != nil {
+			done(nil)
+		}
+	}
+	if d.latency == 0 {
+		complete()
+		return nil
+	}
+	time.AfterFunc(d.latency, complete)
+	return nil
+}
+
+// Pattern returns the deterministic byte stored at an offset.
+func Pattern(disk int, off int64) byte {
+	return byte((off + int64(disk)*131) % 251)
+}
+
+// ReadAt implements Device. The completion runs on a timer goroutine
+// (or synchronously when latency is zero).
+func (d *MemDevice) ReadAt(disk int, off, length int64, done func([]byte, error)) error {
+	if err := CheckRequest(d, disk, off, length); err != nil {
+		return err
+	}
+	complete := func() {
+		d.mu.Lock()
+		d.reads++
+		d.mu.Unlock()
+		if done == nil {
+			return
+		}
+		var data []byte
+		if d.fill {
+			data = make([]byte, length)
+			for i := range data {
+				data[i] = Pattern(disk, off+int64(i))
+			}
+		}
+		done(data, nil)
+	}
+	if d.latency == 0 {
+		complete()
+		return nil
+	}
+	time.AfterFunc(d.latency, complete)
+	return nil
+}

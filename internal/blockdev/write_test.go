@@ -1,0 +1,100 @@
+package blockdev
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"testing"
+	"time"
+)
+
+func TestMemDeviceWrites(t *testing.T) {
+	dev, err := NewMemDevice(1, 1<<20, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	if err := dev.WriteAt(0, 0, 4096, nil, func(err error) { done <- err }); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if dev.Writes() != 1 {
+		t.Errorf("Writes = %d", dev.Writes())
+	}
+	if err := dev.WriteAt(0, 1<<20, 1, nil, nil); err == nil {
+		t.Error("out-of-range write accepted")
+	}
+	// With latency the completion is asynchronous.
+	slow, err := NewMemDevice(1, 1<<20, time.Millisecond, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan struct{})
+	if err := slow.WriteAt(0, 0, 512, nil, func(error) { close(got) }); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-got:
+	case <-time.After(2 * time.Second):
+		t.Fatal("latency write never completed")
+	}
+}
+
+func TestFileDeviceReadOnlyRejectsWrites(t *testing.T) {
+	path := writeTestFile(t, 8192)
+	dev, err := OpenFileDevice([]string{path}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	if err := dev.WriteAt(0, 0, 512, nil, nil); !errors.Is(err, ErrReadOnly) {
+		t.Errorf("err = %v, want ErrReadOnly", err)
+	}
+}
+
+func TestFileDeviceRWWritesData(t *testing.T) {
+	path := writeTestFile(t, 16384)
+	dev, err := OpenFileDeviceRW([]string{path}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0xAB}, 1024)
+	done := make(chan error, 1)
+	if err := dev.WriteAt(0, 4096, 1024, payload, func(err error) { done <- err }); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw[4096:5120], payload) {
+		t.Error("written bytes not persisted")
+	}
+	// Surrounding data untouched.
+	if raw[4095] == 0xAB || raw[5120] == 0xAB {
+		t.Error("write clobbered neighbors")
+	}
+}
+
+func TestFileDeviceWriteValidation(t *testing.T) {
+	path := writeTestFile(t, 8192)
+	dev, err := OpenFileDeviceRW([]string{path}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	if err := dev.WriteAt(0, 0, 1024, make([]byte, 512), nil); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("length/data mismatch err = %v", err)
+	}
+	if err := dev.WriteAt(0, 8192, 1, nil, nil); err == nil {
+		t.Error("out-of-range write accepted")
+	}
+}

@@ -1,0 +1,85 @@
+// Package bus models a shared, byte-metered transfer link (PCI-X
+// segment or SATA link) for the discrete-event simulator. Transfers are
+// serialized FIFO at a fixed bandwidth, which makes the link a
+// contention point when many devices share it.
+package bus
+
+import (
+	"errors"
+	"time"
+
+	"seqstream/internal/sim"
+)
+
+// Bus is a shared link bound to an engine. All access must happen on
+// the engine's event loop.
+type Bus struct {
+	eng       *sim.Engine
+	rate      float64 // bytes per second
+	busyUntil sim.Time
+
+	bytes     int64
+	transfers int64
+}
+
+// New creates a bus with the given bandwidth in bytes/second.
+func New(eng *sim.Engine, rate float64) (*Bus, error) {
+	if eng == nil {
+		return nil, errors.New("bus: nil engine")
+	}
+	if rate <= 0 {
+		return nil, errors.New("bus: rate must be positive")
+	}
+	return &Bus{eng: eng, rate: rate}, nil
+}
+
+// Rate returns the bandwidth in bytes/second.
+func (b *Bus) Rate() float64 { return b.rate }
+
+// Bytes returns total bytes moved.
+func (b *Bus) Bytes() int64 { return b.bytes }
+
+// Transfers returns the number of completed or scheduled transfers.
+func (b *Bus) Transfers() int64 { return b.transfers }
+
+// Utilization returns the fraction of time the bus has been busy since
+// the start of the simulation.
+func (b *Bus) Utilization() float64 {
+	now := b.eng.Now()
+	if now == 0 {
+		return 0
+	}
+	busy := time.Duration(float64(b.bytes) / b.rate * float64(time.Second))
+	u := float64(busy) / float64(now)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Transfer schedules moving n bytes across the link and invokes done
+// when the transfer completes. Transfers queue FIFO behind any transfer
+// already scheduled. Zero or negative sizes complete after the queue
+// drains with no added latency.
+func (b *Bus) Transfer(n int64, done func()) {
+	start := b.eng.Now()
+	if b.busyUntil > start {
+		start = b.busyUntil
+	}
+	var dur time.Duration
+	if n > 0 {
+		dur = time.Duration(float64(n) / b.rate * float64(time.Second))
+		b.bytes += n
+	}
+	b.transfers++
+	b.busyUntil = start + dur
+	end := b.busyUntil
+	b.eng.ScheduleAt(end, func() {
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// BusyUntil returns the instant the current backlog drains.
+func (b *Bus) BusyUntil() sim.Time { return b.busyUntil }

@@ -1,0 +1,124 @@
+package bus
+
+import (
+	"testing"
+	"time"
+
+	"seqstream/internal/sim"
+)
+
+func TestNewValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	if _, err := New(nil, 1e6); err == nil {
+		t.Error("nil engine accepted")
+	}
+	if _, err := New(eng, 0); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := New(eng, -5); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if b, err := New(eng, 1e6); err != nil || b == nil {
+		t.Errorf("valid bus rejected: %v", err)
+	}
+}
+
+func TestTransferTiming(t *testing.T) {
+	eng := sim.NewEngine()
+	b, err := New(eng, 100e6) // 100 MB/s
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doneAt sim.Time
+	b.Transfer(100e6, func() { doneAt = eng.Now() })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if doneAt != time.Second {
+		t.Errorf("100MB at 100MB/s finished at %v, want 1s", doneAt)
+	}
+}
+
+func TestTransferFIFOQueueing(t *testing.T) {
+	eng := sim.NewEngine()
+	b, err := New(eng, 100e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first, second sim.Time
+	b.Transfer(50e6, func() { first = eng.Now() })
+	b.Transfer(50e6, func() { second = eng.Now() })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if first != 500*time.Millisecond {
+		t.Errorf("first done at %v", first)
+	}
+	if second != time.Second {
+		t.Errorf("second done at %v, want queued behind first", second)
+	}
+}
+
+func TestTransferZeroBytes(t *testing.T) {
+	eng := sim.NewEngine()
+	b, err := New(eng, 100e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	called := false
+	b.Transfer(0, func() { called = true })
+	b.Transfer(-10, nil) // nil done must not panic
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !called {
+		t.Error("zero-byte transfer never completed")
+	}
+	if b.Bytes() != 0 {
+		t.Errorf("Bytes = %d, want 0", b.Bytes())
+	}
+	if b.Transfers() != 2 {
+		t.Errorf("Transfers = %d, want 2", b.Transfers())
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	eng := sim.NewEngine()
+	b, err := New(eng, 100e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Utilization() != 0 {
+		t.Error("idle bus should have 0 utilization")
+	}
+	b.Transfer(50e6, nil)
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Bus was busy the whole run.
+	if u := b.Utilization(); u < 0.99 || u > 1 {
+		t.Errorf("Utilization = %v, want ~1", u)
+	}
+	// Let the clock idle past the backlog; utilization must fall.
+	if err := eng.RunFor(500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if u := b.Utilization(); u < 0.45 || u > 0.55 {
+		t.Errorf("Utilization after idle = %v, want ~0.5", u)
+	}
+}
+
+func TestBusyUntil(t *testing.T) {
+	eng := sim.NewEngine()
+	b, err := New(eng, 100e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Transfer(100e6, nil)
+	if b.BusyUntil() != time.Second {
+		t.Errorf("BusyUntil = %v, want 1s", b.BusyUntil())
+	}
+	if b.Rate() != 100e6 {
+		t.Errorf("Rate = %v", b.Rate())
+	}
+}

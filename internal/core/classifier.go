@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math/bits"
+	"time"
+)
+
+// regionKey identifies a dynamically-allocated bitmap region: a disk
+// and an aligned window of RegionBlocks blocks.
+type regionKey struct {
+	disk   int
+	region int64 // block number / RegionBlocks
+}
+
+// region is a small bitmap over consecutive blocks (§4.1). Regions are
+// allocated on demand as requests arrive, so the memory cost scales
+// with the active footprint rather than the disk capacity.
+type region struct {
+	bits      []uint64
+	set       int // distinct set bits
+	lastTouch time.Duration
+	promoted  bool // a stream has already been created from this region
+}
+
+// classifier detects sequential streams from the raw request arrivals.
+// The mechanism follows §4.1: set one bit per accessed block in the
+// request's region; when the number of distinct set bits crosses the
+// threshold, declare a sequential stream. Out-of-order requests,
+// duplicates, and gaps merely set bits — only proximity in (time,
+// space) matters.
+type classifier struct {
+	cfg     Config
+	regions map[regionKey]*region
+}
+
+func newClassifier(cfg Config) *classifier {
+	return &classifier{cfg: cfg, regions: make(map[regionKey]*region)}
+}
+
+// observe records a request and reports whether it completes a
+// sequential pattern (threshold reached for the first time in its
+// region). The caller creates the stream.
+func (c *classifier) observe(disk int, off, length int64, now time.Duration) bool {
+	firstBlock := off / c.cfg.BlockSize
+	lastBlock := (off + length - 1) / c.cfg.BlockSize
+	rb := int64(c.cfg.RegionBlocks)
+	detected := false
+	for b := firstBlock; b <= lastBlock; b++ {
+		key := regionKey{disk: disk, region: b / rb}
+		r := c.regions[key]
+		if r == nil {
+			r = &region{bits: make([]uint64, (c.cfg.RegionBlocks+63)/64)}
+			c.regions[key] = r
+		}
+		r.lastTouch = now
+		idx := int(b % rb)
+		word, mask := idx/64, uint64(1)<<uint(idx%64)
+		if r.bits[word]&mask == 0 {
+			r.bits[word] |= mask
+			r.set++
+		}
+		if !r.promoted && r.set >= c.cfg.DetectThreshold {
+			r.promoted = true
+			detected = true
+		}
+	}
+	return detected
+}
+
+// gc drops regions untouched since cutoff and returns how many were
+// freed.
+func (c *classifier) gc(cutoff time.Duration) int {
+	freed := 0
+	for key, r := range c.regions {
+		if r.lastTouch < cutoff {
+			delete(c.regions, key)
+			freed++
+		}
+	}
+	return freed
+}
+
+// regionCount returns the number of live regions.
+func (c *classifier) regionCount() int { return len(c.regions) }
+
+// memoryBytes estimates the classifier's bitmap memory.
+func (c *classifier) memoryBytes() int64 {
+	perRegion := int64((c.cfg.RegionBlocks+63)/64) * 8
+	return int64(len(c.regions)) * perRegion
+}
+
+// popcount is exposed for tests.
+func popcount(words []uint64) int {
+	total := 0
+	for _, w := range words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}

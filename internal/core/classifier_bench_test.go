@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+
+	"seqstream/internal/blockdev"
+	"seqstream/internal/iostack"
+	"seqstream/internal/sim"
+)
+
+// small indirections keep the benchmark body readable.
+func iostackNew(eng *sim.Engine) (*iostack.Host, error) {
+	return iostack.New(eng, iostack.BaseConfig(iostack.Options{}))
+}
+
+func blockdevNew(h *iostack.Host) (*blockdev.SimDevice, error) {
+	return blockdev.NewSimDevice(h)
+}
+
+func blockdevClock(eng *sim.Engine) blockdev.Clock {
+	return blockdev.NewSimClock(eng)
+}
+
+func BenchmarkClassifierSequential(b *testing.B) {
+	cfg := DefaultConfig(64<<20, 1<<20)
+	c := newClassifier(cfg)
+	bs := cfg.BlockSize
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.observe(0, int64(i)*bs, bs, 0)
+	}
+}
+
+func BenchmarkClassifierScattered(b *testing.B) {
+	cfg := DefaultConfig(64<<20, 1<<20)
+	c := newClassifier(cfg)
+	rng := sim.NewRand(1)
+	span := bsSpan(cfg)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.observe(0, rng.Int63n(span), cfg.BlockSize, 0)
+		if c.regionCount() > 1<<16 {
+			c.gc(1) // bound memory during long bench runs
+		}
+	}
+}
+
+func bsSpan(cfg Config) int64 {
+	return cfg.BlockSize * int64(cfg.RegionBlocks) * 1024
+}
+
+func BenchmarkServerStagedHitPath(b *testing.B) {
+	// Measures the host-side cost of staged 64K deliveries through the
+	// full Submit path (sim engine included).
+	eng := sim.NewEngine()
+	host, err := iostackNew(eng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dev, err := blockdevNew(host)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := NewServer(dev, blockdevClock(eng), DefaultConfig(900<<20, 8<<20))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	const req = 64 << 10
+	completed := 0
+	i := 0
+	var issue func()
+	issue = func() {
+		off := int64(i) * req
+		i++
+		if off+req > dev.Capacity(0) {
+			return
+		}
+		srv.Submit(Request{Disk: 0, Offset: off, Length: req,
+			Done: func(Response) { completed++; issue() }})
+	}
+	issue()
+	b.ResetTimer()
+	target := b.N
+	if err := eng.RunWhile(func() bool { return completed < target }); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,177 @@
+// Package core implements the paper's host-level solution (§4): a
+// storage-node server that transparently identifies sequential streams
+// (classifier), coalesces their small client requests into large
+// read-ahead disk requests issued from a bounded dispatch set
+// (scheduler), and stages prefetched data in host memory until it is
+// consumed (buffered set).
+//
+// The four tunables the paper names are exposed directly:
+//
+//	D — DispatchSize: streams generating disk I/O at a time
+//	R — ReadAhead:    bytes per generated disk request
+//	N — RequestsPerStream: disk requests a stream issues per residency
+//	M — Memory:       host bytes available for staging buffers
+//
+// with the invariant M ≥ D·R·N (§4.3).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"seqstream/internal/trace"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// DispatchSize (D) is the number of streams allowed to generate
+	// disk requests concurrently. If zero, it is derived as
+	// Memory/(ReadAhead*RequestsPerStream).
+	DispatchSize int
+	// ReadAhead (R) is the size of every generated disk request.
+	ReadAhead int64
+	// RequestsPerStream (N) is how many disk requests a stream issues
+	// before it is rotated out of the dispatch set.
+	RequestsPerStream int
+	// Memory (M) bounds the bytes held in staging buffers.
+	Memory int64
+
+	// BlockSize is the classifier granularity: one bitmap bit covers
+	// one block (default 64 KB). Representing larger blocks with a
+	// single bit trades detection precision for bitmap memory (§4.1).
+	BlockSize int64
+	// RegionBlocks is the width of a dynamically-allocated bitmap
+	// region in blocks (the paper's "[B-offset, B+offset]" window, "a
+	// few tens" of blocks; default 64).
+	RegionBlocks int
+	// DetectThreshold is the number of distinct set bits in a region
+	// that declares a sequential stream (default 4).
+	DetectThreshold int
+
+	// GCPeriod is how often the garbage collector sweeps (§4.3;
+	// default 1s).
+	GCPeriod time.Duration
+	// BufferTimeout frees a staged buffer that has not been touched
+	// for this long (default 30s). Only buffers of streams with no
+	// in-flight fetch and no waiting clients are collected.
+	BufferTimeout time.Duration
+	// StreamTimeout removes a classified stream (queue, bitmap
+	// entries) that has been idle for this long (default 60s).
+	StreamTimeout time.Duration
+	// EvictIdle is the minimum idle time before a staged buffer may be
+	// reclaimed under memory pressure (LRU, default 500ms). Pressure
+	// eviction keeps abandoned prefetches from pinning M while
+	// candidate streams wait.
+	EvictIdle time.Duration
+
+	// Policy picks the next stream admitted to the dispatch set. Nil
+	// uses the paper's round-robin.
+	Policy DispatchPolicy
+
+	// NearSeqWindow, when positive, lets a request join a classified
+	// stream whose expected offset is within this many bytes — the
+	// near-sequential streams §4.1 leaves as future work (players that
+	// skip container metadata, stride readers). Skipped ranges count
+	// as consumed; zero keeps the paper's strict in-order matching.
+	NearSeqWindow int64
+
+	// Trace, when non-nil, records client completions, fetches, direct
+	// reads, and evictions for offline analysis.
+	Trace *trace.Tracer
+}
+
+// DefaultConfig returns the §5 defaults for a node with the given
+// memory budget and read-ahead; D is derived from M = D*R*N with N=1.
+func DefaultConfig(memory, readAhead int64) Config {
+	cfg := Config{
+		ReadAhead:         readAhead,
+		RequestsPerStream: 1,
+		Memory:            memory,
+	}
+	cfg.ApplyDefaults()
+	return cfg
+}
+
+// ApplyDefaults fills zero fields with the defaults described on each
+// field, deriving D from M when unset.
+func (c *Config) ApplyDefaults() {
+	if c.RequestsPerStream == 0 {
+		c.RequestsPerStream = 1
+	}
+	if c.DispatchSize == 0 && c.ReadAhead > 0 && c.RequestsPerStream > 0 {
+		c.DispatchSize = DeriveDispatch(c.Memory, c.ReadAhead, c.RequestsPerStream)
+	}
+	if c.BlockSize == 0 {
+		c.BlockSize = 64 << 10
+	}
+	if c.RegionBlocks == 0 {
+		c.RegionBlocks = 64
+	}
+	if c.DetectThreshold == 0 {
+		c.DetectThreshold = 4
+	}
+	if c.GCPeriod == 0 {
+		c.GCPeriod = time.Second
+	}
+	if c.BufferTimeout == 0 {
+		c.BufferTimeout = 30 * time.Second
+	}
+	if c.StreamTimeout == 0 {
+		c.StreamTimeout = 60 * time.Second
+	}
+	if c.EvictIdle == 0 {
+		c.EvictIdle = 500 * time.Millisecond
+	}
+	if c.Policy == nil {
+		c.Policy = RoundRobin{}
+	}
+}
+
+// DeriveDispatch returns the largest D satisfying M >= D*R*N, at least 1.
+func DeriveDispatch(memory, readAhead int64, n int) int {
+	if readAhead <= 0 || n <= 0 {
+		return 1
+	}
+	d := memory / (readAhead * int64(n))
+	if d < 1 {
+		d = 1
+	}
+	return int(d)
+}
+
+// Validate reports configuration errors. It does not mutate the
+// config; call ApplyDefaults first for partially-specified configs.
+func (c Config) Validate() error {
+	switch {
+	case c.DispatchSize <= 0:
+		return errors.New("core: dispatch size (D) must be positive")
+	case c.ReadAhead <= 0:
+		return errors.New("core: read-ahead (R) must be positive")
+	case c.RequestsPerStream <= 0:
+		return errors.New("core: requests per stream (N) must be positive")
+	case c.Memory < c.ReadAhead:
+		return fmt.Errorf("core: memory (M=%d) must hold at least one read-ahead buffer (R=%d)", c.Memory, c.ReadAhead)
+	case c.BlockSize <= 0:
+		return errors.New("core: block size must be positive")
+	case c.RegionBlocks <= 1:
+		return errors.New("core: region must span at least 2 blocks")
+	case c.DetectThreshold < 2:
+		return errors.New("core: detection threshold must be at least 2")
+	case c.DetectThreshold > c.RegionBlocks:
+		return errors.New("core: detection threshold exceeds region width")
+	case c.GCPeriod <= 0 || c.BufferTimeout <= 0 || c.StreamTimeout <= 0 || c.EvictIdle <= 0:
+		return errors.New("core: GC periods must be positive")
+	case c.Policy == nil:
+		return errors.New("core: nil dispatch policy")
+	case c.NearSeqWindow < 0:
+		return errors.New("core: near-sequential window must be >= 0")
+	}
+	return nil
+}
+
+// MemoryFloor returns D*R*N, the memory the paper's invariant requires
+// for the configured dispatch set.
+func (c Config) MemoryFloor() int64 {
+	return int64(c.DispatchSize) * c.ReadAhead * int64(c.RequestsPerStream)
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig(64<<20, 8<<20)
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if cfg.DispatchSize != 8 {
+		t.Errorf("DispatchSize = %d, want 8 (64MB / 8MB / N=1)", cfg.DispatchSize)
+	}
+	if cfg.RequestsPerStream != 1 {
+		t.Errorf("N = %d", cfg.RequestsPerStream)
+	}
+	if cfg.Policy == nil {
+		t.Error("nil policy after defaults")
+	}
+	if cfg.MemoryFloor() != 64<<20 {
+		t.Errorf("MemoryFloor = %d", cfg.MemoryFloor())
+	}
+}
+
+func TestDeriveDispatch(t *testing.T) {
+	tests := []struct {
+		m, r int64
+		n    int
+		want int
+	}{
+		{800 << 20, 8 << 20, 1, 100},
+		{16 << 20, 8 << 20, 1, 2},
+		{8 << 20, 8 << 20, 1, 1},
+		{1 << 20, 8 << 20, 1, 1}, // floor of 1
+		{64 << 20, 512 << 10, 128, 1},
+		{0, 0, 0, 1},
+	}
+	for _, tt := range tests {
+		if got := DeriveDispatch(tt.m, tt.r, tt.n); got != tt.want {
+			t.Errorf("DeriveDispatch(%d,%d,%d) = %d, want %d", tt.m, tt.r, tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	base := func() Config {
+		c := DefaultConfig(64<<20, 1<<20)
+		return c
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero D", func(c *Config) { c.DispatchSize = 0 }},
+		{"zero R", func(c *Config) { c.ReadAhead = 0 }},
+		{"zero N", func(c *Config) { c.RequestsPerStream = 0 }},
+		{"memory below R", func(c *Config) { c.Memory = c.ReadAhead - 1 }},
+		{"zero block", func(c *Config) { c.BlockSize = 0 }},
+		{"single-block region", func(c *Config) { c.RegionBlocks = 1 }},
+		{"threshold 1", func(c *Config) { c.DetectThreshold = 1 }},
+		{"threshold over region", func(c *Config) { c.DetectThreshold = c.RegionBlocks + 1 }},
+		{"zero gc period", func(c *Config) { c.GCPeriod = 0 }},
+		{"zero buffer timeout", func(c *Config) { c.BufferTimeout = 0 }},
+		{"zero stream timeout", func(c *Config) { c.StreamTimeout = 0 }},
+		{"nil policy", func(c *Config) { c.Policy = nil }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := base()
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+	if err := base().Validate(); err != nil {
+		t.Errorf("base config rejected: %v", err)
+	}
+}
+
+func TestApplyDefaultsIdempotent(t *testing.T) {
+	cfg := Config{ReadAhead: 1 << 20, Memory: 16 << 20}
+	cfg.ApplyDefaults()
+	want := cfg
+	cfg.ApplyDefaults()
+	if cfg.DispatchSize != want.DispatchSize || cfg.BlockSize != want.BlockSize ||
+		cfg.GCPeriod != want.GCPeriod {
+		t.Error("ApplyDefaults not idempotent")
+	}
+	if cfg.DispatchSize != 16 {
+		t.Errorf("derived D = %d, want 16", cfg.DispatchSize)
+	}
+	if cfg.BufferTimeout != 30*time.Second || cfg.StreamTimeout != 60*time.Second {
+		t.Error("timeout defaults wrong")
+	}
+}
+
+func TestExplicitDispatchPreserved(t *testing.T) {
+	cfg := Config{DispatchSize: 3, ReadAhead: 1 << 20, Memory: 100 << 20}
+	cfg.ApplyDefaults()
+	if cfg.DispatchSize != 3 {
+		t.Errorf("explicit D overwritten: %d", cfg.DispatchSize)
+	}
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestResponseTimeFairnessAcrossStreams checks §5.5's observation:
+// "average request response time for each stream does not differ
+// significantly among streams ... mainly due to the round-robin policy
+// we use in placing streams in the dispatch set."
+func TestResponseTimeFairnessAcrossStreams(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	const streams = 20
+	const requests = 96
+	cfg := DefaultConfig(16<<20, 1<<20) // D = 16 < streams: rotation matters
+	n := baseNode(t, cfg)
+	capacity := n.dev.Capacity(0)
+	spacing := capacity / streams
+	spacing -= spacing % 512
+	const req = 64 << 10
+
+	type acc struct {
+		sum   time.Duration
+		count int
+	}
+	perStream := make([]acc, streams)
+	completed := 0
+	for s := 0; s < streams; s++ {
+		s := s
+		base := int64(s) * spacing
+		var issue func(i int)
+		issue = func(i int) {
+			if i >= requests {
+				return
+			}
+			if err := n.server.Submit(Request{
+				Disk: 0, Offset: base + int64(i)*req, Length: req,
+				Done: func(r Response) {
+					completed++
+					// Skip the detection warmup half.
+					if i >= requests/2 {
+						perStream[s].sum += r.End - r.Start
+						perStream[s].count++
+					}
+					issue(i + 1)
+				},
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		issue(0)
+	}
+	n.await(t, func() bool { return completed >= streams*requests })
+
+	var minMean, maxMean time.Duration
+	for s, a := range perStream {
+		if a.count == 0 {
+			t.Fatalf("stream %d recorded nothing", s)
+		}
+		mean := a.sum / time.Duration(a.count)
+		if s == 0 || mean < minMean {
+			minMean = mean
+		}
+		if mean > maxMean {
+			maxMean = mean
+		}
+	}
+	// Round-robin keeps per-stream means within a small factor.
+	if maxMean > 3*minMean {
+		t.Errorf("per-stream mean response spread too wide: min=%v max=%v", minMean, maxMean)
+	}
+}

@@ -1,0 +1,339 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"seqstream/internal/blockdev"
+	"seqstream/internal/iostack"
+	"seqstream/internal/sim"
+)
+
+type ingestNode struct {
+	eng  *sim.Engine
+	host *iostack.Host
+	dev  *blockdev.SimDevice
+	ing  *Ingest
+}
+
+func newIngestNode(t *testing.T, cfg IngestConfig) *ingestNode {
+	t.Helper()
+	eng := sim.NewEngine()
+	host, err := iostack.New(eng, iostack.BaseConfig(iostack.Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := blockdev.NewSimDevice(host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ing, err := NewIngest(dev, blockdev.NewSimClock(eng), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ing.Close)
+	return &ingestNode{eng: eng, host: host, dev: dev, ing: ing}
+}
+
+func ingestCfg() IngestConfig {
+	return IngestConfig{ChunkSize: 1 << 20, Memory: 16 << 20}
+}
+
+func TestIngestValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	host, _ := iostack.New(eng, iostack.BaseConfig(iostack.Options{}))
+	dev, _ := blockdev.NewSimDevice(host)
+	clock := blockdev.NewSimClock(eng)
+	if _, err := NewIngest(nil, clock, ingestCfg()); err == nil {
+		t.Error("nil device accepted")
+	}
+	if _, err := NewIngest(dev, nil, ingestCfg()); err == nil {
+		t.Error("nil clock accepted")
+	}
+	bad := ingestCfg()
+	bad.ChunkSize = 0
+	if _, err := NewIngest(dev, clock, bad); err == nil {
+		t.Error("zero chunk accepted")
+	}
+	bad = ingestCfg()
+	bad.Memory = bad.ChunkSize - 1
+	if _, err := NewIngest(dev, clock, bad); err == nil {
+		t.Error("memory below one chunk accepted")
+	}
+	// Read-only device.
+	if _, err := NewIngest(readOnlyDev{}, clock, ingestCfg()); err != blockdev.ErrReadOnly {
+		t.Errorf("read-only device err = %v, want ErrReadOnly", err)
+	}
+}
+
+// readOnlyDev is a Device without Writer support.
+type readOnlyDev struct{}
+
+func (readOnlyDev) Disks() int         { return 1 }
+func (readOnlyDev) Capacity(int) int64 { return 1 << 20 }
+func (readOnlyDev) ReadAt(_ int, _, _ int64, done func([]byte, error)) error {
+	if done != nil {
+		done(nil, nil)
+	}
+	return nil
+}
+
+func TestIngestCoalescesSequentialWrites(t *testing.T) {
+	n := newIngestNode(t, ingestCfg())
+	const req = 64 << 10
+	// 32 sequential 64K writes = 2 full 1MB chunks.
+	for i := 0; i < 32; i++ {
+		if err := n.ing.Write(0, int64(i)*req, nil, req, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := n.ing.Stats()
+	if st.Writes != 32 || st.BytesAccepted != 32*req {
+		t.Errorf("accept stats = %+v", st)
+	}
+	if st.FullFlushes != 2 || st.Flushes != 2 {
+		t.Errorf("flushes = %d (full %d), want 2 chunk flushes", st.Flushes, st.FullFlushes)
+	}
+	if st.BytesFlushed != 2<<20 {
+		t.Errorf("BytesFlushed = %d", st.BytesFlushed)
+	}
+	// The drive saw 2 large writes, not 32 small ones.
+	dsk := n.host.Disk(0).Stats()
+	if dsk.Requests != 2 {
+		t.Errorf("disk requests = %d, want 2 coalesced writes", dsk.Requests)
+	}
+	if dsk.BytesWritten != 2<<20 {
+		t.Errorf("disk BytesWritten = %d", dsk.BytesWritten)
+	}
+}
+
+func TestIngestTimedFlush(t *testing.T) {
+	cfg := ingestCfg()
+	cfg.FlushTimeout = 100 * time.Millisecond
+	cfg.GCPeriod = 50 * time.Millisecond
+	n := newIngestNode(t, cfg)
+	// A partial chunk (3 x 64K) then silence.
+	for i := 0; i < 3; i++ {
+		if err := n.ing.Write(0, int64(i)*64<<10, nil, 64<<10, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.eng.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := n.ing.Stats()
+	if st.TimedFlushes != 1 {
+		t.Errorf("TimedFlushes = %d, want 1", st.TimedFlushes)
+	}
+	if st.BytesFlushed != 3*64<<10 {
+		t.Errorf("BytesFlushed = %d", st.BytesFlushed)
+	}
+	if st.MemoryInUse != 0 {
+		t.Errorf("MemoryInUse = %d after timed flush", st.MemoryInUse)
+	}
+	if st.OpenStreams != 0 {
+		t.Errorf("OpenStreams = %d after idle GC", st.OpenStreams)
+	}
+}
+
+func TestIngestMemoryPressureForcesFlush(t *testing.T) {
+	cfg := IngestConfig{ChunkSize: 1 << 20, Memory: 2 << 20}
+	n := newIngestNode(t, cfg)
+	// 4 interleaved streams each staging ~0.9MB: demand 3.6MB > 2MB.
+	const req = 64 << 10
+	spacing := n.dev.Capacity(0) / 4
+	spacing -= spacing % 512
+	for round := 0; round < 14; round++ {
+		for s := 0; s < 4; s++ {
+			off := int64(s)*spacing + int64(round)*req
+			if err := n.ing.Write(0, off, nil, req, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := n.ing.Stats()
+	if st.ForcedFlushes == 0 {
+		t.Error("memory pressure never forced a flush")
+	}
+	if st.MemoryInUse > 2<<20 {
+		t.Errorf("MemoryInUse = %d exceeds budget", st.MemoryInUse)
+	}
+	if err := n.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIngestLargeWritePassesThrough(t *testing.T) {
+	n := newIngestNode(t, ingestCfg())
+	if err := n.ing.Write(0, 0, nil, 4<<20, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := n.ing.Stats()
+	if st.DirectWrites != 1 {
+		t.Errorf("DirectWrites = %d", st.DirectWrites)
+	}
+	if st.Flushes != 0 {
+		t.Errorf("Flushes = %d for a pass-through write", st.Flushes)
+	}
+}
+
+func TestIngestAckOnFlush(t *testing.T) {
+	cfg := ingestCfg()
+	cfg.AckOnFlush = true
+	n := newIngestNode(t, cfg)
+	const req = 64 << 10
+	acked := 0
+	for i := 0; i < 16; i++ {
+		if err := n.ing.Write(0, int64(i)*req, nil, req, func(err error) {
+			if err != nil {
+				t.Errorf("ack err: %v", err)
+			}
+			acked++
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Chunk full at 16 x 64K = 1MB: flush happens, acks arrive after
+	// the device write completes.
+	if acked != 0 {
+		t.Fatalf("acks before device write: %d", acked)
+	}
+	if err := n.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if acked != 16 {
+		t.Errorf("acked = %d, want 16", acked)
+	}
+}
+
+func TestIngestWriteBehindAcksImmediately(t *testing.T) {
+	n := newIngestNode(t, ingestCfg())
+	acked := false
+	if err := n.ing.Write(0, 0, nil, 64<<10, func(err error) {
+		if err != nil {
+			t.Errorf("ack err: %v", err)
+		}
+		acked = true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !acked {
+		t.Error("write-behind ack not immediate")
+	}
+}
+
+func TestIngestFlushAsyncDrains(t *testing.T) {
+	n := newIngestNode(t, ingestCfg())
+	for i := 0; i < 5; i++ {
+		if err := n.ing.Write(0, int64(i)*64<<10, nil, 64<<10, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.ing.FlushAsync()
+	if err := n.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := n.ing.Stats()
+	if st.BytesFlushed != 5*64<<10 {
+		t.Errorf("BytesFlushed = %d", st.BytesFlushed)
+	}
+	if st.MemoryInUse != 0 {
+		t.Errorf("MemoryInUse = %d", st.MemoryInUse)
+	}
+}
+
+func TestIngestCloseRejectsWrites(t *testing.T) {
+	n := newIngestNode(t, ingestCfg())
+	n.ing.Close()
+	n.ing.Close() // idempotent
+	if err := n.ing.Write(0, 0, nil, 4096, nil); err == nil {
+		t.Error("write after close accepted")
+	}
+}
+
+func TestIngestValidatesRanges(t *testing.T) {
+	n := newIngestNode(t, ingestCfg())
+	if err := n.ing.Write(-1, 0, nil, 4096, nil); err == nil {
+		t.Error("bad disk accepted")
+	}
+	if err := n.ing.Write(0, -1, nil, 4096, nil); err == nil {
+		t.Error("bad offset accepted")
+	}
+	if err := n.ing.Write(0, 0, nil, 0, nil); err == nil {
+		t.Error("zero length accepted")
+	}
+	if err := n.ing.Write(0, n.dev.Capacity(0), nil, 4096, nil); err == nil {
+		t.Error("out-of-range accepted")
+	}
+}
+
+func TestIngestThroughputBeatsDirectSmallWrites(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	// 10 interleaved ingest streams of 64K writes: coalescing into 1MB
+	// chunks must beat issuing the 64K writes directly.
+	const streams = 10
+	const perStream = 64
+	const req = 64 << 10
+
+	direct := func() float64 {
+		eng := sim.NewEngine()
+		host, _ := iostack.New(eng, iostack.BaseConfig(iostack.Options{}))
+		spacing := host.DiskCapacity(0) / streams
+		spacing -= spacing % 512
+		var bytes int64
+		for s := 0; s < streams; s++ {
+			base := int64(s) * spacing
+			var issue func(i int)
+			issue = func(i int) {
+				if i >= perStream {
+					return
+				}
+				if err := host.WriteAt(0, base+int64(i)*req, req, func(iostack.Result) {
+					bytes += req
+					issue(i + 1)
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			issue(0)
+		}
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return float64(bytes) / eng.Now().Seconds() / 1e6
+	}()
+
+	coalesced := func() float64 {
+		n := newIngestNode(t, IngestConfig{ChunkSize: 1 << 20, Memory: 64 << 20})
+		spacing := n.dev.Capacity(0) / streams
+		spacing -= spacing % 512
+		var bytes int64
+		// Write-behind acks are immediate, so pace the streams
+		// round-robin like the paper's clients.
+		for i := 0; i < perStream; i++ {
+			for s := 0; s < streams; s++ {
+				off := int64(s)*spacing + int64(i)*req
+				if err := n.ing.Write(0, off, nil, req, func(error) { bytes += req }); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		n.ing.FlushAsync()
+		if err := n.eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return float64(streams*perStream*req) / n.eng.Now().Seconds() / 1e6
+	}()
+
+	if coalesced < 2*direct {
+		t.Errorf("coalesced ingest %.1f MB/s vs direct %.1f MB/s; want >= 2x", coalesced, direct)
+	}
+}

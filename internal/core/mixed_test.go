@@ -1,0 +1,148 @@
+package core
+
+import (
+	"testing"
+
+	"seqstream/internal/iostack"
+	"seqstream/internal/sim"
+)
+
+// TestMixedWorkloadSeparation is §4's core duty: sequential streams are
+// separated from other I/O — streams get staged read-ahead, random
+// traffic flows down the direct path, and both complete.
+func TestMixedWorkloadSeparation(t *testing.T) {
+	n := baseNode(t, DefaultConfig(128<<20, 1<<20))
+	capacity := n.dev.Capacity(0)
+	rng := sim.NewRand(11)
+
+	const seqStreams = 4
+	const seqReqs = 24
+	const randomReqs = 24
+	const req = 64 << 10
+
+	total := seqStreams*seqReqs + randomReqs
+	completed := 0
+	buffered := 0
+	randomDirect := 0
+
+	// Sequential streams.
+	spacing := capacity / seqStreams
+	spacing -= spacing % 512
+	for s := 0; s < seqStreams; s++ {
+		base := int64(s) * spacing
+		var issue func(i int)
+		issue = func(i int) {
+			if i >= seqReqs {
+				return
+			}
+			if err := n.server.Submit(Request{
+				Disk: 0, Offset: base + int64(i)*req, Length: req,
+				Done: func(r Response) {
+					completed++
+					if r.FromBuffer {
+						buffered++
+					}
+					issue(i + 1)
+				},
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		issue(0)
+	}
+	// Random reader interleaved.
+	var issueRandom func(i int)
+	issueRandom = func(i int) {
+		if i >= randomReqs {
+			return
+		}
+		off := rng.Int63n(capacity - req)
+		off -= off % 512
+		if err := n.server.Submit(Request{
+			Disk: 0, Offset: off, Length: 4096,
+			Done: func(r Response) {
+				completed++
+				if r.Direct {
+					randomDirect++
+				}
+				issueRandom(i + 1)
+			},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	issueRandom(0)
+
+	n.await(t, func() bool { return completed >= total })
+
+	if buffered == 0 {
+		t.Error("sequential streams never hit staged buffers amid random traffic")
+	}
+	if randomDirect < randomReqs*9/10 {
+		t.Errorf("random requests direct = %d/%d; classifier leaked them into streams", randomDirect, randomReqs)
+	}
+	st := n.server.Stats()
+	if st.StreamsDetected != seqStreams {
+		t.Errorf("StreamsDetected = %d, want %d", st.StreamsDetected, seqStreams)
+	}
+}
+
+// TestFairDispatchAcrossDisks checks that burst-detected streams cannot
+// capture the whole dispatch set for one disk (the ceil(D/#disks)
+// admission bound).
+func TestFairDispatchAcrossDisks(t *testing.T) {
+	cfg := DefaultConfig(512<<20, 1<<20)
+	cfg.DispatchSize = 8
+	n := newNode(t, iostack.Testbed8Config(iostack.Options{}), cfg)
+
+	const perDisk = 4
+	const reqs = 24
+	const req = 64 << 10
+	completedPerDisk := make([]int, 8)
+	completed := 0
+	spacing := n.dev.Capacity(0) / perDisk
+	spacing -= spacing % 512
+	for d := 0; d < 8; d++ {
+		for s := 0; s < perDisk; s++ {
+			d := d
+			base := int64(s) * spacing
+			var issue func(i int)
+			issue = func(i int) {
+				if i >= reqs {
+					return
+				}
+				if err := n.server.Submit(Request{
+					Disk: d, Offset: base + int64(i)*req, Length: req,
+					Done: func(Response) {
+						completed++
+						completedPerDisk[d]++
+						issue(i + 1)
+					},
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			issue(0)
+		}
+	}
+	// Run a bounded window rather than to completion: fairness shows up
+	// as balanced progress.
+	if err := n.eng.RunUntil(3_000_000_000); err != nil { // 3s virtual
+		t.Fatal(err)
+	}
+	minDone, maxDone := completedPerDisk[0], completedPerDisk[0]
+	for _, c := range completedPerDisk[1:] {
+		if c < minDone {
+			minDone = c
+		}
+		if c > maxDone {
+			maxDone = c
+		}
+	}
+	if minDone == 0 {
+		t.Errorf("a disk made no progress: %v", completedPerDisk)
+	}
+	if maxDone > 4*minDone && maxDone-minDone > 16 {
+		t.Errorf("unbalanced progress across disks: %v", completedPerDisk)
+	}
+}

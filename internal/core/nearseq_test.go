@@ -1,0 +1,141 @@
+package core
+
+import (
+	"testing"
+)
+
+// gappedNode builds a node with near-sequential matching enabled.
+func gappedNode(t *testing.T, window int64) *testNode {
+	cfg := DefaultConfig(64<<20, 1<<20)
+	cfg.NearSeqWindow = window
+	return baseNode(t, cfg)
+}
+
+func TestNearSeqConfigValidation(t *testing.T) {
+	cfg := DefaultConfig(64<<20, 1<<20)
+	cfg.NearSeqWindow = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative window accepted")
+	}
+}
+
+// runGapped drives a reader that skips every 4th 64K block (a stride
+// pattern) and returns (buffered+queued, direct) response counts after
+// the detection phase.
+func runGapped(t *testing.T, n *testNode, requests int) (staged, direct int) {
+	t.Helper()
+	const req = 64 << 10
+	block := int64(0)
+	for i := 0; i < requests; i++ {
+		if (block+1)%4 == 0 {
+			block++ // skip every 4th block
+		}
+		r := n.do(t, Request{Disk: 0, Offset: block * req, Length: req})
+		if r.Err != nil {
+			t.Fatalf("request %d: %v", i, r.Err)
+		}
+		if i >= n.server.Config().DetectThreshold {
+			if r.FromBuffer {
+				staged++
+			}
+			if r.Direct {
+				direct++
+			}
+		}
+		block++
+	}
+	return staged, direct
+}
+
+func TestNearSeqAbsorbsGappedStream(t *testing.T) {
+	n := gappedNode(t, 1<<20)
+	staged, direct := runGapped(t, n, 48)
+	if staged < direct {
+		t.Errorf("gapped stream with near-seq: staged=%d direct=%d, want mostly staged", staged, direct)
+	}
+	st := n.server.Stats()
+	if st.NearSeqAccepted == 0 {
+		t.Error("no near-seq accepts recorded")
+	}
+	if st.BytesSkipped == 0 {
+		t.Error("no skipped bytes credited")
+	}
+	if st.StreamsDetected != 1 {
+		t.Errorf("StreamsDetected = %d, want 1 (gaps must not spawn new streams)", st.StreamsDetected)
+	}
+}
+
+func TestStrictModeSendsGapsDirect(t *testing.T) {
+	// The paper's strict matcher: the same gapped reader keeps falling
+	// off the stream on every skip.
+	n := gappedNode(t, 0)
+	staged, _ := runGapped(t, n, 48)
+	nsStats := n.server.Stats()
+	if nsStats.NearSeqAccepted != 0 {
+		t.Error("strict mode performed near-seq accepts")
+	}
+	// And the near-seq node stages strictly more.
+	n2 := gappedNode(t, 1<<20)
+	staged2, _ := runGapped(t, n2, 48)
+	if staged2 <= staged {
+		t.Errorf("near-seq staged %d should exceed strict %d", staged2, staged)
+	}
+}
+
+func TestNearSeqBackwardReread(t *testing.T) {
+	n := gappedNode(t, 1<<20)
+	const req = 64 << 10
+	// Establish a stream and stage data.
+	for i := 0; i < 16; i++ {
+		n.do(t, Request{Disk: 0, Offset: int64(i) * req, Length: req})
+	}
+	// Re-read a block just behind the stream position.
+	r := n.do(t, Request{Disk: 0, Offset: 14 * req, Length: req})
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	st := n.server.Stats()
+	if st.NearSeqAccepted == 0 {
+		t.Error("backward re-read not matched")
+	}
+	if st.StreamsDetected != 1 {
+		t.Errorf("re-read spawned a stream: %d", st.StreamsDetected)
+	}
+	// The stream continues normally afterwards.
+	r = n.do(t, Request{Disk: 0, Offset: 16 * req, Length: req})
+	if r.Err != nil || r.Direct {
+		t.Errorf("stream broken after re-read: %+v", r)
+	}
+}
+
+func TestNearSeqMemoryAccountingStaysConsistent(t *testing.T) {
+	n := gappedNode(t, 1<<20)
+	runGapped(t, n, 96)
+	if err := n.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := n.server.Stats()
+	if st.MemoryInUse != 0 {
+		t.Errorf("MemoryInUse = %d after drain (skips must credit consumption)", st.MemoryInUse)
+	}
+	if st.LiveBuffers != 0 {
+		t.Errorf("LiveBuffers = %d after drain", st.LiveBuffers)
+	}
+}
+
+func TestNearSeqOutsideWindowGoesDirect(t *testing.T) {
+	n := gappedNode(t, 128<<10)
+	const req = 64 << 10
+	for i := 0; i < 8; i++ {
+		n.do(t, Request{Disk: 0, Offset: int64(i) * req, Length: req})
+	}
+	// Jump far beyond the window: must not be folded into the stream.
+	before := n.server.Stats().NearSeqAccepted
+	r := n.do(t, Request{Disk: 0, Offset: 1 << 30, Length: req})
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if n.server.Stats().NearSeqAccepted != before {
+		t.Error("far jump was folded into the stream")
+	}
+}

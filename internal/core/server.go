@@ -1,0 +1,862 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"seqstream/internal/blockdev"
+	"seqstream/internal/trace"
+)
+
+// Request is one client read arriving at the storage node.
+type Request struct {
+	Disk   int
+	Offset int64
+	Length int64
+	// Done receives the response. It is never invoked while the
+	// server lock is held; it may submit follow-up requests.
+	Done func(Response)
+}
+
+// Response reports a completed client read.
+type Response struct {
+	// Start and End are measured on the server's clock.
+	Start time.Duration
+	End   time.Duration
+	// Data holds the bytes for backends that materialize them
+	// (nil on simulated devices).
+	Data []byte
+	// FromBuffer marks delivery from the buffered set (a staged hit).
+	FromBuffer bool
+	// Direct marks delivery through the non-sequential direct path.
+	Direct bool
+	// Err is non-nil when the device read failed.
+	Err error
+}
+
+// Stats accumulates server counters. MemoryInUse and LiveBuffers are
+// gauges; the rest are monotonic.
+type Stats struct {
+	Requests        int64
+	DirectReads     int64
+	BufferHits      int64 // served immediately from a staged buffer
+	QueuedServed    int64 // served from a fetch the request waited on
+	StreamsDetected int64
+	StreamsRetired  int64 // streams that reached end of disk
+	StreamsGCed     int64
+	Fetches         int64
+	BytesFetched    int64
+	BytesDelivered  int64
+	BuffersFreed    int64
+	BuffersGCed     int64
+	BuffersEvicted  int64 // reclaimed under memory pressure (LRU)
+	NearSeqAccepted int64 // requests folded into a stream by proximity
+	BytesSkipped    int64 // gap bytes credited as consumed (near-seq)
+	RegionsGCed     int64
+	MemoryInUse     int64
+	PeakMemory      int64
+	LiveBuffers     int64
+}
+
+type offKey struct {
+	disk int
+	off  int64
+}
+
+// Server is the storage-node scheduler (§4, Figure 9): classifier →
+// dispatch set → disks, with prefetched data staged in the buffered
+// set. It is safe for concurrent use; completion callbacks are always
+// invoked without the internal lock held.
+type Server struct {
+	cfg   Config
+	dev   blockdev.Device
+	acct  blockdev.BufferAccounting
+	cpu   blockdev.CPUAccounting
+	clock blockdev.Clock
+
+	mu         sync.Mutex
+	cls        *classifier
+	byExpected map[offKey]*stream // stream lookup by next expected client offset
+	streams    map[int]*stream
+	candidates []*stream
+	dispatched int
+	perDisk    map[int]int   // dispatched streams per disk
+	lastOffset map[int]int64 // last fetch end per disk (for policies)
+	memUsed    int64
+	bufCount   int
+	nextID     int
+	stats      Stats
+	gcCancel   func()
+	gcArmed    bool
+	closed     bool
+
+	// pendingIO collects device calls generated under the lock; they
+	// run after the lock is released (flushIO), because real devices
+	// may block in ReadAt and their completions need the lock.
+	pendingIO []func()
+}
+
+// NewServer builds a server over a device. cfg is defaulted and
+// validated.
+func NewServer(dev blockdev.Device, clock blockdev.Clock, cfg Config) (*Server, error) {
+	if dev == nil {
+		return nil, errors.New("core: nil device")
+	}
+	if clock == nil {
+		return nil, errors.New("core: nil clock")
+	}
+	cfg.ApplyDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:        cfg,
+		dev:        dev,
+		clock:      clock,
+		cls:        newClassifier(cfg),
+		byExpected: make(map[offKey]*stream),
+		streams:    make(map[int]*stream),
+		perDisk:    make(map[int]int),
+		lastOffset: make(map[int]int64),
+	}
+	if acct, ok := dev.(blockdev.BufferAccounting); ok {
+		s.acct = acct
+	}
+	if cpu, ok := dev.(blockdev.CPUAccounting); ok {
+		s.cpu = cpu
+	}
+	return s, nil
+}
+
+// armGC ensures the periodic collector is scheduled while there is
+// collectible state, and leaves no timer behind when the server is
+// idle (so simulations drain and idle real servers hold no timers).
+// Caller holds the lock.
+func (s *Server) armGC() {
+	if s.gcArmed || s.closed {
+		return
+	}
+	if len(s.streams) == 0 && s.cls.regionCount() == 0 && s.bufCount == 0 {
+		return
+	}
+	s.gcArmed = true
+	s.gcCancel = s.clock.Schedule(s.cfg.GCPeriod, s.gcTick)
+}
+
+// Config returns the effective configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Stats returns a snapshot of the counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.MemoryInUse = s.memUsed
+	st.LiveBuffers = int64(s.bufCount)
+	return st
+}
+
+// ActiveStreams returns the number of classified streams.
+func (s *Server) ActiveStreams() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.streams)
+}
+
+// DispatchedStreams returns the current dispatch-set size.
+func (s *Server) DispatchedStreams() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dispatched
+}
+
+// Close stops the garbage collector. In-flight requests still
+// complete; new submissions are rejected.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.gcCancel != nil {
+		s.gcCancel()
+	}
+}
+
+// flushIO runs device calls queued under the lock. It must be called
+// after every locked section that may queue I/O (Submit, fetch
+// completions, the GC tick), with the lock released.
+func (s *Server) flushIO() {
+	for {
+		s.mu.Lock()
+		calls := s.pendingIO
+		s.pendingIO = nil
+		s.mu.Unlock()
+		if len(calls) == 0 {
+			return
+		}
+		for _, fn := range calls {
+			fn()
+		}
+	}
+}
+
+// traceEvent records e when tracing is configured.
+func (s *Server) traceEvent(e trace.Event) {
+	if s.cfg.Trace != nil {
+		s.cfg.Trace.Record(e)
+	}
+}
+
+// complete delivers a response off-lock through the clock so that
+// arbitrarily long hit chains cannot recurse.
+func (s *Server) complete(done func(Response), resp Response) {
+	if done == nil {
+		return
+	}
+	resp.End = s.clock.Now()
+	s.clock.Schedule(0, func() { done(resp) })
+}
+
+// completeFromMemory delivers a response served out of host memory,
+// charging the host CPU cost of the delivery when the device models
+// one. Device-path completions are charged by the device itself.
+func (s *Server) completeFromMemory(length int64, done func(Response), resp Response) {
+	if done == nil {
+		return
+	}
+	if s.cpu == nil {
+		s.complete(done, resp)
+		return
+	}
+	s.cpu.ChargeRequest(length, func() {
+		resp.End = s.clock.Now()
+		done(resp)
+	})
+}
+
+// Submit routes one client request (Figure 9): buffered set first,
+// then the stream queues, then the classifier, and otherwise the
+// direct path to the disks.
+func (s *Server) Submit(req Request) error {
+	if err := blockdev.CheckRequest(s.dev, req.Disk, req.Offset, req.Length); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("core: server closed")
+	}
+	now := s.clock.Now()
+	s.stats.Requests++
+
+	// Stream path: the request continues a classified stream.
+	key := offKey{disk: req.Disk, off: req.Offset}
+	if st := s.byExpected[key]; st != nil {
+		s.acceptStreamRequest(st, req, now)
+		s.armGC()
+		s.mu.Unlock()
+		s.flushIO()
+		return nil
+	}
+
+	// Near-sequential path: a stream expecting a nearby offset absorbs
+	// the request (skips count as consumed; overlaps re-read staged
+	// data).
+	if s.cfg.NearSeqWindow > 0 {
+		if st := s.lookupNearSeq(req.Disk, req.Offset); st != nil {
+			s.acceptNearSeq(st, req, now)
+			s.armGC()
+			s.mu.Unlock()
+			s.flushIO()
+			return nil
+		}
+	}
+
+	// Classifier path: record the access; on detection, create the
+	// stream and admit it to the candidate queue. The triggering
+	// request itself is serviced directly (§4.1: requests are issued
+	// directly to the disk until a stream is detected).
+	if s.cls.observe(req.Disk, req.Offset, req.Length, now) {
+		s.createStream(req, now)
+	}
+	s.directRead(req, now)
+	s.armGC()
+	s.mu.Unlock()
+	s.flushIO()
+	return nil
+}
+
+// acceptStreamRequest handles an in-order request of a known stream:
+// serve from a ready buffer, or queue it for an in-flight/future
+// fetch. Caller holds the lock.
+func (s *Server) acceptStreamRequest(st *stream, req Request, now time.Duration) {
+	// Advance the expected offset.
+	delete(s.byExpected, offKey{disk: st.disk, off: st.nextClient})
+	st.nextClient = req.Offset + req.Length
+	s.byExpected[offKey{disk: st.disk, off: st.nextClient}] = st
+	st.lastActive = now
+
+	covered := false
+	for _, b := range st.buffers {
+		if !b.covers(req.Offset, req.Length) {
+			continue
+		}
+		if b.ready {
+			s.stats.BufferHits++
+			s.serveFromBuffer(st, b, pendingReq{off: req.Offset, length: req.Length, start: now, done: req.Done}, now)
+			return
+		}
+		covered = true // an in-flight fetch will deliver it
+		break
+	}
+	// If the range was fetched before but its buffer has since been
+	// dropped (GC), rewind the fetch pointer so it is read again.
+	if !covered && req.Offset < st.nextFetch {
+		st.nextFetch = req.Offset
+	}
+	st.queue = append(st.queue, pendingReq{off: req.Offset, length: req.Length, start: now, done: req.Done})
+
+	// A stream with waiting clients and nothing staged or queued for
+	// dispatch re-enters the candidate queue (it may have been rotated
+	// out with all buffers consumed).
+	if !st.dispatched && !st.queued && s.eligible(st) {
+		s.enqueueCandidate(st)
+		s.pump()
+	}
+}
+
+// lookupNearSeq returns the stream on disk whose expected offset is
+// nearest to off within the configured window, or nil. Caller holds
+// the lock.
+func (s *Server) lookupNearSeq(disk int, off int64) *stream {
+	var best *stream
+	var bestDist int64
+	for _, st := range s.streams {
+		if st.disk != disk {
+			continue
+		}
+		dist := off - st.nextClient
+		if dist < 0 {
+			dist = -dist
+		}
+		if dist > s.cfg.NearSeqWindow {
+			continue
+		}
+		if best == nil || dist < bestDist {
+			best, bestDist = st, dist
+		}
+	}
+	return best
+}
+
+// acceptNearSeq folds a near-sequential request into a stream: a
+// backward overlap is served from staged data (or directly) without
+// moving the stream; a forward gap marks the skipped range consumed
+// and advances the stream. Caller holds the lock.
+func (s *Server) acceptNearSeq(st *stream, req Request, now time.Duration) {
+	s.stats.NearSeqAccepted++
+	if req.Offset+req.Length <= st.nextClient {
+		// Entirely behind the stream: a re-read. Serve staged data if
+		// it is still resident; otherwise go directly to the disk.
+		st.lastActive = now
+		for _, b := range st.buffers {
+			if b.ready && b.covers(req.Offset, req.Length) {
+				s.stats.BufferHits++
+				s.serveFromBuffer(st, b,
+					pendingReq{off: req.Offset, length: req.Length, start: now, done: req.Done}, now)
+				return
+			}
+		}
+		s.directRead(req, now)
+		return
+	}
+	// Forward gap (or partial overlap): credit the skipped range to
+	// the buffers that staged it, so they still free when the stream
+	// moves past them.
+	if gap := req.Offset - st.nextClient; gap > 0 {
+		s.stats.BytesSkipped += gap
+		for _, b := range append([]*buffer(nil), st.buffers...) {
+			if b.start >= req.Offset || b.end <= st.nextClient {
+				continue
+			}
+			covered := req.Offset
+			if b.end < covered {
+				covered = b.end
+			}
+			if mark := covered - b.start; mark > b.consumed {
+				b.consumed = mark
+			}
+			if b.ready && b.consumed >= b.size() {
+				s.freeBuffer(st, b, false)
+			}
+		}
+	}
+	s.acceptStreamRequest(st, req, now)
+}
+
+// eligible reports whether a stream may generate more disk requests:
+// it has disk left and its staged-ahead window (the per-stream working
+// set, §4.3) is below N·R beyond the client's position.
+func (s *Server) eligible(st *stream) bool {
+	if st.nextFetch >= s.dev.Capacity(st.disk) {
+		return false
+	}
+	ahead := st.nextFetch - st.nextClient
+	return ahead < int64(s.cfg.RequestsPerStream)*s.cfg.ReadAhead
+}
+
+// serveFromBuffer completes one request from a ready buffer and frees
+// the buffer once fully consumed. Consumption is a watermark relative
+// to the buffer start, so duplicate or overlapping reads (near-
+// sequential mode) never over-count. Caller holds the lock.
+func (s *Server) serveFromBuffer(st *stream, b *buffer, p pendingReq, now time.Duration) {
+	if mark := p.off + p.length - b.start; mark > b.consumed {
+		b.consumed = mark
+	}
+	b.lastActive = now
+	s.stats.BytesDelivered += p.length
+	s.traceEvent(trace.Event{Kind: trace.KindClient, Disk: st.disk, Offset: p.off,
+		Length: p.length, Start: p.start, End: now, Hit: true})
+	s.completeFromMemory(p.length, p.done, Response{
+		Start:      p.start,
+		Data:       b.slice(p.off, p.length),
+		FromBuffer: true,
+	})
+	if b.consumed >= b.size() {
+		s.freeBuffer(st, b, false)
+		s.maybeRetire(st)
+		s.pump()
+	}
+	// Consumption may have reopened the stream's working-set window.
+	if !st.dispatched && !st.queued && s.eligible(st) {
+		s.enqueueCandidate(st)
+		s.pump()
+	}
+}
+
+// directRead services a request through the non-sequential path. The
+// device call itself is deferred to flushIO. Caller holds the lock.
+func (s *Server) directRead(req Request, now time.Duration) {
+	s.stats.DirectReads++
+	s.pendingIO = append(s.pendingIO, func() {
+		err := s.dev.ReadAt(req.Disk, req.Offset, req.Length, func(data []byte, derr error) {
+			s.mu.Lock()
+			s.stats.BytesDelivered += req.Length
+			end := s.clock.Now()
+			errMsg := ""
+			if derr != nil {
+				errMsg = derr.Error()
+			}
+			s.traceEvent(trace.Event{Kind: trace.KindDirect, Disk: req.Disk, Offset: req.Offset,
+				Length: req.Length, Start: now, End: end, Err: errMsg})
+			s.traceEvent(trace.Event{Kind: trace.KindClient, Disk: req.Disk, Offset: req.Offset,
+				Length: req.Length, Start: now, End: end, Err: errMsg})
+			s.mu.Unlock()
+			s.complete(req.Done, Response{Start: now, Data: data, Direct: true, Err: derr})
+		})
+		if err != nil {
+			// Validated at Submit; only a racing capacity change could
+			// land here. Fail the request rather than wedging the
+			// client.
+			s.complete(req.Done, Response{Start: now, Direct: true, Err: err})
+		}
+	})
+}
+
+// createStream registers a new sequential stream whose next expected
+// request follows req. Caller holds the lock.
+func (s *Server) createStream(req Request, now time.Duration) {
+	next := req.Offset + req.Length
+	if next >= s.dev.Capacity(req.Disk) {
+		return // detected at the very end of the disk: nothing to do
+	}
+	key := offKey{disk: req.Disk, off: next}
+	if s.byExpected[key] != nil {
+		return // an existing stream already expects this offset
+	}
+	st := &stream{
+		id:         s.nextID,
+		disk:       req.Disk,
+		nextClient: next,
+		nextFetch:  next,
+		lastActive: now,
+	}
+	s.nextID++
+	s.streams[st.id] = st
+	s.byExpected[key] = st
+	s.stats.StreamsDetected++
+	s.enqueueCandidate(st)
+	s.pump()
+}
+
+func (s *Server) enqueueCandidate(st *stream) {
+	st.queued = true
+	s.candidates = append(s.candidates, st)
+}
+
+// pump admits candidates into the dispatch set while D and M allow
+// (§4.2). Caller holds the lock.
+func (s *Server) pump() {
+	for s.dispatched < s.cfg.DispatchSize && len(s.candidates) > 0 {
+		if s.memUsed+s.cfg.ReadAhead > s.cfg.Memory {
+			// Under memory pressure, reclaim the least-recently-used
+			// idle staged buffer before giving up: candidates must not
+			// starve behind prefetched data nobody is consuming.
+			if !s.evictIdleBuffer() {
+				return
+			}
+			continue
+		}
+		// Streams are detected in bursts (a disk's cache turns the
+		// last detection reads into back-to-back hits), so plain FIFO
+		// admission can hand every slot to one disk's streams and idle
+		// the rest of the array. The dispatch set is therefore divided
+		// fairly: each disk holds at most ceil(D/#disks) slots, and
+		// among admittable candidates those on the least-loaded disk
+		// win; the policy picks within that set (FIFO for the paper's
+		// round-robin).
+		ndisks := s.dev.Disks()
+		maxPerDisk := (s.cfg.DispatchSize + ndisks - 1) / ndisks
+		minLoad := -1
+		for _, c := range s.candidates {
+			load := s.perDisk[c.disk]
+			if load >= maxPerDisk {
+				continue
+			}
+			if minLoad < 0 || load < minLoad {
+				minLoad = load
+			}
+		}
+		if minLoad < 0 {
+			return // every candidate's disk is at its fair share
+		}
+		eligibleIdx := make([]int, 0, len(s.candidates))
+		filtered := make([]*stream, 0, len(s.candidates))
+		for i, c := range s.candidates {
+			if s.perDisk[c.disk] == minLoad {
+				eligibleIdx = append(eligibleIdx, i)
+				filtered = append(filtered, c)
+			}
+		}
+		pick := s.cfg.Policy.Next(filtered, s.lastOffset)
+		if pick < 0 || pick >= len(filtered) {
+			pick = 0
+		}
+		idx := eligibleIdx[pick]
+		st := s.candidates[idx]
+		s.candidates = append(s.candidates[:idx], s.candidates[idx+1:]...)
+		st.queued = false
+		if !s.eligible(st) {
+			// Working-set full or disk exhausted: the stream re-enters
+			// the queue when consumption advances (acceptStreamRequest)
+			// or retires.
+			s.maybeRetire(st)
+			continue
+		}
+		st.dispatched = true
+		st.issuedInResidency = 0
+		s.dispatched++
+		s.perDisk[st.disk]++
+		s.issueFetch(st)
+	}
+}
+
+// evictIdleBuffer frees the least-recently-active staged buffer that
+// is ready, has no waiter, and has been idle at least EvictIdle. It
+// reports whether anything was freed. Caller holds the lock.
+func (s *Server) evictIdleBuffer() bool {
+	now := s.clock.Now()
+	var victim *buffer
+	var owner *stream
+	for _, st := range s.streams {
+		if st.fetchInFlight {
+			continue
+		}
+		for _, b := range st.buffers {
+			if !b.ready || now-b.lastActive < s.cfg.EvictIdle {
+				continue
+			}
+			if hasWaiter(st, b) {
+				continue
+			}
+			if victim == nil || b.lastActive < victim.lastActive {
+				victim, owner = b, st
+			}
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	s.stats.BuffersEvicted++
+	s.traceEvent(trace.Event{Kind: trace.KindEvict, Disk: victim.disk, Offset: victim.start,
+		Length: victim.size(), Start: victim.issuedAt, End: now})
+	s.freeBuffer(owner, victim, false)
+	// Unconsumed data was dropped; a later request for it rewinds the
+	// fetch pointer (acceptStreamRequest).
+	return true
+}
+
+// hasWaiter reports whether any queued request of st falls inside b.
+func hasWaiter(st *stream, b *buffer) bool {
+	for _, p := range st.queue {
+		if b.covers(p.off, p.length) {
+			return true
+		}
+	}
+	return false
+}
+
+// issueFetch generates one R-sized disk request for a dispatched
+// stream. Caller holds the lock.
+func (s *Server) issueFetch(st *stream) {
+	capacity := s.dev.Capacity(st.disk)
+	flen := s.cfg.ReadAhead
+	if rem := capacity - st.nextFetch; flen > rem {
+		flen = rem
+	}
+	if flen <= 0 {
+		s.rotateOut(st)
+		return
+	}
+	b := &buffer{
+		disk:       st.disk,
+		start:      st.nextFetch,
+		end:        st.nextFetch + flen,
+		lastActive: s.clock.Now(),
+		issuedAt:   s.clock.Now(),
+		owner:      st,
+	}
+	st.buffers = append(st.buffers, b)
+	st.nextFetch = b.end
+	st.fetchInFlight = true
+	st.totalFetched += flen
+	s.memUsed += flen
+	if s.memUsed > s.stats.PeakMemory {
+		s.stats.PeakMemory = s.memUsed
+	}
+	s.bufCount++
+	s.updateAccounting()
+	s.stats.Fetches++
+	s.stats.BytesFetched += flen
+
+	// The device call runs off-lock (flushIO). The stream cannot issue
+	// a second fetch meanwhile: fetchInFlight stays set until the
+	// completion path clears it.
+	s.pendingIO = append(s.pendingIO, func() {
+		err := s.dev.ReadAt(st.disk, b.start, flen, func(data []byte, derr error) {
+			s.onFetchDone(st, b, data, derr)
+		})
+		if err != nil {
+			// Validated ranges make this unreachable in practice;
+			// treat it as a failed fetch so waiters are not wedged.
+			s.onFetchDone(st, b, nil, err)
+		}
+	})
+}
+
+// onFetchDone is the completion path (§4.2). It gives priority to the
+// issue path — the next fetch (or the next candidate stream) is issued
+// before any pending client requests are completed — so the disks
+// never idle behind client completions.
+func (s *Server) onFetchDone(st *stream, b *buffer, data []byte, derr error) {
+	s.mu.Lock()
+	now := s.clock.Now()
+	b.ready = true
+	b.data = data
+	b.lastActive = now
+	fetchErr := ""
+	if derr != nil {
+		fetchErr = derr.Error()
+	}
+	s.traceEvent(trace.Event{Kind: trace.KindFetch, Disk: st.disk, Offset: b.start,
+		Length: b.size(), Start: b.issuedAt, End: now, Err: fetchErr})
+	st.fetchInFlight = false
+	st.issuedInResidency++
+	s.lastOffset[st.disk] = b.end
+
+	if derr != nil {
+		// Fail everything waiting on this buffer and drop it.
+		var failed []pendingReq
+		st.queue, failed = splitCovered(st.queue, b)
+		s.freeBuffer(st, b, false)
+		s.rotateOut(st)
+		s.mu.Unlock()
+		for _, p := range failed {
+			s.complete(p.done, Response{Start: p.start, Err: derr})
+		}
+		s.flushIO()
+		return
+	}
+
+	// Issue path first.
+	if st.dispatched {
+		if st.issuedInResidency < s.cfg.RequestsPerStream &&
+			st.nextFetch < s.dev.Capacity(st.disk) &&
+			s.memUsed+s.cfg.ReadAhead <= s.cfg.Memory {
+			s.issueFetch(st)
+		} else {
+			s.rotateOut(st)
+		}
+	}
+
+	// Completion path: serve queued requests now covered by staged
+	// data, in order.
+	s.drainQueue(st, now)
+	s.mu.Unlock()
+	s.flushIO()
+}
+
+// drainQueue serves the head of the stream queue while ready buffers
+// cover it. Caller holds the lock.
+func (s *Server) drainQueue(st *stream, now time.Duration) {
+	for len(st.queue) > 0 {
+		p := st.queue[0]
+		var hit *buffer
+		for _, b := range st.buffers {
+			if b.ready && b.covers(p.off, p.length) {
+				hit = b
+				break
+			}
+		}
+		if hit == nil {
+			return
+		}
+		st.queue = st.queue[1:]
+		s.stats.QueuedServed++
+		s.serveFromBuffer(st, hit, p, now)
+	}
+}
+
+// splitCovered partitions queue into (kept, covered-by-b).
+func splitCovered(queue []pendingReq, b *buffer) (kept, covered []pendingReq) {
+	for _, p := range queue {
+		if b.covers(p.off, p.length) {
+			covered = append(covered, p)
+		} else {
+			kept = append(kept, p)
+		}
+	}
+	return kept, covered
+}
+
+// rotateOut removes a stream from the dispatch set (§4.2: after N
+// requests it is replaced by the next sequential stream) and re-queues
+// it as a candidate when it still has work. Caller holds the lock.
+func (s *Server) rotateOut(st *stream) {
+	if st.dispatched {
+		st.dispatched = false
+		s.dispatched--
+		if s.perDisk[st.disk] > 0 {
+			s.perDisk[st.disk]--
+		}
+	}
+	st.issuedInResidency = 0
+	if !st.queued && s.eligible(st) {
+		s.enqueueCandidate(st)
+	}
+	s.maybeRetire(st)
+	s.pump()
+}
+
+// freeBuffer releases a staged buffer's memory. Caller holds the lock.
+func (s *Server) freeBuffer(st *stream, b *buffer, gc bool) {
+	for i, cur := range st.buffers {
+		if cur == b {
+			st.buffers = append(st.buffers[:i], st.buffers[i+1:]...)
+			break
+		}
+	}
+	s.memUsed -= b.size()
+	s.bufCount--
+	b.data = nil
+	if gc {
+		s.stats.BuffersGCed++
+	} else {
+		s.stats.BuffersFreed++
+	}
+	s.updateAccounting()
+}
+
+// maybeRetire drops a stream that has prefetched to the end of its
+// disk and holds no data or waiters. Caller holds the lock.
+func (s *Server) maybeRetire(st *stream) {
+	if st.dispatched || st.queued || st.fetchInFlight {
+		return
+	}
+	if st.nextFetch < s.dev.Capacity(st.disk) {
+		return
+	}
+	if len(st.buffers) > 0 || len(st.queue) > 0 {
+		return
+	}
+	if _, ok := s.streams[st.id]; !ok {
+		return
+	}
+	delete(s.streams, st.id)
+	delete(s.byExpected, offKey{disk: st.disk, off: st.nextClient})
+	s.stats.StreamsRetired++
+}
+
+func (s *Server) updateAccounting() {
+	if s.acct != nil {
+		s.acct.SetLiveBuffers(s.bufCount)
+	}
+}
+
+// gcTick is the periodic garbage collector (§4.3): it frees staged
+// buffers that have waited too long for their remaining requests, and
+// removes streams (queues, hash entries) that were classified as
+// sequential but went idle.
+func (s *Server) gcTick() {
+	s.mu.Lock()
+	s.gcArmed = false
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	now := s.clock.Now()
+
+	for id, st := range s.streams {
+		// Streams with in-flight fetches or waiting clients are live by
+		// definition: a waiter's data is either in flight or the stream
+		// is queued/eligible, so it will be served.
+		if st.fetchInFlight || len(st.queue) > 0 || st.dispatched {
+			continue
+		}
+		// Free idle staged buffers (prefetched data nobody came back
+		// for). The fetch pointer rewinds on a later request for the
+		// dropped range (acceptStreamRequest).
+		for _, b := range append([]*buffer(nil), st.buffers...) {
+			if b.ready && now-b.lastActive > s.cfg.BufferTimeout {
+				s.freeBuffer(st, b, true)
+			}
+		}
+		// Drop idle streams entirely: queue, hash entry, candidacy.
+		if now-st.lastActive > s.cfg.StreamTimeout {
+			for _, b := range append([]*buffer(nil), st.buffers...) {
+				s.freeBuffer(st, b, true)
+			}
+			if st.queued {
+				for i, c := range s.candidates {
+					if c == st {
+						s.candidates = append(s.candidates[:i], s.candidates[i+1:]...)
+						break
+					}
+				}
+				st.queued = false
+			}
+			delete(s.streams, id)
+			delete(s.byExpected, offKey{disk: st.disk, off: st.nextClient})
+			s.stats.StreamsGCed++
+		}
+	}
+	s.stats.RegionsGCed += int64(s.cls.gc(now - s.cfg.StreamTimeout))
+	s.pump()
+	s.armGC()
+	s.mu.Unlock()
+	s.flushIO()
+}

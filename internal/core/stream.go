@@ -1,0 +1,132 @@
+package core
+
+import "time"
+
+// pendingReq is a client request waiting for prefetched data.
+type pendingReq struct {
+	off    int64
+	length int64
+	start  time.Duration
+	done   func(Response)
+}
+
+// stream is one detected sequential stream (§4.1): a private request
+// queue plus read-ahead state.
+type stream struct {
+	id   int
+	disk int
+
+	// nextClient is the offset the next in-order client request is
+	// expected at. Requests that do not match go down the direct path.
+	nextClient int64
+	// nextFetch is the next disk offset to prefetch.
+	nextFetch int64
+
+	// queue holds in-order client requests whose data is not staged
+	// yet.
+	queue []pendingReq
+
+	// issuedInResidency counts disk requests in the current dispatch
+	// residency; at N the stream rotates out.
+	issuedInResidency int
+	// fetchInFlight marks an outstanding disk request.
+	fetchInFlight bool
+	// dispatched marks membership in the dispatch set.
+	dispatched bool
+	// queued marks membership in the candidate queue.
+	queued bool
+
+	// buffers are this stream's staged (or in-flight) buffers, in
+	// fetch order.
+	buffers []*buffer
+
+	lastActive time.Duration
+	// totalFetched counts bytes of read-ahead issued for the stream.
+	totalFetched int64
+}
+
+// buffer is one staged I/O buffer in the buffered set (§4.3).
+type buffer struct {
+	disk  int
+	start int64
+	end   int64
+	// data holds the device bytes for backends that materialize them.
+	data []byte
+	// ready marks fetch completion.
+	ready bool
+	// consumed counts bytes delivered to clients from this buffer; the
+	// buffer is freed when consumed reaches its size.
+	consumed int64
+	// lastActive drives the GC timeout.
+	lastActive time.Duration
+	// issuedAt is when the fetch was generated (tracing).
+	issuedAt time.Duration
+	owner    *stream
+}
+
+func (b *buffer) size() int64 { return b.end - b.start }
+
+// covers reports whether the buffer spans [off, off+n).
+func (b *buffer) covers(off, n int64) bool {
+	return off >= b.start && off+n <= b.end
+}
+
+// slice returns the data backing [off, off+n), or nil when the backend
+// does not materialize bytes.
+func (b *buffer) slice(off, n int64) []byte {
+	if b.data == nil {
+		return nil
+	}
+	lo := off - b.start
+	if lo < 0 || lo+n > int64(len(b.data)) {
+		return nil
+	}
+	return b.data[lo : lo+n]
+}
+
+// DispatchPolicy picks the next candidate stream admitted to the
+// dispatch set. Implementations see the candidate queue in FIFO order
+// and return the index to admit.
+type DispatchPolicy interface {
+	// Next returns the index in candidates to admit. candidates is
+	// never empty. lastOffset is the most recent fetch offset per
+	// disk, for locality-aware policies.
+	Next(candidates []*stream, lastOffset map[int]int64) int
+}
+
+// RoundRobin admits candidates in FIFO order — the paper's default
+// policy (§4.2).
+type RoundRobin struct{}
+
+var _ DispatchPolicy = RoundRobin{}
+
+// Next implements DispatchPolicy.
+func (RoundRobin) Next(candidates []*stream, _ map[int]int64) int { return 0 }
+
+// NearestOffset admits the candidate whose next fetch is closest to
+// the disk head's recent position — the locality-aware alternative the
+// paper sketches but does not adopt (§4.2). Used by the ablation
+// benches.
+type NearestOffset struct{}
+
+var _ DispatchPolicy = NearestOffset{}
+
+// Next implements DispatchPolicy.
+func (NearestOffset) Next(candidates []*stream, lastOffset map[int]int64) int {
+	best := 0
+	bestDist := int64(-1)
+	for i, s := range candidates {
+		last, ok := lastOffset[s.disk]
+		if !ok {
+			continue
+		}
+		dist := s.nextFetch - last
+		if dist < 0 {
+			dist = -dist
+		}
+		if bestDist < 0 || dist < bestDist {
+			best, bestDist = i, dist
+		}
+	}
+	return best
+}

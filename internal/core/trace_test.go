@@ -1,0 +1,63 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"seqstream/internal/trace"
+)
+
+func TestServerTracing(t *testing.T) {
+	tr, err := trace.New(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(64<<20, 1<<20)
+	cfg.Trace = tr
+	n := baseNode(t, cfg)
+
+	const req = 64 << 10
+	for i := 0; i < 24; i++ {
+		n.do(t, Request{Disk: 0, Offset: int64(i) * req, Length: req})
+	}
+	sum := tr.Summarize()
+	if sum.Clients != 24 {
+		t.Errorf("traced clients = %d, want 24", sum.Clients)
+	}
+	if sum.Fetches == 0 {
+		t.Error("no fetch events traced")
+	}
+	if sum.Directs != n.server.Config().DetectThreshold {
+		t.Errorf("traced directs = %d, want threshold %d", sum.Directs, n.server.Config().DetectThreshold)
+	}
+	if sum.ClientHit == 0 {
+		t.Error("no staged hits traced")
+	}
+	if sum.Errors != 0 {
+		t.Errorf("traced errors = %d", sum.Errors)
+	}
+	// Latencies must be non-negative and ordered sanely.
+	for _, e := range tr.Snapshot() {
+		if e.Latency() < 0 {
+			t.Fatalf("negative latency: %+v", e)
+		}
+	}
+	// Exports work end to end.
+	var csvBuf, jsonBuf bytes.Buffer
+	if err := tr.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteJSONL(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csvBuf.String(), "fetch") {
+		t.Error("csv export missing fetch rows")
+	}
+}
+
+func TestServerTracingDisabledByDefault(t *testing.T) {
+	n := baseNode(t, DefaultConfig(64<<20, 1<<20))
+	// No tracer: nothing to assert beyond not panicking.
+	n.do(t, Request{Disk: 0, Offset: 0, Length: 4096})
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"errors"
+	"time"
+)
+
+// NodeSpec describes a storage node for static parameter derivation
+// (§5.4: "it is possible to achieve high utilization in different I/O
+// subsystem configurations by appropriately setting parameters R, D,
+// N, and M").
+type NodeSpec struct {
+	// Disks is the number of drives behind the node.
+	Disks int
+	// Memory is the host memory available for staging (M).
+	Memory int64
+	// MediaRate is the drives' sustained sequential rate in bytes/s.
+	MediaRate float64
+	// PositionBudget is the average positioning cost per access (seek
+	// plus rotational latency). Zero defaults to 13ms, the WD800JD-class
+	// figure.
+	PositionBudget time.Duration
+	// Efficiency is the target fraction of the media rate a dispatched
+	// stream's transfers should reach; the read-ahead R is sized so
+	// transfer time dominates positioning accordingly. Zero defaults
+	// to 0.9.
+	Efficiency float64
+}
+
+// Tune derives the paper's four parameters from a node description:
+//
+//   - R: large enough that R/rate ≥ (eff/(1-eff)) × positioning time,
+//     rounded up to a power of two (transfer amortizes the seek);
+//   - D: M/(R·N), but at least one stream per disk;
+//   - N: 1 (rotate every fetch — the §5 default);
+//   - M: the given budget.
+//
+// The returned config validates; callers may tweak fields afterwards.
+func Tune(spec NodeSpec) (Config, error) {
+	if spec.Disks <= 0 {
+		return Config{}, errors.New("core: node needs at least one disk")
+	}
+	if spec.Memory <= 0 {
+		return Config{}, errors.New("core: node needs a memory budget")
+	}
+	if spec.MediaRate <= 0 {
+		return Config{}, errors.New("core: node needs a media rate")
+	}
+	pos := spec.PositionBudget
+	if pos == 0 {
+		pos = 13 * time.Millisecond
+	}
+	eff := spec.Efficiency
+	if eff == 0 {
+		eff = 0.9
+	}
+	if eff <= 0 || eff >= 1 {
+		return Config{}, errors.New("core: efficiency must be in (0, 1)")
+	}
+
+	// Transfer time T = R/rate; utilization = T/(T+pos) >= eff
+	// <=> R >= rate * pos * eff/(1-eff).
+	r := int64(spec.MediaRate * pos.Seconds() * eff / (1 - eff))
+	if r < 64<<10 {
+		r = 64 << 10
+	}
+	p := int64(1)
+	for p < r {
+		p <<= 1
+	}
+	r = p
+	// R must leave room for at least one buffer per disk in M.
+	if max := spec.Memory / int64(spec.Disks); r > max {
+		r = largestPow2(max)
+	}
+	if r < 512 {
+		return Config{}, errors.New("core: memory too small to stage one buffer per disk")
+	}
+
+	cfg := Config{
+		ReadAhead:         r,
+		RequestsPerStream: 1,
+		Memory:            spec.Memory,
+	}
+	cfg.ApplyDefaults()
+	if cfg.DispatchSize < spec.Disks {
+		cfg.DispatchSize = spec.Disks
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+func largestPow2(n int64) int64 {
+	p := int64(1)
+	for p*2 <= n {
+		p <<= 1
+	}
+	return p
+}

@@ -1,0 +1,40 @@
+package disk
+
+import (
+	"time"
+
+	"seqstream/internal/geom"
+)
+
+// SATA1Rate is the SATA-1 interface rate used throughout the paper
+// (150 MB/s).
+const SATA1Rate = 150e6
+
+// ProfileWD800JD models the paper's testbed drive (§5): WD Caviar SE
+// WD800JD with an 8 MB cache. Real-drive firmware keeps a fixed
+// segment size and prefetches up to a full segment (§3.1's explanation
+// of Figure 5), modeled here as 32 segments of 256 KB with read-ahead
+// equal to the segment size.
+func ProfileWD800JD(seed uint64) Config {
+	return Config{
+		Geometry:        geom.WD800JD(),
+		CacheSize:       8 << 20,
+		SegmentSize:     256 << 10,
+		ReadAhead:       256 << 10,
+		InterfaceRate:   SATA1Rate,
+		CommandOverhead: 300 * time.Microsecond,
+		Policy:          FCFS,
+		Seed:            seed,
+	}
+}
+
+// ProfileTuned returns the WD800JD drive with explicit cache geometry,
+// used by the §3 simulation sweeps. readAhead follows the paper's
+// convention: the number of bytes brought in per miss.
+func ProfileTuned(segmentSize, segments, readAhead int64, seed uint64) Config {
+	cfg := ProfileWD800JD(seed)
+	cfg.SegmentSize = segmentSize
+	cfg.CacheSize = segmentSize * segments
+	cfg.ReadAhead = readAhead
+	return cfg
+}

@@ -1,0 +1,124 @@
+package disk
+
+import (
+	"testing"
+
+	"seqstream/internal/sim"
+)
+
+func TestWriteCompletes(t *testing.T) {
+	eng := sim.NewEngine()
+	d := newDisk(t, eng, nil)
+	var res *Result
+	if err := d.SubmitWrite(0, 64<<10, func(r Result) { res = &r }); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if res == nil {
+		t.Fatal("no completion")
+	}
+	st := d.Stats()
+	if st.BytesWritten != 64<<10 {
+		t.Errorf("BytesWritten = %d", st.BytesWritten)
+	}
+	if st.BytesRead != 0 {
+		t.Errorf("BytesRead = %d for a write", st.BytesRead)
+	}
+	if st.Requests != 1 {
+		t.Errorf("Requests = %d", st.Requests)
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	d := newDisk(t, eng, nil)
+	if err := d.SubmitWrite(-1, 4096, nil); err == nil {
+		t.Error("negative offset accepted")
+	}
+	if err := d.SubmitWrite(d.Capacity(), 4096, nil); err == nil {
+		t.Error("out-of-range accepted")
+	}
+}
+
+func TestWriteInvalidatesCache(t *testing.T) {
+	eng := sim.NewEngine()
+	d := newDisk(t, eng, nil) // 256K segments with prefetch
+	// Warm the cache.
+	if err := d.Submit(0, 64<<10, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite part of the cached range.
+	if err := d.SubmitWrite(64<<10, 64<<10, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// A re-read of the written range must miss (stale segment dropped).
+	if err := d.Submit(64<<10, 64<<10, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.CacheHits != 0 {
+		t.Errorf("CacheHits = %d; write did not invalidate the segment", st.CacheHits)
+	}
+}
+
+func TestSequentialWritesFasterThanScattered(t *testing.T) {
+	run := func(scatter bool) sim.Time {
+		eng := sim.NewEngine()
+		d := newDisk(t, eng, nil)
+		const n = 32
+		for i := int64(0); i < n; i++ {
+			off := i * 256 << 10
+			if scatter {
+				off = i * (d.Capacity() / (n + 1))
+				off -= off % 512
+			}
+			if err := d.SubmitWrite(off, 256<<10, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return eng.Now()
+	}
+	seq := run(false)
+	scat := run(true)
+	if scat < 2*seq {
+		t.Errorf("scattered writes (%v) should be >= 2x sequential (%v)", scat, seq)
+	}
+}
+
+func TestMixedReadWriteQueueOrder(t *testing.T) {
+	eng := sim.NewEngine()
+	d := newDisk(t, eng, nil)
+	var order []string
+	if err := d.Submit(0, 4096, func(Result) { order = append(order, "r") }); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SubmitWrite(1<<20, 4096, func(Result) { order = append(order, "w") }); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Submit(2<<20, 4096, func(Result) { order = append(order, "r") }); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"r", "w", "r"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("FCFS order = %v", order)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"seqstream/internal/blockdev"
+	"seqstream/internal/core"
+	"seqstream/internal/iostack"
+	"seqstream/internal/sim"
+)
+
+// AblationDispatchPolicy compares the paper's round-robin dispatch
+// policy against the locality-aware nearest-offset alternative §4.2
+// sketches, across stream counts on one disk.
+func AblationDispatchPolicy(opts Options) (Result, error) {
+	opts = opts.withDefaults(8*time.Second, 12*time.Second)
+	streamCounts := []int{10, 30, 60, 100}
+
+	res := Result{
+		ID:     "abl-policy",
+		Title:  "Dispatch policy ablation (R=1M, D=S/4)",
+		XLabel: "streams per disk",
+		YLabel: "MB/s",
+		Series: []string{"round-robin", "nearest-offset"},
+	}
+	stackCfg := iostack.BaseConfig(iostack.Options{})
+	capacity := stackCfg.Controllers[0].Disks[0].Geometry.Capacity
+	const ra = 1 << 20
+	for _, s := range streamCounts {
+		row := Row{X: fmt.Sprintf("%d", s)}
+		placements := PlacePerDisk(1, s, capacity)
+		d := s / 4
+		if d < 1 {
+			d = 1
+		}
+		for _, policy := range []core.DispatchPolicy{core.RoundRobin{}, core.NearestOffset{}} {
+			cfg := coreConfig(d, ra, int64(s)*ra, 1)
+			cfg.Policy = policy
+			sample, err := runCore(stackCfg, cfg, placements, clientReq, opts)
+			if err != nil {
+				return Result{}, err
+			}
+			row.Values = append(row.Values, sample.MBps)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// AblationClassifierRegion sweeps the classifier's region width (the
+// paper's bitmap "offset", §4.1): wider regions cost more bitmap
+// memory but detection behaves the same for strictly sequential
+// streams; the sweep verifies throughput is insensitive to it.
+func AblationClassifierRegion(opts Options) (Result, error) {
+	opts = opts.withDefaults(6*time.Second, 10*time.Second)
+	widths := []int{8, 16, 64, 256}
+
+	res := Result{
+		ID:     "abl-region",
+		Title:  "Classifier region width ablation (60 streams, R=1M)",
+		XLabel: "region blocks",
+		YLabel: "MB/s",
+		Series: []string{"60 streams"},
+	}
+	stackCfg := iostack.BaseConfig(iostack.Options{})
+	capacity := stackCfg.Controllers[0].Disks[0].Geometry.Capacity
+	const s = 60
+	for _, w := range widths {
+		cfg := coreConfig(s, 1<<20, int64(s)<<20, 1)
+		cfg.RegionBlocks = w
+		placements := PlacePerDisk(1, s, capacity)
+		sample, err := runCore(stackCfg, cfg, placements, clientReq, opts)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Rows = append(res.Rows, Row{X: fmt.Sprintf("%d", w), Values: []float64{sample.MBps}})
+	}
+	return res, nil
+}
+
+// AblationGCPeriod sweeps the buffered set's reclaim latency (§4.3's
+// garbage collection of buffers "allocated to streams that are
+// inactive"). Half the streams abandon their read-ahead after a few
+// requests; their staged buffers pin memory until reclaim, throttling
+// the continuing streams when reclaim is slow.
+func AblationGCPeriod(opts Options) (Result, error) {
+	opts = opts.withDefaults(4*time.Second, 8*time.Second)
+	idles := []time.Duration{100 * time.Millisecond, 500 * time.Millisecond, 2 * time.Second, 8 * time.Second}
+
+	res := Result{
+		ID:     "abl-gc",
+		Title:  "Reclaim latency ablation (20 live + 20 abandoning streams, M=8MB, R=1M)",
+		XLabel: "reclaim idle threshold",
+		YLabel: "MB/s (live streams)",
+		Series: []string{"live streams"},
+	}
+	for _, idle := range idles {
+		mbps, err := runReclaim(idle, opts)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Rows = append(res.Rows, Row{X: idle.String(), Values: []float64{mbps}})
+	}
+	return res, nil
+}
+
+// runReclaim measures 50 continuous streams sharing a tight buffered
+// set with 50 streams that stop after detection (abandoning their
+// prefetch), for a given eviction idle threshold.
+func runReclaim(idle time.Duration, opts Options) (float64, error) {
+	// Reclaim effects need the post-detection regime: enforce minimum
+	// windows regardless of quick options.
+	if opts.Warmup < 4*time.Second {
+		opts.Warmup = 4 * time.Second
+	}
+	if opts.Measure < 12*time.Second {
+		opts.Measure = 12 * time.Second
+	}
+	eng := sim.NewEngine()
+	host, err := newHost(eng, iostack.BaseConfig(iostack.Options{}))
+	if err != nil {
+		return 0, err
+	}
+	dev, err := blockdev.NewSimDevice(host)
+	if err != nil {
+		return 0, err
+	}
+	cfg := coreConfig(core.DeriveDispatch(8<<20, 1<<20, 1), 1<<20, 8<<20, 1)
+	cfg.EvictIdle = idle
+	cfg.BufferTimeout = 2 * idle
+	srv, err := core.NewServer(dev, blockdev.NewSimClock(eng), cfg)
+	if err != nil {
+		return 0, err
+	}
+	defer srv.Close()
+
+	const live = 20
+	const ghosts = 20
+	capacity := dev.Capacity(0)
+	spacing := capacity / (live + ghosts)
+	spacing -= spacing % 512
+	warmEnd := opts.Warmup
+	measureEnd := opts.Warmup + opts.Measure
+	var bytes int64
+
+	submit := coreSubmit(srv)
+	for i := 0; i < live+ghosts; i++ {
+		i := i
+		next := int64(i) * spacing
+		count := 0
+		var issue func()
+		issue = func() {
+			off := next
+			next += clientReq
+			count++
+			// Ghost streams stop right after triggering read-ahead.
+			stop := i >= live && count > 6
+			err := submit(0, off, clientReq, func() {
+				end := eng.Now()
+				if i < live && end >= warmEnd && end <= measureEnd {
+					bytes += clientReq
+				}
+				if !stop {
+					issue()
+				}
+			})
+			if err != nil {
+				return
+			}
+		}
+		issue()
+	}
+	if err := eng.RunUntil(measureEnd); err != nil {
+		return 0, err
+	}
+	return float64(bytes) / opts.Measure.Seconds() / 1e6, nil
+}

@@ -1,0 +1,291 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"seqstream/internal/core"
+	"seqstream/internal/iostack"
+)
+
+// clientReq is the fixed client request size used throughout §5.
+const clientReq = 64 << 10
+
+// coreConfig builds the scheduler configuration for an experiment,
+// with fast-reacting reclaim so short simulations reach steady state.
+func coreConfig(d int, r, m int64, n int) core.Config {
+	cfg := core.Config{
+		DispatchSize:      d,
+		ReadAhead:         r,
+		RequestsPerStream: n,
+		Memory:            m,
+		GCPeriod:          250 * time.Millisecond,
+		EvictIdle:         500 * time.Millisecond,
+	}
+	cfg.ApplyDefaults()
+	return cfg
+}
+
+// Fig10 reproduces Figure 10: the effect of read-ahead R when the node
+// has enough memory to stage and dispatch every stream (M = S·R·N,
+// D = S, N = 1), on one disk. The "no readahead" series is the direct
+// baseline.
+func Fig10(opts Options) (Result, error) {
+	opts = opts.withDefaults(8*time.Second, 12*time.Second)
+	readAheads := []int64{8 << 20, 2 << 20, 1 << 20, 512 << 10, 128 << 10}
+	streamCounts := []int{10, 30, 60, 100}
+
+	res := Result{
+		ID:     "fig10",
+		Title:  "Effect of read-ahead (adequate memory: M=S*R*N, D=S)",
+		XLabel: "streams per disk",
+		YLabel: "MB/s",
+	}
+	for _, ra := range readAheads {
+		res.Series = append(res.Series, "R="+kbLabel(ra))
+	}
+	res.Series = append(res.Series, "no readahead")
+
+	stackCfg := iostack.BaseConfig(iostack.Options{})
+	capacity := stackCfg.Controllers[0].Disks[0].Geometry.Capacity
+	for _, s := range streamCounts {
+		row := Row{X: fmt.Sprintf("%d", s)}
+		placements := PlacePerDisk(1, s, capacity)
+		for _, ra := range readAheads {
+			cfg := coreConfig(s, ra, int64(s)*ra, 1)
+			sample, err := runCore(stackCfg, cfg, placements, clientReq, opts)
+			if err != nil {
+				return Result{}, err
+			}
+			row.Values = append(row.Values, sample.MBps)
+		}
+		sample, err := runDirect(stackCfg, placements, clientReq, opts)
+		if err != nil {
+			return Result{}, err
+		}
+		row.Values = append(row.Values, sample.MBps)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Fig11 reproduces Figure 11: the effect of storage memory size M on
+// throughput for combinations of stream count and read-ahead, with the
+// dispatch set derived as D = M/(R·N).
+func Fig11(opts Options) (Result, error) {
+	opts = opts.withDefaults(10*time.Second, 15*time.Second)
+	memories := []int64{8 << 20, 16 << 20, 64 << 20, 128 << 20, 256 << 20}
+	combos := []struct {
+		streams   int
+		readAhead int64
+	}{
+		{1, 8 << 20}, {10, 8 << 20}, {100, 8 << 20},
+		{1, 1 << 20}, {10, 1 << 20}, {100, 1 << 20},
+		{1, 256 << 10}, {10, 256 << 10}, {100, 256 << 10},
+	}
+
+	res := Result{
+		ID:     "fig11",
+		Title:  "Effect of storage memory size on throughput (D=M/(R*N))",
+		XLabel: "memory (MB)",
+		YLabel: "MB/s",
+	}
+	for _, c := range combos {
+		res.Series = append(res.Series, fmt.Sprintf("S=%d RA=%s", c.streams, kbLabel(c.readAhead)))
+	}
+	stackCfg := iostack.BaseConfig(iostack.Options{})
+	capacity := stackCfg.Controllers[0].Disks[0].Geometry.Capacity
+	for _, m := range memories {
+		row := Row{X: fmt.Sprintf("%d", m>>20)}
+		for _, c := range combos {
+			if c.readAhead > m {
+				// One buffer must fit in memory.
+				row.Values = append(row.Values, 0)
+				continue
+			}
+			cfg := coreConfig(core.DeriveDispatch(m, c.readAhead, 1), c.readAhead, m, 1)
+			placements := PlacePerDisk(1, c.streams, capacity)
+			sample, err := runCore(stackCfg, cfg, placements, clientReq, opts)
+			if err != nil {
+				return Result{}, err
+			}
+			row.Values = append(row.Values, sample.MBps)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Fig12 reproduces Figure 12: the 8-disk setup with every staged
+// stream also dispatched (D = S·disks, M = D·R·N). Throughput is far
+// below the 450 MB/s controller ceiling because the host must manage a
+// large number of large buffers.
+func Fig12(opts Options) (Result, error) {
+	opts = opts.withDefaults(8*time.Second, 12*time.Second)
+	readAheads := []int64{2 << 20, 1 << 20, 512 << 10}
+	streamCounts := []int{10, 30, 60, 100}
+	const disks = 8
+
+	res := Result{
+		ID:     "fig12",
+		Title:  "Throughput for an 8-disk setup (D = S, all staged dispatched)",
+		XLabel: "streams per disk",
+		YLabel: "MB/s",
+	}
+	for _, ra := range readAheads {
+		res.Series = append(res.Series, "R="+kbLabel(ra))
+	}
+	res.Series = append(res.Series, "no readahead")
+
+	stackCfg := iostack.Testbed8Config(iostack.Options{})
+	capacity := stackCfg.Controllers[0].Disks[0].Geometry.Capacity
+	for _, s := range streamCounts {
+		row := Row{X: fmt.Sprintf("%d", s)}
+		placements := PlacePerDisk(disks, s, capacity)
+		total := s * disks
+		for _, ra := range readAheads {
+			cfg := coreConfig(total, ra, int64(total)*ra, 1)
+			sample, err := runCore(stackCfg, cfg, placements, clientReq, opts)
+			if err != nil {
+				return Result{}, err
+			}
+			row.Values = append(row.Values, sample.MBps)
+		}
+		sample, err := runDirect(stackCfg, placements, clientReq, opts)
+		if err != nil {
+			return Result{}, err
+		}
+		row.Values = append(row.Values, sample.MBps)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Fig13 reproduces Figure 13: dispatching far fewer streams than are
+// staged on the 8-disk setup (D = #disks, N = 128, R = 512K), which
+// recovers most of the available 450 MB/s by cutting buffer-management
+// overhead. The Fig12 D=S series at the same R is included for
+// comparison, as in the paper.
+func Fig13(opts Options) (Result, error) {
+	opts = opts.withDefaults(8*time.Second, 12*time.Second)
+	streamCounts := []int{10, 30, 60, 100}
+	const disks = 8
+	const ra = 512 << 10
+
+	res := Result{
+		ID:     "fig13",
+		Title:  "Throughput when fewer streams are dispatched than staged (8 disks)",
+		XLabel: "streams per disk",
+		YLabel: "MB/s",
+		Series: []string{"D=#disks N=128", "D=S (from Fig12)"},
+	}
+	stackCfg := iostack.Testbed8Config(iostack.Options{})
+	capacity := stackCfg.Controllers[0].Disks[0].Geometry.Capacity
+	for _, s := range streamCounts {
+		row := Row{X: fmt.Sprintf("%d", s)}
+		placements := PlacePerDisk(disks, s, capacity)
+		total := s * disks
+
+		// D = #disks, N = 128: memory follows the staged streams.
+		cfgSplit := coreConfig(disks, ra, int64(total)*ra*2, 128)
+		sample, err := runCore(stackCfg, cfgSplit, placements, clientReq, opts)
+		if err != nil {
+			return Result{}, err
+		}
+		row.Values = append(row.Values, sample.MBps)
+
+		// D = S baseline from Figure 12.
+		cfgAll := coreConfig(total, ra, int64(total)*ra, 1)
+		sample, err = runCore(stackCfg, cfgAll, placements, clientReq, opts)
+		if err != nil {
+			return Result{}, err
+		}
+		row.Values = append(row.Values, sample.MBps)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Fig14 reproduces Figure 14: a single disk with a small dispatch set
+// (D = 1, N = 128, R = 512K) against the Figure 10 configurations
+// where every staged stream is dispatched.
+func Fig14(opts Options) (Result, error) {
+	opts = opts.withDefaults(8*time.Second, 12*time.Second)
+	streamCounts := []int{10, 30, 60, 100}
+
+	res := Result{
+		ID:     "fig14",
+		Title:  "Single-disk throughput with a small dispatch set",
+		XLabel: "streams per disk",
+		YLabel: "MB/s",
+		Series: []string{"D=1 N=128 R=512K", "R=2M D=S (Fig10)", "R=8M D=S (Fig10)"},
+	}
+	stackCfg := iostack.BaseConfig(iostack.Options{})
+	capacity := stackCfg.Controllers[0].Disks[0].Geometry.Capacity
+	for _, s := range streamCounts {
+		row := Row{X: fmt.Sprintf("%d", s)}
+		placements := PlacePerDisk(1, s, capacity)
+
+		cfgSmall := coreConfig(1, 512<<10, int64(s)*512<<10*2, 128)
+		sample, err := runCore(stackCfg, cfgSmall, placements, clientReq, opts)
+		if err != nil {
+			return Result{}, err
+		}
+		row.Values = append(row.Values, sample.MBps)
+
+		for _, ra := range []int64{2 << 20, 8 << 20} {
+			cfg := coreConfig(s, ra, int64(s)*ra, 1)
+			sample, err := runCore(stackCfg, cfg, placements, clientReq, opts)
+			if err != nil {
+				return Result{}, err
+			}
+			row.Values = append(row.Values, sample.MBps)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Fig15 reproduces Figure 15: average stream response time versus
+// read-ahead for several stream counts and node memory sizes. Values
+// are reported in milliseconds.
+func Fig15(opts Options) (Result, error) {
+	opts = opts.withDefaults(10*time.Second, 30*time.Second)
+	readAheads := []int64{256 << 10, 1 << 20, 8 << 20}
+	memories := []int64{8 << 20, 64 << 20, 256 << 20}
+	streamCounts := []int{1, 10, 100}
+
+	res := Result{
+		ID:     "fig15",
+		Title:  "Average stream response time (64KB requests)",
+		XLabel: "read-ahead",
+		YLabel: "mean latency (ms)",
+	}
+	for _, s := range streamCounts {
+		for _, m := range memories {
+			res.Series = append(res.Series, fmt.Sprintf("S=%d M=%dMB", s, m>>20))
+		}
+	}
+	stackCfg := iostack.BaseConfig(iostack.Options{})
+	capacity := stackCfg.Controllers[0].Disks[0].Geometry.Capacity
+	for _, ra := range readAheads {
+		row := Row{X: kbLabel(ra)}
+		for _, s := range streamCounts {
+			for _, m := range memories {
+				if ra > m {
+					row.Values = append(row.Values, 0)
+					continue
+				}
+				cfg := coreConfig(core.DeriveDispatch(m, ra, 1), ra, m, 1)
+				placements := PlacePerDisk(1, s, capacity)
+				sample, err := runCore(stackCfg, cfg, placements, clientReq, opts)
+				if err != nil {
+					return Result{}, err
+				}
+				row.Values = append(row.Values, float64(sample.MeanLat)/float64(time.Millisecond))
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"seqstream/internal/iostack"
+)
+
+// AblationLatencyDistribution quantifies §5.5's observation that under
+// the scheduler, request response times split into two categories:
+// requests served from memory (fast) and requests that wait for a
+// dispatch round (slow). The direct path has one category — every
+// request pays the disk. Rows are latency statistics in milliseconds.
+func AblationLatencyDistribution(opts Options) (Result, error) {
+	opts = opts.withDefaults(8*time.Second, 20*time.Second)
+	const streams = 60
+	const ra = 1 << 20
+
+	res := Result{
+		ID:     "abl-latency",
+		Title:  fmt.Sprintf("Response-time distribution (%d streams, 64K requests)", streams),
+		XLabel: "statistic",
+		YLabel: "latency (ms)",
+		Series: []string{"direct", "scheduled R=1M"},
+	}
+	stackCfg := iostack.BaseConfig(iostack.Options{})
+	capacity := stackCfg.Controllers[0].Disks[0].Geometry.Capacity
+	placements := PlacePerDisk(1, streams, capacity)
+
+	direct, err := runDirect(stackCfg, placements, clientReq, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg := coreConfig(streams, ra, streams*ra, 1)
+	sched, err := runCore(stackCfg, cfg, placements, clientReq, opts)
+	if err != nil {
+		return Result{}, err
+	}
+
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	res.Rows = []Row{
+		{X: "p50", Values: []float64{ms(direct.P50Lat), ms(sched.P50Lat)}},
+		{X: "mean", Values: []float64{ms(direct.MeanLat), ms(sched.MeanLat)}},
+		{X: "p99", Values: []float64{ms(direct.P99Lat), ms(sched.P99Lat)}},
+	}
+	return res, nil
+}

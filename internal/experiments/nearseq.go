@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"seqstream/internal/blockdev"
+	"seqstream/internal/core"
+	"seqstream/internal/iostack"
+	"seqstream/internal/sim"
+)
+
+// AblationNearSeq measures the near-sequential extension (§4.1 calls
+// handling near-sequential streams future work): readers that skip a
+// fraction of their blocks (stride patterns, container metadata) run
+// against the strict matcher and the windowed matcher.
+func AblationNearSeq(opts Options) (Result, error) {
+	opts = opts.withDefaults(6*time.Second, 10*time.Second)
+	skipEvery := []int{0, 8, 4, 2} // 0 = fully sequential
+
+	res := Result{
+		ID:     "abl-nearseq",
+		Title:  "Near-sequential streams ablation (30 streams, R=1M)",
+		XLabel: "skip 1 of N blocks",
+		YLabel: "MB/s",
+		Series: []string{"strict", "near-seq window=1M"},
+	}
+	for _, skip := range skipEvery {
+		label := "none"
+		if skip > 0 {
+			label = fmt.Sprintf("1/%d", skip)
+		}
+		row := Row{X: label}
+		for _, window := range []int64{0, 1 << 20} {
+			mbps, err := runGappedStreams(skip, window, opts)
+			if err != nil {
+				return Result{}, err
+			}
+			row.Values = append(row.Values, mbps)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// runGappedStreams drives 30 readers that skip one of every `skip`
+// blocks (0 = none) through a node with the given near-seq window.
+func runGappedStreams(skip int, window int64, opts Options) (float64, error) {
+	eng := sim.NewEngine()
+	host, err := newHost(eng, iostack.BaseConfig(iostack.Options{}))
+	if err != nil {
+		return 0, err
+	}
+	dev, err := blockdev.NewSimDevice(host)
+	if err != nil {
+		return 0, err
+	}
+	const streams = 30
+	cfg := coreConfig(streams, 1<<20, streams<<20, 1)
+	cfg.NearSeqWindow = window
+	srv, err := core.NewServer(dev, blockdev.NewSimClock(eng), cfg)
+	if err != nil {
+		return 0, err
+	}
+	defer srv.Close()
+
+	capacity := dev.Capacity(0)
+	spacing := capacity / streams
+	spacing -= spacing % 512
+	warmEnd := opts.Warmup
+	measureEnd := opts.Warmup + opts.Measure
+	var bytes int64
+	submit := coreSubmit(srv)
+
+	for s := 0; s < streams; s++ {
+		base := int64(s) * spacing
+		block := int64(0)
+		var issue func()
+		issue = func() {
+			if skip > 0 && (block+1)%int64(skip) == 0 {
+				block++ // stride: skip this block
+			}
+			off := base + block*clientReq
+			block++
+			err := submit(0, off, clientReq, func() {
+				if end := eng.Now(); end >= warmEnd && end <= measureEnd {
+					bytes += clientReq
+				}
+				issue()
+			})
+			if err != nil {
+				return
+			}
+		}
+		issue()
+	}
+	if err := eng.RunUntil(measureEnd); err != nil {
+		return 0, err
+	}
+	return float64(bytes) / opts.Measure.Seconds() / 1e6, nil
+}

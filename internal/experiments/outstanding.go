@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"seqstream/internal/iostack"
+	"seqstream/internal/sim"
+)
+
+// AblationOutstanding sweeps the per-stream outstanding-request count
+// on the direct path (§2's observation, echoed from the Windows
+// sequential-I/O studies the paper cites: high performance needs
+// multiple outstanding requests). Deeper per-stream pipelines hide
+// request turnaround but cannot fix seek-bound interleaving.
+func AblationOutstanding(opts Options) (Result, error) {
+	opts = opts.withDefaults(time.Second, 4*time.Second)
+	depths := []int{1, 2, 4, 8}
+	streamCounts := []int{1, 30}
+
+	res := Result{
+		ID:     "abl-outstanding",
+		Title:  "Outstanding requests per stream (direct path, 64K requests)",
+		XLabel: "outstanding",
+		YLabel: "MB/s",
+	}
+	for _, s := range streamCounts {
+		res.Series = append(res.Series, fmt.Sprintf("%d streams", s))
+	}
+	stackCfg := iostack.BaseConfig(iostack.Options{})
+	capacity := stackCfg.Controllers[0].Disks[0].Geometry.Capacity
+	for _, depth := range depths {
+		row := Row{X: fmt.Sprintf("%d", depth)}
+		for _, s := range streamCounts {
+			eng := sim.NewEngine()
+			host, err := newHost(eng, stackCfg)
+			if err != nil {
+				return Result{}, err
+			}
+			sample, err := measureRun(eng, directSubmit(host),
+				PlacePerDisk(1, s, capacity), 64<<10, depth, opts)
+			if err != nil {
+				return Result{}, err
+			}
+			row.Values = append(row.Values, sample.MBps)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

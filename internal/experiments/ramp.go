@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"seqstream/internal/iosched"
+)
+
+// AblationReadaheadRamp compares the OS readahead model with and
+// without Linux-style window ramp-up (16 KB doubling to 128 KB) under
+// the anticipatory scheduler. Ramping trades a slow start per stream
+// for less wasted prefetch on short or abandoned sequences; for the
+// paper's long sequential streams it converges to the full window.
+func AblationReadaheadRamp(opts Options) (Result, error) {
+	opts = opts.withDefaults(time.Second, 4*time.Second)
+	streamCounts := []int{1, 4, 16, 64}
+
+	res := Result{
+		ID:     "abl-ramp",
+		Title:  "OS readahead ramp-up (anticipatory, 4K reads)",
+		XLabel: "streams",
+		YLabel: "MB/s",
+		Series: []string{"full window", "ramped 16K->128K"},
+	}
+	for _, s := range streamCounts {
+		row := Row{X: fmt.Sprintf("%d", s)}
+		for _, ramp := range []int64{0, 16 << 10} {
+			cfg := iosched.DefaultConfig(iosched.Anticipatory)
+			cfg.RampStart = ramp
+			mbps, err := runSchedulerStreamsCfg(cfg, s, opts)
+			if err != nil {
+				return Result{}, err
+			}
+			row.Values = append(row.Values, mbps)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Func runs one experiment.
+type Func func(Options) (Result, error)
+
+// Entry describes a registered experiment.
+type Entry struct {
+	ID    string
+	Title string
+	Run   Func
+}
+
+// registry lists every reproducible figure and ablation.
+var registry = []Entry{
+	{"fig01", "Throughput collapse for multiple sequential streams (60 disks)", Fig01},
+	{"fig02", "I/O scheduler performance", Fig02},
+	{"fig04", "Impact of request size on throughput", Fig04},
+	{"fig05", "Xdd throughput with a single disk", Fig05},
+	{"fig06", "Effect of prefetching with increasing disk segment size", Fig06},
+	{"fig07", "Effect of read-ahead on throughput (fixed cache)", Fig07},
+	{"fig08", "Prefetching at the controller level", Fig08},
+	{"fig10", "Effect of read-ahead (core scheduler)", Fig10},
+	{"fig11", "Effect of storage memory size on throughput", Fig11},
+	{"fig12", "Throughput for an 8-disk setup", Fig12},
+	{"fig13", "Throughput when fewer streams are dispatched than staged", Fig13},
+	{"fig14", "Single-disk throughput with a small dispatch set", Fig14},
+	{"fig15", "Average stream response time", Fig15},
+	{"abl-policy", "Dispatch policy ablation", AblationDispatchPolicy},
+	{"abl-region", "Classifier region width ablation", AblationClassifierRegion},
+	{"abl-gc", "Reclaim latency ablation", AblationGCPeriod},
+	{"abl-nearseq", "Near-sequential streams ablation", AblationNearSeq},
+	{"abl-outstanding", "Outstanding requests per stream", AblationOutstanding},
+	{"abl-latency", "Response-time distribution", AblationLatencyDistribution},
+	{"abl-ramp", "OS readahead ramp-up", AblationReadaheadRamp},
+}
+
+// List returns the registered experiments sorted by id.
+func List() []Entry {
+	out := make([]Entry, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Lookup returns the experiment with the given id.
+func Lookup(id string) (Entry, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Entry{}, fmt.Errorf("experiments: unknown id %q", id)
+}

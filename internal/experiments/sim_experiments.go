@@ -1,0 +1,313 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"seqstream/internal/controller"
+	"seqstream/internal/disk"
+	"seqstream/internal/iosched"
+	"seqstream/internal/iostack"
+	"seqstream/internal/sim"
+)
+
+func kbLabel(n int64) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dM", n>>20)
+	default:
+		return fmt.Sprintf("%dK", n>>10)
+	}
+}
+
+// tunedDiskOptions builds per-disk configurations with explicit cache
+// geometry (segment size, count, read-ahead).
+func tunedDiskOptions(segmentSize, segments, readAhead int64) iostack.Options {
+	return iostack.Options{
+		DiskConfig: func(seed uint64) disk.Config {
+			return disk.ProfileTuned(segmentSize, segments, readAhead, seed)
+		},
+	}
+}
+
+// Fig01 reproduces Figure 1: throughput collapse on a 60-disk setup as
+// total sequential streams grow, for several request sizes. The
+// workload runs directly against the large I/O hierarchy.
+func Fig01(opts Options) (Result, error) {
+	opts = opts.withDefaults(2*time.Second, 6*time.Second)
+	reqSizes := []int64{8 << 10, 16 << 10, 64 << 10, 128 << 10, 256 << 10}
+	streamCounts := []int{60, 100, 300, 500}
+	const disks = 60
+
+	res := Result{
+		ID:     "fig01",
+		Title:  "Throughput collapse for multiple sequential streams (60 disks)",
+		XLabel: "request size",
+		YLabel: "aggregate MB/s",
+	}
+	for _, s := range streamCounts {
+		res.Series = append(res.Series, fmt.Sprintf("%d streams", s))
+	}
+	stackCfg := iostack.LargeConfig(iostack.Options{})
+	for _, rs := range reqSizes {
+		row := Row{X: kbLabel(rs)}
+		for _, s := range streamCounts {
+			capacity := stackCfg.Controllers[0].Disks[0].Geometry.Capacity
+			placements := PlaceTotal(disks, s, capacity)
+			sample, err := runDirect(stackCfg, placements, rs, opts)
+			if err != nil {
+				return Result{}, err
+			}
+			row.Values = append(row.Values, sample.MBps)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Fig02 reproduces Figure 2: Linux I/O scheduler throughput for 4 KB
+// sequential reads as the number of concurrent streams grows from 1 to
+// 256, over a single drive with OS readahead.
+func Fig02(opts Options) (Result, error) {
+	opts = opts.withDefaults(time.Second, 4*time.Second)
+	streamCounts := []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
+	policies := []iosched.Policy{iosched.Anticipatory, iosched.CFQ, iosched.Noop}
+
+	res := Result{
+		ID:     "fig02",
+		Title:  "I/O scheduler performance (xdd, 4KB reads, single disk)",
+		XLabel: "streams",
+		YLabel: "aggregate MB/s",
+	}
+	for _, p := range policies {
+		res.Series = append(res.Series, p.String())
+	}
+	for _, s := range streamCounts {
+		row := Row{X: fmt.Sprintf("%d", s)}
+		for _, p := range policies {
+			mbps, err := runSchedulerStreams(p, s, opts)
+			if err != nil {
+				return Result{}, err
+			}
+			row.Values = append(row.Values, mbps)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// runSchedulerStreams drives S 4KB-read processes through an iosched
+// policy over one drive and returns steady-state MB/s.
+func runSchedulerStreams(policy iosched.Policy, streams int, opts Options) (float64, error) {
+	return runSchedulerStreamsCfg(iosched.DefaultConfig(policy), streams, opts)
+}
+
+// runSchedulerStreamsCfg is runSchedulerStreams with an explicit
+// scheduler configuration.
+func runSchedulerStreamsCfg(cfg iosched.Config, streams int, opts Options) (float64, error) {
+	eng := sim.NewEngine()
+	// The drive does no prefetch of its own; the OS readahead model
+	// under test owns sequential detection.
+	d, err := disk.New(eng, disk.ProfileTuned(128<<10, 64, 0, opts.Seed))
+	if err != nil {
+		return 0, err
+	}
+	sched, err := iosched.New(eng, d, cfg)
+	if err != nil {
+		return 0, err
+	}
+	spacing := d.Capacity() / int64(streams)
+	spacing -= spacing % 512
+	submit := func(_ int, off, length int64, done func()) error {
+		// The process id is recovered from the stream's start region.
+		proc := int(off / spacing)
+		if proc >= streams {
+			proc = streams - 1
+		}
+		return sched.Read(proc, off, length, done)
+	}
+	placements := PlaceTotal(1, streams, d.Capacity())
+	sample, err := measureRun(eng, submit, placements, 4<<10, 1, opts)
+	if err != nil {
+		return 0, err
+	}
+	return sample.MBps, nil
+}
+
+// Fig04 reproduces Figure 4: request size vs throughput with the disk
+// cache tuned so no prefetching occurs (segment size and read-ahead
+// equal to the request size, 8 MB cache).
+func Fig04(opts Options) (Result, error) {
+	opts = opts.withDefaults(time.Second, 5*time.Second)
+	reqSizes := []int64{8 << 10, 16 << 10, 64 << 10, 128 << 10, 256 << 10}
+	streamCounts := []int{1, 10, 30, 60, 100}
+
+	res := Result{
+		ID:     "fig04",
+		Title:  "Impact of request size on throughput (no disk prefetch)",
+		XLabel: "request size",
+		YLabel: "MB/s",
+	}
+	for _, s := range streamCounts {
+		res.Series = append(res.Series, fmt.Sprintf("%d streams", s))
+	}
+	for _, rs := range reqSizes {
+		row := Row{X: kbLabel(rs)}
+		segments := (8 << 20) / rs
+		stackCfg := iostack.BaseConfig(tunedDiskOptions(rs, segments, rs))
+		capacity := stackCfg.Controllers[0].Disks[0].Geometry.Capacity
+		for _, s := range streamCounts {
+			sample, err := runDirect(stackCfg, PlacePerDisk(1, s, capacity), rs, opts)
+			if err != nil {
+				return Result{}, err
+			}
+			row.Values = append(row.Values, sample.MBps)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Fig05 reproduces Figure 5: the same sweep on the "real" drive whose
+// firmware keeps a fixed segment size (256 KB) and always prefetches a
+// full segment — which is why small requests fare better than in
+// Figure 4. Streams are placed 1 GB apart as in the xdd runs.
+func Fig05(opts Options) (Result, error) {
+	opts = opts.withDefaults(time.Second, 5*time.Second)
+	reqSizes := []int64{8 << 10, 16 << 10, 64 << 10, 128 << 10, 256 << 10}
+	streamCounts := []int{1, 10, 20, 30, 50}
+
+	res := Result{
+		ID:     "fig05",
+		Title:  "Xdd throughput with a single disk (fixed segment size)",
+		XLabel: "request size",
+		YLabel: "MB/s",
+	}
+	for _, s := range streamCounts {
+		res.Series = append(res.Series, fmt.Sprintf("%d streams", s))
+	}
+	stackCfg := iostack.BaseConfig(iostack.Options{})
+	for _, rs := range reqSizes {
+		row := Row{X: kbLabel(rs)}
+		for _, s := range streamCounts {
+			// 1 GB intervals (§3.1).
+			placements := make([]Placement, s)
+			for i := range placements {
+				placements[i] = Placement{Disk: 0, Start: int64(i) << 30}
+			}
+			sample, err := runDirect(stackCfg, placements, rs, opts)
+			if err != nil {
+				return Result{}, err
+			}
+			row.Values = append(row.Values, sample.MBps)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Fig06 reproduces Figure 6: disk prefetching with growing segment
+// size at a fixed segment count (32), 30 streams, 64 KB requests. The
+// cache grows with the segment size.
+func Fig06(opts Options) (Result, error) {
+	opts = opts.withDefaults(time.Second, 5*time.Second)
+	segSizes := []int64{32 << 10, 64 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20}
+
+	res := Result{
+		ID:     "fig06",
+		Title:  "Effect of disk prefetching with increasing segment size (30 streams)",
+		XLabel: "segment size",
+		YLabel: "MB/s",
+		Series: []string{"30 streams"},
+	}
+	for _, seg := range segSizes {
+		stackCfg := iostack.BaseConfig(tunedDiskOptions(seg, 32, seg))
+		capacity := stackCfg.Controllers[0].Disks[0].Geometry.Capacity
+		sample, err := runDirect(stackCfg, PlacePerDisk(1, 30, capacity), 64<<10, opts)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Rows = append(res.Rows, Row{X: kbLabel(seg), Values: []float64{sample.MBps}})
+	}
+	return res, nil
+}
+
+// Fig07 reproduces Figure 7: read-ahead under a fixed 8 MB cache. The
+// segment geometry sweeps from many small segments to few large ones;
+// throughput collapses once streams outnumber segments, and large
+// prefetch is then worse than none.
+func Fig07(opts Options) (Result, error) {
+	opts = opts.withDefaults(time.Second, 5*time.Second)
+	geometries := []struct {
+		segments int64
+		size     int64
+	}{
+		{128, 64 << 10}, {64, 128 << 10}, {32, 256 << 10}, {16, 512 << 10}, {8, 1 << 20},
+	}
+	streamCounts := []int{1, 10, 20, 30, 50, 100}
+
+	res := Result{
+		ID:     "fig07",
+		Title:  "Effect of read-ahead on throughput (fixed 8MB cache)",
+		XLabel: "#segments x size",
+		YLabel: "MB/s",
+	}
+	for _, s := range streamCounts {
+		res.Series = append(res.Series, fmt.Sprintf("%d streams", s))
+	}
+	for _, g := range geometries {
+		row := Row{X: fmt.Sprintf("%dx%s", g.segments, kbLabel(g.size))}
+		stackCfg := iostack.BaseConfig(tunedDiskOptions(g.size, g.segments, g.size))
+		capacity := stackCfg.Controllers[0].Disks[0].Geometry.Capacity
+		for _, s := range streamCounts {
+			sample, err := runDirect(stackCfg, PlacePerDisk(1, s, capacity), 64<<10, opts)
+			if err != nil {
+				return Result{}, err
+			}
+			row.Values = append(row.Values, sample.MBps)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Fig08 reproduces Figure 8: controller-level prefetching with a
+// 128 MB controller cache. Small read-ahead rescues multi-stream
+// throughput; read-ahead beyond cache/streams collapses it.
+func Fig08(opts Options) (Result, error) {
+	opts = opts.withDefaults(time.Second, 5*time.Second)
+	readAheads := []int64{64 << 10, 256 << 10, 512 << 10, 2 << 20, 4 << 20}
+	streamCounts := []int{1, 10, 30, 60, 100}
+
+	res := Result{
+		ID:     "fig08",
+		Title:  "Prefetching at the controller level (128MB controller cache)",
+		XLabel: "prefetch size",
+		YLabel: "MB/s",
+	}
+	for _, s := range streamCounts {
+		res.Series = append(res.Series, fmt.Sprintf("%d streams", s))
+	}
+	for _, ra := range readAheads {
+		row := Row{X: kbLabel(ra)}
+		ra := ra
+		stackCfg := iostack.BaseConfig(iostack.Options{
+			ControllerConfig: func() controller.Config {
+				c := controller.ProfileBC4810()
+				c.CacheSize = 128 << 20
+				c.ReadAhead = ra
+				return c
+			},
+		})
+		capacity := stackCfg.Controllers[0].Disks[0].Geometry.Capacity
+		for _, s := range streamCounts {
+			sample, err := runDirect(stackCfg, PlacePerDisk(1, s, capacity), 64<<10, opts)
+			if err != nil {
+				return Result{}, err
+			}
+			row.Values = append(row.Values, sample.MBps)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

@@ -1,0 +1,133 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZoneTableValidation(t *testing.T) {
+	ok := []Zone{{Start: 0, Rate: 60e6}, {Start: 500, Rate: 40e6}}
+	if _, err := NewZoneTable(1000, ok); err != nil {
+		t.Errorf("valid table rejected: %v", err)
+	}
+	bad := []struct {
+		name  string
+		cap   int64
+		zones []Zone
+	}{
+		{"zero capacity", 0, ok},
+		{"empty", 1000, nil},
+		{"nonzero first start", 1000, []Zone{{Start: 10, Rate: 1}}},
+		{"zero rate", 1000, []Zone{{Start: 0, Rate: 0}}},
+		{"start beyond capacity", 1000, []Zone{{Start: 0, Rate: 2}, {Start: 1000, Rate: 1}}},
+		{"unsorted", 1000, []Zone{{Start: 0, Rate: 3}, {Start: 500, Rate: 2}, {Start: 400, Rate: 1}}},
+		{"rate increases inward", 1000, []Zone{{Start: 0, Rate: 1}, {Start: 500, Rate: 2}}},
+	}
+	for _, tt := range bad {
+		if _, err := NewZoneTable(tt.cap, tt.zones); err == nil {
+			t.Errorf("%s accepted", tt.name)
+		}
+	}
+}
+
+func TestZoneTableLookup(t *testing.T) {
+	zt, err := NewZoneTable(1000, []Zone{
+		{Start: 0, Rate: 60},
+		{Start: 400, Rate: 50},
+		{Start: 800, Rate: 40},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		off  int64
+		rate float64
+		zone int
+	}{
+		{0, 60, 0}, {399, 60, 0}, {400, 50, 1}, {799, 50, 1}, {800, 40, 2}, {999, 40, 2},
+		{-5, 60, 0}, {5000, 40, 2}, // clamped
+	}
+	for _, c := range cases {
+		if got := zt.Rate(c.off); got != c.rate {
+			t.Errorf("Rate(%d) = %v, want %v", c.off, got, c.rate)
+		}
+		if got := zt.ZoneOf(c.off); got != c.zone {
+			t.Errorf("ZoneOf(%d) = %d, want %d", c.off, got, c.zone)
+		}
+	}
+	if zt.Zones() != 3 {
+		t.Errorf("Zones = %d", zt.Zones())
+	}
+}
+
+func TestUniformZones(t *testing.T) {
+	zones, err := UniformZones(1000, 4, 60, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(zones) != 4 || zones[0].Start != 0 || zones[0].Rate != 60 || zones[3].Rate != 30 {
+		t.Errorf("zones = %+v", zones)
+	}
+	if _, err := UniformZones(1000, 0, 60, 30); err == nil {
+		t.Error("zero zones accepted")
+	}
+	if _, err := UniformZones(1000, 4, 30, 60); err == nil {
+		t.Error("inner > outer accepted")
+	}
+	if _, err := UniformZones(1000, 1, 60, 60); err != nil {
+		t.Errorf("single zone rejected: %v", err)
+	}
+}
+
+func TestGeometryWithZoneTable(t *testing.T) {
+	cfg := WD800JD()
+	zones, err := UniformZones(cfg.Capacity, 16, cfg.MediaRateOuter, cfg.MediaRateInner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Zones = zones
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.ZoneCount() != 16 {
+		t.Errorf("ZoneCount = %d", g.ZoneCount())
+	}
+	if got := g.MediaRate(0); got != cfg.MediaRateOuter {
+		t.Errorf("outer rate = %v", got)
+	}
+	if got := g.MediaRate(cfg.Capacity - 1); got != cfg.MediaRateInner {
+		t.Errorf("inner rate = %v", got)
+	}
+	// Stepped: two offsets within one zone share a rate.
+	zoneWidth := cfg.Capacity / 16
+	if g.MediaRate(10) != g.MediaRate(zoneWidth-512) {
+		t.Error("rate varies within a zone")
+	}
+	// Bad zone config propagates from New.
+	cfg.Zones = []Zone{{Start: 5, Rate: 1}}
+	if _, err := New(cfg); err == nil {
+		t.Error("invalid zone table accepted by New")
+	}
+}
+
+func TestZoneRateMonotonicProperty(t *testing.T) {
+	zones, err := UniformZones(1<<30, 20, 100e6, 50e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zt, err := NewZoneTable(1<<30, zones)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b uint32) bool {
+		oa, ob := int64(a), int64(b)
+		if oa > ob {
+			oa, ob = ob, oa
+		}
+		return zt.Rate(oa) >= zt.Rate(ob)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

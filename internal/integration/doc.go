@@ -1,0 +1,5 @@
+// Package integration hosts end-to-end tests that exercise the whole
+// stack together: workload generators driving the stream scheduler
+// over the simulated I/O hierarchy, with metrics and tracing attached,
+// plus the TCP server over real devices. It exports nothing.
+package integration

@@ -1,0 +1,276 @@
+package integration
+
+import (
+	"testing"
+	"time"
+
+	"seqstream/internal/blockdev"
+	"seqstream/internal/core"
+	"seqstream/internal/iostack"
+	"seqstream/internal/metrics"
+	"seqstream/internal/netserve"
+	"seqstream/internal/sim"
+	"seqstream/internal/trace"
+	"seqstream/internal/workload"
+)
+
+// TestFullSimStack runs workload -> core -> iostack with metrics and
+// tracing and cross-checks every layer's accounting.
+func TestFullSimStack(t *testing.T) {
+	eng := sim.NewEngine()
+	host, err := iostack.New(eng, iostack.MediumConfig(iostack.Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := blockdev.NewSimDevice(host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.New(1 << 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig(256<<20, 1<<20)
+	cfg.Trace = tr
+	node, err := core.NewServer(dev, blockdev.NewSimClock(eng), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	rec := metrics.NewRecorder()
+	gen, err := workload.NewGenerator(blockdev.NewSimClock(eng), func(disk int, off, length int64, done func()) error {
+		return node.Submit(core.Request{Disk: disk, Offset: off, Length: length,
+			Done: func(core.Response) { done() }})
+	}, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 4 streams on each of the 8 disks, 64 requests each.
+	const perDisk, requests = 4, 64
+	const reqSize = 64 << 10
+	for d := 0; d < dev.Disks(); d++ {
+		specs := workload.UniformStreams(d*perDisk, d, perDisk, dev.Capacity(d), reqSize, requests)
+		if err := gen.Add(specs...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	finished := false
+	if err := gen.Start(func() { finished = true }); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunWhile(func() bool { return !finished }); err != nil {
+		t.Fatal(err)
+	}
+	if !finished {
+		t.Fatal("workload never finished")
+	}
+
+	total := int64(dev.Disks() * perDisk * requests)
+	wantBytes := total * reqSize
+
+	// Layer 1: workload metrics.
+	if rec.TotalRequests() != total {
+		t.Errorf("recorder requests = %d, want %d", rec.TotalRequests(), total)
+	}
+	if rec.TotalBytes() != wantBytes {
+		t.Errorf("recorder bytes = %d, want %d", rec.TotalBytes(), wantBytes)
+	}
+	if rec.AggregateMBps() <= 0 {
+		t.Error("no aggregate throughput")
+	}
+
+	// Drain in-flight prefetches and GC before cross-checking the
+	// fetch-level layers (fetch traces record at completion).
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Layer 2: core scheduler stats.
+	st := node.Stats()
+	if st.Requests != total {
+		t.Errorf("core requests = %d, want %d", st.Requests, total)
+	}
+	if st.BytesDelivered != wantBytes {
+		t.Errorf("core delivered = %d, want %d", st.BytesDelivered, wantBytes)
+	}
+	if st.StreamsDetected != int64(dev.Disks()*perDisk) {
+		t.Errorf("streams detected = %d, want %d", st.StreamsDetected, dev.Disks()*perDisk)
+	}
+	if st.BufferHits+st.QueuedServed == 0 {
+		t.Error("nothing served from staged buffers")
+	}
+
+	// Layer 3: trace agrees with stats.
+	sum := tr.Summarize()
+	if int64(sum.Clients) != total {
+		t.Errorf("traced clients = %d, want %d", sum.Clients, total)
+	}
+	if int64(sum.Fetches) != st.Fetches {
+		t.Errorf("traced fetches = %d, stats %d", sum.Fetches, st.Fetches)
+	}
+	if int64(sum.Directs) != st.DirectReads {
+		t.Errorf("traced directs = %d, stats %d", sum.Directs, st.DirectReads)
+	}
+
+	// Layer 4: simulated drives actually moved the bytes.
+	var media int64
+	for d := 0; d < host.NumDisks(); d++ {
+		media += host.Disk(d).Stats().BytesMedia
+	}
+	if media < wantBytes/2 {
+		t.Errorf("media bytes = %d, implausibly low vs %d delivered", media, wantBytes)
+	}
+
+	// Quiescence after full drain.
+	if st := node.Stats(); st.MemoryInUse != 0 || st.LiveBuffers != 0 {
+		t.Errorf("staging not drained: %+v", st)
+	}
+}
+
+// TestSchedulerInsensitivityEndToEnd is the paper's headline assertion
+// run through the public workload API rather than the experiment
+// harness.
+func TestSchedulerInsensitivityEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	run := func(streams int) float64 {
+		eng := sim.NewEngine()
+		host, err := iostack.New(eng, iostack.BaseConfig(iostack.Options{}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev, err := blockdev.NewSimDevice(host)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node, err := core.NewServer(dev, blockdev.NewSimClock(eng),
+			core.DefaultConfig(int64(streams)*8<<20, 8<<20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer node.Close()
+		gen, err := workload.NewGenerator(blockdev.NewSimClock(eng), func(disk int, off, length int64, done func()) error {
+			return node.Submit(core.Request{Disk: disk, Offset: off, Length: length,
+				Done: func(core.Response) { done() }})
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := gen.Add(workload.UniformStreams(0, 0, streams, dev.Capacity(0), 64<<10, 256)...); err != nil {
+			t.Fatal(err)
+		}
+		done := false
+		if err := gen.Start(func() { done = true }); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.RunWhile(func() bool { return !done }); err != nil {
+			t.Fatal(err)
+		}
+		return gen.Recorder().WallThroughput() / 1e6
+	}
+	ten := run(10)
+	hundred := run(100)
+	if hundred < ten/2 {
+		t.Errorf("insensitivity broken: 10 streams %.1f MB/s vs 100 streams %.1f MB/s", ten, hundred)
+	}
+}
+
+// TestNetworkedNodeEndToEnd drives the TCP protocol against a node over
+// a memory device and checks the client-side metrics.
+func TestNetworkedNodeEndToEnd(t *testing.T) {
+	dev, err := blockdev.NewMemDevice(1, 1<<30, 500*time.Microsecond, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := core.NewServer(dev, blockdev.NewRealClock(), core.DefaultConfig(64<<20, 1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	srv, err := netserve.NewServer(node, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client, err := netserve.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if err := client.RunStreams(0, 1<<30, 8, 64, 64<<10, 0); err != nil {
+		t.Fatal(err)
+	}
+	rec := client.Recorder()
+	if rec.TotalRequests() != 8*64 {
+		t.Errorf("client requests = %d", rec.TotalRequests())
+	}
+	lat := rec.MergedLatency()
+	if lat.Mean() <= 0 {
+		t.Error("no latency recorded")
+	}
+	nodeStats := node.Stats()
+	if nodeStats.StreamsDetected == 0 {
+		t.Error("no streams detected over TCP")
+	}
+	if nodeStats.BufferHits+nodeStats.QueuedServed == 0 {
+		t.Error("no staged service over TCP")
+	}
+}
+
+// TestPipelinedClientsThroughScheduler drives streams with more than
+// one outstanding request through the scheduler: pipelined in-order
+// requests must still be classified and served from staging.
+func TestPipelinedClientsThroughScheduler(t *testing.T) {
+	eng := sim.NewEngine()
+	host, err := iostack.New(eng, iostack.BaseConfig(iostack.Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := blockdev.NewSimDevice(host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := core.NewServer(dev, blockdev.NewSimClock(eng), core.DefaultConfig(128<<20, 1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	gen, err := workload.NewGenerator(blockdev.NewSimClock(eng), func(disk int, off, length int64, done func()) error {
+		return node.Submit(core.Request{Disk: disk, Offset: off, Length: length,
+			Done: func(core.Response) { done() }})
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := workload.UniformStreams(0, 0, 6, dev.Capacity(0), 64<<10, 64)
+	for i := range specs {
+		specs[i].Outstanding = 4
+	}
+	if err := gen.Add(specs...); err != nil {
+		t.Fatal(err)
+	}
+	finished := false
+	if err := gen.Start(func() { finished = true }); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunWhile(func() bool { return !finished }); err != nil {
+		t.Fatal(err)
+	}
+	if !finished {
+		t.Fatal("pipelined workload never finished")
+	}
+	st := node.Stats()
+	if st.StreamsDetected != 6 {
+		t.Errorf("StreamsDetected = %d, want 6 (pipelining must not break classification)", st.StreamsDetected)
+	}
+	if st.BufferHits+st.QueuedServed == 0 {
+		t.Error("pipelined streams never hit staging")
+	}
+	if gen.Recorder().TotalRequests() != 6*64 {
+		t.Errorf("TotalRequests = %d", gen.Recorder().TotalRequests())
+	}
+}

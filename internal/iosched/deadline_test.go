@@ -1,0 +1,102 @@
+package iosched
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDeadlinePolicyString(t *testing.T) {
+	if Deadline.String() != "deadline" {
+		t.Errorf("String = %q", Deadline.String())
+	}
+	if err := DefaultConfig(Deadline).Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestDeadlineElevatorOrder(t *testing.T) {
+	// Without aged requests, deadline behaves like the elevator.
+	eng, s, _ := newSched(t, Deadline, nil)
+	var order []int64
+	offs := []int64{0, 50 << 20, 10 << 20, 30 << 20}
+	for i, off := range offs {
+		off := off
+		if err := s.Read(i, off, 4096, func() { order = append(order, off) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0, 10 << 20, 30 << 20, 50 << 20}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestDeadlineExpiryJumpsQueue(t *testing.T) {
+	// An aged low-priority request must be serviced ahead of the sweep
+	// once it expires.
+	eng, s, d := newSched(t, Deadline, func(c *Config) {
+		c.Deadline = 50 * time.Millisecond
+	})
+	var order []string
+	// Proc 0 streams from the front of the disk, keeping the sweep
+	// near offset 0; proc 1 posts one request far away.
+	served1 := false
+	if err := s.Read(0, 0, 4096, func() { order = append(order, "p0") }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Read(1, d.Capacity()-1<<20, 4096, func() {
+		served1 = true
+		order = append(order, "p1")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Keep proc 0 issuing near the front so the elevator alone would
+	// starve proc 1.
+	count := 0
+	var issue0 func()
+	issue0 = func() {
+		count++
+		if count > 60 || served1 {
+			return
+		}
+		off := int64(count) * 128 << 10
+		if err := s.Read(0, off, 4096, func() { order = append(order, "p0"); issue0() }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Schedule(time.Millisecond, issue0)
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !served1 {
+		t.Fatal("far request starved under deadline policy")
+	}
+	// p1 must have been served before proc 0 finished all 60 requests.
+	p1Idx := -1
+	for i, who := range order {
+		if who == "p1" {
+			p1Idx = i
+			break
+		}
+	}
+	if p1Idx < 0 || p1Idx == len(order)-1 {
+		t.Errorf("expired request served last (idx %d of %d)", p1Idx, len(order))
+	}
+}
+
+func TestDeadlineRunsManyStreams(t *testing.T) {
+	mbps := runStreams(t, Deadline, 16, 32)
+	if mbps <= 0 {
+		t.Fatal("no throughput")
+	}
+	// Deadline should sit between noop and anticipatory.
+	noop := runStreams(t, Noop, 16, 32)
+	if mbps < noop {
+		t.Errorf("deadline (%.1f) should be >= noop (%.1f)", mbps, noop)
+	}
+}

@@ -1,0 +1,186 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestLatencySummaryBasics(t *testing.T) {
+	var l LatencySummary
+	if l.Mean() != 0 || l.Count() != 0 || l.Quantile(0.5) != 0 {
+		t.Error("empty summary should be zeroed")
+	}
+	l.Observe(10 * time.Millisecond)
+	l.Observe(20 * time.Millisecond)
+	l.Observe(30 * time.Millisecond)
+	if l.Count() != 3 {
+		t.Errorf("Count = %d", l.Count())
+	}
+	if l.Mean() != 20*time.Millisecond {
+		t.Errorf("Mean = %v", l.Mean())
+	}
+	if l.Min() != 10*time.Millisecond || l.Max() != 30*time.Millisecond {
+		t.Errorf("Min/Max = %v/%v", l.Min(), l.Max())
+	}
+}
+
+func TestLatencyNegativeClamped(t *testing.T) {
+	var l LatencySummary
+	l.Observe(-5 * time.Millisecond)
+	if l.Min() != 0 || l.Mean() != 0 {
+		t.Error("negative sample not clamped")
+	}
+}
+
+func TestLatencyQuantileBounds(t *testing.T) {
+	var l LatencySummary
+	for i := 1; i <= 100; i++ {
+		l.Observe(time.Duration(i) * time.Millisecond)
+	}
+	q50 := l.Quantile(0.5)
+	if q50 < 30*time.Millisecond || q50 > 130*time.Millisecond {
+		t.Errorf("Quantile(0.5) = %v, out of plausible range", q50)
+	}
+	if l.Quantile(1.0) != l.Max() {
+		t.Errorf("Quantile(1.0) = %v, want max %v", l.Quantile(1.0), l.Max())
+	}
+	if l.Quantile(-1) == 0 && l.Count() > 0 {
+		// p clamped to 0 still returns the first bucket top; just make
+		// sure it does not panic and is <= max.
+		if l.Quantile(-1) > l.Max() {
+			t.Error("clamped quantile above max")
+		}
+	}
+	if l.Quantile(2) != l.Max() {
+		t.Error("p>1 should clamp to max")
+	}
+}
+
+func TestLatencyQuantileMonotonic(t *testing.T) {
+	var l LatencySummary
+	seed := uint64(99)
+	for i := 0; i < 1000; i++ {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		l.Observe(time.Duration(seed % uint64(time.Second)))
+	}
+	f := func(a, b float64) bool {
+		pa := math.Abs(math.Mod(a, 1))
+		pb := math.Abs(math.Mod(b, 1))
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return l.Quantile(pa) <= l.Quantile(pb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLatencyMerge(t *testing.T) {
+	var a, b LatencySummary
+	a.Observe(10 * time.Millisecond)
+	b.Observe(30 * time.Millisecond)
+	a.Merge(&b)
+	if a.Count() != 2 || a.Mean() != 20*time.Millisecond {
+		t.Errorf("merged count=%d mean=%v", a.Count(), a.Mean())
+	}
+	if a.Min() != 10*time.Millisecond || a.Max() != 30*time.Millisecond {
+		t.Error("merged min/max wrong")
+	}
+	a.Merge(nil) // no-op
+	var empty LatencySummary
+	a.Merge(&empty) // no-op
+	if a.Count() != 2 {
+		t.Error("no-op merges changed count")
+	}
+	empty.Merge(&a)
+	if empty.Count() != 2 || empty.Min() != 10*time.Millisecond {
+		t.Error("merge into empty lost samples")
+	}
+}
+
+func TestRecorderThroughput(t *testing.T) {
+	r := NewRecorder()
+	// One stream delivering 10 MB over 1 second.
+	for i := 0; i < 10; i++ {
+		start := time.Duration(i) * 100 * time.Millisecond
+		r.Record(0, 1e6, start, start+100*time.Millisecond)
+	}
+	if got := r.AggregateMBps(); math.Abs(got-10) > 0.01 {
+		t.Errorf("AggregateMBps = %v, want 10", got)
+	}
+	if r.TotalBytes() != 10e6 {
+		t.Errorf("TotalBytes = %d", r.TotalBytes())
+	}
+	if r.TotalRequests() != 10 {
+		t.Errorf("TotalRequests = %d", r.TotalRequests())
+	}
+}
+
+func TestRecorderAggregatesAcrossStreams(t *testing.T) {
+	r := NewRecorder()
+	// Two concurrent streams, each 5 MB/s for 1 second.
+	for s := 0; s < 2; s++ {
+		for i := 0; i < 5; i++ {
+			start := time.Duration(i) * 200 * time.Millisecond
+			r.Record(s, 1e6, start, start+200*time.Millisecond)
+		}
+	}
+	if got := r.AggregateMBps(); math.Abs(got-10) > 0.01 {
+		t.Errorf("AggregateMBps = %v, want 10 (5+5)", got)
+	}
+	if got := r.WallThroughput() / 1e6; math.Abs(got-10) > 0.01 {
+		t.Errorf("WallThroughput = %v MB/s, want 10", got)
+	}
+	if r.Streams() != 2 {
+		t.Errorf("Streams = %d", r.Streams())
+	}
+	ids := r.StreamIDs()
+	if len(ids) != 2 || ids[0] != 0 || ids[1] != 1 {
+		t.Errorf("StreamIDs = %v", ids)
+	}
+}
+
+func TestRecorderEmpty(t *testing.T) {
+	r := NewRecorder()
+	if r.AggregateThroughput() != 0 || r.WallThroughput() != 0 {
+		t.Error("empty recorder should report 0 throughput")
+	}
+	if r.Stream(5) != nil {
+		t.Error("missing stream should be nil")
+	}
+	if s := r.String(); s == "" {
+		t.Error("String should not be empty")
+	}
+}
+
+func TestStreamStatsZeroSpan(t *testing.T) {
+	s := &StreamStats{Bytes: 100}
+	if s.Throughput() != 0 {
+		t.Error("zero-span throughput should be 0")
+	}
+}
+
+func TestRecorderMergedLatency(t *testing.T) {
+	r := NewRecorder()
+	r.Record(0, 100, 0, 10*time.Millisecond)
+	r.Record(1, 100, 0, 30*time.Millisecond)
+	lat := r.MergedLatency()
+	if lat.Count() != 2 || lat.Mean() != 20*time.Millisecond {
+		t.Errorf("merged latency count=%d mean=%v", lat.Count(), lat.Mean())
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	if bucketOf(0) != 0 || bucketOf(-1) != 0 {
+		t.Error("non-positive should map to bucket 0")
+	}
+	if bucketOf(1) != 0 {
+		t.Errorf("bucketOf(1ns) = %d", bucketOf(1))
+	}
+	if bucketOf(time.Duration(1024)) != 10 {
+		t.Errorf("bucketOf(1024ns) = %d, want 10", bucketOf(time.Duration(1024)))
+	}
+}

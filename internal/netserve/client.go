@@ -1,0 +1,195 @@
+package netserve
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"seqstream/internal/metrics"
+)
+
+// Client is a stream-emulating client (§5): it multiplexes many
+// sequential streams over one TCP connection, keeps a bounded number
+// of outstanding requests per stream, and records per-stream
+// throughput and response time. Per the paper, each client "issues
+// requests from all streams it emulates as soon as it receives a
+// response, never exceeding the maximum number of outstanding I/Os",
+// keeping a handle for each pending request.
+type Client struct {
+	conn net.Conn
+	rec  *metrics.Recorder
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]pendingHandle
+	closed  bool
+	start   time.Time
+
+	readerDone chan struct{}
+	readerErr  error
+}
+
+type pendingHandle struct {
+	stream int
+	length int64
+	sent   time.Duration
+	done   func(Response, time.Duration)
+}
+
+// Dial connects to a storage node.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netserve: %w", err)
+	}
+	c := &Client{
+		conn:       conn,
+		rec:        metrics.NewRecorder(),
+		pending:    make(map[uint64]pendingHandle),
+		start:      time.Now(),
+		readerDone: make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Recorder returns the client's metrics.
+func (c *Client) Recorder() *metrics.Recorder { return c.rec }
+
+// Close shuts the connection down and waits for the reader.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	<-c.readerDone
+	return err
+}
+
+// Go issues one read on behalf of a stream. done (optional) receives
+// the response and its measured latency.
+func (c *Client) Go(stream int, disk uint16, off, length int64, flags uint16,
+	done func(Response, time.Duration)) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return errors.New("netserve: client closed")
+	}
+	id := c.nextID
+	c.nextID++
+	c.pending[id] = pendingHandle{
+		stream: stream,
+		length: length,
+		sent:   time.Since(c.start),
+		done:   done,
+	}
+	c.mu.Unlock()
+
+	err := WriteRequest(c.conn, Request{ID: id, Disk: disk, Flags: flags, Offset: off, Length: length})
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return fmt.Errorf("netserve: %w", err)
+	}
+	return nil
+}
+
+// Outstanding returns the number of pending requests.
+func (c *Client) Outstanding() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
+// Err returns the reader's terminal error after Close (io.EOF and
+// network-closed errors are reported as nil).
+func (c *Client) Err() error {
+	select {
+	case <-c.readerDone:
+		return c.readerErr
+	default:
+		return nil
+	}
+}
+
+func (c *Client) readLoop() {
+	defer close(c.readerDone)
+	for {
+		resp, err := ReadResponse(c.conn)
+		if err != nil {
+			c.mu.Lock()
+			if !c.closed {
+				c.readerErr = err
+			}
+			c.mu.Unlock()
+			return
+		}
+		now := time.Since(c.start)
+		c.mu.Lock()
+		h, ok := c.pending[resp.ID]
+		if ok {
+			delete(c.pending, resp.ID)
+			if resp.Status == StatusOK {
+				c.rec.Record(h.stream, h.length, h.sent, now)
+			}
+		}
+		c.mu.Unlock()
+		if ok && h.done != nil {
+			h.done(resp, now-h.sent)
+		}
+	}
+}
+
+// RunStreams drives streams of synchronous sequential reads until each
+// has completed `requests` reads, then returns. Streams are spaced
+// uniformly across the given disk capacity.
+func (c *Client) RunStreams(disk uint16, capacity int64, streams, requests int,
+	reqSize int64, flags uint16) error {
+	if streams <= 0 || requests <= 0 || reqSize <= 0 {
+		return errors.New("netserve: bad stream parameters")
+	}
+	spacing := capacity / int64(streams)
+	spacing -= spacing % 512
+	var wg sync.WaitGroup
+	errs := make(chan error, streams)
+	for s := 0; s < streams; s++ {
+		wg.Add(1)
+		s := s
+		base := int64(s) * spacing
+		var issue func(i int)
+		issue = func(i int) {
+			if i >= requests {
+				wg.Done()
+				return
+			}
+			err := c.Go(s, disk, base+int64(i)*reqSize, reqSize, flags,
+				func(resp Response, _ time.Duration) {
+					if resp.Status != StatusOK {
+						errs <- fmt.Errorf("netserve: stream %d status %d", s, resp.Status)
+						wg.Done()
+						return
+					}
+					issue(i + 1)
+				})
+			if err != nil {
+				errs <- err
+				wg.Done()
+			}
+		}
+		issue(0)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}

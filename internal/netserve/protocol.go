@@ -1,0 +1,151 @@
+// Package netserve implements the storage-node wire protocol of §5:
+// clients emulate many sequential streams over TCP against a storage
+// node; read responses carry no payload by default (as in the paper,
+// so the network does not bottleneck the I/O measurement), unless the
+// client asks for data.
+package netserve
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Protocol constants.
+const (
+	// Magic guards both frame directions.
+	Magic = 0x53455153 // "SQES"
+	// MaxLength bounds a single read (16 MB).
+	MaxLength = 16 << 20
+)
+
+// Request flags.
+const (
+	// FlagWantData asks the server to include the read payload in the
+	// response.
+	FlagWantData uint16 = 1 << iota
+	// FlagWrite marks the request as a write of Length bytes (the
+	// ingest path). Payloads are not carried on the wire — mirroring
+	// the paper's data-less responses — so the node writes
+	// deterministic fill; the flag exercises the full scheduling path.
+	FlagWrite
+)
+
+// Response status codes.
+const (
+	StatusOK uint32 = iota
+	StatusBadRequest
+	StatusIOError
+	StatusShutdown
+)
+
+// reqHeaderSize and respHeaderSize are the wire sizes.
+const (
+	reqHeaderSize  = 4 + 8 + 2 + 2 + 8 + 4
+	respHeaderSize = 4 + 8 + 4 + 4
+)
+
+// Request is one client read.
+type Request struct {
+	ID     uint64
+	Disk   uint16
+	Flags  uint16
+	Offset int64
+	Length int64
+}
+
+// Response answers a request.
+type Response struct {
+	ID     uint64
+	Status uint32
+	Data   []byte // nil unless FlagWantData was set and the read succeeded
+}
+
+// Errors.
+var (
+	ErrBadMagic = errors.New("netserve: bad magic")
+	ErrTooLarge = errors.New("netserve: frame too large")
+)
+
+// WriteRequest encodes a request frame.
+func WriteRequest(w io.Writer, req Request) error {
+	var buf [reqHeaderSize]byte
+	binary.LittleEndian.PutUint32(buf[0:], Magic)
+	binary.LittleEndian.PutUint64(buf[4:], req.ID)
+	binary.LittleEndian.PutUint16(buf[12:], req.Disk)
+	binary.LittleEndian.PutUint16(buf[14:], req.Flags)
+	binary.LittleEndian.PutUint64(buf[16:], uint64(req.Offset))
+	binary.LittleEndian.PutUint32(buf[24:], uint32(req.Length))
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// ReadRequest decodes a request frame.
+func ReadRequest(r io.Reader) (Request, error) {
+	var buf [reqHeaderSize]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return Request{}, err
+	}
+	if binary.LittleEndian.Uint32(buf[0:]) != Magic {
+		return Request{}, ErrBadMagic
+	}
+	req := Request{
+		ID:     binary.LittleEndian.Uint64(buf[4:]),
+		Disk:   binary.LittleEndian.Uint16(buf[12:]),
+		Flags:  binary.LittleEndian.Uint16(buf[14:]),
+		Offset: int64(binary.LittleEndian.Uint64(buf[16:])),
+		Length: int64(binary.LittleEndian.Uint32(buf[24:])),
+	}
+	if req.Length > MaxLength {
+		return Request{}, ErrTooLarge
+	}
+	return req, nil
+}
+
+// WriteResponse encodes a response frame.
+func WriteResponse(w io.Writer, resp Response) error {
+	if int64(len(resp.Data)) > MaxLength {
+		return ErrTooLarge
+	}
+	var buf [respHeaderSize]byte
+	binary.LittleEndian.PutUint32(buf[0:], Magic)
+	binary.LittleEndian.PutUint64(buf[4:], resp.ID)
+	binary.LittleEndian.PutUint32(buf[12:], resp.Status)
+	binary.LittleEndian.PutUint32(buf[16:], uint32(len(resp.Data)))
+	if _, err := w.Write(buf[:]); err != nil {
+		return err
+	}
+	if len(resp.Data) > 0 {
+		if _, err := w.Write(resp.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadResponse decodes a response frame.
+func ReadResponse(r io.Reader) (Response, error) {
+	var buf [respHeaderSize]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return Response{}, err
+	}
+	if binary.LittleEndian.Uint32(buf[0:]) != Magic {
+		return Response{}, ErrBadMagic
+	}
+	resp := Response{
+		ID:     binary.LittleEndian.Uint64(buf[4:]),
+		Status: binary.LittleEndian.Uint32(buf[12:]),
+	}
+	n := binary.LittleEndian.Uint32(buf[16:])
+	if int64(n) > MaxLength {
+		return Response{}, ErrTooLarge
+	}
+	if n > 0 {
+		resp.Data = make([]byte, n)
+		if _, err := io.ReadFull(r, resp.Data); err != nil {
+			return Response{}, fmt.Errorf("netserve: payload: %w", err)
+		}
+	}
+	return resp, nil
+}

@@ -1,0 +1,212 @@
+package netserve
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"seqstream/internal/core"
+)
+
+// Server accepts stream clients over TCP and routes their reads
+// through a core.Server (Figure 9's storage node). It is the §5
+// testbed's server half.
+type Server struct {
+	node   *core.Server
+	ingest *core.Ingest
+	ln     net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	stats ServerStats
+}
+
+// ServerStats counts server-side activity.
+type ServerStats struct {
+	Conns     int64
+	Requests  int64
+	Errors    int64
+	BytesRead int64
+}
+
+// NewServer wraps a storage node and starts listening on addr
+// (host:port; port 0 picks a free port).
+func NewServer(node *core.Server, addr string) (*Server, error) {
+	if node == nil {
+		return nil, errors.New("netserve: nil node")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netserve: %w", err)
+	}
+	s := &Server{node: node, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// EnableWrites routes FlagWrite requests through the given ingest
+// coalescer. Without it, write requests get StatusBadRequest.
+func (s *Server) EnableWrites(ing *core.Ingest) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ingest = ing
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Close stops accepting, closes every connection, and waits for the
+// handlers to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.stats.Conns++
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+// handle runs one connection: a reader loop decoding requests and a
+// writer goroutine serializing responses.
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+
+	// Responses are produced by storage-node callbacks on arbitrary
+	// goroutines; a single writer serializes them onto the socket.
+	responses := make(chan Response, 128)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		for resp := range responses {
+			if err := WriteResponse(conn, resp); err != nil {
+				return
+			}
+		}
+	}()
+	// The reader loop owns closing the response channel, after every
+	// submitted request has completed.
+	var pending sync.WaitGroup
+
+	for {
+		req, err := ReadRequest(conn)
+		if err != nil {
+			break
+		}
+		s.mu.Lock()
+		s.stats.Requests++
+		s.mu.Unlock()
+
+		if req.Flags&FlagWrite != 0 {
+			s.mu.Lock()
+			ing := s.ingest
+			s.mu.Unlock()
+			if ing == nil {
+				responses <- Response{ID: req.ID, Status: StatusBadRequest}
+				continue
+			}
+			pending.Add(1)
+			werr := ing.Write(int(req.Disk), req.Offset, nil, req.Length, func(ackErr error) {
+				defer pending.Done()
+				resp := Response{ID: req.ID, Status: StatusOK}
+				if ackErr != nil {
+					resp.Status = StatusIOError
+				} else {
+					s.mu.Lock()
+					s.stats.BytesRead += req.Length // bytes moved either direction
+					s.mu.Unlock()
+				}
+				responses <- resp
+			})
+			if werr != nil {
+				pending.Done()
+				s.mu.Lock()
+				s.stats.Errors++
+				s.mu.Unlock()
+				responses <- Response{ID: req.ID, Status: StatusBadRequest}
+			}
+			continue
+		}
+
+		wantData := req.Flags&FlagWantData != 0
+		pending.Add(1)
+		submitErr := s.node.Submit(core.Request{
+			Disk:   int(req.Disk),
+			Offset: req.Offset,
+			Length: req.Length,
+			Done: func(r core.Response) {
+				defer pending.Done()
+				resp := Response{ID: req.ID, Status: StatusOK}
+				if r.Err != nil {
+					resp.Status = StatusIOError
+				} else {
+					s.mu.Lock()
+					s.stats.BytesRead += req.Length
+					s.mu.Unlock()
+					if wantData && r.Data != nil {
+						resp.Data = r.Data
+					}
+				}
+				// A full channel applies backpressure to completions,
+				// never blocking the reader indefinitely because the
+				// writer drains it.
+				responses <- resp
+			},
+		})
+		if submitErr != nil {
+			pending.Done()
+			s.mu.Lock()
+			s.stats.Errors++
+			s.mu.Unlock()
+			responses <- Response{ID: req.ID, Status: StatusBadRequest}
+		}
+	}
+	pending.Wait()
+	close(responses)
+	<-writerDone
+}

@@ -1,0 +1,47 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkScheduleRun(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(time.Duration(i%1000)*time.Microsecond, func() {})
+		if i%1024 == 1023 {
+			if err := e.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkNestedEvents(b *testing.B) {
+	e := NewEngine()
+	remaining := b.N
+	var tick func()
+	tick = func() {
+		if remaining > 0 {
+			remaining--
+			e.Schedule(time.Microsecond, tick)
+		}
+	}
+	e.Schedule(0, tick)
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkRandUint64(b *testing.B) {
+	r := NewRand(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64()
+	}
+	_ = sink
+}

@@ -1,0 +1,219 @@
+// Package trace records per-request events from a storage node run
+// and exports them as CSV or JSON lines for offline analysis (latency
+// CDFs, per-stream timelines, figure regeneration outside Go).
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Kind classifies a traced event.
+type Kind int
+
+// Event kinds.
+const (
+	// KindClient is a completed client request.
+	KindClient Kind = iota + 1
+	// KindFetch is a completed read-ahead disk request.
+	KindFetch
+	// KindDirect is a completed direct (non-sequential) disk request.
+	KindDirect
+	// KindEvict is a buffered-set reclaim.
+	KindEvict
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindClient:
+		return "client"
+	case KindFetch:
+		return "fetch"
+	case KindDirect:
+		return "direct"
+	case KindEvict:
+		return "evict"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one traced record.
+type Event struct {
+	Kind   Kind          `json:"kind"`
+	Disk   int           `json:"disk"`
+	Offset int64         `json:"offset"`
+	Length int64         `json:"length"`
+	Start  time.Duration `json:"startNanos"`
+	End    time.Duration `json:"endNanos"`
+	// Hit marks delivery from staged memory (client events).
+	Hit bool `json:"hit,omitempty"`
+	// Err carries a failure message, empty on success.
+	Err string `json:"err,omitempty"`
+}
+
+// Latency returns End-Start.
+func (e Event) Latency() time.Duration { return e.End - e.Start }
+
+// Tracer accumulates events in a bounded ring. It is safe for
+// concurrent use.
+type Tracer struct {
+	mu      sync.Mutex
+	events  []Event
+	next    int
+	wrapped bool
+	dropped int64
+	enabled bool
+}
+
+// New builds a tracer holding up to capacity events (older events are
+// overwritten once full).
+func New(capacity int) (*Tracer, error) {
+	if capacity <= 0 {
+		return nil, errors.New("trace: capacity must be positive")
+	}
+	return &Tracer{events: make([]Event, 0, capacity), enabled: true}, nil
+}
+
+// SetEnabled toggles recording (disabled tracers drop events).
+func (t *Tracer) SetEnabled(on bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.enabled = on
+}
+
+// Record appends an event.
+func (t *Tracer) Record(e Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.enabled {
+		t.dropped++
+		return
+	}
+	if len(t.events) < cap(t.events) {
+		t.events = append(t.events, e)
+		return
+	}
+	t.events[t.next] = e
+	t.next = (t.next + 1) % cap(t.events)
+	t.wrapped = true
+}
+
+// Len returns the number of retained events.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Dropped returns the number of events dropped while disabled.
+func (t *Tracer) Dropped() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Snapshot returns the retained events in record order.
+func (t *Tracer) Snapshot() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.events))
+	if t.wrapped {
+		out = append(out, t.events[t.next:]...)
+		out = append(out, t.events[:t.next]...)
+	} else {
+		out = append(out, t.events...)
+	}
+	return out
+}
+
+// WriteCSV exports the retained events with a header row.
+func (t *Tracer) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"kind", "disk", "offset", "length", "start_ns", "end_ns", "latency_ns", "hit", "err"}); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	for _, e := range t.Snapshot() {
+		rec := []string{
+			e.Kind.String(),
+			strconv.Itoa(e.Disk),
+			strconv.FormatInt(e.Offset, 10),
+			strconv.FormatInt(e.Length, 10),
+			strconv.FormatInt(int64(e.Start), 10),
+			strconv.FormatInt(int64(e.End), 10),
+			strconv.FormatInt(int64(e.Latency()), 10),
+			strconv.FormatBool(e.Hit),
+			e.Err,
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	return nil
+}
+
+// WriteJSONL exports the retained events as JSON lines.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range t.Snapshot() {
+		if err := enc.Encode(e); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	return nil
+}
+
+// Summary aggregates the retained events.
+type Summary struct {
+	Events    int
+	Clients   int
+	Fetches   int
+	Directs   int
+	Evicts    int
+	ClientHit int
+	Errors    int
+	MeanLat   time.Duration
+}
+
+// Summarize computes aggregate counts over the retained events.
+func (t *Tracer) Summarize() Summary {
+	var s Summary
+	var latSum time.Duration
+	var latCount int64
+	for _, e := range t.Snapshot() {
+		s.Events++
+		switch e.Kind {
+		case KindClient:
+			s.Clients++
+			if e.Hit {
+				s.ClientHit++
+			}
+			latSum += e.Latency()
+			latCount++
+		case KindFetch:
+			s.Fetches++
+		case KindDirect:
+			s.Directs++
+		case KindEvict:
+			s.Evicts++
+		}
+		if e.Err != "" {
+			s.Errors++
+		}
+	}
+	if latCount > 0 {
+		s.MeanLat = time.Duration(int64(latSum) / latCount)
+	}
+	return s
+}

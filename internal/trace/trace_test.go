@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleEvent(kind Kind, off int64) Event {
+	return Event{
+		Kind: kind, Disk: 0, Offset: off, Length: 4096,
+		Start: 10 * time.Millisecond, End: 15 * time.Millisecond,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := New(-1); err == nil {
+		t.Error("negative capacity accepted")
+	}
+}
+
+func TestRecordAndSnapshot(t *testing.T) {
+	tr, err := New(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 5; i++ {
+		tr.Record(sampleEvent(KindClient, i))
+	}
+	if tr.Len() != 5 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	snap := tr.Snapshot()
+	for i, e := range snap {
+		if e.Offset != int64(i) {
+			t.Errorf("snapshot order broken: %v", snap)
+		}
+	}
+}
+
+func TestRingWraps(t *testing.T) {
+	tr, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 10; i++ {
+		tr.Record(sampleEvent(KindFetch, i))
+	}
+	if tr.Len() != 4 {
+		t.Errorf("Len = %d, want capacity 4", tr.Len())
+	}
+	snap := tr.Snapshot()
+	want := []int64{6, 7, 8, 9}
+	for i, e := range snap {
+		if e.Offset != want[i] {
+			t.Fatalf("wrapped snapshot = %v, want offsets %v", snap, want)
+		}
+	}
+}
+
+func TestSetEnabled(t *testing.T) {
+	tr, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.SetEnabled(false)
+	tr.Record(sampleEvent(KindClient, 1))
+	if tr.Len() != 0 || tr.Dropped() != 1 {
+		t.Errorf("disabled tracer recorded: len=%d dropped=%d", tr.Len(), tr.Dropped())
+	}
+	tr.SetEnabled(true)
+	tr.Record(sampleEvent(KindClient, 1))
+	if tr.Len() != 1 {
+		t.Error("re-enabled tracer did not record")
+	}
+}
+
+func TestLatency(t *testing.T) {
+	e := sampleEvent(KindClient, 0)
+	if e.Latency() != 5*time.Millisecond {
+		t.Errorf("Latency = %v", e.Latency())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindClient: "client", KindFetch: "fetch", KindDirect: "direct", KindEvict: "evict",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind should format")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tr, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := sampleEvent(KindClient, 42)
+	e.Hit = true
+	tr.Record(e)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "kind,disk,offset") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "client,0,42,4096") {
+		t.Errorf("row = %q", lines[1])
+	}
+	if !strings.Contains(lines[1], "true") {
+		t.Errorf("hit flag missing: %q", lines[1])
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Record(sampleEvent(KindFetch, 7))
+	tr.Record(sampleEvent(KindEvict, 9))
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("jsonl lines = %d", len(lines))
+	}
+	var got Event
+	if err := json.Unmarshal([]byte(lines[0]), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != KindFetch || got.Offset != 7 {
+		t.Errorf("decoded = %+v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr, err := New(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := sampleEvent(KindClient, 0)
+	hit.Hit = true
+	tr.Record(hit)
+	tr.Record(sampleEvent(KindClient, 1))
+	tr.Record(sampleEvent(KindFetch, 2))
+	tr.Record(sampleEvent(KindDirect, 3))
+	ev := sampleEvent(KindEvict, 4)
+	tr.Record(ev)
+	bad := sampleEvent(KindClient, 5)
+	bad.Err = "boom"
+	tr.Record(bad)
+
+	s := tr.Summarize()
+	if s.Events != 6 || s.Clients != 3 || s.Fetches != 1 || s.Directs != 1 || s.Evicts != 1 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.ClientHit != 1 || s.Errors != 1 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.MeanLat != 5*time.Millisecond {
+		t.Errorf("MeanLat = %v", s.MeanLat)
+	}
+}

@@ -1,0 +1,57 @@
+// Package units parses and formats byte sizes for the CLIs and
+// examples (binary units: KiB/MiB/GiB, plus bare K/M/G shorthand).
+package units
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ErrBadSize reports an unparseable size string.
+var ErrBadSize = errors.New("units: bad size")
+
+// ParseSize converts strings like "64KiB", "8M", "1GiB", or "4096" to
+// bytes.
+func ParseSize(s string) (int64, error) {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return 0, fmt.Errorf("%w: %q", ErrBadSize, s)
+	}
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(t, "GiB"):
+		mult, t = 1<<30, strings.TrimSuffix(t, "GiB")
+	case strings.HasSuffix(t, "MiB"):
+		mult, t = 1<<20, strings.TrimSuffix(t, "MiB")
+	case strings.HasSuffix(t, "KiB"):
+		mult, t = 1<<10, strings.TrimSuffix(t, "KiB")
+	case strings.HasSuffix(t, "G"):
+		mult, t = 1<<30, strings.TrimSuffix(t, "G")
+	case strings.HasSuffix(t, "M"):
+		mult, t = 1<<20, strings.TrimSuffix(t, "M")
+	case strings.HasSuffix(t, "K"):
+		mult, t = 1<<10, strings.TrimSuffix(t, "K")
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(t), 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("%w: %q", ErrBadSize, s)
+	}
+	return n * mult, nil
+}
+
+// FormatSize renders bytes with the largest exact binary unit
+// (1536 -> "1536", 2048 -> "2KiB", 3<<20 -> "3MiB").
+func FormatSize(n int64) string {
+	switch {
+	case n >= 1<<30 && n%(1<<30) == 0:
+		return strconv.FormatInt(n>>30, 10) + "GiB"
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return strconv.FormatInt(n>>20, 10) + "MiB"
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return strconv.FormatInt(n>>10, 10) + "KiB"
+	default:
+		return strconv.FormatInt(n, 10)
+	}
+}

@@ -1,0 +1,80 @@
+package units
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseSize(t *testing.T) {
+	tests := []struct {
+		in   string
+		want int64
+		ok   bool
+	}{
+		{"4096", 4096, true},
+		{"0", 0, true},
+		{"64KiB", 64 << 10, true},
+		{"8MiB", 8 << 20, true},
+		{"1GiB", 1 << 30, true},
+		{"8M", 8 << 20, true},
+		{"2G", 2 << 30, true},
+		{"16K", 16 << 10, true},
+		{" 64KiB ", 64 << 10, true},
+		{"", 0, false},
+		{"abc", 0, false},
+		{"-5", 0, false},
+		{"12XiB", 0, false},
+		{"KiB", 0, false},
+	}
+	for _, tt := range tests {
+		got, err := ParseSize(tt.in)
+		if (err == nil) != tt.ok {
+			t.Errorf("ParseSize(%q) err = %v, want ok=%v", tt.in, err, tt.ok)
+			continue
+		}
+		if err != nil {
+			if !errors.Is(err, ErrBadSize) {
+				t.Errorf("ParseSize(%q) err = %v, want ErrBadSize", tt.in, err)
+			}
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("ParseSize(%q) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestFormatSize(t *testing.T) {
+	tests := []struct {
+		in   int64
+		want string
+	}{
+		{0, "0"},
+		{1536, "1536"},
+		{2048, "2KiB"},
+		{3 << 20, "3MiB"},
+		{5 << 30, "5GiB"},
+		{(1 << 20) + 1, "1048577"},
+	}
+	for _, tt := range tests {
+		if got := FormatSize(tt.in); got != tt.want {
+			t.Errorf("FormatSize(%d) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	f := func(raw int64) bool {
+		n := raw
+		if n < 0 {
+			n = -n
+		}
+		n %= 1 << 40
+		got, err := ParseSize(FormatSize(n))
+		return err == nil && got == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

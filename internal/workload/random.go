@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"seqstream/internal/blockdev"
+	"seqstream/internal/sim"
+)
+
+// RandomSpec describes a random-access reader: the non-sequential
+// traffic the storage node must keep on the direct path.
+type RandomSpec struct {
+	// ID labels the reader in the metrics recorder.
+	ID int
+	// Disk is the target drive.
+	Disk int
+	// RequestSize is the size of every read.
+	RequestSize int64
+	// Requests is the number of reads to issue.
+	Requests int
+	// Think delays each follow-up read.
+	Think time.Duration
+	// Seed drives the offset sequence.
+	Seed uint64
+	// Align rounds offsets down (default 512).
+	Align int64
+}
+
+// Validate reports spec errors against a device.
+func (r RandomSpec) Validate(dev blockdev.Device) error {
+	if r.Disk < 0 || r.Disk >= dev.Disks() {
+		return fmt.Errorf("workload: random %d: disk %d out of range", r.ID, r.Disk)
+	}
+	if r.RequestSize <= 0 || r.RequestSize > dev.Capacity(r.Disk) {
+		return fmt.Errorf("workload: random %d: bad request size %d", r.ID, r.RequestSize)
+	}
+	if r.Requests <= 0 {
+		return fmt.Errorf("workload: random %d: requests must be positive", r.ID)
+	}
+	return nil
+}
+
+// AddRandom registers a random reader with the generator, targeting
+// the given device for capacity bounds. It must be called before
+// Start.
+func (g *Generator) AddRandom(dev blockdev.Device, spec RandomSpec) error {
+	if err := spec.Validate(dev); err != nil {
+		return err
+	}
+	if g.started {
+		return fmt.Errorf("workload: AddRandom after Start")
+	}
+	align := spec.Align
+	if align <= 0 {
+		align = 512
+	}
+	rng := sim.NewRand(spec.Seed ^ 0xabcd)
+	span := dev.Capacity(spec.Disk) - spec.RequestSize
+	g.randoms = append(g.randoms, randomState{
+		spec:  spec,
+		align: align,
+		rng:   rng,
+		span:  span,
+	})
+	return nil
+}
+
+type randomState struct {
+	spec  RandomSpec
+	align int64
+	rng   *sim.Rand
+	span  int64
+	done  int
+}
+
+// startRandoms issues the initial request of every random reader.
+func (g *Generator) startRandoms() error {
+	var firstErr error
+	for i := range g.randoms {
+		if err := g.issueRandom(&g.randoms[i]); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (g *Generator) issueRandom(st *randomState) error {
+	spec := st.spec
+	off := st.rng.Int63n(st.span + 1)
+	off -= off % st.align
+	start := g.clock.Now()
+	return g.submit(spec.Disk, off, spec.RequestSize, func() {
+		end := g.clock.Now()
+		g.rec.Record(spec.ID, spec.RequestSize, start, end)
+		st.done++
+		if st.done >= spec.Requests {
+			g.pending--
+			if g.pending == 0 && g.onDone != nil {
+				g.onDone()
+			}
+			return
+		}
+		next := func() {
+			if err := g.issueRandom(st); err != nil {
+				st.done = spec.Requests
+				g.pending--
+				if g.pending == 0 && g.onDone != nil {
+					g.onDone()
+				}
+			}
+		}
+		if spec.Think > 0 {
+			g.clock.Schedule(spec.Think, next)
+			return
+		}
+		next()
+	})
+}

@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRandomSpecValidate(t *testing.T) {
+	_, dev, _ := newSimTarget(t)
+	good := RandomSpec{ID: 0, Disk: 0, RequestSize: 4096, Requests: 4}
+	if err := good.Validate(dev); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	bad := []RandomSpec{
+		{Disk: 1, RequestSize: 4096, Requests: 1},
+		{Disk: -1, RequestSize: 4096, Requests: 1},
+		{Disk: 0, RequestSize: 0, Requests: 1},
+		{Disk: 0, RequestSize: dev.Capacity(0) + 1, Requests: 1},
+		{Disk: 0, RequestSize: 4096, Requests: 0},
+	}
+	for i, spec := range bad {
+		if err := spec.Validate(dev); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestRandomReadersRun(t *testing.T) {
+	eng, dev, clock := newSimTarget(t)
+	g, err := NewGenerator(clock, deviceSubmit(dev), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddRandom(dev, RandomSpec{ID: 0, Disk: 0, RequestSize: 8192, Requests: 20, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddRandom(dev, RandomSpec{ID: 1, Disk: 0, RequestSize: 8192, Requests: 20, Seed: 2, Think: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	finished := false
+	if err := g.Start(func() { finished = true }); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !finished {
+		t.Fatal("random readers never finished")
+	}
+	rec := g.Recorder()
+	if rec.TotalRequests() != 40 {
+		t.Errorf("TotalRequests = %d", rec.TotalRequests())
+	}
+	if rec.Streams() != 2 {
+		t.Errorf("Streams = %d", rec.Streams())
+	}
+}
+
+func TestRandomOffsetsAligned(t *testing.T) {
+	eng, dev, clock := newSimTarget(t)
+	var offs []int64
+	submit := func(disk int, off, length int64, done func()) error {
+		offs = append(offs, off)
+		return dev.ReadAt(disk, off, length, func([]byte, error) { done() })
+	}
+	g, err := NewGenerator(clock, submit, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddRandom(dev, RandomSpec{ID: 0, Disk: 0, RequestSize: 4096, Requests: 50, Seed: 9, Align: 4096}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Start(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	distinct := make(map[int64]bool)
+	for _, off := range offs {
+		if off%4096 != 0 {
+			t.Fatalf("offset %d not aligned", off)
+		}
+		distinct[off] = true
+	}
+	if len(distinct) < 40 {
+		t.Errorf("only %d distinct offsets in 50 random reads", len(distinct))
+	}
+}
+
+func TestMixedWorkload(t *testing.T) {
+	eng, dev, clock := newSimTarget(t)
+	g, err := NewGenerator(clock, deviceSubmit(dev), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Add(UniformStreams(0, 0, 3, dev.Capacity(0), 64<<10, 16)...); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddRandom(dev, RandomSpec{ID: 100, Disk: 0, RequestSize: 4096, Requests: 16, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	finished := false
+	if err := g.Start(func() { finished = true }); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !finished {
+		t.Fatal("mixed workload never finished")
+	}
+	if g.Recorder().TotalRequests() != 3*16+16 {
+		t.Errorf("TotalRequests = %d", g.Recorder().TotalRequests())
+	}
+}
+
+func TestAddRandomAfterStart(t *testing.T) {
+	eng, dev, clock := newSimTarget(t)
+	g, err := NewGenerator(clock, deviceSubmit(dev), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddRandom(dev, RandomSpec{ID: 0, Disk: 0, RequestSize: 4096, Requests: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Start(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddRandom(dev, RandomSpec{ID: 1, Disk: 0, RequestSize: 4096, Requests: 1}); err == nil {
+		t.Error("AddRandom after Start accepted")
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,255 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"seqstream/internal/blockdev"
+	"seqstream/internal/iostack"
+	"seqstream/internal/metrics"
+	"seqstream/internal/sim"
+)
+
+func newSimTarget(t *testing.T) (*sim.Engine, *blockdev.SimDevice, blockdev.Clock) {
+	t.Helper()
+	eng := sim.NewEngine()
+	host, err := iostack.New(eng, iostack.BaseConfig(iostack.Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := blockdev.NewSimDevice(host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, dev, blockdev.NewSimClock(eng)
+}
+
+func deviceSubmit(dev blockdev.Device) SubmitFunc {
+	return func(disk int, off, length int64, done func()) error {
+		return dev.ReadAt(disk, off, length, func([]byte, error) { done() })
+	}
+}
+
+func TestPlaceUniform(t *testing.T) {
+	offs := PlaceUniform(4, 4096*100, 512)
+	if len(offs) != 4 {
+		t.Fatalf("len = %d", len(offs))
+	}
+	if offs[0] != 0 {
+		t.Errorf("first offset = %d", offs[0])
+	}
+	spacing := offs[1] - offs[0]
+	for i := 1; i < len(offs); i++ {
+		if offs[i]-offs[i-1] != spacing {
+			t.Errorf("uneven spacing: %v", offs)
+		}
+		if offs[i]%512 != 0 {
+			t.Errorf("offset %d not aligned", offs[i])
+		}
+	}
+	if PlaceUniform(0, 1000, 512) != nil {
+		t.Error("zero streams should return nil")
+	}
+	// Default alignment when align <= 0.
+	offs = PlaceUniform(3, 3000000, 0)
+	for _, o := range offs {
+		if o%512 != 0 {
+			t.Errorf("offset %d not 512-aligned by default", o)
+		}
+	}
+}
+
+func TestUniformStreams(t *testing.T) {
+	specs := UniformStreams(10, 2, 5, 1e9, 64<<10, 100)
+	if len(specs) != 5 {
+		t.Fatalf("len = %d", len(specs))
+	}
+	for i, s := range specs {
+		if s.ID != 10+i {
+			t.Errorf("ID = %d, want %d", s.ID, 10+i)
+		}
+		if s.Disk != 2 || s.RequestSize != 64<<10 || s.Requests != 100 {
+			t.Errorf("spec %d = %+v", i, s)
+		}
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	_, dev, _ := newSimTarget(t)
+	valid := StreamSpec{Disk: 0, Start: 0, RequestSize: 4096, Requests: 1}
+	if err := valid.Validate(dev); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	bad := []StreamSpec{
+		{Disk: 1, RequestSize: 4096, Requests: 1},
+		{Disk: -1, RequestSize: 4096, Requests: 1},
+		{Disk: 0, RequestSize: 0, Requests: 1},
+		{Disk: 0, RequestSize: 4096, Requests: 0},
+		{Disk: 0, Start: -1, RequestSize: 4096, Requests: 1},
+		{Disk: 0, Start: dev.Capacity(0), RequestSize: 4096, Requests: 1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(dev); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	_, dev, clock := newSimTarget(t)
+	if _, err := NewGenerator(nil, deviceSubmit(dev), nil); err == nil {
+		t.Error("nil clock accepted")
+	}
+	if _, err := NewGenerator(clock, nil, nil); err == nil {
+		t.Error("nil submit accepted")
+	}
+	g, err := NewGenerator(clock, deviceSubmit(dev), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Start(nil); err == nil {
+		t.Error("Start with no streams accepted")
+	}
+}
+
+func TestGeneratorRunsStreams(t *testing.T) {
+	eng, dev, clock := newSimTarget(t)
+	rec := metrics.NewRecorder()
+	g, err := NewGenerator(clock, deviceSubmit(dev), rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := UniformStreams(0, 0, 4, dev.Capacity(0), 64<<10, 8)
+	if err := g.Add(specs...); err != nil {
+		t.Fatal(err)
+	}
+	doneCalled := false
+	if err := g.Start(func() { doneCalled = true }); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !doneCalled {
+		t.Error("onDone never called")
+	}
+	if g.Remaining() != 0 {
+		t.Errorf("Remaining = %d", g.Remaining())
+	}
+	if rec.TotalRequests() != 32 {
+		t.Errorf("TotalRequests = %d, want 32", rec.TotalRequests())
+	}
+	if rec.TotalBytes() != 32*64<<10 {
+		t.Errorf("TotalBytes = %d", rec.TotalBytes())
+	}
+	if rec.Streams() != 4 {
+		t.Errorf("Streams = %d", rec.Streams())
+	}
+	if rec.AggregateMBps() <= 0 {
+		t.Error("nonpositive throughput")
+	}
+}
+
+func TestGeneratorAddAfterStart(t *testing.T) {
+	eng, dev, clock := newSimTarget(t)
+	g, err := NewGenerator(clock, deviceSubmit(dev), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Add(StreamSpec{ID: 0, RequestSize: 4096, Requests: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Start(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Add(StreamSpec{ID: 1, RequestSize: 4096, Requests: 1}); err == nil {
+		t.Error("Add after Start accepted")
+	}
+	if err := g.Start(nil); err == nil {
+		t.Error("double Start accepted")
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratorThinkTime(t *testing.T) {
+	eng, dev, clock := newSimTarget(t)
+	g, err := NewGenerator(clock, deviceSubmit(dev), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const think = 50 * time.Millisecond
+	if err := g.Add(StreamSpec{ID: 0, RequestSize: 4096, Requests: 4, Think: think}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Start(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Now() < 3*think {
+		t.Errorf("run finished at %v, want at least 3 think periods", eng.Now())
+	}
+}
+
+func TestGeneratorOutstanding(t *testing.T) {
+	// With outstanding=2 the stream pipelines: two requests in flight
+	// through the device.
+	eng, dev, clock := newSimTarget(t)
+	g, err := NewGenerator(clock, deviceSubmit(dev), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Add(StreamSpec{ID: 0, RequestSize: 64 << 10, Requests: 16, Outstanding: 2}); err != nil {
+		t.Fatal(err)
+	}
+	finished := false
+	if err := g.Start(func() { finished = true }); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !finished {
+		t.Error("pipelined stream never finished")
+	}
+	if g.Recorder().TotalRequests() != 16 {
+		t.Errorf("TotalRequests = %d", g.Recorder().TotalRequests())
+	}
+}
+
+func TestGeneratorWrapAt(t *testing.T) {
+	eng, dev, clock := newSimTarget(t)
+	var offsets []int64
+	submit := func(disk int, off, length int64, done func()) error {
+		offsets = append(offsets, off)
+		return dev.ReadAt(disk, off, length, func([]byte, error) { done() })
+	}
+	g, err := NewGenerator(clock, submit, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Add(StreamSpec{
+		ID: 0, RequestSize: 4096, Requests: 6,
+		Start: 0, WrapAt: 4 * 4096,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Start(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0, 4096, 8192, 12288, 0, 4096}
+	if len(offsets) != len(want) {
+		t.Fatalf("offsets = %v", offsets)
+	}
+	for i := range want {
+		if offsets[i] != want[i] {
+			t.Fatalf("offsets = %v, want %v", offsets, want)
+		}
+	}
+}
