@@ -1,0 +1,97 @@
+// Command lint is the repo's multichecker: it runs the custom
+// determinism and scheduler-invariant analyzers over the given
+// package patterns and exits non-zero on findings.
+//
+// Usage:
+//
+//	go run ./cmd/lint ./...
+//	go run ./cmd/lint -list
+//	go run ./cmd/lint -run simdet,lockcheck ./internal/...
+//
+// Findings print as file:line:col: [analyzer] message. A finding is
+// suppressed by a `//lint:allow <analyzer> <reason>` comment on the
+// same line or the line above (see internal/analysis/framework).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"seqstream/internal/analysis/framework"
+	"seqstream/internal/analysis/lockcheck"
+	"seqstream/internal/analysis/simdet"
+	"seqstream/internal/analysis/unitcheck"
+)
+
+var all = []*framework.Analyzer{
+	simdet.Analyzer,
+	lockcheck.Analyzer,
+	unitcheck.Analyzer,
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	only := fs.String("run", "", "comma-separated analyzer names to run (default all)")
+	dir := fs.String("C", ".", "directory to resolve package patterns in")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range all {
+			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := all
+	if *only != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			found := false
+			for _, a := range all {
+				if a.Name == name {
+					analyzers = append(analyzers, a)
+					found = true
+					break
+				}
+			}
+			if !found {
+				fmt.Fprintf(stderr, "lint: unknown analyzer %q\n", name)
+				return 2
+			}
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := framework.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "lint: %v\n", err)
+		return 2
+	}
+	diags, err := framework.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "lint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "lint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestList prints every analyzer and exits 0.
+func TestList(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, name := range []string{"simdet", "lockcheck", "unitcheck"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestUnknownAnalyzer is a usage error (exit 2).
+func TestUnknownAnalyzer(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-run", "nosuch", "./..."}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+// TestCleanPackages: the gated simulation packages lint clean (exit 0).
+// This is the same invocation CI runs repo-wide.
+func TestCleanPackages(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-C", "../..", "./internal/sim/...", "./internal/units/..."}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+}

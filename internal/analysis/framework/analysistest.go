@@ -1,0 +1,138 @@
+package framework
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// TB is the subset of *testing.T the fixture runner needs.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+// RunFixture parses every .go file under dir as one package with the
+// given import path, runs the analyzer, and checks its diagnostics
+// against the fixture's expectations, in the style of
+// golang.org/x/tools/go/analysis/analysistest:
+//
+//	ch <- v // want "channel send"
+//
+// Every `// want "substr"` comment must be matched by a diagnostic on
+// its line containing substr, and every diagnostic must be matched by
+// a want. Several quoted strings may follow one want.
+func RunFixture(t TB, dir, pkgPath string, a *Analyzer) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("fixture dir: %v", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, e.Name())
+		}
+	}
+	pkg, err := ParseDirFiles(dir, pkgPath, files)
+	if err != nil {
+		t.Fatalf("fixture parse: %v", err)
+	}
+	if pkg == nil {
+		t.Fatalf("fixture dir %s holds no .go files", dir)
+	}
+	diags, err := Run([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, pkg)
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		ok := false
+		for i, w := range wants {
+			if matched[i] || w.file != filepath.Base(d.Pos.Filename) || w.line != d.Pos.Line {
+				continue
+			}
+			if strings.Contains(d.Message, w.substr) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.substr)
+		}
+	}
+}
+
+type want struct {
+	file   string
+	line   int
+	substr string
+}
+
+// collectWants extracts `// want "..." ["..."]...` expectations.
+func collectWants(t TB, pkg *Package) []want {
+	var out []want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, s := range splitQuoted(text[len("want "):]) {
+					sub, err := strconv.Unquote(s)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want string %s", pos.Filename, pos.Line, s)
+					}
+					out = append(out, want{file: filepath.Base(pos.Filename), line: pos.Line, substr: sub})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].file != out[j].file {
+			return out[i].file < out[j].file
+		}
+		return out[i].line < out[j].line
+	})
+	return out
+}
+
+// splitQuoted returns the double-quoted segments of s, quotes kept.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		start := strings.IndexByte(s, '"')
+		if start < 0 {
+			return out
+		}
+		end := start + 1
+		for end < len(s) {
+			if s[end] == '\\' {
+				end += 2
+				continue
+			}
+			if s[end] == '"' {
+				break
+			}
+			end++
+		}
+		if end >= len(s) {
+			return out
+		}
+		out = append(out, s[start:end+1])
+		s = s[end+1:]
+	}
+}

@@ -1,0 +1,150 @@
+package framework
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func parsePkg(t *testing.T, path, src string) *Package {
+	t.Helper()
+	dir := t.TempDir()
+	file := filepath.Join(dir, "x.go")
+	if err := os.WriteFile(file, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := ParseDirFiles(dir, path, []string{"x.go"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// reportAll flags every function declaration, to exercise suppression.
+var reportAll = &Analyzer{
+	Name: "reportall",
+	Doc:  "test analyzer",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Pkg.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok {
+					pass.Reportf(fd.Pos(), "func %s", fd.Name.Name)
+				}
+			}
+		}
+		return nil
+	},
+}
+
+// TestAllowSuppression: //lint:allow on the same line or the line
+// above drops the diagnostic; other analyzers' names do not.
+func TestAllowSuppression(t *testing.T) {
+	src := `package p
+
+func a() {} //lint:allow reportall trailing comment
+
+//lint:allow reportall preceding comment
+func b() {}
+
+//lint:allow otheranalyzer wrong name
+func c() {}
+
+func d() {}
+`
+	pkg := parsePkg(t, "example.com/p", src)
+	diags, err := Run([]*Package{pkg}, []*Analyzer{reportAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Message)
+	}
+	want := []string{"func c", "func d"}
+	if len(got) != len(want) {
+		t.Fatalf("diagnostics = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("diagnostics = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestFileImports: aliases resolve, blank and dot imports are skipped.
+func TestFileImports(t *testing.T) {
+	src := `package p
+
+import (
+	"time"
+	r "math/rand"
+	_ "os"
+	u "example.com/some/units"
+)
+
+var _ = time.Second
+var _ = r.Int
+var _ = u.X
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := FileImports(f)
+	cases := map[string]string{
+		"time": "time",
+		"r":    "math/rand",
+		"u":    "example.com/some/units",
+	}
+	for name, path := range cases {
+		if im[name] != path {
+			t.Errorf("import %q = %q, want %q", name, im[name], path)
+		}
+	}
+	if _, ok := im["os"]; ok {
+		t.Errorf("blank import leaked into the name map")
+	}
+}
+
+// TestLoad: the go-list loader resolves this module's own packages and
+// excludes test files.
+func TestLoad(t *testing.T) {
+	pkgs, err := Load("../../..", "./internal/analysis/framework")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.Path != "seqstream/internal/analysis/framework" || p.Name != "framework" {
+		t.Fatalf("loaded %q (%s)", p.Path, p.Name)
+	}
+	for _, f := range p.Files {
+		name := filepath.Base(p.Fset.Position(f.Pos()).Filename)
+		if name == "framework_test.go" {
+			t.Fatalf("test file leaked into the load")
+		}
+	}
+	if NewIndex(pkgs).FuncDecl(p.Path, "Load") == nil {
+		t.Fatalf("index did not resolve framework.Load")
+	}
+}
+
+// TestSplitQuoted pins the want-comment scanner.
+func TestSplitQuoted(t *testing.T) {
+	got := splitQuoted(`"a" junk "b\"c" tail`)
+	want := []string{`"a"`, `"b\"c"`}
+	if len(got) != len(want) {
+		t.Fatalf("splitQuoted = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("splitQuoted = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package framework
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io"
+	"os/exec"
+	"path/filepath"
+)
+
+// listPackage is the subset of `go list -json` output the loader uses.
+type listPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+}
+
+// Load resolves the given package patterns (e.g. "./...") with the go
+// command and parses every non-test source file, comments included.
+// Test files are excluded on purpose: the analyzers gate production
+// code, and fixtures with deliberate violations live in testdata.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, fmt.Errorf("framework: %w", err)
+	}
+	cmd.Stderr = nil
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("framework: go list: %w", err)
+	}
+	var pkgs []*Package
+	dec := json.NewDecoder(out)
+	for {
+		var lp listPackage
+		if err := dec.Decode(&lp); err != nil {
+			if err == io.EOF {
+				break
+			}
+			_ = cmd.Wait()
+			return nil, fmt.Errorf("framework: go list output: %w", err)
+		}
+		p, err := ParseDirFiles(lp.Dir, lp.ImportPath, lp.GoFiles)
+		if err != nil {
+			_ = cmd.Wait()
+			return nil, err
+		}
+		if p != nil {
+			p.Name = lp.Name
+			pkgs = append(pkgs, p)
+		}
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("framework: go list: %w", err)
+	}
+	return pkgs, nil
+}
+
+// ParseDirFiles parses the named files of one directory as a package
+// with the given import path. It returns nil for an empty file list.
+func ParseDirFiles(dir, importPath string, files []string) (*Package, error) {
+	if len(files) == 0 {
+		return nil, nil
+	}
+	fset := token.NewFileSet()
+	p := &Package{Path: importPath, Dir: dir, Fset: fset}
+	for _, name := range files {
+		path := filepath.Join(dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("framework: %w", err)
+		}
+		if p.Name == "" {
+			p.Name = f.Name.Name
+		}
+		p.Files = append(p.Files, f)
+	}
+	return p, nil
+}

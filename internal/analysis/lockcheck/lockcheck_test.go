@@ -1,0 +1,34 @@
+package lockcheck
+
+import (
+	"testing"
+
+	"seqstream/internal/analysis/framework"
+)
+
+// TestBadFixture: held-across-blocking and leaked-lock returns are
+// reported.
+func TestBadFixture(t *testing.T) {
+	framework.RunFixture(t, "testdata/bad", "seqstream/internal/core/lockfixture", Analyzer)
+}
+
+// TestGoodFixture: defer pairs, unlock-before-return branches, closure
+// isolation, and //lint:allow pass.
+func TestGoodFixture(t *testing.T) {
+	framework.RunFixture(t, "testdata/good", "seqstream/internal/netserve/lockfixture", Analyzer)
+}
+
+// TestUngatedPackage: lockcheck scopes itself to core and netserve.
+func TestUngatedPackage(t *testing.T) {
+	pkg, err := framework.ParseDirFiles("testdata/bad", "seqstream/internal/sim", []string{"bad.go"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := framework.Run([]*framework.Package{pkg}, []*framework.Analyzer{Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("ungated package reported %d diagnostics: %v", len(diags), diags)
+	}
+}

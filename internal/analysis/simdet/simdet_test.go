@@ -1,0 +1,54 @@
+package simdet
+
+import (
+	"testing"
+
+	"seqstream/internal/analysis/framework"
+)
+
+// TestBadFixture: every forbidden construct in a gated package is
+// reported.
+func TestBadFixture(t *testing.T) {
+	framework.RunFixture(t, "testdata/bad", "seqstream/internal/sim/simdetfixture", Analyzer)
+}
+
+// TestGoodFixture: sentinel errors, blank assertions, model-owned
+// clocks, and //lint:allow lines pass in a gated package.
+func TestGoodFixture(t *testing.T) {
+	framework.RunFixture(t, "testdata/good", "seqstream/internal/disk/simdetfixture", Analyzer)
+}
+
+// TestUngatedPackage: the same violations outside the gated package
+// list produce no diagnostics (the analyzer scopes itself).
+func TestUngatedPackage(t *testing.T) {
+	pkg, err := framework.ParseDirFiles("testdata/bad", "seqstream/internal/experiments", []string{"bad.go"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := framework.Run([]*framework.Package{pkg}, []*framework.Analyzer{Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("ungated package reported %d diagnostics: %v", len(diags), diags)
+	}
+}
+
+// TestGating pins the gate semantics: exact match and subpackages.
+func TestGating(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"seqstream/internal/sim", true},
+		{"seqstream/internal/sim/sub", true},
+		{"seqstream/internal/simother", false},
+		{"seqstream/internal/core", false},
+		{"seqstream/internal/blockdev", true},
+	}
+	for _, c := range cases {
+		if got := gated(c.path); got != c.want {
+			t.Errorf("gated(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}

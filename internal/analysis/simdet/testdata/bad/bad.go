@@ -1,0 +1,26 @@
+// Package bad is a simdet fixture: every construct here must trigger
+// a diagnostic. It is parsed by the analyzer tests, never built.
+package bad
+
+import (
+	"math/rand" // want "import of math/rand breaks simulation determinism"
+	"os"
+	"time"
+)
+
+var counter int // want "package-level mutable state"
+
+var lookup = map[string]int{} // want "package-level mutable state"
+
+func model() time.Duration {
+	start := time.Now()          // want "time.Now breaks simulation determinism"
+	time.Sleep(time.Millisecond) // want "time.Sleep breaks simulation determinism"
+	if os.Getenv("SEED") != "" { // want "os.Getenv breaks simulation determinism"
+		counter = rand.Int()
+	}
+	return time.Since(start) // want "time.Since breaks simulation determinism"
+}
+
+func timers(fn func()) {
+	time.AfterFunc(time.Second, fn) // want "time.AfterFunc breaks simulation determinism"
+}

@@ -1,0 +1,30 @@
+// Package good is a simdet fixture: nothing here may trigger a
+// diagnostic even though the package is gated.
+package good
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Sentinel errors are immutable and allowed at package level.
+var ErrBad = errors.New("good: bad")
+
+var errWrapped = fmt.Errorf("good: %w", ErrBad)
+
+// Blank compile-time assertions are allowed.
+var _ interface{ Now() time.Duration } = (*clock)(nil)
+
+type clock struct{ now time.Duration }
+
+// Now uses model-owned time, not the wall clock.
+func (c *clock) Now() time.Duration { return c.now }
+
+// Advance moves the model clock; time.Duration arithmetic is fine.
+func (c *clock) Advance(d time.Duration) { c.now += d }
+
+// escapeHatch shows the per-line opt-out for real-clock shims.
+func escapeHatch() time.Time {
+	return time.Now() //lint:allow simdet real-clock shim fixture
+}

@@ -1,0 +1,31 @@
+// Package bad is a unitcheck fixture: every bare literal here must
+// trigger a diagnostic. It is parsed by the analyzer tests, never
+// built.
+package bad
+
+type config struct {
+	Memory    int64
+	CacheSize int64
+	TimeoutMs int64
+}
+
+// stage declares unit-bearing parameter names.
+func stage(disk int, sizeBytes int64, nblocks int, timeoutMs int64) {}
+
+func calls() {
+	stage(0, 1048576, 4, 10)  // want "bare literal 1048576 flows into bytes parameter \"sizeBytes\""
+	stage(0, 64, 1000000, 10) // want "bare literal 1000000 flows into blocks parameter \"nblocks\""
+	stage(0, 64, 4, 5000)     // want "bare literal 5000 flows into milliseconds parameter \"timeoutMs\""
+}
+
+func literals() config {
+	return config{
+		Memory:    67108864, // want "bare literal 67108864 flows into bytes parameter \"Memory\""
+		CacheSize: 16777216, // want "bare literal 16777216 flows into bytes parameter \"CacheSize\""
+	}
+}
+
+func assigns(c *config) {
+	c.Memory = 33554432 // want "bare literal 33554432 flows into bytes parameter \"Memory\""
+	c.TimeoutMs = 30000 // want "bare literal 30000 flows into milliseconds parameter \"TimeoutMs\""
+}

@@ -1,0 +1,39 @@
+// Package good is a unitcheck fixture: nothing here may trigger a
+// diagnostic.
+package good
+
+type config struct {
+	Memory    int64
+	CacheSize int64
+	TimeoutMs int64
+	Streams   int
+}
+
+const mib = 1 << 20
+
+func stage(disk int, sizeBytes int64, nblocks int, timeoutMs int64) {}
+
+func calls() {
+	stage(0, 64<<20, 4, 10)  // shifted expressions are composed, not bare
+	stage(0, 8*mib, 4, 250)  // products of named constants are composed
+	stage(0, 4096, 4, 999)   // below the per-unit thresholds
+	stage(0, 0x100000, 4, 1) // hex reads as a deliberate bit pattern
+}
+
+func literals() config {
+	return config{
+		Memory:    64 << 20,
+		CacheSize: 16 * mib,
+		Streams:   100000, // no unit in the name: not checked
+	}
+}
+
+func assigns(c *config) {
+	c.Memory = 2 * mib
+	c.TimeoutMs = 30_000 // underscore grouping marks a reviewed value
+}
+
+// allowEscape waives a deliberate raw byte count.
+func allowEscape(c *config) {
+	c.CacheSize = 67108864 //lint:allow unitcheck matches the vendor datasheet value
+}

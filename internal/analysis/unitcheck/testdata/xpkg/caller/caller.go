@@ -1,0 +1,11 @@
+// Package caller is the caller side of the unitcheck cross-package
+// fixture: the parameter name lives in another package and is resolved
+// through the load index.
+package caller
+
+import "seqstream/internal/analysis/unitcheck/testdata/xpkg/lib"
+
+func use() {
+	lib.Reserve(1, 134217728) // want "bare literal 134217728 flows into bytes parameter \"capacityBytes\""
+	lib.Reserve(2, 128<<20)
+}

@@ -1,0 +1,6 @@
+// Package lib is the callee side of the unitcheck cross-package
+// fixture.
+package lib
+
+// Reserve stages capacityBytes of memory for a stream.
+func Reserve(stream int, capacityBytes int64) {}

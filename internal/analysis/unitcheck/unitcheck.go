@@ -1,0 +1,211 @@
+// Package unitcheck flags bare large integer literals flowing into
+// parameters and fields whose names mark them as bytes, blocks, or
+// milliseconds — the unit-confusion bug class internal/units exists to
+// prevent. Writing 67108864 where 64<<20 (or units.MiB multiples) was
+// meant is unreviewable; writing a block count where bytes are
+// expected is a silent 512x error. The analyzer accepts any composed
+// expression (64<<20, 8*units.MiB, time.Second) and only rejects bare
+// decimal literals at or above the per-unit threshold.
+package unitcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+
+	"seqstream/internal/analysis/framework"
+)
+
+// unitClass describes one recognized unit with its literal threshold:
+// bare decimal literals >= threshold are suspicious for that unit.
+type unitClass struct {
+	name      string
+	threshold int64
+	hint      string
+}
+
+var (
+	classBytes  = unitClass{"bytes", 1 << 16, "compose it (64<<20) or use units.KiB/MiB/GiB"}
+	classBlocks = unitClass{"blocks", 1 << 16, "derive it from a byte size and the block size"}
+	classMillis = unitClass{"milliseconds", 1000, "use a time.Duration expression instead"}
+)
+
+// nameClass maps a parameter or field name to the unit its name
+// declares, or nil. Matching is deliberately conservative: exact
+// well-known names plus unit-bearing suffixes.
+func nameClass(name string) *unitClass {
+	lower := strings.ToLower(name)
+	switch {
+	case strings.HasSuffix(lower, "bytes"),
+		strings.HasSuffix(lower, "size"),
+		strings.HasSuffix(lower, "sizes"),
+		strings.HasSuffix(lower, "memory"),
+		strings.HasSuffix(lower, "capacity"),
+		strings.HasSuffix(lower, "readahead"),
+		lower == "mem", lower == "length", lower == "len":
+		return &classBytes
+	case strings.HasSuffix(lower, "blocks"), lower == "nblocks":
+		return &classBlocks
+	case strings.HasSuffix(name, "Ms"), lower == "ms",
+		strings.HasSuffix(lower, "millis"), strings.HasSuffix(lower, "milliseconds"):
+		return &classMillis
+	default:
+		return nil
+	}
+}
+
+// Analyzer is the unitcheck check.
+var Analyzer = &framework.Analyzer{
+	Name: "unitcheck",
+	Doc: "flag bare large integer literals passed to parameters/fields " +
+		"named as bytes, blocks, or milliseconds",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Pkg.Files {
+		imports := framework.FileImports(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, imports, n)
+			case *ast.CompositeLit:
+				checkCompositeLit(pass, n)
+			case *ast.AssignStmt:
+				checkAssign(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// bareLiteral returns the value of e when it is a bare decimal integer
+// literal (not hex/octal/binary, no underscores, not part of an
+// arithmetic expression — those are considered deliberately composed).
+func bareLiteral(e ast.Expr) (int64, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.INT {
+		return 0, false
+	}
+	if strings.ContainsAny(lit.Value, "_xXoObB") {
+		return 0, false
+	}
+	v, err := strconv.ParseInt(lit.Value, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+func report(pass *framework.Pass, pos token.Pos, v int64, name string, cl *unitClass) {
+	pass.Reportf(pos, "bare literal %d flows into %s parameter %q; %s", v, cl.name, name, cl.hint)
+}
+
+// checkCall resolves the callee to a function declaration (same
+// package by name, cross-package through the load index) and checks
+// each bare-literal argument against the parameter name it binds to.
+func checkCall(pass *framework.Pass, imports map[string]string, call *ast.CallExpr) {
+	var fd *ast.FuncDecl
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fd = localFunc(pass.Pkg, fun.Name)
+	case *ast.SelectorExpr:
+		id, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return
+		}
+		path, ok := imports[id.Name]
+		if !ok {
+			return
+		}
+		fd = pass.Index.FuncDecl(path, fun.Sel.Name)
+	}
+	if fd == nil || fd.Type.Params == nil {
+		return
+	}
+	params := flattenParams(fd.Type.Params)
+	for i, arg := range call.Args {
+		if i >= len(params) {
+			break // variadic tail or mismatch: stop rather than guess
+		}
+		v, ok := bareLiteral(arg)
+		if !ok {
+			continue
+		}
+		if cl := nameClass(params[i]); cl != nil && v >= cl.threshold {
+			report(pass, arg.Pos(), v, params[i], cl)
+		}
+	}
+}
+
+// checkCompositeLit checks keyed literal fields (Config{Memory: N}).
+func checkCompositeLit(pass *framework.Pass, lit *ast.CompositeLit) {
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		v, ok := bareLiteral(kv.Value)
+		if !ok {
+			continue
+		}
+		if cl := nameClass(key.Name); cl != nil && v >= cl.threshold {
+			report(pass, kv.Value.Pos(), v, key.Name, cl)
+		}
+	}
+}
+
+// checkAssign checks field assignments (cfg.Memory = N).
+func checkAssign(pass *framework.Pass, as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		sel, ok := lhs.(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		v, ok := bareLiteral(as.Rhs[i])
+		if !ok {
+			continue
+		}
+		if cl := nameClass(sel.Sel.Name); cl != nil && v >= cl.threshold {
+			report(pass, as.Rhs[i].Pos(), v, sel.Sel.Name, cl)
+		}
+	}
+}
+
+// localFunc finds a top-level function declared in the package.
+func localFunc(pkg *framework.Package, name string) *ast.FuncDecl {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if ok && fd.Recv == nil && fd.Name.Name == name {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// flattenParams expands grouped parameters ("a, b int64") into an
+// ordered name list.
+func flattenParams(fields *ast.FieldList) []string {
+	var out []string
+	for _, f := range fields.List {
+		if len(f.Names) == 0 {
+			out = append(out, "")
+			continue
+		}
+		for _, n := range f.Names {
+			out = append(out, n.Name)
+		}
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package unitcheck
+
+import (
+	"strings"
+	"testing"
+
+	"seqstream/internal/analysis/framework"
+)
+
+// TestBadFixture: bare large literals against unit-named call
+// parameters, composite-literal fields, and field assignments are all
+// reported.
+func TestBadFixture(t *testing.T) {
+	framework.RunFixture(t, "testdata/bad", "seqstream/internal/unitfixture", Analyzer)
+}
+
+// TestGoodFixture: composed expressions, sub-threshold values, hex,
+// underscore grouping, unit-free names, and //lint:allow pass.
+func TestGoodFixture(t *testing.T) {
+	framework.RunFixture(t, "testdata/good", "seqstream/internal/unitfixture", Analyzer)
+}
+
+// TestCrossPackage: the parameter name is declared in another loaded
+// package and resolved through the index.
+func TestCrossPackage(t *testing.T) {
+	lib, err := framework.ParseDirFiles("testdata/xpkg/lib",
+		"seqstream/internal/analysis/unitcheck/testdata/xpkg/lib", []string{"lib.go"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	caller, err := framework.ParseDirFiles("testdata/xpkg/caller",
+		"seqstream/internal/analysis/unitcheck/testdata/xpkg/caller", []string{"caller.go"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := framework.Run([]*framework.Package{lib, caller}, []*framework.Analyzer{Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, `bytes parameter "capacityBytes"`) {
+		t.Fatalf("unexpected diagnostic: %s", diags[0])
+	}
+}
+
+// TestNameClass pins the name heuristic.
+func TestNameClass(t *testing.T) {
+	cases := []struct {
+		name string
+		want string
+	}{
+		{"sizeBytes", "bytes"},
+		{"Memory", "bytes"},
+		{"CacheSize", "bytes"},
+		{"readAhead", "bytes"},
+		{"nblocks", "blocks"},
+		{"RegionBlocks", "blocks"},
+		{"timeoutMs", "milliseconds"},
+		{"Streams", ""},
+		{"disk", ""},
+		{"count", ""},
+	}
+	for _, c := range cases {
+		got := ""
+		if cl := nameClass(c.name); cl != nil {
+			got = cl.name
+		}
+		if got != c.want {
+			t.Errorf("nameClass(%q) = %q, want %q", c.name, got, c.want)
+		}
+	}
+}

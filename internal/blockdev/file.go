@@ -17,14 +17,14 @@ type RealClock struct {
 var _ Clock = (*RealClock)(nil)
 
 // NewRealClock returns a clock whose epoch is now.
-func NewRealClock() *RealClock { return &RealClock{start: time.Now()} }
+func NewRealClock() *RealClock { return &RealClock{start: time.Now()} } //lint:allow simdet real-clock shim
 
 // Now returns the time since the clock was created.
-func (c *RealClock) Now() time.Duration { return time.Since(c.start) }
+func (c *RealClock) Now() time.Duration { return time.Since(c.start) } //lint:allow simdet real-clock shim
 
 // Schedule runs fn after d on a timer goroutine.
 func (c *RealClock) Schedule(d time.Duration, fn func()) (cancel func()) {
-	t := time.AfterFunc(d, fn)
+	t := time.AfterFunc(d, fn) //lint:allow simdet real-clock shim
 	return func() { t.Stop() }
 }
 

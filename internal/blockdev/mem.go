@@ -80,7 +80,7 @@ func (d *MemDevice) WriteAt(disk int, off, length int64, _ []byte, done func(err
 		complete()
 		return nil
 	}
-	time.AfterFunc(d.latency, complete)
+	time.AfterFunc(d.latency, complete) //lint:allow simdet real-time test device
 	return nil
 }
 
@@ -115,6 +115,6 @@ func (d *MemDevice) ReadAt(disk int, off, length int64, done func([]byte, error)
 		complete()
 		return nil
 	}
-	time.AfterFunc(d.latency, complete)
+	time.AfterFunc(d.latency, complete) //lint:allow simdet real-time test device
 	return nil
 }

@@ -17,6 +17,7 @@ import (
 
 	"seqstream/internal/bus"
 	"seqstream/internal/disk"
+	"seqstream/internal/invariants"
 	"seqstream/internal/sim"
 )
 
@@ -273,6 +274,9 @@ func (c *Controller) dispatchDisk(diskID int) {
 	if depth <= 0 {
 		depth = 2
 	}
+	if invariants.Enabled {
+		defer c.checkInvariants(diskID, depth)
+	}
 	for c.active[diskID] < depth && len(c.pending[diskID]) > 0 {
 		job := c.pending[diskID][0]
 		c.pending[diskID] = c.pending[diskID][1:]
@@ -304,6 +308,32 @@ func (c *Controller) dispatchDisk(diskID int) {
 			}
 			c.finishJob(job, false)
 		}
+	}
+}
+
+// checkInvariants asserts the per-drive queue invariants when the
+// `invariants` build tag is on: the outstanding count respects the
+// queue depth, queued fetches belong to the drive's FIFO, and every
+// queued fetch's in-flight record is registered (so coalescing finds
+// it). It runs on the engine loop.
+func (c *Controller) checkInvariants(diskID, depth int) {
+	invariants.Check(c.active[diskID] >= 0 && c.active[diskID] <= depth,
+		"drive %d has %d outstanding fetches, queue depth is %d", diskID, c.active[diskID], depth)
+	invariants.Check(c.active[diskID] == depth || len(c.pending[diskID]) == 0,
+		"drive %d idles %d queue slots with %d fetches waiting",
+		diskID, depth-c.active[diskID], len(c.pending[diskID]))
+	for _, job := range c.pending[diskID] {
+		invariants.Check(job.diskID == diskID,
+			"fetch for drive %d queued on drive %d", job.diskID, diskID)
+		registered := job.write // zero-width write records never coalesce
+		for _, fl := range c.inflight {
+			if fl == job.fl {
+				registered = true
+				break
+			}
+		}
+		invariants.Check(registered, "queued fetch [%d,%d) on drive %d has no in-flight record",
+			job.off, job.off+job.fetch, diskID)
 	}
 }
 

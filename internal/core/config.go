@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"time"
 
+	"seqstream/internal/invariants"
 	"seqstream/internal/trace"
 )
 
@@ -137,6 +138,10 @@ func DeriveDispatch(memory, readAhead int64, n int) int {
 	if d < 1 {
 		d = 1
 	}
+	// §4.3: a derived dispatch set must satisfy M ≥ D·R·N (D = 1 is
+	// the floor even when memory cannot hold one full residency).
+	invariants.Check(d == 1 || d*readAhead*int64(n) <= memory,
+		"derived D=%d violates M >= D*R*N (M=%d R=%d N=%d)", d, memory, readAhead, n)
 	return int(d)
 }
 

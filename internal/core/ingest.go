@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"seqstream/internal/blockdev"
+	"seqstream/internal/invariants"
 )
 
 // IngestConfig parameterizes the write-once ingest path: the mirror
@@ -222,12 +223,38 @@ func (g *Ingest) Write(disk int, off int64, data []byte, length int64, done func
 		}
 	}
 	g.armGC()
+	g.checkInvariants()
 	g.mu.Unlock()
 	g.flushIO()
 	if done != nil && !g.cfg.AckOnFlush {
 		done(nil) // write-behind acknowledgement
 	}
 	return nil
+}
+
+// checkInvariants asserts the coalescer's accounting invariants when
+// the `invariants` build tag is on. The memory bound itself is soft
+// here (forceFlush cannot reclaim chunks already in flight), so the
+// hard invariants are the accounting ones. Caller holds the lock.
+func (g *Ingest) checkInvariants() {
+	if !invariants.Enabled {
+		return
+	}
+	invariants.Check(g.memUsed >= 0, "staged ingest memory went negative: %d", g.memUsed)
+	invariants.Check(g.inFlight >= 0, "in-flight ingest writes went negative: %d", g.inFlight)
+	var open int64
+	for key, st := range g.byNext {
+		if st.chunk != nil {
+			open += st.chunk.filled
+			invariants.Check(st.chunk.filled <= g.cfg.ChunkSize,
+				"open chunk holds %d bytes, chunk size is %d", st.chunk.filled, g.cfg.ChunkSize)
+		}
+		invariants.Check(key.disk == st.disk && key.off == st.next,
+			"ingest stream indexed under (disk=%d, off=%d) but expects (disk=%d, off=%d)",
+			key.disk, key.off, st.disk, st.next)
+	}
+	invariants.Check(open == g.memUsed,
+		"open chunks hold %d bytes but accounting says %d", open, g.memUsed)
 }
 
 // directWrite passes a large write straight to the device. Caller
@@ -371,6 +398,7 @@ func (g *Ingest) gcTick() {
 		delete(g.byNext, key)
 	}
 	g.armGC()
+	g.checkInvariants()
 	g.mu.Unlock()
 	g.flushIO()
 }

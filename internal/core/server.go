@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"seqstream/internal/blockdev"
+	"seqstream/internal/invariants"
 	"seqstream/internal/trace"
 )
 
@@ -501,6 +502,9 @@ func (s *Server) enqueueCandidate(st *stream) {
 // pump admits candidates into the dispatch set while D and M allow
 // (§4.2). Caller holds the lock.
 func (s *Server) pump() {
+	if invariants.Enabled {
+		defer s.checkInvariants()
+	}
 	for s.dispatched < s.cfg.DispatchSize && len(s.candidates) > 0 {
 		if s.memUsed+s.cfg.ReadAhead > s.cfg.Memory {
 			// Under memory pressure, reclaim the least-recently-used
@@ -562,6 +566,62 @@ func (s *Server) pump() {
 		s.dispatched++
 		s.perDisk[st.disk]++
 		s.issueFetch(st)
+	}
+}
+
+// checkInvariants asserts the scheduler's state invariants when the
+// `invariants` build tag is on (no-op otherwise): the §4.2 dispatch
+// bound D, the §4.3 memory bound M (the runtime face of M ≥ D·R·N),
+// and the consistency of the accounting the two bounds rely on. It is
+// called from the dispatch path (pump), the completion path
+// (onFetchDone), and the GC tick. Caller holds the lock.
+func (s *Server) checkInvariants() {
+	if !invariants.Enabled {
+		return
+	}
+	invariants.Check(s.memUsed >= 0, "staged memory went negative: %d", s.memUsed)
+	invariants.Check(s.memUsed <= s.cfg.Memory,
+		"staged bytes %d exceed the memory bound M=%d (D=%d R=%d N=%d)",
+		s.memUsed, s.cfg.Memory, s.cfg.DispatchSize, s.cfg.ReadAhead, s.cfg.RequestsPerStream)
+	invariants.Check(s.dispatched >= 0 && s.dispatched <= s.cfg.DispatchSize,
+		"dispatch set holds %d streams, bound D=%d", s.dispatched, s.cfg.DispatchSize)
+	invariants.Check(s.bufCount >= 0, "live buffer count went negative: %d", s.bufCount)
+
+	perDisk := 0
+	for _, n := range s.perDisk {
+		perDisk += n
+	}
+	invariants.Check(perDisk == s.dispatched,
+		"per-disk dispatch counts sum to %d, dispatch set holds %d", perDisk, s.dispatched)
+
+	var staged int64
+	nbuf := 0
+	ndispatched := 0
+	for _, st := range s.streams {
+		for _, b := range st.buffers {
+			staged += b.size()
+			nbuf++
+		}
+		if st.dispatched {
+			ndispatched++
+		}
+		invariants.Check(!(st.dispatched && st.queued),
+			"stream %d is both dispatched and queued as a candidate", st.id)
+		invariants.Check(st.issuedInResidency <= s.cfg.RequestsPerStream,
+			"stream %d issued %d fetches in one residency, bound N=%d",
+			st.id, st.issuedInResidency, s.cfg.RequestsPerStream)
+	}
+	invariants.Check(staged == s.memUsed,
+		"buffers hold %d bytes but accounting says %d", staged, s.memUsed)
+	invariants.Check(nbuf == s.bufCount,
+		"%d live buffers but accounting says %d", nbuf, s.bufCount)
+	invariants.Check(ndispatched == s.dispatched,
+		"%d streams marked dispatched but dispatch counter says %d", ndispatched, s.dispatched)
+
+	for key, st := range s.byExpected {
+		invariants.Check(key.disk == st.disk && key.off == st.nextClient,
+			"stream %d indexed under (disk=%d, off=%d) but expects (disk=%d, off=%d)",
+			st.id, key.disk, key.off, st.disk, st.nextClient)
 	}
 }
 
@@ -684,6 +744,7 @@ func (s *Server) onFetchDone(st *stream, b *buffer, data []byte, derr error) {
 		st.queue, failed = splitCovered(st.queue, b)
 		s.freeBuffer(st, b, false)
 		s.rotateOut(st)
+		s.checkInvariants()
 		s.mu.Unlock()
 		for _, p := range failed {
 			s.complete(p.done, Response{Start: p.start, Err: derr})
@@ -706,6 +767,7 @@ func (s *Server) onFetchDone(st *stream, b *buffer, data []byte, derr error) {
 	// Completion path: serve queued requests now covered by staged
 	// data, in order.
 	s.drainQueue(st, now)
+	s.checkInvariants()
 	s.mu.Unlock()
 	s.flushIO()
 }
@@ -857,6 +919,7 @@ func (s *Server) gcTick() {
 	s.stats.RegionsGCed += int64(s.cls.gc(now - s.cfg.StreamTimeout))
 	s.pump()
 	s.armGC()
+	s.checkInvariants()
 	s.mu.Unlock()
 	s.flushIO()
 }

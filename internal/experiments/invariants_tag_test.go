@@ -1,0 +1,33 @@
+//go:build invariants
+
+package experiments
+
+import (
+	"testing"
+
+	"seqstream/internal/invariants"
+)
+
+// TestRegistryUnderInvariants runs every registered experiment at
+// Quick scale with the runtime invariant layer compiled in. Any
+// scheduler-state violation (memory accounting, dispatch bounds,
+// queue-depth overrun) panics inside the run and fails the subtest.
+// This is the tier-2 CI job: go test -tags invariants ./internal/experiments/...
+func TestRegistryUnderInvariants(t *testing.T) {
+	if !invariants.Enabled {
+		t.Fatal("test compiled without the invariants build tag")
+	}
+	for _, e := range List() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			res, err := e.Run(Quick())
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(res.Rows) == 0 {
+				t.Fatalf("%s: empty result", e.ID)
+			}
+		})
+	}
+}

@@ -1,0 +1,31 @@
+//go:build invariants
+
+// Package invariants provides assertion helpers compiled in under the
+// `invariants` build tag and compiled away without it. The scheduler
+// and controller assert their state invariants (the §4.2 dispatch
+// bound, the §4.3 memory bound M ≥ D·R·N, accounting consistency) on
+// their hot paths; a violated invariant panics immediately instead of
+// surfacing later as a wrong figure.
+//
+// Call sites guard non-trivial checks with Enabled so a release build
+// pays nothing:
+//
+//	if invariants.Enabled {
+//		invariants.Check(s.memUsed <= s.cfg.Memory, "staged %d > M=%d", s.memUsed, s.cfg.Memory)
+//	}
+//
+// CI runs `go test -tags invariants ./internal/experiments/...` so the
+// full experiment registry executes with every check live.
+package invariants
+
+import "fmt"
+
+// Enabled reports whether invariant checking is compiled in.
+const Enabled = true
+
+// Check panics with the formatted message when cond is false.
+func Check(cond bool, format string, args ...any) {
+	if !cond {
+		panic("invariant violated: " + fmt.Sprintf(format, args...))
+	}
+}

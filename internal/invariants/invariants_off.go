@@ -1,0 +1,10 @@
+//go:build !invariants
+
+package invariants
+
+// Enabled reports whether invariant checking is compiled in.
+const Enabled = false
+
+// Check is a no-op without the invariants build tag. Guard calls with
+// Enabled so argument evaluation is eliminated too.
+func Check(cond bool, format string, args ...any) {}

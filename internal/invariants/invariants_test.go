@@ -1,0 +1,27 @@
+package invariants
+
+import "testing"
+
+// TestCheck adapts to the build tag: with `invariants` a false
+// condition panics with the formatted message; without it Check is a
+// no-op. Both modes are exercised in CI (plain and -tags invariants).
+func TestCheck(t *testing.T) {
+	Check(true, "never fires")
+
+	defer func() {
+		r := recover()
+		if Enabled && r == nil {
+			t.Fatal("Check(false) did not panic with invariants enabled")
+		}
+		if !Enabled && r != nil {
+			t.Fatalf("Check(false) panicked with invariants disabled: %v", r)
+		}
+		if Enabled {
+			msg, ok := r.(string)
+			if !ok || msg != "invariant violated: staged 3 > M=2" {
+				t.Fatalf("panic message = %v", r)
+			}
+		}
+	}()
+	Check(false, "staged %d > M=%d", 3, 2)
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"seqstream/internal/blockdev"
 	"seqstream/internal/metrics"
 )
 
@@ -18,14 +19,14 @@ import (
 // response, never exceeding the maximum number of outstanding I/Os",
 // keeping a handle for each pending request.
 type Client struct {
-	conn net.Conn
-	rec  *metrics.Recorder
+	conn  net.Conn
+	rec   *metrics.Recorder
+	clock blockdev.Clock
 
 	mu      sync.Mutex
 	nextID  uint64
 	pending map[uint64]pendingHandle
 	closed  bool
-	start   time.Time
 
 	readerDone chan struct{}
 	readerErr  error
@@ -38,8 +39,17 @@ type pendingHandle struct {
 	done   func(Response, time.Duration)
 }
 
-// Dial connects to a storage node.
+// Dial connects to a storage node, timestamping requests with the
+// wall clock.
 func Dial(addr string) (*Client, error) {
+	return DialClock(addr, blockdev.NewRealClock())
+}
+
+// DialClock connects to a storage node with an injected clock, so
+// tests (and simulated deployments) control the latency measurements
+// instead of the wall clock. The clock must be safe for concurrent
+// use: the read loop queries it from its own goroutine.
+func DialClock(addr string, clock blockdev.Clock) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("netserve: %w", err)
@@ -47,8 +57,8 @@ func Dial(addr string) (*Client, error) {
 	c := &Client{
 		conn:       conn,
 		rec:        metrics.NewRecorder(),
+		clock:      clock,
 		pending:    make(map[uint64]pendingHandle),
-		start:      time.Now(),
 		readerDone: make(chan struct{}),
 	}
 	go c.readLoop()
@@ -86,7 +96,7 @@ func (c *Client) Go(stream int, disk uint16, off, length int64, flags uint16,
 	c.pending[id] = pendingHandle{
 		stream: stream,
 		length: length,
-		sent:   time.Since(c.start),
+		sent:   c.clock.Now(),
 		done:   done,
 	}
 	c.mu.Unlock()
@@ -131,7 +141,7 @@ func (c *Client) readLoop() {
 			c.mu.Unlock()
 			return
 		}
-		now := time.Since(c.start)
+		now := c.clock.Now()
 		c.mu.Lock()
 		h, ok := c.pending[resp.ID]
 		if ok {

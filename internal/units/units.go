@@ -5,6 +5,7 @@ package units
 import (
 	"errors"
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -37,6 +38,9 @@ func ParseSize(s string) (int64, error) {
 	n, err := strconv.ParseInt(strings.TrimSpace(t), 10, 64)
 	if err != nil || n < 0 {
 		return 0, fmt.Errorf("%w: %q", ErrBadSize, s)
+	}
+	if n > math.MaxInt64/mult {
+		return 0, fmt.Errorf("%w: %q overflows int64", ErrBadSize, s)
 	}
 	return n * mult, nil
 }

@@ -26,6 +26,19 @@ func TestParseSize(t *testing.T) {
 		{"-5", 0, false},
 		{"12XiB", 0, false},
 		{"KiB", 0, false},
+		{"G", 0, false},
+		{"  ", 0, false},
+		{"8 MiB", 8 << 20, true},
+		{"\t1GiB\n", 1 << 30, true},
+		// Overflow: 2^63-1 bytes is the ceiling; anything scaling past
+		// it must error instead of wrapping negative.
+		{"9223372036854775807", 1<<63 - 1, true},
+		{"9223372036854775808", 0, false},
+		{"9999999999G", 0, false},
+		{"8796093022208G", 0, false}, // 2^43 * 2^30 == 2^73
+		{"8589934592GiB", 0, false},
+		{"9007199254740992M", 0, false},
+		{"8388607G", (1<<23 - 1) << 30, true}, // largest whole-G value
 	}
 	for _, tt := range tests {
 		got, err := ParseSize(tt.in)
