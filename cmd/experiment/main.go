@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"seqstream/internal/experiments"
+	"seqstream/internal/obs"
 )
 
 func main() {
@@ -36,6 +37,7 @@ func run(args []string) error {
 		measure = fs.Duration("measure", 0, "override measurement window")
 		seed    = fs.Uint64("seed", 1, "simulation seed")
 		csvDir  = fs.String("csv", "", "also write <dir>/<id>.csv per experiment")
+		metrics = fs.String("metrics", "", "emit a Prometheus-text registry snapshot per experiment: '-' for stdout, else <dir>/<id>.prom")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,6 +77,12 @@ func run(args []string) error {
 	}
 
 	for _, e := range entries {
+		// Each experiment gets a fresh registry so its snapshot is not
+		// polluted by earlier figures; cells within one experiment
+		// share it (the counters accumulate, as on a live node).
+		if *metrics != "" {
+			opts.Registry = obs.NewRegistry()
+		}
 		started := time.Now()
 		res, err := e.Run(opts)
 		if err != nil {
@@ -87,8 +95,31 @@ func run(args []string) error {
 				return err
 			}
 		}
+		if *metrics != "" {
+			if err := writeMetrics(*metrics, res.ID, opts.Registry); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
+}
+
+// writeMetrics dumps one experiment's registry snapshot: to stdout for
+// dest "-", else to <dest>/<id>.prom.
+func writeMetrics(dest, id string, reg *obs.Registry) error {
+	if dest == "-" {
+		fmt.Printf("# registry snapshot: %s\n", id)
+		return reg.WritePrometheus(os.Stdout)
+	}
+	if err := os.MkdirAll(dest, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dest, id+".prom"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return reg.WritePrometheus(f)
 }
 
 func writeCSV(dir string, res experiments.Result) error {

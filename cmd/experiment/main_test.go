@@ -1,6 +1,9 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 )
@@ -38,4 +41,29 @@ func TestRunOneFigureQuick(t *testing.T) {
 		t.Fatalf("run fig06: %v", err)
 	}
 	_ = time.Second
+}
+
+func TestRunWritesMetricsSnapshot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run")
+	}
+	dir := t.TempDir()
+	err := run([]string{"-fig", "fig10", "-warmup", "500ms", "-measure", "1s", "-metrics", dir})
+	if err != nil {
+		t.Fatalf("run fig10: %v", err)
+	}
+	body, err := os.ReadFile(filepath.Join(dir, "fig10.prom"))
+	if err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+	out := string(body)
+	for _, family := range []string{
+		"seqstream_core_requests_total",
+		"seqstream_controller_requests_total",
+		"seqstream_sim_processed_events_total",
+	} {
+		if !strings.Contains(out, family) {
+			t.Errorf("snapshot missing %q", family)
+		}
+	}
 }

@@ -6,6 +6,7 @@
 //
 //	streamnode -listen 127.0.0.1:7070 -disks 2 -capacity 4GiB
 //	streamnode -listen 127.0.0.1:7070 -files disk0.img,disk1.img
+//	streamnode -debug-addr 127.0.0.1:7071   # /metrics, /debug/vars, /debug/pprof
 package main
 
 import (
@@ -18,8 +19,10 @@ import (
 	"time"
 
 	"seqstream/internal/blockdev"
+	"seqstream/internal/controller"
 	"seqstream/internal/core"
 	"seqstream/internal/netserve"
+	"seqstream/internal/obs"
 	"seqstream/internal/units"
 )
 
@@ -35,10 +38,16 @@ type node struct {
 	srv     *netserve.Server
 	core    *core.Server
 	ingest  *core.Ingest
+	reg     *obs.Registry
+	spans   *obs.SpanLog
+	debug   *obs.DebugServer
 	closers []func()
 }
 
 func (n *node) Close() {
+	if n.debug != nil {
+		n.debug.Close()
+	}
 	n.srv.Close()
 	if n.ingest != nil {
 		n.ingest.Close()
@@ -52,17 +61,19 @@ func (n *node) Close() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("streamnode", flag.ContinueOnError)
 	var (
-		listen   = fs.String("listen", "127.0.0.1:7070", "listen address")
-		disks    = fs.Int("disks", 1, "number of in-memory disks (ignored with -files)")
-		capacity = fs.String("capacity", "4GiB", "per-disk capacity for in-memory disks")
-		latency  = fs.Duration("latency", 5*time.Millisecond, "simulated per-read latency for in-memory disks")
-		files    = fs.String("files", "", "comma-separated file paths to serve instead of memory disks")
-		memory   = fs.String("memory", "256MiB", "staging memory (M)")
-		ra       = fs.String("readahead", "1MiB", "read-ahead per disk request (R)")
-		n        = fs.Int("requests-per-stream", 1, "disk requests per dispatch residency (N)")
-		d        = fs.Int("dispatch", 0, "dispatch set size (D); 0 derives M/(R*N)")
-		ingest   = fs.Bool("ingest", false, "accept FlagWrite requests through the write-once coalescer")
-		chunk    = fs.String("chunk", "1MiB", "ingest chunk size (with -ingest)")
+		listen    = fs.String("listen", "127.0.0.1:7070", "listen address")
+		disks     = fs.Int("disks", 1, "number of in-memory disks (ignored with -files)")
+		capacity  = fs.String("capacity", "4GiB", "per-disk capacity for in-memory disks")
+		latency   = fs.Duration("latency", 5*time.Millisecond, "simulated per-read latency for in-memory disks")
+		files     = fs.String("files", "", "comma-separated file paths to serve instead of memory disks")
+		memory    = fs.String("memory", "256MiB", "staging memory (M)")
+		ra        = fs.String("readahead", "1MiB", "read-ahead per disk request (R)")
+		n         = fs.Int("requests-per-stream", 1, "disk requests per dispatch residency (N)")
+		d         = fs.Int("dispatch", 0, "dispatch set size (D); 0 derives M/(R*N)")
+		ingest    = fs.Bool("ingest", false, "accept FlagWrite requests through the write-once coalescer")
+		chunk     = fs.String("chunk", "1MiB", "ingest chunk size (with -ingest)")
+		debugAddr = fs.String("debug-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (empty disables)")
+		statsIvl  = fs.Duration("stats-interval", 0, "log a one-line metric summary this often (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,7 +82,7 @@ func run(args []string) error {
 	nd, err := build(buildParams{
 		listen: *listen, disks: *disks, capacity: *capacity, latency: *latency,
 		files: *files, memory: *memory, ra: *ra, n: *n, d: *d,
-		ingest: *ingest, chunk: *chunk,
+		ingest: *ingest, chunk: *chunk, debugAddr: *debugAddr,
 	})
 	if err != nil {
 		return err
@@ -81,9 +92,23 @@ func run(args []string) error {
 	cfg := nd.core.Config()
 	fmt.Printf("streamnode listening on %s (D=%d R=%d N=%d M=%d ingest=%v)\n",
 		nd.srv.Addr(), cfg.DispatchSize, cfg.ReadAhead, cfg.RequestsPerStream, cfg.Memory, nd.ingest != nil)
+	if nd.debug != nil {
+		fmt.Printf("debug endpoints on http://%s/ (metrics, vars, pprof)\n", nd.debug.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	if *statsIvl > 0 {
+		ticker := time.NewTicker(*statsIvl)
+		defer ticker.Stop()
+		go func() {
+			for range ticker.C {
+				fmt.Println(statsLine(nd))
+			}
+		}()
+	}
+
 	<-sig
 	st := nd.core.Stats()
 	fmt.Printf("shutting down: requests=%d streams=%d fetched=%dMB delivered=%dMB hits=%d\n",
@@ -92,23 +117,37 @@ func run(args []string) error {
 	return nil
 }
 
-// buildParams carries the parsed flags.
-type buildParams struct {
-	listen   string
-	disks    int
-	capacity string
-	latency  time.Duration
-	files    string
-	memory   string
-	ra       string
-	n        int
-	d        int
-	ingest   bool
-	chunk    string
+// statsLine formats the periodic -stats-interval summary from one
+// consistent scheduler snapshot plus the wire-level counters.
+func statsLine(nd *node) string {
+	snap := nd.core.Snapshot()
+	ns := nd.srv.Stats()
+	return fmt.Sprintf(
+		"stats: requests=%d hits=%d direct=%d streams=%d/%d dispatched=%d queue=%d mem=%dMiB conns=%d errors=%d",
+		snap.Stats.Requests, snap.Stats.BufferHits+snap.Stats.QueuedServed,
+		snap.Stats.DirectReads, snap.ActiveStreams, snap.Stats.StreamsDetected,
+		snap.DispatchedStreams, snap.CandidateQueue, snap.Stats.MemoryInUse>>20,
+		ns.Conns, ns.Errors)
 }
 
-// build assembles the device, scheduler, optional ingest, and TCP
-// server.
+// buildParams carries the parsed flags.
+type buildParams struct {
+	listen    string
+	disks     int
+	capacity  string
+	latency   time.Duration
+	files     string
+	memory    string
+	ra        string
+	n         int
+	d         int
+	ingest    bool
+	chunk     string
+	debugAddr string
+}
+
+// build assembles the device, scheduler, optional ingest, the TCP
+// server, and (with debugAddr) the instrumented debug listener.
 func build(p buildParams) (*node, error) {
 	out := &node{}
 	var dev blockdev.Device
@@ -139,14 +178,28 @@ func build(p buildParams) (*node, error) {
 	if err != nil {
 		return nil, err
 	}
+	clock := blockdev.NewRealClock()
+
+	// One registry feeds every layer. The controller families are
+	// registered too so real-device and simulated nodes expose the same
+	// metric vocabulary; here they read zero (no simulated controller).
+	out.reg = obs.NewRegistry()
+	controller.NewObs(out.reg)
+	spans, err := obs.NewSpanLog(clock.Now, 4096)
+	if err != nil {
+		return nil, err
+	}
+	out.spans = spans
+
 	cfg := core.Config{
 		DispatchSize:      p.d,
 		ReadAhead:         raBytes,
 		RequestsPerStream: p.n,
 		Memory:            mem,
+		Obs:               core.NewObs(out.reg, spans),
 	}
 	cfg.ApplyDefaults()
-	coreSrv, err := core.NewServer(dev, blockdev.NewRealClock(), cfg)
+	coreSrv, err := core.NewServer(dev, clock, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -157,6 +210,7 @@ func build(p buildParams) (*node, error) {
 		coreSrv.Close()
 		return nil, err
 	}
+	srv.SetObs(netserve.NewObs(out.reg))
 	out.srv = srv
 
 	if p.ingest {
@@ -165,7 +219,7 @@ func build(p buildParams) (*node, error) {
 			out.Close()
 			return nil, err
 		}
-		ing, err := core.NewIngest(dev, blockdev.NewRealClock(), core.IngestConfig{
+		ing, err := core.NewIngest(dev, clock, core.IngestConfig{
 			ChunkSize: chunkBytes,
 			Memory:    mem,
 		})
@@ -175,6 +229,21 @@ func build(p buildParams) (*node, error) {
 		}
 		out.ingest = ing
 		srv.EnableWrites(ing)
+	}
+
+	if p.debugAddr != "" {
+		handler := obs.Handler(out.reg, map[string]obs.VarFunc{
+			"core":     func() any { return out.core.Snapshot() },
+			"netserve": func() any { return out.srv.Stats() },
+			"config":   func() any { return out.core.Config() },
+			"spans":    func() any { return spans.Snapshot() },
+		})
+		dbg, err := obs.Serve(p.debugAddr, handler)
+		if err != nil {
+			out.Close()
+			return nil, err
+		}
+		out.debug = dbg
 	}
 	return out, nil
 }

@@ -1,6 +1,10 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
 	"testing"
 	"time"
 
@@ -31,6 +35,91 @@ func TestBuildAndServe(t *testing.T) {
 	}
 	if nd.core.Stats().Requests != 64 {
 		t.Errorf("node requests = %d", nd.core.Stats().Requests)
+	}
+}
+
+// fetch GETs a debug endpoint and returns the body.
+func fetch(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+func TestDebugEndpoints(t *testing.T) {
+	p := testParams()
+	p.debugAddr = "127.0.0.1:0"
+	nd, err := build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Close()
+	client, err := netserve.Dial(nd.srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if err := client.RunStreams(0, 256<<20, 4, 16, 64<<10, 0); err != nil {
+		t.Fatalf("RunStreams: %v", err)
+	}
+
+	base := "http://" + nd.debug.Addr()
+	metrics := fetch(t, base+"/metrics")
+	for _, family := range []string{
+		// The acceptance contract: core, controller, and netserve
+		// families are all present on one real-device node.
+		"seqstream_core_dispatched_streams",
+		"seqstream_core_buffer_hits_total",
+		"seqstream_core_memory_in_use_bytes",
+		"seqstream_controller_queue_depth",
+		"seqstream_netserve_request_latency_seconds_bucket",
+		"# TYPE seqstream_core_requests_total counter",
+	} {
+		if !strings.Contains(metrics, family) {
+			t.Errorf("/metrics missing %q", family)
+		}
+	}
+
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(fetch(t, base+"/debug/vars")), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	for _, key := range []string{"metrics", "core", "netserve", "config", "spans"} {
+		if _, ok := vars[key]; !ok {
+			t.Errorf("/debug/vars missing %q", key)
+		}
+	}
+
+	if body := fetch(t, base+"/debug/pprof/cmdline"); body == "" {
+		t.Error("/debug/pprof/cmdline empty")
+	}
+	if idx := fetch(t, base+"/"); !strings.Contains(idx, "/metrics") {
+		t.Errorf("index does not list endpoints: %q", idx)
+	}
+}
+
+func TestStatsLine(t *testing.T) {
+	p := testParams()
+	nd, err := build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Close()
+	line := statsLine(nd)
+	for _, field := range []string{"requests=", "dispatched=", "queue=", "mem=", "conns="} {
+		if !strings.Contains(line, field) {
+			t.Errorf("stats line missing %q: %s", field, line)
+		}
 	}
 }
 

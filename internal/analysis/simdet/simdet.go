@@ -25,6 +25,10 @@ var GatedPackages = []string{
 	"seqstream/internal/geom",
 	"seqstream/internal/workload",
 	"seqstream/internal/blockdev",
+	// obs is deliberately clock-free (SpanLog takes an injected `now`
+	// func), so simulation code can instrument without breaking
+	// determinism; gate it to keep it that way.
+	"seqstream/internal/obs",
 }
 
 // forbiddenCalls maps import path -> function name -> the suggested

@@ -147,6 +147,7 @@ type Controller struct {
 	pending  [][]*fetchJob // per-disk FIFO of waiting fetches
 	active   []int         // per-disk outstanding fetches
 	stats    Stats
+	obs      *Obs
 }
 
 // New constructs a controller over the given drives. The host link is
@@ -210,6 +211,9 @@ func (c *Controller) Submit(diskID int, off, n int64, done func(Result)) error {
 
 	finish := func(res Result) {
 		c.stats.BytesHost += n
+		if c.obs != nil {
+			c.obs.hostBytes.Add(n)
+		}
 		c.link.Transfer(n, func() {
 			res.End = c.eng.Now()
 			if done != nil {
@@ -220,6 +224,13 @@ func (c *Controller) Submit(diskID int, off, n int64, done func(Result)) error {
 
 	if c.lookupExtent(diskID, off, n) {
 		c.stats.CacheHits++
+		if c.obs != nil {
+			// The metric counter is monotone, so it is bumped only on
+			// paths that accept the request (the range-check failure
+			// below un-counts stats.Requests).
+			c.obs.requests.Inc()
+			c.obs.cacheHits.Inc()
+		}
 		c.eng.Schedule(c.cfg.Overhead, func() {
 			finish(Result{Start: start, ControllerHit: true})
 		})
@@ -230,6 +241,10 @@ func (c *Controller) Submit(diskID int, off, n int64, done func(Result)) error {
 	// completes from controller memory when the fetch lands.
 	if fl := c.lookupInflight(diskID, off, n); fl != nil {
 		c.stats.Coalesced++
+		if c.obs != nil {
+			c.obs.requests.Inc()
+			c.obs.coalesced.Inc()
+		}
 		fl.waiters = append(fl.waiters, waiter{length: n, start: start, done: done})
 		return nil
 	}
@@ -240,6 +255,10 @@ func (c *Controller) Submit(diskID int, off, n int64, done func(Result)) error {
 		return fmt.Errorf("controller: %w: off=%d len=%d cap=%d", disk.ErrOutOfRange, off, n, d.Capacity())
 	}
 	c.stats.Misses++
+	if c.obs != nil {
+		c.obs.requests.Inc()
+		c.obs.misses.Inc()
+	}
 	fetch := n
 	if c.cfg.ReadAhead > fetch {
 		fetch = c.cfg.ReadAhead
@@ -248,6 +267,9 @@ func (c *Controller) Submit(diskID int, off, n int64, done func(Result)) error {
 		fetch = rem
 	}
 	c.stats.BytesDisks += fetch
+	if c.obs != nil {
+		c.obs.diskBytes.Add(fetch)
+	}
 	job := &fetchJob{diskID: diskID, off: off, n: n, fetch: fetch, start: start, done: done}
 	if fetch > n && len(c.extents) > 0 {
 		// Blind prefetch: the extent is reserved when the request
@@ -277,6 +299,10 @@ func (c *Controller) dispatchDisk(diskID int) {
 	if invariants.Enabled {
 		defer c.checkInvariants(diskID, depth)
 	}
+	// Every queue mutation funnels through here (submission, write
+	// transfer, fetch completion), so syncing on exit keeps the gauges
+	// current without instrumenting each site.
+	defer c.syncQueueGauges()
 	for c.active[diskID] < depth && len(c.pending[diskID]) > 0 {
 		job := c.pending[diskID][0]
 		c.pending[diskID] = c.pending[diskID][1:]
@@ -350,6 +376,9 @@ func (c *Controller) finishJob(job *fetchJob, diskHit bool) {
 		return
 	}
 	c.stats.BytesHost += job.n
+	if c.obs != nil {
+		c.obs.hostBytes.Add(job.n)
+	}
 	c.link.Transfer(job.n, func() {
 		if job.done != nil {
 			job.done(Result{Start: job.start, End: c.eng.Now(), DiskHit: diskHit})
@@ -358,6 +387,9 @@ func (c *Controller) finishJob(job *fetchJob, diskHit bool) {
 	for _, w := range job.fl.waiters {
 		w := w
 		c.stats.BytesHost += w.length
+		if c.obs != nil {
+			c.obs.hostBytes.Add(w.length)
+		}
 		c.link.Transfer(w.length, func() {
 			if w.done != nil {
 				w.done(Result{Start: w.start, End: c.eng.Now(), ControllerHit: true, DiskHit: diskHit})
@@ -383,6 +415,12 @@ func (c *Controller) SubmitWrite(diskID int, off, n int64, done func(Result)) er
 	c.stats.Writes++
 	c.stats.BytesDisks += n
 	c.stats.BytesHost += n
+	if c.obs != nil {
+		c.obs.requests.Inc()
+		c.obs.writes.Inc()
+		c.obs.diskBytes.Add(n)
+		c.obs.hostBytes.Add(n)
+	}
 
 	// Stale extents covering the written range are dropped.
 	for i := range c.extents {

@@ -1,0 +1,59 @@
+package controller
+
+import "seqstream/internal/obs"
+
+// Obs mirrors the controller's Stats counters into a metric registry
+// and publishes two live gauges: the fetches waiting for a drive queue
+// slot and the fetches outstanding at the drives. All instruments are
+// atomic, so the registry may be scraped from outside the engine loop
+// while a simulation runs.
+type Obs struct {
+	requests  *obs.Counter
+	writes    *obs.Counter
+	cacheHits *obs.Counter
+	coalesced *obs.Counter
+	misses    *obs.Counter
+	hostBytes *obs.Counter
+	diskBytes *obs.Counter
+
+	queueDepth *obs.Gauge
+	inflight   *obs.Gauge
+}
+
+// NewObs registers the controller metric families on reg. Registration
+// is idempotent: repeated controllers over one registry (one per
+// experiment cell, say) share families. On a real-device node these
+// families exist but read zero — the simulated controller is the only
+// writer.
+func NewObs(reg *obs.Registry) *Obs {
+	return &Obs{
+		requests:  reg.Counter("seqstream_controller_requests_total", "requests accepted by the controller"),
+		writes:    reg.Counter("seqstream_controller_writes_total", "write requests accepted"),
+		cacheHits: reg.Counter("seqstream_controller_cache_hits_total", "requests served from a resident cache extent"),
+		coalesced: reg.Counter("seqstream_controller_coalesced_total", "requests absorbed by an in-flight fetch"),
+		misses:    reg.Counter("seqstream_controller_misses_total", "requests that initiated a drive fetch"),
+		hostBytes: reg.Counter("seqstream_controller_host_bytes_total", "bytes delivered over the host link"),
+		diskBytes: reg.Counter("seqstream_controller_disk_bytes_total", "bytes fetched from drives, including prefetch"),
+
+		queueDepth: reg.Gauge("seqstream_controller_queue_depth", "fetches waiting for a drive queue slot"),
+		inflight:   reg.Gauge("seqstream_controller_inflight_fetches", "fetches outstanding at the drives"),
+	}
+}
+
+// SetObs attaches instruments to the controller; nil detaches. Call
+// before the simulation starts (it is an engine-loop mutation).
+func (c *Controller) SetObs(o *Obs) { c.obs = o }
+
+// syncQueueGauges publishes the live queue state. Engine loop only.
+func (c *Controller) syncQueueGauges() {
+	if c.obs == nil {
+		return
+	}
+	pending, active := 0, 0
+	for i := range c.pending {
+		pending += len(c.pending[i])
+		active += c.active[i]
+	}
+	c.obs.queueDepth.Set(int64(pending))
+	c.obs.inflight.Set(int64(active))
+}

@@ -78,8 +78,13 @@ type Config struct {
 	NearSeqWindow int64
 
 	// Trace, when non-nil, records client completions, fetches, direct
-	// reads, and evictions for offline analysis.
+	// reads, evictions, rotations, and GC events for offline analysis.
 	Trace *trace.Tracer
+
+	// Obs, when non-nil, feeds the scheduler's metric families and
+	// (optionally) a stream-lifecycle span log. Build it with NewObs
+	// over a shared obs.Registry.
+	Obs *Obs
 }
 
 // DefaultConfig returns the §5 defaults for a node with the given

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"seqstream/internal/obs"
+	"seqstream/internal/trace"
+)
+
+// obsNode builds a simulated node with a registry, span log, and
+// tracer attached.
+func obsNode(t *testing.T, cfg Config) (*testNode, *obs.Registry, *obs.SpanLog) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	// The span log needs the node's clock, which newNode creates, so
+	// build the plain node first and swap in an instrumented server.
+	n := baseNode(t, cfg)
+	spans, err := obs.NewSpanLog(n.clock.Now, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild the server with instruments attached.
+	cfg.Obs = NewObs(reg, spans)
+	tr, err := trace.New(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Trace = tr
+	srv, err := NewServer(n.dev, n.clock, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.server.Close()
+	n.server = srv
+	t.Cleanup(srv.Close)
+	return n, reg, spans
+}
+
+func TestObsCountersMatchStats(t *testing.T) {
+	cfg := DefaultConfig(8<<20, 1<<20)
+	n, reg, _ := obsNode(t, cfg)
+	n.runStreams(t, 4, 32)
+
+	st := n.server.Stats()
+	vars := reg.Vars()
+	checks := map[string]int64{
+		"seqstream_core_requests_total":         st.Requests,
+		"seqstream_core_direct_reads_total":     st.DirectReads,
+		"seqstream_core_buffer_hits_total":      st.BufferHits,
+		"seqstream_core_queued_served_total":    st.QueuedServed,
+		"seqstream_core_streams_detected_total": st.StreamsDetected,
+		"seqstream_core_fetches_total":          st.Fetches,
+		"seqstream_core_fetched_bytes_total":    st.BytesFetched,
+		"seqstream_core_delivered_bytes_total":  st.BytesDelivered,
+		"seqstream_core_memory_in_use_bytes":    st.MemoryInUse,
+		"seqstream_core_live_buffers":           st.LiveBuffers,
+	}
+	for name, want := range checks {
+		if got := vars[name]; got != want {
+			t.Errorf("%s = %v, want %d (Stats)", name, got, want)
+		}
+	}
+	if st.StreamsDetected == 0 {
+		t.Fatal("workload detected no streams; instrumentation untested")
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, family := range []string{
+		"seqstream_core_dispatched_streams",
+		"seqstream_core_candidate_queue_depth",
+		"seqstream_core_request_latency_seconds_count",
+		"seqstream_core_fetch_latency_seconds_count",
+	} {
+		if !strings.Contains(out, family) {
+			t.Errorf("exposition missing family %s", family)
+		}
+	}
+}
+
+func TestObsSpansReconstructLifecycle(t *testing.T) {
+	cfg := DefaultConfig(8<<20, 1<<20)
+	n, _, spans := obsNode(t, cfg)
+	n.runStreams(t, 2, 16)
+
+	ids := spans.Streams()
+	if len(ids) == 0 {
+		t.Fatal("no stream spans recorded")
+	}
+	tl := spans.Timeline(ids[0])
+	seen := make(map[obs.Stage]bool)
+	for _, e := range tl {
+		seen[e.Stage] = true
+	}
+	for _, want := range []obs.Stage{obs.StageClassify, obs.StageEnqueue, obs.StageDispatch,
+		obs.StageFetch, obs.StageStaged, obs.StageDeliver} {
+		if !seen[want] {
+			t.Errorf("stream %d timeline missing stage %v (stages: %v)", ids[0], want, tl)
+		}
+	}
+	// The first event of a stream's life is its classification.
+	if tl[0].Stage != obs.StageClassify {
+		t.Errorf("first span = %v, want classify", tl[0].Stage)
+	}
+	// Timestamps are monotone in record order.
+	for i := 1; i < len(tl); i++ {
+		if tl[i].At < tl[i-1].At {
+			t.Fatalf("span timestamps regress at %d: %v -> %v", i, tl[i-1].At, tl[i].At)
+		}
+	}
+}
+
+func TestObsTraceCarriesStreamIDsAndRotation(t *testing.T) {
+	cfg := DefaultConfig(4<<20, 1<<20) // D=4: rotation under stream pressure
+	n, _, _ := obsNode(t, cfg)
+	n.runStreams(t, 8, 16)
+
+	sum := n.server.cfg.Trace.Summarize()
+	if sum.Rotates == 0 {
+		t.Error("no rotate events traced under stream pressure")
+	}
+	if sum.Streams == 0 {
+		t.Error("no stream ids on traced events")
+	}
+	var sawStreamFetch, sawNoStreamDirect bool
+	for _, e := range n.server.cfg.Trace.Snapshot() {
+		switch e.Kind {
+		case trace.KindFetch:
+			if e.Stream != trace.NoStream {
+				sawStreamFetch = true
+			}
+		case trace.KindDirect:
+			if e.Stream == trace.NoStream {
+				sawNoStreamDirect = true
+			}
+		}
+	}
+	if !sawStreamFetch {
+		t.Error("fetch events lack stream attribution")
+	}
+	if !sawNoStreamDirect {
+		t.Error("direct events should carry NoStream")
+	}
+}
+
+func TestObsGCEvents(t *testing.T) {
+	cfg := DefaultConfig(8<<20, 1<<20)
+	cfg.StreamTimeout = 10 * time.Millisecond
+	cfg.BufferTimeout = 10 * time.Millisecond
+	cfg.GCPeriod = 5 * time.Millisecond
+	n, reg, spans := obsNode(t, cfg)
+	n.runStreams(t, 2, 8)
+
+	// Let the GC collect the now-idle streams.
+	if err := n.eng.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := n.server.Stats()
+	if st.StreamsGCed+st.StreamsRetired == 0 {
+		t.Fatal("no streams collected or retired; GC path untested")
+	}
+	vars := reg.Vars()
+	if got := vars["seqstream_core_gc_ticks_total"]; got == int64(0) {
+		t.Error("gc ticks not counted")
+	}
+	if st.StreamsGCed > 0 {
+		if got := vars["seqstream_core_streams_gced_total"]; got != st.StreamsGCed {
+			t.Errorf("streams_gced = %v, want %d", got, st.StreamsGCed)
+		}
+		var sawGCSpan bool
+		for _, e := range spans.Snapshot() {
+			if e.Stage == obs.StageGC {
+				sawGCSpan = true
+			}
+		}
+		if !sawGCSpan {
+			t.Error("no GC span recorded")
+		}
+		if n.server.cfg.Trace.Summarize().GCs == 0 {
+			t.Error("no KindGC trace events")
+		}
+	}
+}
+
+func TestSnapshotConsistency(t *testing.T) {
+	cfg := DefaultConfig(8<<20, 1<<20)
+	n := baseNode(t, cfg)
+	n.runStreams(t, 4, 16)
+	snap := n.server.Snapshot()
+	if snap.Stats.Requests != n.server.Stats().Requests {
+		t.Error("snapshot counters disagree with Stats")
+	}
+	if snap.ActiveStreams != n.server.ActiveStreams() {
+		t.Error("snapshot gauge disagrees with ActiveStreams")
+	}
+	if snap.DispatchedStreams < 0 || snap.DispatchedStreams > cfg.DispatchSize {
+		t.Errorf("dispatched = %d outside [0, D]", snap.DispatchedStreams)
+	}
+}

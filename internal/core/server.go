@@ -8,6 +8,7 @@ import (
 
 	"seqstream/internal/blockdev"
 	"seqstream/internal/invariants"
+	"seqstream/internal/obs"
 	"seqstream/internal/trace"
 )
 
@@ -153,10 +154,39 @@ func (s *Server) Config() Config { return s.cfg }
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.statsLocked()
+}
+
+// statsLocked assembles the counter snapshot. Caller holds the lock.
+func (s *Server) statsLocked() Stats {
 	st := s.stats
 	st.MemoryInUse = s.memUsed
 	st.LiveBuffers = int64(s.bufCount)
 	return st
+}
+
+// Snapshot couples the counters with the scheduler gauges. Everything
+// is read under one lock acquisition, so the fields are mutually
+// consistent — polling Stats, ActiveStreams, and DispatchedStreams
+// separately can interleave with dispatch and observe states that
+// never coexisted.
+type Snapshot struct {
+	Stats             Stats
+	ActiveStreams     int
+	DispatchedStreams int
+	CandidateQueue    int
+}
+
+// Snapshot returns a mutually consistent view of counters and gauges.
+func (s *Server) Snapshot() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Snapshot{
+		Stats:             s.statsLocked(),
+		ActiveStreams:     len(s.streams),
+		DispatchedStreams: s.dispatched,
+		CandidateQueue:    len(s.candidates),
+	}
 }
 
 // ActiveStreams returns the number of classified streams.
@@ -253,12 +283,16 @@ func (s *Server) Submit(req Request) error {
 	}
 	now := s.clock.Now()
 	s.stats.Requests++
+	if o := s.cfg.Obs; o != nil {
+		o.requests.Inc()
+	}
 
 	// Stream path: the request continues a classified stream.
 	key := offKey{disk: req.Disk, off: req.Offset}
 	if st := s.byExpected[key]; st != nil {
 		s.acceptStreamRequest(st, req, now)
 		s.armGC()
+		s.syncGauges()
 		s.mu.Unlock()
 		s.flushIO()
 		return nil
@@ -271,6 +305,7 @@ func (s *Server) Submit(req Request) error {
 		if st := s.lookupNearSeq(req.Disk, req.Offset); st != nil {
 			s.acceptNearSeq(st, req, now)
 			s.armGC()
+			s.syncGauges()
 			s.mu.Unlock()
 			s.flushIO()
 			return nil
@@ -286,6 +321,7 @@ func (s *Server) Submit(req Request) error {
 	}
 	s.directRead(req, now)
 	s.armGC()
+	s.syncGauges()
 	s.mu.Unlock()
 	s.flushIO()
 	return nil
@@ -308,6 +344,9 @@ func (s *Server) acceptStreamRequest(st *stream, req Request, now time.Duration)
 		}
 		if b.ready {
 			s.stats.BufferHits++
+			if o := s.cfg.Obs; o != nil {
+				o.bufferHits.Inc()
+			}
 			s.serveFromBuffer(st, b, pendingReq{off: req.Offset, length: req.Length, start: now, done: req.Done}, now)
 			return
 		}
@@ -360,6 +399,9 @@ func (s *Server) lookupNearSeq(disk int, off int64) *stream {
 // and advances the stream. Caller holds the lock.
 func (s *Server) acceptNearSeq(st *stream, req Request, now time.Duration) {
 	s.stats.NearSeqAccepted++
+	if o := s.cfg.Obs; o != nil {
+		o.nearSeqAccepted.Inc()
+	}
 	if req.Offset+req.Length <= st.nextClient {
 		// Entirely behind the stream: a re-read. Serve staged data if
 		// it is still resident; otherwise go directly to the disk.
@@ -367,6 +409,9 @@ func (s *Server) acceptNearSeq(st *stream, req Request, now time.Duration) {
 		for _, b := range st.buffers {
 			if b.ready && b.covers(req.Offset, req.Length) {
 				s.stats.BufferHits++
+				if o := s.cfg.Obs; o != nil {
+					o.bufferHits.Inc()
+				}
 				s.serveFromBuffer(st, b,
 					pendingReq{off: req.Offset, length: req.Length, start: now, done: req.Done}, now)
 				return
@@ -420,7 +465,12 @@ func (s *Server) serveFromBuffer(st *stream, b *buffer, p pendingReq, now time.D
 	}
 	b.lastActive = now
 	s.stats.BytesDelivered += p.length
-	s.traceEvent(trace.Event{Kind: trace.KindClient, Disk: st.disk, Offset: p.off,
+	if o := s.cfg.Obs; o != nil {
+		o.bytesDelivered.Add(p.length)
+		o.requestLatency.Observe(now - p.start)
+		o.span(st.id, st.disk, obs.StageDeliver, p.off, p.length)
+	}
+	s.traceEvent(trace.Event{Kind: trace.KindClient, Stream: st.id, Disk: st.disk, Offset: p.off,
 		Length: p.length, Start: p.start, End: now, Hit: true})
 	s.completeFromMemory(p.length, p.done, Response{
 		Start:      p.start,
@@ -443,19 +493,26 @@ func (s *Server) serveFromBuffer(st *stream, b *buffer, p pendingReq, now time.D
 // device call itself is deferred to flushIO. Caller holds the lock.
 func (s *Server) directRead(req Request, now time.Duration) {
 	s.stats.DirectReads++
+	if o := s.cfg.Obs; o != nil {
+		o.directReads.Inc()
+	}
 	s.pendingIO = append(s.pendingIO, func() {
 		err := s.dev.ReadAt(req.Disk, req.Offset, req.Length, func(data []byte, derr error) {
 			s.mu.Lock()
 			s.stats.BytesDelivered += req.Length
 			end := s.clock.Now()
+			if o := s.cfg.Obs; o != nil {
+				o.bytesDelivered.Add(req.Length)
+				o.requestLatency.Observe(end - now)
+			}
 			errMsg := ""
 			if derr != nil {
 				errMsg = derr.Error()
 			}
-			s.traceEvent(trace.Event{Kind: trace.KindDirect, Disk: req.Disk, Offset: req.Offset,
-				Length: req.Length, Start: now, End: end, Err: errMsg})
-			s.traceEvent(trace.Event{Kind: trace.KindClient, Disk: req.Disk, Offset: req.Offset,
-				Length: req.Length, Start: now, End: end, Err: errMsg})
+			s.traceEvent(trace.Event{Kind: trace.KindDirect, Stream: trace.NoStream, Disk: req.Disk,
+				Offset: req.Offset, Length: req.Length, Start: now, End: end, Err: errMsg})
+			s.traceEvent(trace.Event{Kind: trace.KindClient, Stream: trace.NoStream, Disk: req.Disk,
+				Offset: req.Offset, Length: req.Length, Start: now, End: end, Err: errMsg})
 			s.mu.Unlock()
 			s.complete(req.Done, Response{Start: now, Data: data, Direct: true, Err: derr})
 		})
@@ -490,6 +547,10 @@ func (s *Server) createStream(req Request, now time.Duration) {
 	s.streams[st.id] = st
 	s.byExpected[key] = st
 	s.stats.StreamsDetected++
+	if o := s.cfg.Obs; o != nil {
+		o.streamsDetected.Inc()
+		o.span(st.id, st.disk, obs.StageClassify, req.Offset, req.Length)
+	}
 	s.enqueueCandidate(st)
 	s.pump()
 }
@@ -497,6 +558,7 @@ func (s *Server) createStream(req Request, now time.Duration) {
 func (s *Server) enqueueCandidate(st *stream) {
 	st.queued = true
 	s.candidates = append(s.candidates, st)
+	s.cfg.Obs.span(st.id, st.disk, obs.StageEnqueue, st.nextFetch, 0)
 }
 
 // pump admits candidates into the dispatch set while D and M allow
@@ -565,6 +627,7 @@ func (s *Server) pump() {
 		st.issuedInResidency = 0
 		s.dispatched++
 		s.perDisk[st.disk]++
+		s.cfg.Obs.span(st.id, st.disk, obs.StageDispatch, st.nextFetch, 0)
 		s.issueFetch(st)
 	}
 }
@@ -652,8 +715,12 @@ func (s *Server) evictIdleBuffer() bool {
 		return false
 	}
 	s.stats.BuffersEvicted++
-	s.traceEvent(trace.Event{Kind: trace.KindEvict, Disk: victim.disk, Offset: victim.start,
-		Length: victim.size(), Start: victim.issuedAt, End: now})
+	if o := s.cfg.Obs; o != nil {
+		o.buffersEvicted.Inc()
+		o.span(owner.id, victim.disk, obs.StageEvict, victim.start, victim.size())
+	}
+	s.traceEvent(trace.Event{Kind: trace.KindEvict, Stream: owner.id, Disk: victim.disk,
+		Offset: victim.start, Length: victim.size(), Start: victim.issuedAt, End: now})
 	s.freeBuffer(owner, victim, false)
 	// Unconsumed data was dropped; a later request for it rewinds the
 	// fetch pointer (acceptStreamRequest).
@@ -702,6 +769,11 @@ func (s *Server) issueFetch(st *stream) {
 	s.updateAccounting()
 	s.stats.Fetches++
 	s.stats.BytesFetched += flen
+	if o := s.cfg.Obs; o != nil {
+		o.fetches.Inc()
+		o.bytesFetched.Add(flen)
+		o.span(st.id, st.disk, obs.StageFetch, b.start, flen)
+	}
 
 	// The device call runs off-lock (flushIO). The stream cannot issue
 	// a second fetch meanwhile: fetchInFlight stays set until the
@@ -732,7 +804,11 @@ func (s *Server) onFetchDone(st *stream, b *buffer, data []byte, derr error) {
 	if derr != nil {
 		fetchErr = derr.Error()
 	}
-	s.traceEvent(trace.Event{Kind: trace.KindFetch, Disk: st.disk, Offset: b.start,
+	if o := s.cfg.Obs; o != nil {
+		o.fetchLatency.Observe(now - b.issuedAt)
+		o.span(st.id, st.disk, obs.StageStaged, b.start, b.size())
+	}
+	s.traceEvent(trace.Event{Kind: trace.KindFetch, Stream: st.id, Disk: st.disk, Offset: b.start,
 		Length: b.size(), Start: b.issuedAt, End: now, Err: fetchErr})
 	st.fetchInFlight = false
 	st.issuedInResidency++
@@ -745,6 +821,7 @@ func (s *Server) onFetchDone(st *stream, b *buffer, data []byte, derr error) {
 		s.freeBuffer(st, b, false)
 		s.rotateOut(st)
 		s.checkInvariants()
+		s.syncGauges()
 		s.mu.Unlock()
 		for _, p := range failed {
 			s.complete(p.done, Response{Start: p.start, Err: derr})
@@ -768,6 +845,7 @@ func (s *Server) onFetchDone(st *stream, b *buffer, data []byte, derr error) {
 	// data, in order.
 	s.drainQueue(st, now)
 	s.checkInvariants()
+	s.syncGauges()
 	s.mu.Unlock()
 	s.flushIO()
 }
@@ -789,6 +867,9 @@ func (s *Server) drainQueue(st *stream, now time.Duration) {
 		}
 		st.queue = st.queue[1:]
 		s.stats.QueuedServed++
+		if o := s.cfg.Obs; o != nil {
+			o.queuedServed.Inc()
+		}
 		s.serveFromBuffer(st, hit, p, now)
 	}
 }
@@ -815,6 +896,17 @@ func (s *Server) rotateOut(st *stream) {
 		if s.perDisk[st.disk] > 0 {
 			s.perDisk[st.disk]--
 		}
+		// Rotation is worth a timeline entry: dispatch-set churn is the
+		// §4.2 mechanism the paper's fairness argument rests on.
+		if s.cfg.Obs != nil || s.cfg.Trace != nil {
+			now := s.clock.Now()
+			if o := s.cfg.Obs; o != nil {
+				o.rotations.Inc()
+				o.span(st.id, st.disk, obs.StageRotate, st.nextFetch, 0)
+			}
+			s.traceEvent(trace.Event{Kind: trace.KindRotate, Stream: st.id, Disk: st.disk,
+				Offset: st.nextFetch, Start: now, End: now})
+		}
 	}
 	st.issuedInResidency = 0
 	if !st.queued && s.eligible(st) {
@@ -840,6 +932,13 @@ func (s *Server) freeBuffer(st *stream, b *buffer, gc bool) {
 	} else {
 		s.stats.BuffersFreed++
 	}
+	if o := s.cfg.Obs; o != nil {
+		if gc {
+			o.buffersGCed.Inc()
+		} else {
+			o.buffersFreed.Inc()
+		}
+	}
 	s.updateAccounting()
 }
 
@@ -861,6 +960,10 @@ func (s *Server) maybeRetire(st *stream) {
 	delete(s.streams, st.id)
 	delete(s.byExpected, offKey{disk: st.disk, off: st.nextClient})
 	s.stats.StreamsRetired++
+	if o := s.cfg.Obs; o != nil {
+		o.streamsRetired.Inc()
+		o.span(st.id, st.disk, obs.StageRetire, st.nextClient, 0)
+	}
 }
 
 func (s *Server) updateAccounting() {
@@ -881,6 +984,9 @@ func (s *Server) gcTick() {
 		return
 	}
 	now := s.clock.Now()
+	if o := s.cfg.Obs; o != nil {
+		o.gcTicks.Inc()
+	}
 
 	for id, st := range s.streams {
 		// Streams with in-flight fetches or waiting clients are live by
@@ -914,12 +1020,19 @@ func (s *Server) gcTick() {
 			delete(s.streams, id)
 			delete(s.byExpected, offKey{disk: st.disk, off: st.nextClient})
 			s.stats.StreamsGCed++
+			if o := s.cfg.Obs; o != nil {
+				o.streamsGCed.Inc()
+				o.span(st.id, st.disk, obs.StageGC, st.nextClient, 0)
+			}
+			s.traceEvent(trace.Event{Kind: trace.KindGC, Stream: st.id, Disk: st.disk,
+				Offset: st.nextClient, Start: st.lastActive, End: now})
 		}
 	}
 	s.stats.RegionsGCed += int64(s.cls.gc(now - s.cfg.StreamTimeout))
 	s.pump()
 	s.armGC()
 	s.checkInvariants()
+	s.syncGauges()
 	s.mu.Unlock()
 	s.flushIO()
 }

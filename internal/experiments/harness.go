@@ -19,9 +19,11 @@ import (
 	"time"
 
 	"seqstream/internal/blockdev"
+	"seqstream/internal/controller"
 	"seqstream/internal/core"
 	"seqstream/internal/iostack"
 	"seqstream/internal/metrics"
+	"seqstream/internal/obs"
 	"seqstream/internal/sim"
 )
 
@@ -117,6 +119,12 @@ type Options struct {
 	Measure time.Duration
 	// Seed drives every stochastic component.
 	Seed uint64
+	// Registry, when non-nil, receives the instrumentation of every
+	// cell the experiment runs: core scheduler and controller counters
+	// accumulate across cells, while the sim gauges rebind to each
+	// cell's engine. Snapshot it after Run returns — the same metric
+	// families streamnode serves live on /metrics.
+	Registry *obs.Registry
 }
 
 func (o Options) withDefaults(warm, measure time.Duration) Options {
@@ -254,6 +262,20 @@ func newHost(eng *sim.Engine, cfg iostack.Config) (*iostack.Host, error) {
 	return host, nil
 }
 
+// instrumentHost attaches the options' registry (if any) to a cell's
+// engine and controllers. Controller counters aggregate across cells
+// and controllers; the sim gauges track the newest engine.
+func instrumentHost(opts Options, eng *sim.Engine, host *iostack.Host) {
+	if opts.Registry == nil {
+		return
+	}
+	eng.Instrument(opts.Registry)
+	ctrlObs := controller.NewObs(opts.Registry)
+	for i := 0; i < host.Controllers(); i++ {
+		host.Controller(i).SetObs(ctrlObs)
+	}
+}
+
 // directSubmit issues requests straight to the host (no stream
 // scheduler) — the paper's baseline path.
 func directSubmit(host *iostack.Host) submitFunc {
@@ -277,6 +299,7 @@ func runDirect(stackCfg iostack.Config, placements []Placement, reqSize int64, o
 	if err != nil {
 		return Sample{}, err
 	}
+	instrumentHost(opts, eng, host)
 	return measureRun(eng, directSubmit(host), placements, reqSize, 1, opts)
 }
 
@@ -291,6 +314,10 @@ func runCore(stackCfg iostack.Config, coreCfg core.Config, placements []Placemen
 	dev, err := blockdev.NewSimDevice(host)
 	if err != nil {
 		return Sample{}, err
+	}
+	instrumentHost(opts, eng, host)
+	if opts.Registry != nil && coreCfg.Obs == nil {
+		coreCfg.Obs = core.NewObs(opts.Registry, nil)
 	}
 	srv, err := core.NewServer(dev, blockdev.NewSimClock(eng), coreCfg)
 	if err != nil {

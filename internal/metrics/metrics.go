@@ -98,6 +98,11 @@ func (l *LatencySummary) Quantile(p float64) time.Duration {
 	for i, c := range l.buckets {
 		seen += c
 		if seen >= target {
+			if i >= 62 {
+				// Bucket 62's upper edge is 2^63 ns, which overflows a
+				// Duration; the tracked maximum is the tightest bound.
+				return l.max
+			}
 			top := time.Duration(uint64(1) << uint(i+1))
 			if top > l.max {
 				top = l.max

@@ -101,6 +101,50 @@ func TestLatencyMerge(t *testing.T) {
 	}
 }
 
+func TestLatencyMergeEmptyPair(t *testing.T) {
+	var a, b LatencySummary
+	a.Merge(&b)
+	if a.Count() != 0 || a.Min() != 0 || a.Max() != 0 || a.Quantile(0.99) != 0 {
+		t.Errorf("empty×empty merge produced samples: %+v", a)
+	}
+}
+
+func TestLatencyQuantileSingleBucket(t *testing.T) {
+	// Samples confined to one bucket: every quantile is that bucket's
+	// top, clamped to the observed max.
+	var l LatencySummary
+	for i := 0; i < 100; i++ {
+		l.Observe(3 * time.Microsecond) // bucket [2048ns, 4096ns)
+	}
+	for _, p := range []float64{0, 0.5, 0.99, 1} {
+		if got := l.Quantile(p); got != 3*time.Microsecond {
+			t.Errorf("Quantile(%v) = %v, want clamped max 3µs", p, got)
+		}
+	}
+}
+
+func TestLatencyQuantileMaxBucketSaturation(t *testing.T) {
+	// A sample in the top buckets must not overflow the 2^(i+1) bucket
+	// edge into a negative Duration; the tracked max bounds it.
+	var l LatencySummary
+	huge := time.Duration(math.MaxInt64)
+	l.Observe(huge)
+	l.Observe(time.Millisecond)
+	for _, p := range []float64{0.9, 1} {
+		got := l.Quantile(p)
+		if got < 0 {
+			t.Fatalf("Quantile(%v) = %v, overflowed negative", p, got)
+		}
+		if got != huge {
+			t.Errorf("Quantile(%v) = %v, want max %v", p, got, huge)
+		}
+	}
+	// 1ms lands in bucket 19 ([2^19, 2^20) ns), whose top is 2^20 ns.
+	if got := l.Quantile(0.5); got != time.Duration(1<<20) {
+		t.Errorf("Quantile(0.5) = %v, want 2^20ns bucket top", got)
+	}
+}
+
 func TestRecorderThroughput(t *testing.T) {
 	r := NewRecorder()
 	// One stream delivering 10 MB over 1 second.

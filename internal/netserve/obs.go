@@ -1,0 +1,40 @@
+package netserve
+
+import "seqstream/internal/obs"
+
+// Obs mirrors ServerStats into a metric registry and adds what the
+// aggregate counters cannot express: a gauge of open connections and a
+// latency histogram over the storage node's per-request service time
+// (core.Response End − Start, so it measures the node, not the
+// network). Instruments are atomic; the /metrics scraper never takes
+// the server lock.
+type Obs struct {
+	conns     *obs.Counter
+	requests  *obs.Counter
+	errors    *obs.Counter
+	readBytes *obs.Counter
+
+	openConns *obs.Gauge
+
+	requestLatency *obs.Histogram
+}
+
+// NewObs registers the netserve metric families on reg. Registration
+// is idempotent.
+func NewObs(reg *obs.Registry) *Obs {
+	return &Obs{
+		conns:     reg.Counter("seqstream_netserve_connections_total", "client connections accepted"),
+		requests:  reg.Counter("seqstream_netserve_requests_total", "wire requests decoded"),
+		errors:    reg.Counter("seqstream_netserve_errors_total", "requests rejected before reaching the node"),
+		readBytes: reg.Counter("seqstream_netserve_read_bytes_total", "payload bytes served to clients"),
+
+		openConns: reg.Gauge("seqstream_netserve_open_connections", "currently connected clients"),
+
+		requestLatency: reg.Histogram("seqstream_netserve_request_latency_seconds", "storage-node service time per wire request"),
+	}
+}
+
+// SetObs attaches instruments to the server; nil detaches. The
+// pointer is snapshotted per connection at accept time, so attach
+// before clients connect to instrument them.
+func (s *Server) SetObs(o *Obs) { s.obs.Store(o) }

@@ -1,0 +1,91 @@
+package netserve
+
+import (
+	"strings"
+	"testing"
+
+	"seqstream/internal/obs"
+)
+
+// TestObsMirrorsServerStats drives sequential streams over the wire
+// and checks the metric families against the server's own counters,
+// including the request-latency histogram fed by the storage node.
+func TestObsMirrorsServerStats(t *testing.T) {
+	node := newTestNode(t)
+	srv, err := NewServer(node, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	reg := obs.NewRegistry()
+	srv.SetObs(NewObs(reg))
+
+	client, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.RunStreams(0, 1<<30, 4, 16, 64<<10, 0); err != nil {
+		t.Fatalf("RunStreams: %v", err)
+	}
+	client.Close()
+
+	st := srv.Stats()
+	if st.Requests == 0 {
+		t.Fatal("no requests counted; workload untested")
+	}
+	vars := reg.Vars()
+	for name, want := range map[string]int64{
+		"seqstream_netserve_connections_total": st.Conns,
+		"seqstream_netserve_requests_total":    st.Requests,
+		"seqstream_netserve_errors_total":      st.Errors,
+		"seqstream_netserve_read_bytes_total":  st.BytesRead,
+	} {
+		if got := vars[name]; got != want {
+			t.Errorf("%s = %v, want %d (Stats)", name, got, want)
+		}
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "seqstream_netserve_request_latency_seconds_count") {
+		t.Error("latency histogram family missing from exposition")
+	}
+	hist, ok := vars["seqstream_netserve_request_latency_seconds"].(map[string]any)
+	if !ok {
+		t.Fatalf("histogram var missing: %v", vars)
+	}
+	if hist["count"] != st.Requests {
+		t.Errorf("latency observations = %v, want %d", hist["count"], st.Requests)
+	}
+}
+
+// TestObsOpenConnectionsGauge checks the gauge rises with a live
+// client and returns to zero once every connection drains.
+func TestObsOpenConnectionsGauge(t *testing.T) {
+	node := newTestNode(t)
+	srv, err := NewServer(node, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	srv.SetObs(NewObs(reg))
+
+	client, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.RunStreams(0, 1<<30, 1, 4, 64<<10, 0); err != nil {
+		t.Fatalf("RunStreams: %v", err)
+	}
+	if got := reg.Vars()["seqstream_netserve_open_connections"]; got != int64(1) {
+		t.Errorf("open_connections = %v with live client", got)
+	}
+	client.Close()
+	srv.Close() // waits for the handler goroutines to drain
+	if got := reg.Vars()["seqstream_netserve_open_connections"]; got != int64(0) {
+		t.Errorf("open_connections = %v after close", got)
+	}
+}

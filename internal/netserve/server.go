@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"seqstream/internal/core"
 )
@@ -23,6 +24,7 @@ type Server struct {
 	wg     sync.WaitGroup
 
 	stats ServerStats
+	obs   atomic.Pointer[Obs]
 }
 
 // ServerStats counts server-side activity.
@@ -101,20 +103,32 @@ func (s *Server) acceptLoop() {
 		s.conns[conn] = struct{}{}
 		s.stats.Conns++
 		s.mu.Unlock()
+		// One instrument snapshot per connection: the open-connections
+		// gauge increments and decrements on the same pointer even if
+		// SetObs changes mid-connection.
+		o := s.obs.Load()
+		if o != nil {
+			o.conns.Inc()
+			o.openConns.Add(1)
+		}
 		s.wg.Add(1)
-		go s.handle(conn)
+		go s.handle(conn, o)
 	}
 }
 
 // handle runs one connection: a reader loop decoding requests and a
-// writer goroutine serializing responses.
-func (s *Server) handle(conn net.Conn) {
+// writer goroutine serializing responses. o is the instrument snapshot
+// taken at accept time (may be nil).
+func (s *Server) handle(conn net.Conn, o *Obs) {
 	defer s.wg.Done()
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
 		conn.Close()
+		if o != nil {
+			o.openConns.Add(-1)
+		}
 	}()
 
 	// Responses are produced by storage-node callbacks on arbitrary
@@ -141,6 +155,9 @@ func (s *Server) handle(conn net.Conn) {
 		s.mu.Lock()
 		s.stats.Requests++
 		s.mu.Unlock()
+		if o != nil {
+			o.requests.Inc()
+		}
 
 		if req.Flags&FlagWrite != 0 {
 			s.mu.Lock()
@@ -160,6 +177,9 @@ func (s *Server) handle(conn net.Conn) {
 					s.mu.Lock()
 					s.stats.BytesRead += req.Length // bytes moved either direction
 					s.mu.Unlock()
+					if o != nil {
+						o.readBytes.Add(req.Length)
+					}
 				}
 				responses <- resp
 			})
@@ -168,6 +188,9 @@ func (s *Server) handle(conn net.Conn) {
 				s.mu.Lock()
 				s.stats.Errors++
 				s.mu.Unlock()
+				if o != nil {
+					o.errors.Inc()
+				}
 				responses <- Response{ID: req.ID, Status: StatusBadRequest}
 			}
 			continue
@@ -188,6 +211,10 @@ func (s *Server) handle(conn net.Conn) {
 					s.mu.Lock()
 					s.stats.BytesRead += req.Length
 					s.mu.Unlock()
+					if o != nil {
+						o.readBytes.Add(req.Length)
+						o.requestLatency.Observe(r.End - r.Start)
+					}
 					if wantData && r.Data != nil {
 						resp.Data = r.Data
 					}
@@ -203,6 +230,9 @@ func (s *Server) handle(conn net.Conn) {
 			s.mu.Lock()
 			s.stats.Errors++
 			s.mu.Unlock()
+			if o != nil {
+				o.errors.Inc()
+			}
 			responses <- Response{ID: req.ID, Status: StatusBadRequest}
 		}
 	}

@@ -1,0 +1,438 @@
+// Package obs is the unified instrumentation layer: a typed metric
+// registry (counters, gauges, histograms), stream-lifecycle span
+// recording, and HTTP exposition (/metrics, /debug/vars, pprof) for a
+// running storage node.
+//
+// The package is clock-free by construction: nothing in it reads the
+// wall clock, so the same instruments serve both the discrete-event
+// simulator (virtual time) and real nodes (wall time). Callers stamp
+// durations and instants themselves — histograms observe durations the
+// caller measured, and span logs take an injected now() function. The
+// simdet analyzer gates the package to keep it that way.
+//
+// All instruments are safe for concurrent use and cheap enough for the
+// scheduler's dispatch hot path: counters and gauges are single atomic
+// words, histogram observation is two atomic adds plus one atomic
+// bucket increment.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter by n. Negative n is ignored (counters are
+// monotonic).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add shifts the gauge by n (n may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets is the number of power-of-two histogram buckets: bucket
+// i holds durations in [2^i, 2^(i+1)) nanoseconds, with bucket 0 also
+// absorbing zero and sub-nanosecond observations.
+const histBuckets = 64
+
+// Histogram accumulates duration observations in power-of-two buckets
+// (the same scheme as metrics.LatencySummary) with lock-free Observe,
+// so it can replace ad-hoc summaries on concurrent paths.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one duration sample. Negative samples are clamped to
+// zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	h.buckets[histBucketOf(d)].Add(1)
+}
+
+func histBucketOf(d time.Duration) int {
+	n := uint64(d)
+	if n == 0 {
+		return 0
+	}
+	b := 63
+	for n&(1<<63) == 0 {
+		n <<= 1
+		b--
+	}
+	return b
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total of all samples.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Mean returns the average sample, or zero with no samples.
+func (h *Histogram) Mean() time.Duration {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / time.Duration(n)
+}
+
+// Quantile returns an upper bound of the p-quantile (0 <= p <= 1): the
+// top of the bucket containing the p-th sample. The top bucket, whose
+// upper edge exceeds the duration range, reports MaxInt64.
+//
+// The bound is computed from a racy read of the buckets; under
+// concurrent Observe it is approximate, which is the intended use
+// (live exposition, not settlement).
+func (h *Histogram) Quantile(p float64) time.Duration {
+	count := h.count.Load()
+	if count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	target := int64(math.Ceil(p * float64(count)))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= target {
+			// Bucket 62's upper edge is 2^63 ns, which overflows a
+			// Duration; saturate to MaxInt64 from there up.
+			if i >= 62 {
+				return time.Duration(math.MaxInt64)
+			}
+			return time.Duration(uint64(1) << uint(i+1))
+		}
+	}
+	return time.Duration(math.MaxInt64)
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Count   int64
+	Sum     time.Duration
+	Buckets [histBuckets]int64
+}
+
+// Snapshot copies the histogram state. The copy is not atomic across
+// buckets; totals can be momentarily ahead of the bucket sum under
+// concurrent Observe.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	s.Count = h.count.Load()
+	s.Sum = time.Duration(h.sum.Load())
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// metricKind discriminates registry entries.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota + 1
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindGaugeFunc:
+		return "gauge (func)"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("metricKind(%d)", int(k))
+	}
+}
+
+// metric is one registered family.
+type metric struct {
+	name string
+	help string
+	kind metricKind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() float64
+}
+
+// Registry holds named metric families and renders them for
+// exposition. Registration is idempotent: asking for an existing name
+// with the same kind returns the existing instrument, so repeated
+// experiment cells (or server rebuilds) accumulate into one family.
+// Asking for an existing name with a different kind panics — that is a
+// programming error, caught at wiring time.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+// lookup returns the named metric, creating it with mk on first use.
+func (r *Registry) lookup(name, help string, kind metricKind, mk func(*metric)) *metric {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q already registered as %s, requested %s",
+				name, m.kind, kind))
+		}
+		return m
+	}
+	m := &metric{name: name, help: help, kind: kind}
+	mk(m)
+	r.metrics[name] = m
+	return m
+}
+
+// validName reports whether name matches the Prometheus metric name
+// grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Counter returns the named counter, registering it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	m := r.lookup(name, help, kindCounter, func(m *metric) { m.counter = &Counter{} })
+	return m.counter
+}
+
+// Gauge returns the named gauge, registering it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	m := r.lookup(name, help, kindGauge, func(m *metric) { m.gauge = &Gauge{} })
+	return m.gauge
+}
+
+// fnOf reads a gauge-func callback under the registry lock (the
+// callback can be replaced by a later GaugeFunc registration).
+func (r *Registry) fnOf(m *metric) func() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return m.fn
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at
+// exposition time. Re-registering an existing name replaces the
+// callback (last writer wins), so sequential simulation runs can
+// rebind the family to the live engine. fn must be safe to call from
+// the scraping goroutine; callers exposing single-threaded state
+// (e.g. a simulation engine) must only scrape while that state is
+// quiescent.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	m := r.lookup(name, help, kindGaugeFunc, func(m *metric) {})
+	r.mu.Lock()
+	m.fn = fn
+	r.mu.Unlock()
+}
+
+// Histogram returns the named histogram, registering it on first use.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	m := r.lookup(name, help, kindHistogram, func(m *metric) { m.hist = &Histogram{} })
+	return m.hist
+}
+
+// Names returns the registered family names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.metrics))
+	for name := range r.metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// sorted returns the registered metrics in name order.
+func (r *Registry) sorted() []*metric {
+	r.mu.Lock()
+	out := make([]*metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		out = append(out, m)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// WritePrometheus renders every family in the Prometheus text
+// exposition format (version 0.0.4). Histogram bucket edges and sums
+// are reported in seconds, the Prometheus convention for latency.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, m := range r.sorted() {
+		var err error
+		switch m.kind {
+		case kindCounter:
+			err = writeScalar(w, m, "counter", float64(m.counter.Value()))
+		case kindGauge:
+			err = writeScalar(w, m, "gauge", float64(m.gauge.Value()))
+		case kindGaugeFunc:
+			v := 0.0
+			if fn := r.fnOf(m); fn != nil {
+				v = fn()
+			}
+			err = writeScalar(w, m, "gauge", v)
+		case kindHistogram:
+			err = writeHistogram(w, m)
+		}
+		if err != nil {
+			return fmt.Errorf("obs: %w", err)
+		}
+	}
+	return nil
+}
+
+func writeHeader(w io.Writer, m *metric, typ string) error {
+	if m.help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, typ)
+	return err
+}
+
+func writeScalar(w io.Writer, m *metric, typ string, v float64) error {
+	if err := writeHeader(w, m, typ); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %s\n", m.name, formatFloat(v))
+	return err
+}
+
+func writeHistogram(w io.Writer, m *metric) error {
+	if err := writeHeader(w, m, "histogram"); err != nil {
+		return err
+	}
+	s := m.hist.Snapshot()
+	// Emit cumulative buckets up to the highest occupied one; the rest
+	// collapse into +Inf.
+	highest := -1
+	for i, c := range s.Buckets {
+		if c > 0 {
+			highest = i
+		}
+	}
+	var cum int64
+	for i := 0; i <= highest; i++ {
+		cum += s.Buckets[i]
+		le := float64(uint64(1)<<uint(i+1)) / 1e9
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.name, formatFloat(le), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m.name, s.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n", m.name, formatFloat(s.Sum.Seconds())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", m.name, s.Count)
+	return err
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Vars returns the registry as a JSON-marshalable map for
+// expvar-style exposition: scalars as numbers, histograms as
+// {count, mean_ns, p50_ns, p99_ns, max... } objects.
+func (r *Registry) Vars() map[string]any {
+	out := make(map[string]any)
+	for _, m := range r.sorted() {
+		switch m.kind {
+		case kindCounter:
+			out[m.name] = m.counter.Value()
+		case kindGauge:
+			out[m.name] = m.gauge.Value()
+		case kindGaugeFunc:
+			if fn := r.fnOf(m); fn != nil {
+				out[m.name] = fn()
+			} else {
+				out[m.name] = 0.0
+			}
+		case kindHistogram:
+			out[m.name] = map[string]any{
+				"count":   m.hist.Count(),
+				"sum_ns":  int64(m.hist.Sum()),
+				"mean_ns": int64(m.hist.Mean()),
+				"p50_ns":  int64(m.hist.Quantile(0.5)),
+				"p99_ns":  int64(m.hist.Quantile(0.99)),
+			}
+		}
+	}
+	return out
+}

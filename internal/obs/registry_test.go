@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := reg.Gauge("test_gauge", "a gauge")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestRegistrationIdempotent(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("dup_total", "first")
+	b := reg.Counter("dup_total", "second registration returns the first")
+	if a != b {
+		t.Fatal("re-registering the same counter returned a different instrument")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("instruments from repeated registration do not share state")
+	}
+}
+
+func TestRegistrationKindConflictPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("conflict", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering an existing name with a different kind did not panic")
+		}
+	}()
+	reg.Gauge("conflict", "")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	reg := NewRegistry()
+	for _, name := range []string{"", "1bad", "has space", "has-dash"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q did not panic", name)
+				}
+			}()
+			reg.Counter(name, "")
+		}()
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("node_requests_total", "requests").Add(3)
+	reg.Gauge("node_memory_bytes", "staged bytes").Set(1 << 20)
+	reg.GaugeFunc("node_time_seconds", "clock", func() float64 { return 1.5 })
+	h := reg.Histogram("node_latency_seconds", "latency")
+	h.Observe(1500 * time.Nanosecond) // bucket [1024, 2048) ns
+	h.Observe(1500 * time.Nanosecond)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE node_requests_total counter",
+		"node_requests_total 3",
+		"# TYPE node_memory_bytes gauge",
+		"node_memory_bytes 1.048576e+06",
+		"node_time_seconds 1.5",
+		"# TYPE node_latency_seconds histogram",
+		`node_latency_seconds_bucket{le="+Inf"} 2`,
+		"node_latency_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Bucket lines are cumulative and end at the occupied bucket.
+	if !strings.Contains(out, `node_latency_seconds_bucket{le="2.048e-06"} 2`) {
+		t.Errorf("missing cumulative bucket for [1024,2048)ns in:\n%s", out)
+	}
+}
+
+func TestGaugeFuncReplacement(t *testing.T) {
+	reg := NewRegistry()
+	reg.GaugeFunc("replace_me", "", func() float64 { return 1 })
+	reg.GaugeFunc("replace_me", "", func() float64 { return 2 })
+	if v := reg.Vars()["replace_me"]; v != 2.0 {
+		t.Fatalf("gauge func = %v, want the replacement's 2", v)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 90; i++ {
+		h.Observe(100 * time.Nanosecond) // bucket [64,128)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(10 * time.Microsecond) // bucket [8192,16384)
+	}
+	if got := h.Quantile(0.5); got != 128 {
+		t.Errorf("p50 = %v, want 128ns (bucket top)", got)
+	}
+	if got := h.Quantile(0.99); got != 16384 {
+		t.Errorf("p99 = %v, want 16384ns (bucket top)", got)
+	}
+	if got := h.Quantile(0); got != 128 {
+		t.Errorf("p0 = %v, want first occupied bucket top", got)
+	}
+}
+
+func TestHistogramSaturation(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Duration(math.MaxInt64))
+	if got := h.Quantile(1); got != time.Duration(math.MaxInt64) {
+		t.Fatalf("top-bucket quantile = %v, want MaxInt64 sentinel", got)
+	}
+	h.Observe(-5) // clamps to zero, bucket 0
+	if got := h.Count(); got != 2 {
+		t.Fatalf("count = %d, want 2", got)
+	}
+	if got := h.Quantile(0.5); got != 2 {
+		t.Fatalf("p50 = %v, want bucket-0 top (2ns)", got)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	var h Histogram
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(time.Duration(w*1000+i) * time.Nanosecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("count = %d, want %d", got, workers*perWorker)
+	}
+	s := h.Snapshot()
+	var inBuckets int64
+	for _, c := range s.Buckets {
+		inBuckets += c
+	}
+	if inBuckets != s.Count {
+		t.Fatalf("buckets hold %d samples, count says %d", inBuckets, s.Count)
+	}
+}
+
+func TestVars(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c_total", "").Add(2)
+	reg.Histogram("h_seconds", "").Observe(time.Millisecond)
+	vars := reg.Vars()
+	if vars["c_total"] != int64(2) {
+		t.Fatalf("c_total = %v, want 2", vars["c_total"])
+	}
+	hv, ok := vars["h_seconds"].(map[string]any)
+	if !ok {
+		t.Fatalf("h_seconds var is %T, want map", vars["h_seconds"])
+	}
+	if hv["count"] != int64(1) {
+		t.Fatalf("histogram count var = %v, want 1", hv["count"])
+	}
+}

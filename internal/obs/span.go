@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Stage is one step of a stream's lifecycle through the storage node:
+// detection by the classifier, admission to the candidate queue, entry
+// into the dispatch set, the fetch/stage round-trips that move its data
+// into host memory, delivery to the client, and the ways staged state
+// leaves the node (eviction, rotation, GC, retirement).
+type Stage int
+
+// Lifecycle stages, in the order a healthy stream traverses them.
+const (
+	// StageClassify marks stream detection (§4.1).
+	StageClassify Stage = iota + 1
+	// StageEnqueue marks (re-)admission to the candidate queue.
+	StageEnqueue
+	// StageDispatch marks entry into the dispatch set (§4.2).
+	StageDispatch
+	// StageFetch marks a read-ahead disk request being issued.
+	StageFetch
+	// StageStaged marks a fetch completing into the buffered set.
+	StageStaged
+	// StageDeliver marks a client request served from staged memory.
+	StageDeliver
+	// StageEvict marks a staged buffer reclaimed under memory pressure.
+	StageEvict
+	// StageRotate marks rotation out of the dispatch set after N
+	// requests (§4.2).
+	StageRotate
+	// StageGC marks stream state collected by the periodic GC (§4.3).
+	StageGC
+	// StageRetire marks a stream that consumed its disk to the end.
+	StageRetire
+)
+
+// String implements fmt.Stringer.
+func (s Stage) String() string {
+	switch s {
+	case StageClassify:
+		return "classify"
+	case StageEnqueue:
+		return "enqueue"
+	case StageDispatch:
+		return "dispatch"
+	case StageFetch:
+		return "fetch"
+	case StageStaged:
+		return "staged"
+	case StageDeliver:
+		return "deliver"
+	case StageEvict:
+		return "evict"
+	case StageRotate:
+		return "rotate"
+	case StageGC:
+		return "gc"
+	case StageRetire:
+		return "retire"
+	default:
+		return "unknown"
+	}
+}
+
+// SpanEvent is one stage transition of one stream.
+type SpanEvent struct {
+	Stream int           `json:"stream"`
+	Disk   int           `json:"disk"`
+	Stage  Stage         `json:"stage"`
+	At     time.Duration `json:"atNanos"`
+	Offset int64         `json:"offset"`
+	Length int64         `json:"length"`
+}
+
+// SpanLog records stream-lifecycle events in a bounded ring, stamped
+// with an injected clock so simulated (virtual-time) and real nodes
+// share one recorder. It is safe for concurrent use.
+type SpanLog struct {
+	now func() time.Duration
+
+	mu      sync.Mutex
+	events  []SpanEvent
+	next    int
+	wrapped bool
+}
+
+// NewSpanLog builds a span log holding up to capacity events (older
+// events are overwritten once full). now supplies timestamps — a
+// simulation clock or a real clock's Now.
+func NewSpanLog(now func() time.Duration, capacity int) (*SpanLog, error) {
+	if now == nil {
+		return nil, errors.New("obs: nil clock")
+	}
+	if capacity <= 0 {
+		return nil, errors.New("obs: span capacity must be positive")
+	}
+	return &SpanLog{now: now, events: make([]SpanEvent, 0, capacity)}, nil
+}
+
+// Record stamps and appends one stage transition.
+func (l *SpanLog) Record(stream, disk int, stage Stage, off, length int64) {
+	e := SpanEvent{Stream: stream, Disk: disk, Stage: stage, At: l.now(), Offset: off, Length: length}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.events) < cap(l.events) {
+		l.events = append(l.events, e)
+		return
+	}
+	l.events[l.next] = e
+	l.next = (l.next + 1) % cap(l.events)
+	l.wrapped = true
+}
+
+// Len returns the number of retained events.
+func (l *SpanLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// Snapshot returns the retained events in record order.
+func (l *SpanLog) Snapshot() []SpanEvent {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SpanEvent, 0, len(l.events))
+	if l.wrapped {
+		out = append(out, l.events[l.next:]...)
+		out = append(out, l.events[:l.next]...)
+	} else {
+		out = append(out, l.events...)
+	}
+	return out
+}
+
+// Timeline returns the retained events of one stream, in record order.
+func (l *SpanLog) Timeline(stream int) []SpanEvent {
+	var out []SpanEvent
+	for _, e := range l.Snapshot() {
+		if e.Stream == stream {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Streams returns the distinct stream ids present in the log, sorted.
+func (l *SpanLog) Streams() []int {
+	seen := make(map[int]struct{})
+	for _, e := range l.Snapshot() {
+		seen[e.Stream] = struct{}{}
+	}
+	ids := make([]int, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// StageDurations reduces one stream's timeline to the interval spent
+// between consecutive fetch/staged/deliver transitions: for each
+// StageStaged it reports the duration since the matching StageFetch,
+// and for each StageDeliver the duration since the stream's previous
+// event. It is a convenience for tests and offline analysis.
+func StageDurations(timeline []SpanEvent) map[Stage]time.Duration {
+	out := make(map[Stage]time.Duration)
+	fetchAt := make(map[int64]time.Duration) // by offset
+	var prev time.Duration
+	for _, e := range timeline {
+		switch e.Stage {
+		case StageFetch:
+			fetchAt[e.Offset] = e.At
+		case StageStaged:
+			if at, ok := fetchAt[e.Offset]; ok {
+				out[StageStaged] += e.At - at
+				delete(fetchAt, e.Offset)
+			}
+		case StageDeliver:
+			out[StageDeliver] += e.At - prev
+		}
+		prev = e.At
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-advanced clock for span tests.
+type fakeClock struct{ now time.Duration }
+
+func (c *fakeClock) Now() time.Duration { return c.now }
+
+func TestSpanLogTimeline(t *testing.T) {
+	clk := &fakeClock{}
+	l, err := NewSpanLog(clk.Now, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.now = 10
+	l.Record(1, 0, StageClassify, 0, 0)
+	clk.now = 20
+	l.Record(1, 0, StageFetch, 4096, 1024)
+	clk.now = 25
+	l.Record(2, 1, StageClassify, 0, 0)
+	clk.now = 30
+	l.Record(1, 0, StageStaged, 4096, 1024)
+	clk.now = 40
+	l.Record(1, 0, StageDeliver, 4096, 512)
+
+	tl := l.Timeline(1)
+	if len(tl) != 4 {
+		t.Fatalf("stream 1 timeline has %d events, want 4", len(tl))
+	}
+	wantStages := []Stage{StageClassify, StageFetch, StageStaged, StageDeliver}
+	for i, e := range tl {
+		if e.Stage != wantStages[i] {
+			t.Errorf("event %d stage = %v, want %v", i, e.Stage, wantStages[i])
+		}
+	}
+	if tl[1].At != 20 || tl[3].At != 40 {
+		t.Errorf("timestamps not taken from the injected clock: %+v", tl)
+	}
+
+	if ids := l.Streams(); len(ids) != 2 || ids[0] != 1 || ids[1] != 2 {
+		t.Errorf("Streams() = %v, want [1 2]", ids)
+	}
+
+	durs := StageDurations(tl)
+	if durs[StageStaged] != 10 {
+		t.Errorf("fetch->staged duration = %v, want 10ns", durs[StageStaged])
+	}
+	if durs[StageDeliver] != 10 {
+		t.Errorf("staged->deliver duration = %v, want 10ns", durs[StageDeliver])
+	}
+}
+
+func TestSpanLogRingWrap(t *testing.T) {
+	clk := &fakeClock{}
+	l, err := NewSpanLog(clk.Now, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		clk.now = time.Duration(i)
+		l.Record(i, 0, StageFetch, 0, 0)
+	}
+	if l.Len() != 4 {
+		t.Fatalf("len = %d, want capacity 4", l.Len())
+	}
+	snap := l.Snapshot()
+	for i, e := range snap {
+		if e.Stream != 6+i {
+			t.Fatalf("snapshot[%d].Stream = %d, want %d (oldest-first after wrap)", i, e.Stream, 6+i)
+		}
+	}
+}
+
+func TestSpanLogValidation(t *testing.T) {
+	if _, err := NewSpanLog(nil, 4); err == nil {
+		t.Error("nil clock accepted")
+	}
+	clk := &fakeClock{}
+	if _, err := NewSpanLog(clk.Now, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}
+
+func TestStageStrings(t *testing.T) {
+	stages := []Stage{StageClassify, StageEnqueue, StageDispatch, StageFetch, StageStaged,
+		StageDeliver, StageEvict, StageRotate, StageGC, StageRetire}
+	seen := make(map[string]bool)
+	for _, s := range stages {
+		str := s.String()
+		if str == "unknown" || seen[str] {
+			t.Errorf("stage %d has bad or duplicate name %q", int(s), str)
+		}
+		seen[str] = true
+	}
+	if Stage(99).String() != "unknown" {
+		t.Error("out-of-range stage should stringify as unknown")
+	}
+}

@@ -1,0 +1,24 @@
+package sim
+
+import "seqstream/internal/obs"
+
+// Instrument registers gauge callbacks exposing the engine's virtual
+// clock and event-queue state on reg. The callbacks read engine state
+// directly, so they must run on the engine loop or after it stops
+// (cmd/experiment snapshots the registry between runs); a live scrape
+// of a running engine is not supported. Re-instrumenting a registry
+// rebinds the families to the newest engine.
+func (e *Engine) Instrument(reg *obs.Registry) {
+	reg.GaugeFunc("seqstream_sim_virtual_time_seconds",
+		"simulated time elapsed", func() float64 {
+			return e.Now().Seconds()
+		})
+	reg.GaugeFunc("seqstream_sim_pending_events",
+		"events waiting in the simulation queue", func() float64 {
+			return float64(e.Pending())
+		})
+	reg.GaugeFunc("seqstream_sim_processed_events_total",
+		"events the simulation has executed", func() float64 {
+			return float64(e.Processed())
+		})
+}

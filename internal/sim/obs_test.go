@@ -1,0 +1,41 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"seqstream/internal/obs"
+)
+
+func TestInstrument(t *testing.T) {
+	eng := NewEngine()
+	reg := obs.NewRegistry()
+	eng.Instrument(reg)
+
+	eng.Schedule(time.Second, func() {})
+	eng.Schedule(2*time.Second, func() {})
+	vars := reg.Vars()
+	if got := vars["seqstream_sim_pending_events"]; got != float64(2) {
+		t.Errorf("pending = %v, want 2", got)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	vars = reg.Vars()
+	if got := vars["seqstream_sim_virtual_time_seconds"]; got != float64(2) {
+		t.Errorf("virtual time = %v, want 2", got)
+	}
+	if got := vars["seqstream_sim_processed_events_total"]; got != float64(2) {
+		t.Errorf("processed = %v, want 2", got)
+	}
+	if got := vars["seqstream_sim_pending_events"]; got != float64(0) {
+		t.Errorf("pending after drain = %v", got)
+	}
+
+	// A second engine over the same registry rebinds the callbacks.
+	eng2 := NewEngine()
+	eng2.Instrument(reg)
+	if got := reg.Vars()["seqstream_sim_virtual_time_seconds"]; got != float64(0) {
+		t.Errorf("rebound virtual time = %v, want 0", got)
+	}
+}

@@ -27,6 +27,10 @@ const (
 	KindDirect
 	// KindEvict is a buffered-set reclaim.
 	KindEvict
+	// KindRotate is a stream rotating out of the dispatch set (§4.2).
+	KindRotate
+	// KindGC is a stream's state collected by the periodic GC (§4.3).
+	KindGC
 )
 
 // String implements fmt.Stringer.
@@ -40,14 +44,36 @@ func (k Kind) String() string {
 		return "direct"
 	case KindEvict:
 		return "evict"
+	case KindRotate:
+		return "rotate"
+	case KindGC:
+		return "gc"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
 }
 
+// ParseKind inverts String for the named kinds.
+func ParseKind(s string) (Kind, error) {
+	for k := KindClient; k <= KindGC; k++ {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown kind %q", s)
+}
+
+// NoStream is the Stream value of events not attributed to a
+// classified stream (direct reads, classifier-path requests).
+const NoStream = -1
+
 // Event is one traced record.
 type Event struct {
-	Kind   Kind          `json:"kind"`
+	Kind Kind `json:"kind"`
+	// Stream is the classified stream the event belongs to, or
+	// NoStream. Together with Start/End it lets a full per-stream
+	// timeline be reconstructed offline.
+	Stream int           `json:"stream"`
 	Disk   int           `json:"disk"`
 	Offset int64         `json:"offset"`
 	Length int64         `json:"length"`
@@ -134,15 +160,19 @@ func (t *Tracer) Snapshot() []Event {
 	return out
 }
 
+// csvHeader is the WriteCSV column set; ReadCSV requires it.
+var csvHeader = []string{"kind", "stream", "disk", "offset", "length", "start_ns", "end_ns", "latency_ns", "hit", "err"}
+
 // WriteCSV exports the retained events with a header row.
 func (t *Tracer) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"kind", "disk", "offset", "length", "start_ns", "end_ns", "latency_ns", "hit", "err"}); err != nil {
+	if err := cw.Write(csvHeader); err != nil {
 		return fmt.Errorf("trace: %w", err)
 	}
 	for _, e := range t.Snapshot() {
 		rec := []string{
 			e.Kind.String(),
+			strconv.Itoa(e.Stream),
 			strconv.Itoa(e.Disk),
 			strconv.FormatInt(e.Offset, 10),
 			strconv.FormatInt(e.Length, 10),
@@ -163,6 +193,104 @@ func (t *Tracer) WriteCSV(w io.Writer) error {
 	return nil
 }
 
+// ReadCSV parses events exported by WriteCSV (header required). The
+// derived latency column is checked against Start/End.
+func ReadCSV(r io.Reader) ([]Event, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading CSV header: %w", err)
+	}
+	if len(header) != len(csvHeader) {
+		return nil, fmt.Errorf("trace: CSV header has %d columns, want %d", len(header), len(csvHeader))
+	}
+	for i, col := range csvHeader {
+		if header[i] != col {
+			return nil, fmt.Errorf("trace: CSV column %d is %q, want %q", i, header[i], col)
+		}
+	}
+	var events []Event
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return events, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		e, err := parseCSVRecord(rec)
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, e)
+	}
+}
+
+func parseCSVRecord(rec []string) (Event, error) {
+	var e Event
+	kind, err := ParseKind(rec[0])
+	if err != nil {
+		return e, err
+	}
+	e.Kind = kind
+	ints := []struct {
+		col  int
+		name string
+		dst  *int64
+	}{
+		{3, "offset", &e.Offset},
+		{4, "length", &e.Length},
+	}
+	if e.Stream, err = strconv.Atoi(rec[1]); err != nil {
+		return e, fmt.Errorf("trace: bad stream %q: %w", rec[1], err)
+	}
+	if e.Disk, err = strconv.Atoi(rec[2]); err != nil {
+		return e, fmt.Errorf("trace: bad disk %q: %w", rec[2], err)
+	}
+	for _, f := range ints {
+		if *f.dst, err = strconv.ParseInt(rec[f.col], 10, 64); err != nil {
+			return e, fmt.Errorf("trace: bad %s %q: %w", f.name, rec[f.col], err)
+		}
+	}
+	start, err := strconv.ParseInt(rec[5], 10, 64)
+	if err != nil {
+		return e, fmt.Errorf("trace: bad start_ns %q: %w", rec[5], err)
+	}
+	end, err := strconv.ParseInt(rec[6], 10, 64)
+	if err != nil {
+		return e, fmt.Errorf("trace: bad end_ns %q: %w", rec[6], err)
+	}
+	e.Start, e.End = time.Duration(start), time.Duration(end)
+	lat, err := strconv.ParseInt(rec[7], 10, 64)
+	if err != nil {
+		return e, fmt.Errorf("trace: bad latency_ns %q: %w", rec[7], err)
+	}
+	if time.Duration(lat) != e.Latency() {
+		return e, fmt.Errorf("trace: latency column %d disagrees with end-start %d", lat, e.Latency())
+	}
+	if e.Hit, err = strconv.ParseBool(rec[8]); err != nil {
+		return e, fmt.Errorf("trace: bad hit %q: %w", rec[8], err)
+	}
+	e.Err = rec[9]
+	return e, nil
+}
+
+// ReadJSONL parses events exported by WriteJSONL.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var events []Event
+	for {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			if errors.Is(err, io.EOF) {
+				return events, nil
+			}
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		events = append(events, e)
+	}
+}
+
 // WriteJSONL exports the retained events as JSON lines.
 func (t *Tracer) WriteJSONL(w io.Writer) error {
 	enc := json.NewEncoder(w)
@@ -181,6 +309,9 @@ type Summary struct {
 	Fetches   int
 	Directs   int
 	Evicts    int
+	Rotates   int
+	GCs       int
+	Streams   int // distinct stream ids (NoStream excluded)
 	ClientHit int
 	Errors    int
 	MeanLat   time.Duration
@@ -191,8 +322,12 @@ func (t *Tracer) Summarize() Summary {
 	var s Summary
 	var latSum time.Duration
 	var latCount int64
+	streams := make(map[int]struct{})
 	for _, e := range t.Snapshot() {
 		s.Events++
+		if e.Stream != NoStream {
+			streams[e.Stream] = struct{}{}
+		}
 		switch e.Kind {
 		case KindClient:
 			s.Clients++
@@ -207,11 +342,16 @@ func (t *Tracer) Summarize() Summary {
 			s.Directs++
 		case KindEvict:
 			s.Evicts++
+		case KindRotate:
+			s.Rotates++
+		case KindGC:
+			s.GCs++
 		}
 		if e.Err != "" {
 			s.Errors++
 		}
 	}
+	s.Streams = len(streams)
 	if latCount > 0 {
 		s.MeanLat = time.Duration(int64(latSum) / latCount)
 	}

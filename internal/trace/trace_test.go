@@ -10,7 +10,7 @@ import (
 
 func sampleEvent(kind Kind, off int64) Event {
 	return Event{
-		Kind: kind, Disk: 0, Offset: off, Length: 4096,
+		Kind: kind, Stream: 3, Disk: 0, Offset: off, Length: 4096,
 		Start: 10 * time.Millisecond, End: 15 * time.Millisecond,
 	}
 }
@@ -90,6 +90,7 @@ func TestLatency(t *testing.T) {
 func TestKindString(t *testing.T) {
 	for k, want := range map[Kind]string{
 		KindClient: "client", KindFetch: "fetch", KindDirect: "direct", KindEvict: "evict",
+		KindRotate: "rotate", KindGC: "gc",
 	} {
 		if k.String() != want {
 			t.Errorf("%d.String() = %q", k, k.String())
@@ -97,6 +98,21 @@ func TestKindString(t *testing.T) {
 	}
 	if Kind(99).String() == "" {
 		t.Error("unknown kind should format")
+	}
+}
+
+func TestParseKindRoundTrip(t *testing.T) {
+	for k := KindClient; k <= KindGC; k++ {
+		got, err := ParseKind(k.String())
+		if err != nil {
+			t.Fatalf("ParseKind(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Errorf("ParseKind(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("unknown kind name accepted")
 	}
 }
 
@@ -117,10 +133,10 @@ func TestWriteCSV(t *testing.T) {
 	if len(lines) != 2 {
 		t.Fatalf("csv lines = %d:\n%s", len(lines), out)
 	}
-	if !strings.HasPrefix(lines[0], "kind,disk,offset") {
+	if !strings.HasPrefix(lines[0], "kind,stream,disk,offset") {
 		t.Errorf("header = %q", lines[0])
 	}
-	if !strings.Contains(lines[1], "client,0,42,4096") {
+	if !strings.Contains(lines[1], "client,3,0,42,4096") {
 		t.Errorf("row = %q", lines[1])
 	}
 	if !strings.Contains(lines[1], "true") {
@@ -169,14 +185,117 @@ func TestSummarize(t *testing.T) {
 	bad.Err = "boom"
 	tr.Record(bad)
 
+	rot := sampleEvent(KindRotate, 6)
+	rot.Stream = 4
+	tr.Record(rot)
+	gc := sampleEvent(KindGC, 7)
+	gc.Stream = 5
+	tr.Record(gc)
+	direct := sampleEvent(KindDirect, 8)
+	direct.Stream = NoStream
+	tr.Record(direct)
+
 	s := tr.Summarize()
-	if s.Events != 6 || s.Clients != 3 || s.Fetches != 1 || s.Directs != 1 || s.Evicts != 1 {
+	if s.Events != 9 || s.Clients != 3 || s.Fetches != 1 || s.Directs != 2 || s.Evicts != 1 {
 		t.Errorf("summary = %+v", s)
+	}
+	if s.Rotates != 1 || s.GCs != 1 {
+		t.Errorf("rotate/gc counts = %+v", s)
+	}
+	if s.Streams != 3 { // streams 3, 4, 5; NoStream excluded
+		t.Errorf("Streams = %d, want 3", s.Streams)
 	}
 	if s.ClientHit != 1 || s.Errors != 1 {
 		t.Errorf("summary = %+v", s)
 	}
 	if s.MeanLat != 5*time.Millisecond {
 		t.Errorf("MeanLat = %v", s.MeanLat)
+	}
+}
+
+// roundTripEvents is a kind-diverse sample set for the codec tests.
+func roundTripEvents() []Event {
+	evs := []Event{
+		sampleEvent(KindClient, 0),
+		sampleEvent(KindFetch, 4096),
+		sampleEvent(KindDirect, 8192),
+		sampleEvent(KindEvict, 12288),
+		sampleEvent(KindRotate, 0),
+		sampleEvent(KindGC, 0),
+	}
+	evs[0].Hit = true
+	evs[2].Stream = NoStream
+	evs[3].Err = "io failure"
+	evs[4].Stream = 9
+	return evs
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr, err := New(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := roundTripEvents()
+	for _, e := range want {
+		tr.Record(e)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("round-trip returned %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadCSVRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"wrong header":  "kind,disk\nclient,0\n",
+		"unknown kind":  strings.Join(csvHeader, ",") + "\nwarp,1,0,0,0,0,0,0,false,\n",
+		"bad latency":   strings.Join(csvHeader, ",") + "\nclient,1,0,0,0,10,20,999,false,\n",
+		"non-int disk":  strings.Join(csvHeader, ",") + "\nclient,1,x,0,0,10,20,10,false,\n",
+		"non-bool hit":  strings.Join(csvHeader, ",") + "\nclient,1,0,0,0,10,20,10,maybe,\n",
+		"bad stream id": strings.Join(csvHeader, ",") + "\nclient,x,0,0,0,10,20,10,false,\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	tr, err := New(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := roundTripEvents()
+	for _, e := range want {
+		tr.Record(e)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("round-trip returned %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d: got %+v, want %+v", i, got[i], want[i])
+		}
 	}
 }
