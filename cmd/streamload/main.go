@@ -36,6 +36,10 @@ func run(args []string) error {
 		wantData = fs.Bool("data", false, "request payloads (off to mirror the paper's setup)")
 		writes   = fs.Bool("write", false, "issue write streams instead of reads (node must run -ingest)")
 		perOut   = fs.Bool("per-stream", false, "print per-stream statistics")
+
+		timeout     = fs.Duration("timeout", 0, "per-request deadline; timed-out requests fail the run (0 waits forever)")
+		dialRetries = fs.Int("dial-retries", 1, "dial attempts before giving up")
+		dialBackoff = fs.Duration("dial-backoff", 50*time.Millisecond, "initial backoff between dial attempts, doubled and jittered per retry")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -50,7 +54,9 @@ func run(args []string) error {
 		return err
 	}
 
-	client, err := netserve.Dial(*addr)
+	client, err := netserve.DialRetry(*addr, netserve.ClientOptions{
+		RequestTimeout: *timeout,
+	}, *dialRetries, *dialBackoff)
 	if err != nil {
 		return err
 	}

@@ -41,6 +41,7 @@ func TestRunReadLoad(t *testing.T) {
 	err := run([]string{
 		"-addr", srv.Addr(), "-streams", "4", "-requests", "16",
 		"-capacity", "1GiB", "-reqsize", "64KiB", "-per-stream",
+		"-timeout", "30s", "-dial-retries", "3", "-dial-backoff", "10ms",
 	})
 	if err != nil {
 		t.Fatalf("run: %v", err)

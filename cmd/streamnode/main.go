@@ -7,6 +7,7 @@
 //	streamnode -listen 127.0.0.1:7070 -disks 2 -capacity 4GiB
 //	streamnode -listen 127.0.0.1:7070 -files disk0.img,disk1.img
 //	streamnode -debug-addr 127.0.0.1:7071   # /metrics, /debug/vars, /debug/pprof
+//	streamnode -fault 'disk=0,mode=err,every=5' -fetch-retries 3   # fault drill
 package main
 
 import (
@@ -74,6 +75,15 @@ func run(args []string) error {
 		chunk     = fs.String("chunk", "1MiB", "ingest chunk size (with -ingest)")
 		debugAddr = fs.String("debug-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (empty disables)")
 		statsIvl  = fs.Duration("stats-interval", 0, "log a one-line metric summary this often (0 disables)")
+
+		fault        = fs.String("fault", "", "fault-injection script, rules separated by ';' (e.g. 'disk=0,mode=err,every=5;mode=delay,delay=50ms')")
+		fetchTimeout = fs.Duration("fetch-timeout", 0, "fail a stream fetch stuck on the device this long (0 disables)")
+		fetchRetries = fs.Int("fetch-retries", 0, "retries for transiently failed fetches (0 disables)")
+		retryBackoff = fs.Duration("retry-backoff", 0, "initial fetch-retry backoff, doubled per attempt (0 uses the default)")
+		brkThresh    = fs.Int("breaker-threshold", 0, "consecutive device failures that open a disk's circuit breaker (0 disables)")
+		brkCooldown  = fs.Duration("breaker-cooldown", 0, "how long an open breaker waits before probing the disk again (0 uses the default)")
+		idleTimeout  = fs.Duration("idle-timeout", 0, "close client connections idle this long (0 disables)")
+		writeTimeout = fs.Duration("write-timeout", 0, "per-response write deadline to clients (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,6 +93,10 @@ func run(args []string) error {
 		listen: *listen, disks: *disks, capacity: *capacity, latency: *latency,
 		files: *files, memory: *memory, ra: *ra, n: *n, d: *d,
 		ingest: *ingest, chunk: *chunk, debugAddr: *debugAddr,
+		fault:        *fault,
+		fetchTimeout: *fetchTimeout, fetchRetries: *fetchRetries, retryBackoff: *retryBackoff,
+		breakerThreshold: *brkThresh, breakerCooldown: *brkCooldown,
+		idleTimeout: *idleTimeout, writeTimeout: *writeTimeout,
 	})
 	if err != nil {
 		return err
@@ -144,6 +158,17 @@ type buildParams struct {
 	ingest    bool
 	chunk     string
 	debugAddr string
+
+	// Failure handling: fault-injection script plus the fetch-timeout,
+	// retry, breaker, and connection-deadline knobs.
+	fault            string
+	fetchTimeout     time.Duration
+	fetchRetries     int
+	retryBackoff     time.Duration
+	breakerThreshold int
+	breakerCooldown  time.Duration
+	idleTimeout      time.Duration
+	writeTimeout     time.Duration
 }
 
 // build assembles the device, scheduler, optional ingest, the TCP
@@ -180,6 +205,18 @@ func build(p buildParams) (*node, error) {
 	}
 	clock := blockdev.NewRealClock()
 
+	if p.fault != "" {
+		rules, err := blockdev.ParseFaultScript(p.fault)
+		if err != nil {
+			return nil, err
+		}
+		sdev, err := blockdev.NewScriptDevice(dev, clock, rules)
+		if err != nil {
+			return nil, err
+		}
+		dev = sdev
+	}
+
 	// One registry feeds every layer. The controller families are
 	// registered too so real-device and simulated nodes expose the same
 	// metric vocabulary; here they read zero (no simulated controller).
@@ -197,6 +234,11 @@ func build(p buildParams) (*node, error) {
 		RequestsPerStream: p.n,
 		Memory:            mem,
 		Obs:               core.NewObs(out.reg, spans),
+		FetchTimeout:      p.fetchTimeout,
+		FetchRetries:      p.fetchRetries,
+		RetryBackoff:      p.retryBackoff,
+		BreakerThreshold:  p.breakerThreshold,
+		BreakerCooldown:   p.breakerCooldown,
 	}
 	cfg.ApplyDefaults()
 	coreSrv, err := core.NewServer(dev, clock, cfg)
@@ -205,7 +247,10 @@ func build(p buildParams) (*node, error) {
 	}
 	out.core = coreSrv
 
-	srv, err := netserve.NewServer(coreSrv, p.listen)
+	srv, err := netserve.NewServerOpts(coreSrv, p.listen, netserve.ServerOptions{
+		IdleTimeout:  p.idleTimeout,
+		WriteTimeout: p.writeTimeout,
+	})
 	if err != nil {
 		coreSrv.Close()
 		return nil, err

@@ -155,6 +155,8 @@ func TestBuildBadParams(t *testing.T) {
 		func(p *buildParams) { p.ingest = true; p.chunk = "bogus" },
 		func(p *buildParams) { p.files = "/nonexistent/nope.img" },
 		func(p *buildParams) { p.listen = "256.256.256.256:1" },
+		func(p *buildParams) { p.fault = "mode=nonsense" },
+		func(p *buildParams) { p.fetchTimeout = -time.Second },
 	}
 	for i, mutate := range cases {
 		p := testParams()
@@ -164,6 +166,35 @@ func TestBuildBadParams(t *testing.T) {
 			nd.Close()
 			t.Errorf("case %d: bad params accepted", i)
 		}
+	}
+}
+
+func TestBuildWithFaultScript(t *testing.T) {
+	p := testParams()
+	// Every third read-ahead fetch fails transiently; the retry knobs
+	// must absorb the faults with no client-visible error.
+	p.fault = "minlen=1048576,mode=err,every=3"
+	p.fetchRetries = 3
+	p.retryBackoff = time.Millisecond
+	p.fetchTimeout = 5 * time.Second
+	p.breakerThreshold = 50
+	p.idleTimeout = time.Minute
+	p.writeTimeout = time.Minute
+	nd, err := build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Close()
+	client, err := netserve.Dial(nd.srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if err := client.RunStreams(0, 256<<20, 4, 32, 64<<10, 0); err != nil {
+		t.Fatalf("RunStreams through fault script: %v", err)
+	}
+	if got := nd.core.Stats().FetchRetries; got == 0 {
+		t.Error("fault script injected no retried faults")
 	}
 }
 

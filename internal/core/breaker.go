@@ -1,0 +1,129 @@
+package core
+
+import (
+	"errors"
+	"time"
+)
+
+// ErrDiskDegraded fails a request fast because its disk's circuit
+// breaker is open: the disk has failed repeatedly and is cooling down.
+var ErrDiskDegraded = errors.New("core: disk degraded (circuit open)")
+
+// ErrFetchTimeout fails the waiters of a read-ahead fetch that stayed
+// outstanding past Config.FetchTimeout.
+var ErrFetchTimeout = errors.New("core: fetch timed out")
+
+// breakerState is the per-disk circuit state.
+type breakerState uint8
+
+const (
+	// breakerClosed: healthy, requests flow.
+	breakerClosed breakerState = iota
+	// breakerOpen: failing, requests fail fast until the cooldown
+	// elapses.
+	breakerOpen
+	// breakerHalfOpen: cooled down, traffic probes the disk; the first
+	// device outcome decides between closed and open.
+	breakerHalfOpen
+)
+
+// breaker is one disk's circuit. All access is under the server lock.
+type breaker struct {
+	state    breakerState
+	fails    int           // consecutive device failures
+	reopenAt time.Duration // open until this instant (server clock)
+}
+
+// breakerFor returns the disk's circuit, creating it lazily, or nil
+// when the breaker is disabled. Caller holds the lock.
+func (s *Server) breakerFor(disk int) *breaker {
+	if s.cfg.BreakerThreshold <= 0 {
+		return nil
+	}
+	b := s.breakers[disk]
+	if b == nil {
+		b = &breaker{}
+		s.breakers[disk] = b
+	}
+	return b
+}
+
+// breakerAllows reports whether a request for disk may proceed,
+// transitioning open → half-open once the cooldown elapses. Caller
+// holds the lock.
+func (s *Server) breakerAllows(disk int, now time.Duration) bool {
+	if s.cfg.BreakerThreshold <= 0 {
+		return true
+	}
+	b := s.breakers[disk]
+	if b == nil || b.state == breakerClosed || b.state == breakerHalfOpen {
+		return true
+	}
+	if now < b.reopenAt {
+		return false
+	}
+	b.state = breakerHalfOpen
+	return true
+}
+
+// diskBlocked reports whether disk is refusing traffic right now (open
+// and still cooling down). Dispatch skips blocked disks' streams.
+// Caller holds the lock.
+func (s *Server) diskBlocked(disk int, now time.Duration) bool {
+	if s.cfg.BreakerThreshold <= 0 {
+		return false
+	}
+	b := s.breakers[disk]
+	return b != nil && b.state == breakerOpen && now < b.reopenAt
+}
+
+// degradedDisks counts disks whose circuit is open. Caller holds the
+// lock.
+func (s *Server) degradedDisks() int {
+	n := 0
+	for _, b := range s.breakers {
+		if b.state == breakerOpen {
+			n++
+		}
+	}
+	return n
+}
+
+// noteDiskFailure records one device failure on disk, tripping the
+// circuit at the threshold (or instantly re-opening a probing one).
+// Caller holds the lock.
+func (s *Server) noteDiskFailure(disk int, now time.Duration) {
+	b := s.breakerFor(disk)
+	if b == nil {
+		return
+	}
+	b.fails++
+	trip := b.state == breakerHalfOpen ||
+		(b.state == breakerClosed && b.fails >= s.cfg.BreakerThreshold)
+	if trip {
+		b.state = breakerOpen
+		b.reopenAt = now + s.cfg.BreakerCooldown
+		s.stats.BreakerTrips++
+		if o := s.cfg.Obs; o != nil {
+			o.breakerTrips.Inc()
+		}
+	} else if b.state == breakerOpen {
+		// Failures of requests already in flight while open extend the
+		// cooldown: the disk is still sick.
+		b.reopenAt = now + s.cfg.BreakerCooldown
+	}
+}
+
+// noteDiskSuccess records one device success on disk, closing a
+// probing circuit. Caller holds the lock.
+func (s *Server) noteDiskSuccess(disk int) {
+	if s.cfg.BreakerThreshold <= 0 {
+		return
+	}
+	b := s.breakers[disk]
+	if b == nil {
+		return
+	}
+	b.fails = 0
+	b.state = breakerClosed
+}

@@ -66,6 +66,37 @@ type Config struct {
 	// candidate streams wait.
 	EvictIdle time.Duration
 
+	// FetchTimeout fails a read-ahead fetch that has been outstanding
+	// this long: its waiters receive ErrFetchTimeout, the staged buffer
+	// is reclaimed, and a late device completion is ignored. Without it
+	// a hung device read pins its stream — and the stream's staged
+	// memory — for the life of the process, because the collector skips
+	// streams with a fetch in flight. Zero disables (the default: the
+	// simulator's devices always complete).
+	FetchTimeout time.Duration
+	// FetchRetries re-issues a failed fetch up to this many times when
+	// the device error is transient (blockdev.IsTransient), with
+	// exponential backoff. Zero disables retries.
+	FetchRetries int
+	// RetryBackoff is the delay before the first fetch retry; it
+	// doubles on each subsequent attempt. Defaults to 10ms when
+	// FetchRetries is set.
+	RetryBackoff time.Duration
+
+	// BreakerThreshold opens a per-disk circuit after this many
+	// consecutive device failures (fetch errors, direct-read errors,
+	// fetch timeouts) on one disk. While open, that disk's requests
+	// fail fast with ErrDiskDegraded and its streams leave the dispatch
+	// set, so the remaining disks keep full dispatch — graceful
+	// degradation with M ≥ D·R·N still enforced on the healthy set.
+	// Zero disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit rejects requests
+	// before letting traffic probe the disk again; the first device
+	// success closes the circuit, the first failure re-opens it.
+	// Defaults to 5s when the breaker is enabled.
+	BreakerCooldown time.Duration
+
 	// Policy picks the next stream admitted to the dispatch set. Nil
 	// uses the paper's round-robin.
 	Policy DispatchPolicy
@@ -129,6 +160,12 @@ func (c *Config) ApplyDefaults() {
 	if c.EvictIdle == 0 {
 		c.EvictIdle = 500 * time.Millisecond
 	}
+	if c.FetchRetries > 0 && c.RetryBackoff == 0 {
+		c.RetryBackoff = 10 * time.Millisecond
+	}
+	if c.BreakerThreshold > 0 && c.BreakerCooldown == 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
 	if c.Policy == nil {
 		c.Policy = RoundRobin{}
 	}
@@ -176,6 +213,16 @@ func (c Config) Validate() error {
 		return errors.New("core: nil dispatch policy")
 	case c.NearSeqWindow < 0:
 		return errors.New("core: near-sequential window must be >= 0")
+	case c.FetchTimeout < 0:
+		return errors.New("core: fetch timeout must be >= 0")
+	case c.FetchRetries < 0:
+		return errors.New("core: fetch retries must be >= 0")
+	case c.FetchRetries > 0 && c.RetryBackoff <= 0:
+		return errors.New("core: retry backoff must be positive with retries enabled")
+	case c.BreakerThreshold < 0:
+		return errors.New("core: breaker threshold must be >= 0")
+	case c.BreakerThreshold > 0 && c.BreakerCooldown <= 0:
+		return errors.New("core: breaker cooldown must be positive with the breaker enabled")
 	}
 	return nil
 }

@@ -11,22 +11,26 @@ import (
 // the hot path pays a handful of uncontended atomic adds per request;
 // a nil *Obs in Config disables instrumentation entirely.
 type Obs struct {
-	requests        *obs.Counter
-	directReads     *obs.Counter
-	bufferHits      *obs.Counter
-	queuedServed    *obs.Counter
-	streamsDetected *obs.Counter
-	streamsRetired  *obs.Counter
-	streamsGCed     *obs.Counter
-	fetches         *obs.Counter
-	bytesFetched    *obs.Counter
-	bytesDelivered  *obs.Counter
-	buffersFreed    *obs.Counter
-	buffersGCed     *obs.Counter
-	buffersEvicted  *obs.Counter
-	nearSeqAccepted *obs.Counter
-	rotations       *obs.Counter
-	gcTicks         *obs.Counter
+	requests         *obs.Counter
+	directReads      *obs.Counter
+	bufferHits       *obs.Counter
+	queuedServed     *obs.Counter
+	streamsDetected  *obs.Counter
+	streamsRetired   *obs.Counter
+	streamsGCed      *obs.Counter
+	fetches          *obs.Counter
+	bytesFetched     *obs.Counter
+	bytesDelivered   *obs.Counter
+	buffersFreed     *obs.Counter
+	buffersGCed      *obs.Counter
+	buffersEvicted   *obs.Counter
+	nearSeqAccepted  *obs.Counter
+	rotations        *obs.Counter
+	gcTicks          *obs.Counter
+	fetchRetries     *obs.Counter
+	fetchTimeouts    *obs.Counter
+	breakerTrips     *obs.Counter
+	breakerFastFails *obs.Counter
 
 	memoryInUse       *obs.Gauge
 	peakMemory        *obs.Gauge
@@ -34,6 +38,7 @@ type Obs struct {
 	dispatchedStreams *obs.Gauge
 	activeStreams     *obs.Gauge
 	candidateQueue    *obs.Gauge
+	degradedDisks     *obs.Gauge
 
 	fetchLatency   *obs.Histogram
 	requestLatency *obs.Histogram
@@ -46,22 +51,26 @@ type Obs struct {
 // idempotent: repeated servers over one registry share families.
 func NewObs(reg *obs.Registry, spans *obs.SpanLog) *Obs {
 	return &Obs{
-		requests:        reg.Counter("seqstream_core_requests_total", "client requests submitted"),
-		directReads:     reg.Counter("seqstream_core_direct_reads_total", "requests serviced on the direct (non-sequential) path"),
-		bufferHits:      reg.Counter("seqstream_core_buffer_hits_total", "requests served immediately from a staged buffer"),
-		queuedServed:    reg.Counter("seqstream_core_queued_served_total", "requests served from a fetch they waited on"),
-		streamsDetected: reg.Counter("seqstream_core_streams_detected_total", "sequential streams detected by the classifier"),
-		streamsRetired:  reg.Counter("seqstream_core_streams_retired_total", "streams that reached end of disk"),
-		streamsGCed:     reg.Counter("seqstream_core_streams_gced_total", "idle streams removed by the garbage collector"),
-		fetches:         reg.Counter("seqstream_core_fetches_total", "read-ahead disk requests issued"),
-		bytesFetched:    reg.Counter("seqstream_core_fetched_bytes_total", "bytes of read-ahead issued to disks"),
-		bytesDelivered:  reg.Counter("seqstream_core_delivered_bytes_total", "bytes delivered to clients"),
-		buffersFreed:    reg.Counter("seqstream_core_buffers_freed_total", "staged buffers freed after full consumption"),
-		buffersGCed:     reg.Counter("seqstream_core_buffers_gced_total", "staged buffers freed by the garbage collector"),
-		buffersEvicted:  reg.Counter("seqstream_core_buffers_evicted_total", "staged buffers reclaimed under memory pressure"),
-		nearSeqAccepted: reg.Counter("seqstream_core_nearseq_accepted_total", "requests folded into a stream by proximity"),
-		rotations:       reg.Counter("seqstream_core_rotations_total", "streams rotated out of the dispatch set"),
-		gcTicks:         reg.Counter("seqstream_core_gc_ticks_total", "garbage collector sweeps"),
+		requests:         reg.Counter("seqstream_core_requests_total", "client requests submitted"),
+		directReads:      reg.Counter("seqstream_core_direct_reads_total", "requests serviced on the direct (non-sequential) path"),
+		bufferHits:       reg.Counter("seqstream_core_buffer_hits_total", "requests served immediately from a staged buffer"),
+		queuedServed:     reg.Counter("seqstream_core_queued_served_total", "requests served from a fetch they waited on"),
+		streamsDetected:  reg.Counter("seqstream_core_streams_detected_total", "sequential streams detected by the classifier"),
+		streamsRetired:   reg.Counter("seqstream_core_streams_retired_total", "streams that reached end of disk"),
+		streamsGCed:      reg.Counter("seqstream_core_streams_gced_total", "idle streams removed by the garbage collector"),
+		fetches:          reg.Counter("seqstream_core_fetches_total", "read-ahead disk requests issued"),
+		bytesFetched:     reg.Counter("seqstream_core_fetched_bytes_total", "bytes of read-ahead issued to disks"),
+		bytesDelivered:   reg.Counter("seqstream_core_delivered_bytes_total", "bytes delivered to clients"),
+		buffersFreed:     reg.Counter("seqstream_core_buffers_freed_total", "staged buffers freed after full consumption"),
+		buffersGCed:      reg.Counter("seqstream_core_buffers_gced_total", "staged buffers freed by the garbage collector"),
+		buffersEvicted:   reg.Counter("seqstream_core_buffers_evicted_total", "staged buffers reclaimed under memory pressure"),
+		nearSeqAccepted:  reg.Counter("seqstream_core_nearseq_accepted_total", "requests folded into a stream by proximity"),
+		rotations:        reg.Counter("seqstream_core_rotations_total", "streams rotated out of the dispatch set"),
+		gcTicks:          reg.Counter("seqstream_core_gc_ticks_total", "garbage collector sweeps"),
+		fetchRetries:     reg.Counter("seqstream_core_fetch_retries_total", "fetches re-issued after transient device errors"),
+		fetchTimeouts:    reg.Counter("seqstream_core_fetch_timeouts_total", "fetches failed by the fetch deadline"),
+		breakerTrips:     reg.Counter("seqstream_core_breaker_trips_total", "per-disk circuits opened"),
+		breakerFastFails: reg.Counter("seqstream_core_breaker_fast_fails_total", "requests failed fast by an open circuit"),
 
 		memoryInUse:       reg.Gauge("seqstream_core_memory_in_use_bytes", "bytes held in staging buffers"),
 		peakMemory:        reg.Gauge("seqstream_core_peak_memory_bytes", "high-water mark of staged bytes"),
@@ -69,6 +78,7 @@ func NewObs(reg *obs.Registry, spans *obs.SpanLog) *Obs {
 		dispatchedStreams: reg.Gauge("seqstream_core_dispatched_streams", "streams in the dispatch set (bounded by D)"),
 		activeStreams:     reg.Gauge("seqstream_core_active_streams", "classified streams"),
 		candidateQueue:    reg.Gauge("seqstream_core_candidate_queue_depth", "streams waiting for a dispatch slot"),
+		degradedDisks:     reg.Gauge("seqstream_core_degraded_disks", "disks with an open circuit breaker"),
 
 		fetchLatency:   reg.Histogram("seqstream_core_fetch_latency_seconds", "read-ahead disk request latency"),
 		requestLatency: reg.Histogram("seqstream_core_request_latency_seconds", "client request service latency"),
@@ -107,4 +117,5 @@ func (s *Server) syncGauges() {
 	o.dispatchedStreams.Set(int64(s.dispatched))
 	o.activeStreams.Set(int64(len(s.streams)))
 	o.candidateQueue.Set(int64(len(s.candidates)))
+	o.degradedDisks.Set(int64(s.degradedDisks()))
 }

@@ -41,25 +41,30 @@ type Response struct {
 // Stats accumulates server counters. MemoryInUse and LiveBuffers are
 // gauges; the rest are monotonic.
 type Stats struct {
-	Requests        int64
-	DirectReads     int64
-	BufferHits      int64 // served immediately from a staged buffer
-	QueuedServed    int64 // served from a fetch the request waited on
-	StreamsDetected int64
-	StreamsRetired  int64 // streams that reached end of disk
-	StreamsGCed     int64
-	Fetches         int64
-	BytesFetched    int64
-	BytesDelivered  int64
-	BuffersFreed    int64
-	BuffersGCed     int64
-	BuffersEvicted  int64 // reclaimed under memory pressure (LRU)
-	NearSeqAccepted int64 // requests folded into a stream by proximity
-	BytesSkipped    int64 // gap bytes credited as consumed (near-seq)
-	RegionsGCed     int64
-	MemoryInUse     int64
-	PeakMemory      int64
-	LiveBuffers     int64
+	Requests         int64
+	DirectReads      int64
+	BufferHits       int64 // served immediately from a staged buffer
+	QueuedServed     int64 // served from a fetch the request waited on
+	StreamsDetected  int64
+	StreamsRetired   int64 // streams that reached end of disk
+	StreamsGCed      int64
+	Fetches          int64
+	BytesFetched     int64
+	BytesDelivered   int64
+	BuffersFreed     int64
+	BuffersGCed      int64
+	BuffersEvicted   int64 // reclaimed under memory pressure (LRU)
+	NearSeqAccepted  int64 // requests folded into a stream by proximity
+	BytesSkipped     int64 // gap bytes credited as consumed (near-seq)
+	RegionsGCed      int64
+	FetchRetries     int64 // fetches re-issued after transient device errors
+	FetchTimeouts    int64 // fetches failed by the FetchTimeout deadline
+	BreakerTrips     int64 // per-disk circuits opened
+	BreakerFastFails int64 // requests failed fast by an open circuit
+	MemoryInUse      int64
+	PeakMemory       int64
+	LiveBuffers      int64
+	DisksDegraded    int64 // disks with an open circuit (gauge)
 }
 
 type offKey struct {
@@ -86,6 +91,7 @@ type Server struct {
 	dispatched int
 	perDisk    map[int]int   // dispatched streams per disk
 	lastOffset map[int]int64 // last fetch end per disk (for policies)
+	breakers   map[int]*breaker
 	memUsed    int64
 	bufCount   int
 	nextID     int
@@ -122,6 +128,7 @@ func NewServer(dev blockdev.Device, clock blockdev.Clock, cfg Config) (*Server, 
 		streams:    make(map[int]*stream),
 		perDisk:    make(map[int]int),
 		lastOffset: make(map[int]int64),
+		breakers:   make(map[int]*breaker),
 	}
 	if acct, ok := dev.(blockdev.BufferAccounting); ok {
 		s.acct = acct
@@ -162,6 +169,7 @@ func (s *Server) statsLocked() Stats {
 	st := s.stats
 	st.MemoryInUse = s.memUsed
 	st.LiveBuffers = int64(s.bufCount)
+	st.DisksDegraded = int64(s.degradedDisks())
 	return st
 }
 
@@ -285,6 +293,20 @@ func (s *Server) Submit(req Request) error {
 	s.stats.Requests++
 	if o := s.cfg.Obs; o != nil {
 		o.requests.Inc()
+	}
+
+	// Degraded path: an open circuit fails the disk's requests fast
+	// instead of queuing them behind a sick device, so client threads
+	// (and the staging memory behind them) never pile up on it.
+	if !s.breakerAllows(req.Disk, now) {
+		s.stats.BreakerFastFails++
+		if o := s.cfg.Obs; o != nil {
+			o.breakerFastFails.Inc()
+		}
+		s.syncGauges()
+		s.mu.Unlock()
+		s.complete(req.Done, Response{Start: now, Direct: true, Err: ErrDiskDegraded})
+		return nil
 	}
 
 	// Stream path: the request continues a classified stream.
@@ -451,6 +473,12 @@ func (s *Server) eligible(st *stream) bool {
 	if st.nextFetch >= s.dev.Capacity(st.disk) {
 		return false
 	}
+	if s.diskBlocked(st.disk, s.clock.Now()) {
+		// An open circuit keeps the stream out of the dispatch set; it
+		// re-enters on the next client request after the disk recovers
+		// (or is collected once it idles out).
+		return false
+	}
 	ahead := st.nextFetch - st.nextClient
 	return ahead < int64(s.cfg.RequestsPerStream)*s.cfg.ReadAhead
 }
@@ -501,6 +529,11 @@ func (s *Server) directRead(req Request, now time.Duration) {
 			s.mu.Lock()
 			s.stats.BytesDelivered += req.Length
 			end := s.clock.Now()
+			if derr != nil {
+				s.noteDiskFailure(req.Disk, end)
+			} else {
+				s.noteDiskSuccess(req.Disk)
+			}
 			if o := s.cfg.Obs; o != nil {
 				o.bytesDelivered.Add(req.Length)
 				o.requestLatency.Observe(end - now)
@@ -584,11 +617,21 @@ func (s *Server) pump() {
 		// fairly: each disk holds at most ceil(D/#disks) slots, and
 		// among admittable candidates those on the least-loaded disk
 		// win; the policy picks within that set (FIFO for the paper's
-		// round-robin).
-		ndisks := s.dev.Disks()
+		// round-robin). Disks with an open circuit are excluded on both
+		// sides: their candidates cannot be admitted, and they do not
+		// count toward the fair share, so the healthy disks keep the
+		// full dispatch set between them.
+		now := s.clock.Now()
+		ndisks := s.dev.Disks() - s.degradedDisks()
+		if ndisks < 1 {
+			ndisks = 1
+		}
 		maxPerDisk := (s.cfg.DispatchSize + ndisks - 1) / ndisks
 		minLoad := -1
 		for _, c := range s.candidates {
+			if s.diskBlocked(c.disk, now) {
+				continue
+			}
 			load := s.perDisk[c.disk]
 			if load >= maxPerDisk {
 				continue
@@ -598,12 +641,12 @@ func (s *Server) pump() {
 			}
 		}
 		if minLoad < 0 {
-			return // every candidate's disk is at its fair share
+			return // every candidate's disk is at its fair share (or blocked)
 		}
 		eligibleIdx := make([]int, 0, len(s.candidates))
 		filtered := make([]*stream, 0, len(s.candidates))
 		for i, c := range s.candidates {
-			if s.perDisk[c.disk] == minLoad {
+			if s.perDisk[c.disk] == minLoad && !s.diskBlocked(c.disk, now) {
 				eligibleIdx = append(eligibleIdx, i)
 				filtered = append(filtered, c)
 			}
@@ -778,8 +821,15 @@ func (s *Server) issueFetch(st *stream) {
 	// The device call runs off-lock (flushIO). The stream cannot issue
 	// a second fetch meanwhile: fetchInFlight stays set until the
 	// completion path clears it.
-	s.pendingIO = append(s.pendingIO, func() {
-		err := s.dev.ReadAt(st.disk, b.start, flen, func(data []byte, derr error) {
+	s.armFetchDeadline(st, b)
+	s.pendingIO = append(s.pendingIO, s.fetchCall(st, b))
+}
+
+// fetchCall builds the off-lock device call for a buffer's fetch (and
+// its retries). Caller holds the lock.
+func (s *Server) fetchCall(st *stream, b *buffer) func() {
+	return func() {
+		err := s.dev.ReadAt(st.disk, b.start, b.size(), func(data []byte, derr error) {
 			s.onFetchDone(st, b, data, derr)
 		})
 		if err != nil {
@@ -787,6 +837,80 @@ func (s *Server) issueFetch(st *stream) {
 			// treat it as a failed fetch so waiters are not wedged.
 			s.onFetchDone(st, b, nil, err)
 		}
+	}
+}
+
+// armFetchDeadline starts the FetchTimeout timer for a buffer's fetch,
+// replacing any previous timer. Caller holds the lock.
+func (s *Server) armFetchDeadline(st *stream, b *buffer) {
+	if s.cfg.FetchTimeout <= 0 {
+		return
+	}
+	if b.cancelTimeout != nil {
+		b.cancelTimeout()
+	}
+	b.cancelTimeout = s.clock.Schedule(s.cfg.FetchTimeout, func() {
+		s.onFetchTimeout(st, b)
+	})
+}
+
+// onFetchTimeout fires when a fetch outlives FetchTimeout: the waiters
+// covered by the buffer receive ErrFetchTimeout, the staged memory is
+// reclaimed, and the stream leaves the dispatch set so the slot goes to
+// a live stream. The late device completion, if it ever arrives, is
+// dropped by the abandoned flag. The timeout counts as a device
+// failure toward the disk's circuit.
+func (s *Server) onFetchTimeout(st *stream, b *buffer) {
+	s.mu.Lock()
+	if b.ready || b.abandoned {
+		s.mu.Unlock()
+		return // completed (or already timed out) before the timer ran
+	}
+	b.abandoned = true
+	b.cancelTimeout = nil
+	st.fetchInFlight = false
+	now := s.clock.Now()
+	s.stats.FetchTimeouts++
+	if o := s.cfg.Obs; o != nil {
+		o.fetchTimeouts.Inc()
+	}
+	s.traceEvent(trace.Event{Kind: trace.KindFetch, Stream: st.id, Disk: st.disk, Offset: b.start,
+		Length: b.size(), Start: b.issuedAt, End: now, Err: ErrFetchTimeout.Error()})
+	s.noteDiskFailure(st.disk, now)
+	var failed []pendingReq
+	st.queue, failed = splitCovered(st.queue, b)
+	s.freeBuffer(st, b, false)
+	s.parkStream(st)
+	s.checkInvariants()
+	s.syncGauges()
+	s.mu.Unlock()
+	for _, p := range failed {
+		s.complete(p.done, Response{Start: p.start, Err: ErrFetchTimeout})
+	}
+	s.flushIO()
+}
+
+// scheduleRetry re-issues a transiently-failed fetch after exponential
+// backoff (RetryBackoff doubling per attempt). The buffer stays live —
+// memory accounted, waiters queued, fetchInFlight held — so the stream
+// cannot double-fetch the range meanwhile. The FetchTimeout deadline
+// is NOT re-armed: it bounds the whole fetch, retries included, and
+// may fire mid-backoff. Caller holds the lock.
+func (s *Server) scheduleRetry(st *stream, b *buffer) {
+	s.stats.FetchRetries++
+	if o := s.cfg.Obs; o != nil {
+		o.fetchRetries.Inc()
+	}
+	backoff := s.cfg.RetryBackoff << (b.attempts - 1)
+	s.clock.Schedule(backoff, func() {
+		s.mu.Lock()
+		if b.abandoned {
+			s.mu.Unlock()
+			return // timed out while backing off
+		}
+		s.pendingIO = append(s.pendingIO, s.fetchCall(st, b))
+		s.mu.Unlock()
+		s.flushIO()
 	})
 }
 
@@ -797,6 +921,25 @@ func (s *Server) issueFetch(st *stream) {
 func (s *Server) onFetchDone(st *stream, b *buffer, data []byte, derr error) {
 	s.mu.Lock()
 	now := s.clock.Now()
+	if b.abandoned {
+		// The fetch already hit FetchTimeout: memory reclaimed, waiters
+		// failed, stream parked. Drop the late completion.
+		s.mu.Unlock()
+		return
+	}
+	if derr != nil && b.attempts < s.cfg.FetchRetries && blockdev.IsTransient(derr) {
+		// Transient device error with retry budget left: re-issue the
+		// same fetch after backoff instead of failing its waiters. The
+		// deadline timer stays armed across attempts.
+		b.attempts++
+		s.scheduleRetry(st, b)
+		s.mu.Unlock()
+		return
+	}
+	if b.cancelTimeout != nil {
+		b.cancelTimeout()
+		b.cancelTimeout = nil
+	}
 	b.ready = true
 	b.data = data
 	b.lastActive = now
@@ -816,10 +959,11 @@ func (s *Server) onFetchDone(st *stream, b *buffer, data []byte, derr error) {
 
 	if derr != nil {
 		// Fail everything waiting on this buffer and drop it.
+		s.noteDiskFailure(st.disk, now)
 		var failed []pendingReq
 		st.queue, failed = splitCovered(st.queue, b)
 		s.freeBuffer(st, b, false)
-		s.rotateOut(st)
+		s.parkStream(st)
 		s.checkInvariants()
 		s.syncGauges()
 		s.mu.Unlock()
@@ -829,6 +973,8 @@ func (s *Server) onFetchDone(st *stream, b *buffer, data []byte, derr error) {
 		s.flushIO()
 		return
 	}
+
+	s.noteDiskSuccess(st.disk)
 
 	// Issue path first.
 	if st.dispatched {
@@ -890,30 +1036,49 @@ func splitCovered(queue []pendingReq, b *buffer) (kept, covered []pendingReq) {
 // requests it is replaced by the next sequential stream) and re-queues
 // it as a candidate when it still has work. Caller holds the lock.
 func (s *Server) rotateOut(st *stream) {
-	if st.dispatched {
-		st.dispatched = false
-		s.dispatched--
-		if s.perDisk[st.disk] > 0 {
-			s.perDisk[st.disk]--
-		}
-		// Rotation is worth a timeline entry: dispatch-set churn is the
-		// §4.2 mechanism the paper's fairness argument rests on.
-		if s.cfg.Obs != nil || s.cfg.Trace != nil {
-			now := s.clock.Now()
-			if o := s.cfg.Obs; o != nil {
-				o.rotations.Inc()
-				o.span(st.id, st.disk, obs.StageRotate, st.nextFetch, 0)
-			}
-			s.traceEvent(trace.Event{Kind: trace.KindRotate, Stream: st.id, Disk: st.disk,
-				Offset: st.nextFetch, Start: now, End: now})
-		}
-	}
+	s.unDispatch(st)
 	st.issuedInResidency = 0
 	if !st.queued && s.eligible(st) {
 		s.enqueueCandidate(st)
 	}
 	s.maybeRetire(st)
 	s.pump()
+}
+
+// parkStream removes a stream whose fetch failed (or timed out) from
+// the dispatch set without re-admitting it to the candidate queue:
+// speculatively prefetching the next window of a stream that just lost
+// its staged data — with nobody waiting — only burns a sick disk
+// further. The stream re-enters on its next client request (or idles
+// out and is collected). Caller holds the lock.
+func (s *Server) parkStream(st *stream) {
+	s.unDispatch(st)
+	st.issuedInResidency = 0
+	s.maybeRetire(st)
+	s.pump()
+}
+
+// unDispatch releases a stream's dispatch slot. Caller holds the lock.
+func (s *Server) unDispatch(st *stream) {
+	if !st.dispatched {
+		return
+	}
+	st.dispatched = false
+	s.dispatched--
+	if s.perDisk[st.disk] > 0 {
+		s.perDisk[st.disk]--
+	}
+	// Rotation is worth a timeline entry: dispatch-set churn is the
+	// §4.2 mechanism the paper's fairness argument rests on.
+	if s.cfg.Obs != nil || s.cfg.Trace != nil {
+		now := s.clock.Now()
+		if o := s.cfg.Obs; o != nil {
+			o.rotations.Inc()
+			o.span(st.id, st.disk, obs.StageRotate, st.nextFetch, 0)
+		}
+		s.traceEvent(trace.Event{Kind: trace.KindRotate, Stream: st.id, Disk: st.disk,
+			Offset: st.nextFetch, Start: now, End: now})
+	}
 }
 
 // freeBuffer releases a staged buffer's memory. Caller holds the lock.

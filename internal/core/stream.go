@@ -62,6 +62,16 @@ type buffer struct {
 	// issuedAt is when the fetch was generated (tracing).
 	issuedAt time.Duration
 	owner    *stream
+
+	// attempts counts retries of this buffer's fetch after transient
+	// device errors.
+	attempts int
+	// abandoned marks a fetch that hit FetchTimeout: its memory is
+	// already reclaimed and its waiters failed, so a late device
+	// completion (or queued retry) must be dropped.
+	abandoned bool
+	// cancelTimeout stops the pending fetch-deadline timer.
+	cancelTimeout func()
 }
 
 func (b *buffer) size() int64 { return b.end - b.start }

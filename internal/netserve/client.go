@@ -19,14 +19,15 @@ import (
 // response, never exceeding the maximum number of outstanding I/Os",
 // keeping a handle for each pending request.
 type Client struct {
-	conn  net.Conn
-	rec   *metrics.Recorder
-	clock blockdev.Clock
+	conn net.Conn
+	rec  *metrics.Recorder
+	opts ClientOptions
 
-	mu      sync.Mutex
-	nextID  uint64
-	pending map[uint64]pendingHandle
-	closed  bool
+	mu           sync.Mutex
+	nextID       uint64
+	pending      map[uint64]pendingHandle
+	closed       bool
+	readerExited bool
 
 	readerDone chan struct{}
 	readerErr  error
@@ -37,32 +38,107 @@ type pendingHandle struct {
 	length int64
 	sent   time.Duration
 	done   func(Response, time.Duration)
+	// cancelTimeout stops the per-request deadline timer (nil when
+	// RequestTimeout is disabled).
+	cancelTimeout func()
 }
+
+// ClientOptions tune a client's failure handling. The zero value —
+// wall clock, no deadlines — matches the original trusting behavior.
+type ClientOptions struct {
+	// Clock timestamps requests and drives the request-timeout timers.
+	// Nil uses the wall clock. It must be safe for concurrent use: the
+	// read loop queries it from its own goroutine.
+	Clock blockdev.Clock
+	// RequestTimeout completes a request that has been outstanding this
+	// long with StatusTimeout, so a wedged server cannot strand the
+	// caller. The response, if it ever arrives, is dropped. Zero waits
+	// forever.
+	RequestTimeout time.Duration
+	// WriteTimeout bounds each request-frame write to the socket. Zero
+	// means no deadline.
+	WriteTimeout time.Duration
+}
+
+// ErrDisconnected is the terminal error pending requests are failed
+// with when the connection dies under them.
+var ErrDisconnected = errors.New("netserve: connection lost")
 
 // Dial connects to a storage node, timestamping requests with the
 // wall clock.
 func Dial(addr string) (*Client, error) {
-	return DialClock(addr, blockdev.NewRealClock())
+	return DialOpts(addr, ClientOptions{})
 }
 
 // DialClock connects to a storage node with an injected clock, so
 // tests (and simulated deployments) control the latency measurements
-// instead of the wall clock. The clock must be safe for concurrent
-// use: the read loop queries it from its own goroutine.
+// instead of the wall clock.
 func DialClock(addr string, clock blockdev.Clock) (*Client, error) {
+	return DialOpts(addr, ClientOptions{Clock: clock})
+}
+
+// DialOpts connects to a storage node with explicit failure-handling
+// options.
+func DialOpts(addr string, opts ClientOptions) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("netserve: %w", err)
 	}
+	if opts.Clock == nil {
+		opts.Clock = blockdev.NewRealClock()
+	}
 	c := &Client{
 		conn:       conn,
 		rec:        metrics.NewRecorder(),
-		clock:      clock,
+		opts:       opts,
 		pending:    make(map[uint64]pendingHandle),
 		readerDone: make(chan struct{}),
 	}
 	go c.readLoop()
 	return c, nil
+}
+
+// DialRetry dials with up to attempts tries, sleeping between failures
+// with doubling, jittered, capped backoff. It returns the last dial
+// error when every attempt fails. Storage nodes restart; their clients
+// should ride it out instead of dying on the first refused connection.
+func DialRetry(addr string, opts ClientOptions, attempts int, backoff time.Duration) (*Client, error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	const maxBackoff = 2 * time.Second
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		c, err := DialOpts(addr, opts)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+		if i == attempts-1 {
+			break
+		}
+		d := backoff << uint(i)
+		if d > maxBackoff {
+			d = maxBackoff
+		}
+		// Deterministic per-attempt jitter in [d/2, d): desynchronizes
+		// a fleet of restarting clients without pulling in a PRNG.
+		d = d/2 + time.Duration(splitmix64(uint64(i)+uint64(time.Now().UnixNano())))%(d/2+1)
+		time.Sleep(d)
+	}
+	return nil, fmt.Errorf("netserve: dial %s failed after %d attempts: %w", addr, attempts, lastErr)
+}
+
+// splitmix64 is the standard 64-bit mixer (public domain), used only
+// to spread dial-retry jitter.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // Recorder returns the client's metrics.
@@ -91,24 +167,70 @@ func (c *Client) Go(stream int, disk uint16, off, length int64, flags uint16,
 		c.mu.Unlock()
 		return errors.New("netserve: client closed")
 	}
+	if c.readerExited {
+		// The reader has already failed and drained the pending map; a
+		// handle registered now would never be completed.
+		err := c.readerErr
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrDisconnected
+		}
+		return fmt.Errorf("netserve: %w", err)
+	}
 	id := c.nextID
 	c.nextID++
-	c.pending[id] = pendingHandle{
+	h := pendingHandle{
 		stream: stream,
 		length: length,
-		sent:   c.clock.Now(),
+		sent:   c.opts.Clock.Now(),
 		done:   done,
 	}
+	if c.opts.RequestTimeout > 0 {
+		h.cancelTimeout = c.opts.Clock.Schedule(c.opts.RequestTimeout, func() {
+			c.expire(id)
+		})
+	}
+	c.pending[id] = h
 	c.mu.Unlock()
 
+	if c.opts.WriteTimeout > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(c.opts.WriteTimeout))
+	}
 	err := WriteRequest(c.conn, Request{ID: id, Disk: disk, Flags: flags, Offset: off, Length: length})
 	if err != nil {
 		c.mu.Lock()
-		delete(c.pending, id)
+		h, ok := c.pending[id]
+		if ok {
+			delete(c.pending, id)
+		}
 		c.mu.Unlock()
+		if !ok {
+			// The handle was already completed (request timeout or
+			// reader drain) — its callback has run, so returning the
+			// write error here would double-complete the request.
+			return nil
+		}
+		if h.cancelTimeout != nil {
+			h.cancelTimeout()
+		}
 		return fmt.Errorf("netserve: %w", err)
 	}
 	return nil
+}
+
+// expire completes a request that outlived RequestTimeout with
+// StatusTimeout. The server's response, if it ever arrives, finds no
+// handle and is dropped.
+func (c *Client) expire(id uint64) {
+	c.mu.Lock()
+	h, ok := c.pending[id]
+	if ok {
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+	if ok && h.done != nil {
+		h.done(Response{ID: id, Status: StatusTimeout}, c.opts.RequestTimeout)
+	}
 }
 
 // Outstanding returns the number of pending requests.
@@ -134,14 +256,10 @@ func (c *Client) readLoop() {
 	for {
 		resp, err := ReadResponse(c.conn)
 		if err != nil {
-			c.mu.Lock()
-			if !c.closed {
-				c.readerErr = err
-			}
-			c.mu.Unlock()
+			c.failPending(err)
 			return
 		}
-		now := c.clock.Now()
+		now := c.opts.Clock.Now()
 		c.mu.Lock()
 		h, ok := c.pending[resp.ID]
 		if ok {
@@ -151,8 +269,38 @@ func (c *Client) readLoop() {
 			}
 		}
 		c.mu.Unlock()
-		if ok && h.done != nil {
-			h.done(resp, now-h.sent)
+		if ok {
+			if h.cancelTimeout != nil {
+				h.cancelTimeout()
+			}
+			if h.done != nil {
+				h.done(resp, now-h.sent)
+			}
+		}
+	}
+}
+
+// failPending drains the pending map when the reader exits, completing
+// every outstanding handle with StatusDisconnected. Without this,
+// callers counting completions (RunStreams' WaitGroup, streamload's
+// issue loops) deadlock forever on requests whose responses can no
+// longer arrive.
+func (c *Client) failPending(err error) {
+	now := c.opts.Clock.Now()
+	c.mu.Lock()
+	if !c.closed {
+		c.readerErr = err
+	}
+	c.readerExited = true
+	orphans := c.pending
+	c.pending = make(map[uint64]pendingHandle)
+	c.mu.Unlock()
+	for id, h := range orphans {
+		if h.cancelTimeout != nil {
+			h.cancelTimeout()
+		}
+		if h.done != nil {
+			h.done(Response{ID: id, Status: StatusDisconnected}, now-h.sent)
 		}
 	}
 }
@@ -167,6 +315,14 @@ func (c *Client) RunStreams(disk uint16, capacity int64, streams, requests int,
 	}
 	spacing := capacity / int64(streams)
 	spacing -= spacing % 512
+	if spacing < reqSize {
+		// With more streams than capacity/reqSize the spacing rounds
+		// toward zero and the streams would trample each other's
+		// offsets (at zero, every stream reads the same blocks and the
+		// "sequential" workload degenerates entirely).
+		return fmt.Errorf("netserve: %d streams over capacity %d leaves spacing %d < request size %d",
+			streams, capacity, spacing, reqSize)
+	}
 	var wg sync.WaitGroup
 	errs := make(chan error, streams)
 	for s := 0; s < streams; s++ {

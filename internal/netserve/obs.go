@@ -13,6 +13,7 @@ type Obs struct {
 	requests  *obs.Counter
 	errors    *obs.Counter
 	readBytes *obs.Counter
+	dropped   *obs.Counter
 
 	openConns *obs.Gauge
 
@@ -27,6 +28,7 @@ func NewObs(reg *obs.Registry) *Obs {
 		requests:  reg.Counter("seqstream_netserve_requests_total", "wire requests decoded"),
 		errors:    reg.Counter("seqstream_netserve_errors_total", "requests rejected before reaching the node"),
 		readBytes: reg.Counter("seqstream_netserve_read_bytes_total", "payload bytes served to clients"),
+		dropped:   reg.Counter("seqstream_netserve_dropped_responses_total", "responses discarded because the connection writer had exited"),
 
 		openConns: reg.Gauge("seqstream_netserve_open_connections", "currently connected clients"),
 

@@ -38,6 +38,13 @@ const (
 	StatusBadRequest
 	StatusIOError
 	StatusShutdown
+	// StatusTimeout is synthesized by the client when a request
+	// outlives its per-request deadline; it never crosses the wire.
+	StatusTimeout
+	// StatusDisconnected is synthesized by the client for requests
+	// still pending when the connection dies; it never crosses the
+	// wire.
+	StatusDisconnected
 )
 
 // reqHeaderSize and respHeaderSize are the wire sizes.

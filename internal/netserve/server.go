@@ -6,6 +6,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"seqstream/internal/core"
 )
@@ -17,6 +18,7 @@ type Server struct {
 	node   *core.Server
 	ingest *core.Ingest
 	ln     net.Listener
+	opts   ServerOptions
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -33,19 +35,44 @@ type ServerStats struct {
 	Requests  int64
 	Errors    int64
 	BytesRead int64
+	// DroppedResponses counts completions discarded because their
+	// connection's writer had already exited (dead peer).
+	DroppedResponses int64
+}
+
+// ServerOptions tune a server's failure handling. The zero value — no
+// deadlines — matches the original trusting behavior.
+type ServerOptions struct {
+	// IdleTimeout closes a connection that sends no request for this
+	// long, so silently dead peers cannot pin handler goroutines (and
+	// their pending completions) forever. Zero waits forever.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each response write. A peer that stops
+	// reading exhausts the response channel's slack and would
+	// otherwise wedge the writer permanently. Zero means no deadline.
+	WriteTimeout time.Duration
 }
 
 // NewServer wraps a storage node and starts listening on addr
 // (host:port; port 0 picks a free port).
 func NewServer(node *core.Server, addr string) (*Server, error) {
+	return NewServerOpts(node, addr, ServerOptions{})
+}
+
+// NewServerOpts wraps a storage node with explicit failure-handling
+// options.
+func NewServerOpts(node *core.Server, addr string, opts ServerOptions) (*Server, error) {
 	if node == nil {
 		return nil, errors.New("netserve: nil node")
+	}
+	if opts.IdleTimeout < 0 || opts.WriteTimeout < 0 {
+		return nil, errors.New("netserve: negative timeout")
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("netserve: %w", err)
 	}
-	s := &Server{node: node, ln: ln, conns: make(map[net.Conn]struct{})}
+	s := &Server{node: node, ln: ln, opts: opts, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -138,16 +165,41 @@ func (s *Server) handle(conn net.Conn, o *Obs) {
 	go func() {
 		defer close(writerDone)
 		for resp := range responses {
+			if s.opts.WriteTimeout > 0 {
+				conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+			}
 			if err := WriteResponse(conn, resp); err != nil {
+				// Unblock the reader too: the connection is dead in one
+				// direction, so stop consuming requests that can never
+				// be answered.
+				conn.Close()
 				return
 			}
 		}
 	}()
+	// send delivers a response to the writer, or drops it if the writer
+	// has already exited — a completion callback must never block
+	// forever on a channel nobody drains.
+	send := func(resp Response) {
+		select {
+		case responses <- resp:
+		case <-writerDone:
+			s.mu.Lock()
+			s.stats.DroppedResponses++
+			s.mu.Unlock()
+			if o != nil {
+				o.dropped.Inc()
+			}
+		}
+	}
 	// The reader loop owns closing the response channel, after every
 	// submitted request has completed.
 	var pending sync.WaitGroup
 
 	for {
+		if s.opts.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+		}
 		req, err := ReadRequest(conn)
 		if err != nil {
 			break
@@ -164,7 +216,7 @@ func (s *Server) handle(conn net.Conn, o *Obs) {
 			ing := s.ingest
 			s.mu.Unlock()
 			if ing == nil {
-				responses <- Response{ID: req.ID, Status: StatusBadRequest}
+				send(Response{ID: req.ID, Status: StatusBadRequest})
 				continue
 			}
 			pending.Add(1)
@@ -181,7 +233,7 @@ func (s *Server) handle(conn net.Conn, o *Obs) {
 						o.readBytes.Add(req.Length)
 					}
 				}
-				responses <- resp
+				send(resp)
 			})
 			if werr != nil {
 				pending.Done()
@@ -191,7 +243,7 @@ func (s *Server) handle(conn net.Conn, o *Obs) {
 				if o != nil {
 					o.errors.Inc()
 				}
-				responses <- Response{ID: req.ID, Status: StatusBadRequest}
+				send(Response{ID: req.ID, Status: StatusBadRequest})
 			}
 			continue
 		}
@@ -206,7 +258,11 @@ func (s *Server) handle(conn net.Conn, o *Obs) {
 				defer pending.Done()
 				resp := Response{ID: req.ID, Status: StatusOK}
 				if r.Err != nil {
-					resp.Status = StatusIOError
+					if errors.Is(r.Err, core.ErrFetchTimeout) {
+						resp.Status = StatusTimeout
+					} else {
+						resp.Status = StatusIOError
+					}
 				} else {
 					s.mu.Lock()
 					s.stats.BytesRead += req.Length
@@ -219,10 +275,10 @@ func (s *Server) handle(conn net.Conn, o *Obs) {
 						resp.Data = r.Data
 					}
 				}
-				// A full channel applies backpressure to completions,
-				// never blocking the reader indefinitely because the
-				// writer drains it.
-				responses <- resp
+				// A full channel applies backpressure to completions
+				// while the writer drains it; a dead writer sheds them
+				// instead (send never blocks forever).
+				send(resp)
 			},
 		})
 		if submitErr != nil {
@@ -233,7 +289,7 @@ func (s *Server) handle(conn net.Conn, o *Obs) {
 			if o != nil {
 				o.errors.Inc()
 			}
-			responses <- Response{ID: req.ID, Status: StatusBadRequest}
+			send(Response{ID: req.ID, Status: StatusBadRequest})
 		}
 	}
 	pending.Wait()
