@@ -1,11 +1,14 @@
 // Command experiment regenerates the paper's figures on the simulated
-// I/O hierarchy and prints the series as text tables.
+// I/O hierarchy and prints the series as text tables. It also hosts
+// the host-path benchmark (-bench-json), which measures the real
+// scheduler — not the simulation — against an in-memory device.
 //
 // Usage:
 //
 //	experiment -list
 //	experiment -fig fig10
 //	experiment -all -quick
+//	experiment -bench-json BENCH_core.json
 package main
 
 import (
@@ -15,6 +18,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"seqstream/internal/bench"
 	"seqstream/internal/experiments"
 	"seqstream/internal/obs"
 )
@@ -38,9 +42,27 @@ func run(args []string) error {
 		seed    = fs.Uint64("seed", 1, "simulation seed")
 		csvDir  = fs.String("csv", "", "also write <dir>/<id>.csv per experiment")
 		metrics = fs.String("metrics", "", "emit a Prometheus-text registry snapshot per experiment: '-' for stdout, else <dir>/<id>.prom")
+
+		benchJSON     = fs.String("bench-json", "", "run the host-path core benchmark (sharded vs single-lock) and write the report to this path")
+		benchDisks    = fs.Int("bench-disks", 64, "bench: number of in-memory disks")
+		benchStreams  = fs.Int("bench-streams", 512, "bench: concurrent sequential streams")
+		benchRequests = fs.Int("bench-requests", 200, "bench: requests per stream")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *benchJSON != "" {
+		rep, err := bench.RunComparison(bench.Config{
+			Disks:    *benchDisks,
+			Streams:  *benchStreams,
+			Requests: *benchRequests,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep.Summary())
+		return rep.WriteJSON(*benchJSON)
 	}
 
 	if *list {

@@ -267,6 +267,9 @@ func build(p buildParams) (*node, error) {
 		ing, err := core.NewIngest(dev, clock, core.IngestConfig{
 			ChunkSize: chunkBytes,
 			Memory:    mem,
+			// Share the read path's staging pool (nil on simulated
+			// devices) so chunk buffers recycle instead of allocating.
+			Pool: coreSrv.Pool(),
 		})
 		if err != nil {
 			out.Close()

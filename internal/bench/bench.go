@@ -1,0 +1,264 @@
+// Package bench measures the storage node's host-path performance —
+// scheduling throughput, allocation rate, and client-request latency
+// — against an in-memory device with zero latency, so the scheduler
+// itself is the bottleneck rather than the (simulated or real) disks.
+// It backs `experiment -bench-json` and the CI bench-smoke job; see
+// EXPERIMENTS.md ("Host-path performance") for how to read the
+// numbers.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"seqstream/internal/blockdev"
+	"seqstream/internal/core"
+)
+
+// Config parameterizes one bench run.
+type Config struct {
+	// Disks is the number of in-memory drives (default 64).
+	Disks int
+	// Streams is the number of concurrent sequential client streams
+	// (default 512). Streams are spread over the disks round-robin.
+	Streams int
+	// Requests is the number of requests each stream issues serially
+	// (default 200).
+	Requests int
+	// RequestSize is the client request size in bytes (default 64 KiB).
+	RequestSize int64
+	// ReadAhead is the scheduler's R (default 1 MiB).
+	ReadAhead int64
+	// Memory is the scheduler's M (default 2 GiB).
+	Memory int64
+	// Shards overrides the scheduler shard count: 0 (the default) is
+	// one shard per disk; 1 reproduces the pre-sharding single-lock
+	// layout for A/B comparison.
+	Shards int
+	// Fill materializes pattern bytes on every device read, adding a
+	// memcpy per fetch to the measurement (default off: pure
+	// scheduling cost).
+	Fill bool
+}
+
+// ApplyDefaults fills zero fields with the defaults described on each
+// field.
+func (c *Config) ApplyDefaults() {
+	if c.Disks == 0 {
+		c.Disks = 64
+	}
+	if c.Streams == 0 {
+		c.Streams = 512
+	}
+	if c.Requests == 0 {
+		c.Requests = 200
+	}
+	if c.RequestSize == 0 {
+		c.RequestSize = 64 << 10
+	}
+	if c.ReadAhead == 0 {
+		c.ReadAhead = 1 << 20
+	}
+	if c.Memory == 0 {
+		c.Memory = 2 << 30
+	}
+}
+
+// Result is one bench run's measurements.
+type Result struct {
+	// Name labels the configuration (e.g. "sharded" / "single-lock").
+	Name string `json:"name"`
+	// Shards is the effective scheduler shard count.
+	Shards int `json:"shards"`
+	// Disks, Streams, and Requests echo the workload shape.
+	Disks    int `json:"disks"`
+	Streams  int `json:"streams"`
+	Requests int `json:"requests_per_stream"`
+	// TotalRequests is Streams × Requests.
+	TotalRequests int64 `json:"total_requests"`
+	// ElapsedSec is the wall-clock duration of the measured phase.
+	ElapsedSec float64 `json:"elapsed_sec"`
+	// RequestsPerSec is the end-to-end client request throughput.
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	// MBPerSec is delivered payload throughput in MB/s.
+	MBPerSec float64 `json:"mb_per_sec"`
+	// AllocsPerOp is heap allocations per client request (runtime
+	// mallocs over the measured phase divided by requests).
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// BytesPerOp is heap bytes allocated per client request.
+	BytesPerOp float64 `json:"bytes_per_op"`
+	// P50Micros and P99Micros are client-request latency quantiles in
+	// microseconds.
+	P50Micros float64 `json:"p50_micros"`
+	P99Micros float64 `json:"p99_micros"`
+	// BufferHitRate is the fraction of requests served from staged
+	// buffers (immediately or after waiting on their fetch).
+	BufferHitRate float64 `json:"buffer_hit_rate"`
+}
+
+// Run executes one bench configuration: Streams goroutines each issue
+// Requests serial sequential reads against a zero-latency MemDevice,
+// and the run reports throughput, allocation rate, and latency
+// quantiles for the whole sweep.
+func Run(name string, cfg Config) (Result, error) {
+	cfg.ApplyDefaults()
+	const diskCap = int64(1) << 30
+	span := int64(cfg.Requests) * cfg.RequestSize
+	perDisk := (cfg.Streams + cfg.Disks - 1) / cfg.Disks
+	if span*int64(perDisk) > diskCap {
+		return Result{}, fmt.Errorf("bench: workload does not fit: %d streams/disk × %d bytes > %d", perDisk, span, diskCap)
+	}
+	dev, err := blockdev.NewMemDevice(cfg.Disks, diskCap, 0, cfg.Fill)
+	if err != nil {
+		return Result{}, err
+	}
+	clock := blockdev.NewRealClock()
+	ccfg := core.DefaultConfig(cfg.Memory, cfg.ReadAhead)
+	ccfg.Shards = cfg.Shards
+	srv, err := core.NewServer(dev, clock, ccfg)
+	if err != nil {
+		return Result{}, err
+	}
+	defer srv.Close()
+
+	lats := make([][]time.Duration, cfg.Streams)
+	for i := range lats {
+		lats[i] = make([]time.Duration, cfg.Requests)
+	}
+
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.Streams)
+	for s := 0; s < cfg.Streams; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			disk := s % cfg.Disks
+			base := int64(s/cfg.Disks) * span
+			ch := make(chan struct{}, 1)
+			done := func(r core.Response) {
+				r.Release()
+				ch <- struct{}{}
+			}
+			lat := lats[s]
+			for i := 0; i < cfg.Requests; i++ {
+				off := base + int64(i)*cfg.RequestSize
+				t0 := time.Now()
+				if err := srv.Submit(core.Request{Disk: disk, Offset: off, Length: cfg.RequestSize, Done: done}); err != nil {
+					errs <- err
+					return
+				}
+				<-ch
+				lat[i] = time.Since(t0)
+			}
+		}(s)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	select {
+	case err := <-errs:
+		return Result{}, err
+	default:
+	}
+
+	all := make([]time.Duration, 0, cfg.Streams*cfg.Requests)
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	quantile := func(q float64) float64 {
+		idx := int(q * float64(len(all)-1))
+		return float64(all[idx]) / float64(time.Microsecond)
+	}
+
+	st := srv.Stats()
+	total := int64(cfg.Streams) * int64(cfg.Requests)
+	shards := cfg.Shards
+	if shards <= 0 || shards > cfg.Disks {
+		shards = cfg.Disks
+	}
+	return Result{
+		Name:           name,
+		Shards:         shards,
+		Disks:          cfg.Disks,
+		Streams:        cfg.Streams,
+		Requests:       cfg.Requests,
+		TotalRequests:  total,
+		ElapsedSec:     elapsed.Seconds(),
+		RequestsPerSec: float64(total) / elapsed.Seconds(),
+		MBPerSec:       float64(total*cfg.RequestSize) / elapsed.Seconds() / 1e6,
+		AllocsPerOp:    float64(ms1.Mallocs-ms0.Mallocs) / float64(total),
+		BytesPerOp:     float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(total),
+		P50Micros:      quantile(0.50),
+		P99Micros:      quantile(0.99),
+		BufferHitRate:  float64(st.BufferHits+st.QueuedServed) / float64(st.Requests),
+	}, nil
+}
+
+// Report is the BENCH_core.json document: the sharded configuration
+// against the single-lock one on the same workload.
+type Report struct {
+	// GOMAXPROCS records the parallelism the run had available.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Results holds one entry per configuration.
+	Results []Result `json:"results"`
+	// SpeedupShardedVsSingleLock is sharded req/s over single-lock
+	// req/s on the identical workload.
+	SpeedupShardedVsSingleLock float64 `json:"speedup_sharded_vs_single_lock"`
+}
+
+// RunComparison benches the same workload twice — Shards=1 (the
+// pre-sharding single-lock layout) and one shard per disk — and
+// reports both with their speedup ratio.
+func RunComparison(cfg Config) (Report, error) {
+	single := cfg
+	single.Shards = 1
+	sr, err := Run("single-lock", single)
+	if err != nil {
+		return Report{}, err
+	}
+	sharded := cfg
+	sharded.Shards = 0
+	dr, err := Run("sharded", sharded)
+	if err != nil {
+		return Report{}, err
+	}
+	return Report{
+		GOMAXPROCS:                 runtime.GOMAXPROCS(0),
+		Results:                    []Result{sr, dr},
+		SpeedupShardedVsSingleLock: dr.RequestsPerSec / sr.RequestsPerSec,
+	}, nil
+}
+
+// WriteJSON writes the report to path, indented.
+func (r Report) WriteJSON(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	return os.WriteFile(path, b, 0o644)
+}
+
+// Summary renders the report as a short human-readable table.
+func (r Report) Summary() string {
+	out := fmt.Sprintf("host-path bench (GOMAXPROCS=%d)\n", r.GOMAXPROCS)
+	out += fmt.Sprintf("%-12s %8s %12s %10s %10s %10s %10s\n",
+		"config", "shards", "req/s", "MB/s", "allocs/op", "p50(µs)", "p99(µs)")
+	for _, res := range r.Results {
+		out += fmt.Sprintf("%-12s %8d %12.0f %10.1f %10.2f %10.1f %10.1f\n",
+			res.Name, res.Shards, res.RequestsPerSec, res.MBPerSec, res.AllocsPerOp,
+			res.P50Micros, res.P99Micros)
+	}
+	out += fmt.Sprintf("speedup (sharded vs single-lock): %.2fx\n", r.SpeedupShardedVsSingleLock)
+	return out
+}

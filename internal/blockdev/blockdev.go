@@ -1,6 +1,3 @@
-// Package blockdev abstracts the block device and clock the host-level
-// stream scheduler runs against, so the same scheduler code drives both
-// the discrete-event simulator and real files through the OS.
 package blockdev
 
 import (
@@ -34,6 +31,15 @@ type Device interface {
 	// bytes (simulators). A non-nil error is reported through done;
 	// ReadAt itself returns an error only for malformed requests.
 	ReadAt(disk int, off, length int64, done func(data []byte, err error)) error
+}
+
+// ReaderInto is optionally implemented by devices that can read into
+// a caller-supplied buffer, so callers with pooled staging memory
+// avoid a per-read allocation. buf must hold exactly length bytes;
+// done receives buf (possibly truncated on a short read) or nil on
+// failure. The device must not retain buf after invoking done.
+type ReaderInto interface {
+	ReadInto(disk int, off, length int64, buf []byte, done func(data []byte, err error)) error
 }
 
 // BufferAccounting is optionally implemented by devices whose cost

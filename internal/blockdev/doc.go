@@ -1,0 +1,20 @@
+// Package blockdev abstracts the block device and clock the host-level
+// stream scheduler runs against, so the same scheduler code drives both
+// the discrete-event simulator and real files through the OS.
+//
+// Devices are asynchronous: Read/ReadAt complete through callbacks
+// that may run on the simulation event loop (simulated devices) or on
+// internal worker goroutines (real devices); callers that share state
+// across completions must serialize accordingly — the sharded
+// scheduler in internal/core re-locks the owning shard inside every
+// completion.
+//
+// Devices that can read into caller-provided memory additionally
+// implement ReaderInto. That is the hook the scheduler's pooled
+// staging buffers ride on: the caller keeps the buffer checked out
+// until the completion runs, even if it has given up on the request,
+// because the device may write into the buffer right up to that
+// point. Wrappers that cannot guarantee pass-through semantics (e.g.
+// the fault-injecting ScriptDevice) simply do not advertise
+// ReaderInto, and the scheduler falls back to device-allocated reads.
+package blockdev

@@ -34,6 +34,7 @@ type fileReq struct {
 	length int64
 	write  bool
 	data   []byte
+	buf    []byte // caller-supplied read destination (ReadInto)
 	wdone  func(error)
 	done   func([]byte, error)
 }
@@ -56,7 +57,10 @@ type FileDevice struct {
 	closed bool
 }
 
-var _ Device = (*FileDevice)(nil)
+var (
+	_ Device     = (*FileDevice)(nil)
+	_ ReaderInto = (*FileDevice)(nil)
+)
 
 // OpenFileDevice opens the given paths as read-only disks. workers
 // bounds the number of concurrent reads (defaults to 2 per file when
@@ -119,7 +123,10 @@ func (d *FileDevice) worker() {
 			}
 			continue
 		}
-		buf := make([]byte, req.length)
+		buf := req.buf
+		if buf == nil {
+			buf = make([]byte, req.length)
+		}
 		n, err := req.file.ReadAt(buf, req.off)
 		if err != nil && n == int(req.length) {
 			err = nil
@@ -149,6 +156,24 @@ func (d *FileDevice) ReadAt(disk int, off, length int64, done func([]byte, error
 		return errors.New("blockdev: device closed")
 	}
 	d.reqs <- fileReq{file: d.files[disk], off: off, length: length, done: done}
+	return nil
+}
+
+// ReadInto implements ReaderInto: the positional read lands in the
+// caller's buffer. The completion runs on a worker goroutine.
+func (d *FileDevice) ReadInto(disk int, off, length int64, buf []byte, done func([]byte, error)) error {
+	if int64(len(buf)) != length {
+		return ErrBadRequest
+	}
+	if err := CheckRequest(d, disk, off, length); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return errors.New("blockdev: device closed")
+	}
+	d.reqs <- fileReq{file: d.files[disk], off: off, length: length, buf: buf, done: done}
 	return nil
 }
 

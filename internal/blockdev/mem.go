@@ -22,8 +22,9 @@ type MemDevice struct {
 }
 
 var (
-	_ Device = (*MemDevice)(nil)
-	_ Writer = (*MemDevice)(nil)
+	_ Device     = (*MemDevice)(nil)
+	_ Writer     = (*MemDevice)(nil)
+	_ ReaderInto = (*MemDevice)(nil)
 )
 
 // NewMemDevice builds a device with disks drives of capacity bytes
@@ -92,6 +93,19 @@ func Pattern(disk int, off int64) byte {
 // ReadAt implements Device. The completion runs on a timer goroutine
 // (or synchronously when latency is zero).
 func (d *MemDevice) ReadAt(disk int, off, length int64, done func([]byte, error)) error {
+	return d.read(disk, off, length, nil, done)
+}
+
+// ReadInto implements ReaderInto: the pattern is materialized into the
+// caller's buffer instead of a fresh allocation.
+func (d *MemDevice) ReadInto(disk int, off, length int64, buf []byte, done func([]byte, error)) error {
+	if int64(len(buf)) != length {
+		return ErrBadRequest
+	}
+	return d.read(disk, off, length, buf, done)
+}
+
+func (d *MemDevice) read(disk int, off, length int64, buf []byte, done func([]byte, error)) error {
 	if err := CheckRequest(d, disk, off, length); err != nil {
 		return err
 	}
@@ -104,7 +118,10 @@ func (d *MemDevice) ReadAt(disk int, off, length int64, done func([]byte, error)
 		}
 		var data []byte
 		if d.fill {
-			data = make([]byte, length)
+			data = buf
+			if data == nil {
+				data = make([]byte, length)
+			}
 			for i := range data {
 				data[i] = Pattern(disk, off+int64(i))
 			}

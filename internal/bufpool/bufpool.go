@@ -1,0 +1,210 @@
+// Package bufpool provides size-classed, reference-counted byte
+// buffers backed by sync.Pool, so the staging and ingest hot paths
+// recycle I/O memory instead of allocating per fetch.
+//
+// Ownership model: Get checks a buffer out with a reference count of
+// one. Every party that holds the buffer past the current call chain
+// takes its own reference with Retain and drops it with Release; the
+// buffer returns to the pool only when the count reaches zero. A
+// holder that never calls Release does not corrupt anything — the
+// buffer is simply garbage collected instead of recycled — so the
+// pool degrades to plain allocation under misuse rather than handing
+// out aliased memory.
+//
+// Under the `invariants` build tag, buffers are poisoned on their way
+// back into the pool and verified on the way out, so double-releases
+// and writes after release panic at the pool boundary instead of
+// surfacing as silent data corruption.
+package bufpool
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"seqstream/internal/invariants"
+)
+
+// minClassBits is the smallest size class (4 KiB).
+const minClassBits = 12
+
+// numClasses covers 4 KiB through 128 MiB in powers of two.
+const numClasses = 16
+
+// poison is the byte written over released buffers under the
+// invariants tag; a disturbed poison pattern at Get time means some
+// holder wrote through a stale slice after releasing it.
+const poison = 0xDB
+
+// Stats is a point-in-time snapshot of a pool's accounting.
+type Stats struct {
+	// Gets counts checkouts (pool hits plus fresh allocations).
+	Gets int64
+	// Puts counts buffers returned to the pool by the final Release.
+	Puts int64
+	// Misses counts Gets that allocated because the class was empty
+	// (or the request exceeded the largest class).
+	Misses int64
+	// CheckedOut is the number of buffers currently held by callers.
+	CheckedOut int64
+	// BytesOut is the backing capacity of the checked-out buffers.
+	BytesOut int64
+}
+
+// Pool hands out reference-counted byte buffers in power-of-two size
+// classes. The zero value is not usable; call New. A Pool is safe for
+// concurrent use.
+type Pool struct {
+	classes [numClasses]sync.Pool
+
+	gets   atomic.Int64
+	puts   atomic.Int64
+	misses atomic.Int64
+	out    atomic.Int64
+	bytes  atomic.Int64
+}
+
+// Buf is one checked-out buffer. Data is sized to the Get request;
+// its capacity is the size class. The zero value is invalid.
+type Buf struct {
+	// Data is the caller-visible slice. Holders must not grow it past
+	// its capacity (that would detach it from the pooled backing).
+	Data []byte
+
+	pool    *Pool
+	class   int
+	backing []byte
+	refs    atomic.Int32
+}
+
+// New builds an empty pool.
+func New() *Pool { return &Pool{} }
+
+// classFor returns the class index for a request of n bytes, or -1
+// when n exceeds the largest class (such requests are plain
+// allocations that never return to the pool).
+func classFor(n int64) int {
+	if n <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(n - 1)) // ceil(log2 n)
+	if b < minClassBits {
+		return 0
+	}
+	c := b - minClassBits
+	if c >= numClasses {
+		return -1
+	}
+	return c
+}
+
+// classSize returns the byte capacity of a class.
+func classSize(c int) int64 { return 1 << (minClassBits + c) }
+
+// Get checks out a buffer with len(Data) == n and a reference count
+// of one. n must be positive.
+func (p *Pool) Get(n int64) *Buf {
+	p.gets.Add(1)
+	c := classFor(n)
+	var b *Buf
+	if c >= 0 {
+		if v := p.classes[c].Get(); v != nil {
+			b = v.(*Buf)
+		}
+	}
+	if b == nil {
+		p.misses.Add(1)
+		size := n
+		if c >= 0 {
+			size = classSize(c)
+		}
+		b = &Buf{pool: p, class: c, backing: make([]byte, size)}
+	} else if invariants.Enabled {
+		b.checkPoison()
+	}
+	if invariants.Enabled {
+		invariants.Check(b.refs.Load() == 0, "bufpool: Get returned a buffer with %d live refs", b.refs.Load())
+	}
+	b.refs.Store(1)
+	b.Data = b.backing[:n]
+	p.out.Add(1)
+	p.bytes.Add(int64(cap(b.backing)))
+	return b
+}
+
+// Retain takes one more reference. Safe on a nil receiver so callers
+// can thread optional buffers without guards.
+func (b *Buf) Retain() {
+	if b == nil {
+		return
+	}
+	n := b.refs.Add(1)
+	if invariants.Enabled {
+		invariants.Check(n > 1, "bufpool: Retain on a released buffer (refs=%d)", n)
+	}
+}
+
+// Release drops one reference; the final release returns the buffer
+// to its pool. Safe on a nil receiver. Releasing more times than
+// retained is a double-put: it panics under the invariants tag and is
+// silently absorbed otherwise.
+func (b *Buf) Release() {
+	if b == nil {
+		return
+	}
+	n := b.refs.Add(-1)
+	if n > 0 {
+		return
+	}
+	if invariants.Enabled {
+		invariants.Check(n == 0, "bufpool: double release (refs=%d)", n)
+	}
+	if n < 0 {
+		b.refs.Store(0) // absorb the double-put in release builds
+		return
+	}
+	p := b.pool
+	p.out.Add(-1)
+	p.bytes.Add(-int64(cap(b.backing)))
+	if b.class < 0 {
+		return // oversized: let the GC take it
+	}
+	p.puts.Add(1)
+	b.Data = nil
+	if invariants.Enabled {
+		b.applyPoison()
+	}
+	p.classes[b.class].Put(b)
+}
+
+// Refs returns the current reference count (for tests).
+func (b *Buf) Refs() int32 { return b.refs.Load() }
+
+// Stats returns the pool's accounting counters.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Gets:       p.gets.Load(),
+		Puts:       p.puts.Load(),
+		Misses:     p.misses.Load(),
+		CheckedOut: p.out.Load(),
+		BytesOut:   p.bytes.Load(),
+	}
+}
+
+// applyPoison fills the backing with the poison pattern (invariants
+// builds only).
+func (b *Buf) applyPoison() {
+	for i := range b.backing {
+		b.backing[i] = poison
+	}
+}
+
+// checkPoison panics if any byte was written after release
+// (invariants builds only).
+func (b *Buf) checkPoison() {
+	for i, v := range b.backing {
+		invariants.Check(v == poison,
+			"bufpool: use after release: byte %d of a pooled %d-byte buffer was overwritten", i, cap(b.backing))
+		_ = v
+	}
+}

@@ -1,0 +1,21 @@
+package bufpool
+
+import "seqstream/internal/obs"
+
+// RegisterObs exposes a pool's accounting on a metric registry:
+// checkout/return counters and live checked-out gauges. Registration
+// is idempotent per registry (the registry deduplicates by family
+// name), but the gauge callbacks read from the pool passed here, so
+// register each registry against a single pool.
+func RegisterObs(reg *obs.Registry, p *Pool) {
+	reg.GaugeFunc("seqstream_bufpool_checked_out", "buffers currently checked out of the pool",
+		func() float64 { return float64(p.out.Load()) })
+	reg.GaugeFunc("seqstream_bufpool_bytes_out", "backing bytes of checked-out buffers",
+		func() float64 { return float64(p.bytes.Load()) })
+	reg.GaugeFunc("seqstream_bufpool_gets_total", "buffer checkouts",
+		func() float64 { return float64(p.gets.Load()) })
+	reg.GaugeFunc("seqstream_bufpool_puts_total", "buffers recycled into the pool",
+		func() float64 { return float64(p.puts.Load()) })
+	reg.GaugeFunc("seqstream_bufpool_misses_total", "checkouts that allocated fresh memory",
+		func() float64 { return float64(p.misses.Load()) })
+}

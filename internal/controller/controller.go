@@ -1,13 +1,3 @@
-// Package controller models a multi-channel disk controller: a request
-// queue, an on-board cache, optional controller-level read-ahead
-// (prefetching), fan-out to several drives, and a shared host link.
-//
-// Controller-level prefetching is the §3 mechanism behind Figure 8: on
-// a cache miss the controller fetches ReadAhead bytes from the drive
-// into a cache extent; subsequent requests in that extent are served
-// from controller memory. When streams × ReadAhead exceeds the cache,
-// extents are reclaimed before they are consumed and throughput
-// collapses.
 package controller
 
 import (

@@ -1,0 +1,17 @@
+// Package controller models a multi-channel disk controller: a request
+// queue, an on-board cache, optional controller-level read-ahead
+// (prefetching), fan-out to several drives, and a shared host link.
+//
+// Controller-level prefetching is the §3 mechanism behind Figure 8: on
+// a cache miss the controller fetches ReadAhead bytes from the drive
+// into a cache extent; subsequent requests in that extent are served
+// from controller memory. When streams × ReadAhead exceeds the cache,
+// extents are reclaimed before they are consumed and throughput
+// collapses.
+//
+// Unlike the sharded host-level scheduler in internal/core, this
+// package is single-threaded by design: it lives entirely on the
+// discrete-event simulator's event loop, needs no locks, and must stay
+// deterministic (the simdet analyzer gates it). Do not add goroutines
+// or wall-clock reads here.
+package controller

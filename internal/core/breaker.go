@@ -27,7 +27,12 @@ const (
 	breakerHalfOpen
 )
 
-// breaker is one disk's circuit. All access is under the server lock.
+// breaker is one disk's circuit. Each disk's circuit belongs to the
+// shard that owns the disk; all access is under that shard's lock.
+// The global count of open circuits lives in Server.degraded so every
+// shard's fair-share computation sees disks degraded anywhere — the
+// shard adjusts it through Server.noteDegradedTransition on every
+// transition into or out of the open state.
 type breaker struct {
 	state    breakerState
 	fails    int           // consecutive device failures
@@ -35,27 +40,27 @@ type breaker struct {
 }
 
 // breakerFor returns the disk's circuit, creating it lazily, or nil
-// when the breaker is disabled. Caller holds the lock.
-func (s *Server) breakerFor(disk int) *breaker {
-	if s.cfg.BreakerThreshold <= 0 {
+// when the breaker is disabled. Caller holds sh.mu.
+func (sh *shard) breakerFor(disk int) *breaker {
+	if sh.srv.cfg.BreakerThreshold <= 0 {
 		return nil
 	}
-	b := s.breakers[disk]
+	b := sh.breakers[disk]
 	if b == nil {
 		b = &breaker{}
-		s.breakers[disk] = b
+		sh.breakers[disk] = b
 	}
 	return b
 }
 
 // breakerAllows reports whether a request for disk may proceed,
 // transitioning open → half-open once the cooldown elapses. Caller
-// holds the lock.
-func (s *Server) breakerAllows(disk int, now time.Duration) bool {
-	if s.cfg.BreakerThreshold <= 0 {
+// holds sh.mu.
+func (sh *shard) breakerAllows(disk int, now time.Duration) bool {
+	if sh.srv.cfg.BreakerThreshold <= 0 {
 		return true
 	}
-	b := s.breakers[disk]
+	b := sh.breakers[disk]
 	if b == nil || b.state == breakerClosed || b.state == breakerHalfOpen {
 		return true
 	}
@@ -63,66 +68,61 @@ func (s *Server) breakerAllows(disk int, now time.Duration) bool {
 		return false
 	}
 	b.state = breakerHalfOpen
+	sh.srv.noteDegradedTransition(-1)
 	return true
 }
 
 // diskBlocked reports whether disk is refusing traffic right now (open
 // and still cooling down). Dispatch skips blocked disks' streams.
-// Caller holds the lock.
-func (s *Server) diskBlocked(disk int, now time.Duration) bool {
-	if s.cfg.BreakerThreshold <= 0 {
+// Caller holds sh.mu.
+func (sh *shard) diskBlocked(disk int, now time.Duration) bool {
+	if sh.srv.cfg.BreakerThreshold <= 0 {
 		return false
 	}
-	b := s.breakers[disk]
+	b := sh.breakers[disk]
 	return b != nil && b.state == breakerOpen && now < b.reopenAt
-}
-
-// degradedDisks counts disks whose circuit is open. Caller holds the
-// lock.
-func (s *Server) degradedDisks() int {
-	n := 0
-	for _, b := range s.breakers {
-		if b.state == breakerOpen {
-			n++
-		}
-	}
-	return n
 }
 
 // noteDiskFailure records one device failure on disk, tripping the
 // circuit at the threshold (or instantly re-opening a probing one).
-// Caller holds the lock.
-func (s *Server) noteDiskFailure(disk int, now time.Duration) {
-	b := s.breakerFor(disk)
+// Caller holds sh.mu.
+func (sh *shard) noteDiskFailure(disk int, now time.Duration) {
+	b := sh.breakerFor(disk)
 	if b == nil {
 		return
 	}
 	b.fails++
 	trip := b.state == breakerHalfOpen ||
-		(b.state == breakerClosed && b.fails >= s.cfg.BreakerThreshold)
+		(b.state == breakerClosed && b.fails >= sh.srv.cfg.BreakerThreshold)
 	if trip {
 		b.state = breakerOpen
-		b.reopenAt = now + s.cfg.BreakerCooldown
-		s.stats.BreakerTrips++
-		if o := s.cfg.Obs; o != nil {
+		b.reopenAt = now + sh.srv.cfg.BreakerCooldown
+		sh.srv.noteDegradedTransition(1)
+		sh.stats.BreakerTrips++
+		if o := sh.srv.cfg.Obs; o != nil {
 			o.breakerTrips.Inc()
 		}
 	} else if b.state == breakerOpen {
 		// Failures of requests already in flight while open extend the
 		// cooldown: the disk is still sick.
-		b.reopenAt = now + s.cfg.BreakerCooldown
+		b.reopenAt = now + sh.srv.cfg.BreakerCooldown
 	}
 }
 
 // noteDiskSuccess records one device success on disk, closing a
-// probing circuit. Caller holds the lock.
-func (s *Server) noteDiskSuccess(disk int) {
-	if s.cfg.BreakerThreshold <= 0 {
+// probing circuit. Caller holds sh.mu.
+func (sh *shard) noteDiskSuccess(disk int) {
+	if sh.srv.cfg.BreakerThreshold <= 0 {
 		return
 	}
-	b := s.breakers[disk]
+	b := sh.breakers[disk]
 	if b == nil {
 		return
+	}
+	if b.state == breakerOpen {
+		// A request issued before the trip completed after it: the
+		// disk answered, so the circuit closes without probing.
+		sh.srv.noteDegradedTransition(-1)
 	}
 	b.fails = 0
 	b.state = breakerClosed

@@ -1,18 +1,3 @@
-// Package core implements the paper's host-level solution (§4): a
-// storage-node server that transparently identifies sequential streams
-// (classifier), coalesces their small client requests into large
-// read-ahead disk requests issued from a bounded dispatch set
-// (scheduler), and stages prefetched data in host memory until it is
-// consumed (buffered set).
-//
-// The four tunables the paper names are exposed directly:
-//
-//	D — DispatchSize: streams generating disk I/O at a time
-//	R — ReadAhead:    bytes per generated disk request
-//	N — RequestsPerStream: disk requests a stream issues per residency
-//	M — Memory:       host bytes available for staging buffers
-//
-// with the invariant M ≥ D·R·N (§4.3).
 package core
 
 import (
@@ -20,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"seqstream/internal/bufpool"
 	"seqstream/internal/invariants"
 	"seqstream/internal/trace"
 )
@@ -98,8 +84,23 @@ type Config struct {
 	BreakerCooldown time.Duration
 
 	// Policy picks the next stream admitted to the dispatch set. Nil
-	// uses the paper's round-robin.
+	// uses the paper's round-robin. With more than one shard the policy
+	// is consulted concurrently from several shards; the built-in
+	// policies are stateless and safe, custom implementations must be
+	// too.
 	Policy DispatchPolicy
+
+	// Shards is the number of scheduler shards the disks are divided
+	// over. Zero (the default) gives every disk its own shard; values
+	// above the disk count are clamped. Shards = 1 reproduces the old
+	// single-lock scheduler and exists for A/B benchmarking.
+	Shards int
+
+	// Pool is the staging buffer pool used when the device supports
+	// ReadInto. Nil allocates a private pool; supply one to share
+	// staging memory with other components (the ingest path) or to
+	// observe pool metrics.
+	Pool *bufpool.Pool
 
 	// NearSeqWindow, when positive, lets a request join a classified
 	// stream whose expected offset is within this many bytes — the
@@ -223,6 +224,8 @@ func (c Config) Validate() error {
 		return errors.New("core: breaker threshold must be >= 0")
 	case c.BreakerThreshold > 0 && c.BreakerCooldown <= 0:
 		return errors.New("core: breaker cooldown must be positive with the breaker enabled")
+	case c.Shards < 0:
+		return errors.New("core: shard count must be >= 0")
 	}
 	return nil
 }

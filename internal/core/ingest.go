@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"seqstream/internal/blockdev"
+	"seqstream/internal/bufpool"
 	"seqstream/internal/invariants"
 )
 
@@ -30,6 +31,11 @@ type IngestConfig struct {
 	// on staging (write-behind), matching a media-ingest node with a
 	// battery-backed buffer.
 	AckOnFlush bool
+	// Pool, when non-nil, backs chunk staging memory with pooled
+	// buffers instead of per-chunk allocations (only meaningful for
+	// devices that take materialized data). Share it with the read
+	// scheduler's pool so one arena serves both directions.
+	Pool *bufpool.Pool
 }
 
 // ApplyDefaults fills zero fields.
@@ -75,7 +81,10 @@ type wchunk struct {
 	start  int64
 	filled int64
 	data   []byte // nil when the device does not take data
-	acks   []func(error)
+	// buf is the pooled memory data appends into (nil without a pool);
+	// it is recycled after the device write completes and the acks run.
+	buf  *bufpool.Buf
+	acks []func(error)
 }
 
 // wstream is one detected ingest stream.
@@ -185,7 +194,12 @@ func (g *Ingest) Write(disk int, off int64, data []byte, length int64, done func
 	newChunk := func() *wchunk {
 		ch := &wchunk{start: off}
 		if data != nil {
-			ch.data = make([]byte, 0, g.cfg.ChunkSize)
+			if g.cfg.Pool != nil {
+				ch.buf = g.cfg.Pool.Get(g.cfg.ChunkSize)
+				ch.data = ch.buf.Data[:0]
+			} else {
+				ch.data = make([]byte, 0, g.cfg.ChunkSize)
+			}
 		}
 		return ch
 	}
@@ -324,6 +338,10 @@ func (g *Ingest) finishFlush(ch *wchunk, werr error) {
 	for _, ack := range ch.acks {
 		ack(werr)
 	}
+	// The device and the acks are done with the chunk bytes; recycle.
+	ch.buf.Release()
+	ch.buf = nil
+	ch.data = nil
 	if idle {
 		select {
 		case g.idleSignal <- struct{}{}:

@@ -105,17 +105,20 @@ func (o *Obs) span(stream, disk int, stage obs.Stage, off, length int64) {
 }
 
 // syncGauges publishes the scheduler's live state to the gauge
-// families. Caller holds the server lock.
-func (s *Server) syncGauges() {
-	o := s.cfg.Obs
+// families. The values are the node-wide ones — the server's atomic
+// accounting — so every shard publishes the same global view and the
+// gauges never show one shard's slice. Caller holds sh.mu.
+func (sh *shard) syncGauges() {
+	o := sh.srv.cfg.Obs
 	if o == nil {
 		return
 	}
-	o.memoryInUse.Set(s.memUsed)
-	o.peakMemory.Set(s.stats.PeakMemory)
-	o.liveBuffers.Set(int64(s.bufCount))
-	o.dispatchedStreams.Set(int64(s.dispatched))
-	o.activeStreams.Set(int64(len(s.streams)))
-	o.candidateQueue.Set(int64(len(s.candidates)))
-	o.degradedDisks.Set(int64(s.degradedDisks()))
+	srv := sh.srv
+	o.memoryInUse.Set(srv.memUsed.Load())
+	o.peakMemory.Set(srv.peakMem.Load())
+	o.liveBuffers.Set(srv.bufCount.Load())
+	o.dispatchedStreams.Set(srv.dispatched.Load())
+	o.activeStreams.Set(srv.liveStreams.Load())
+	o.candidateQueue.Set(srv.liveCands.Load())
+	o.degradedDisks.Set(srv.degraded.Load())
 }

@@ -3,12 +3,12 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"seqstream/internal/blockdev"
+	"seqstream/internal/bufpool"
 	"seqstream/internal/invariants"
-	"seqstream/internal/obs"
 	"seqstream/internal/trace"
 )
 
@@ -17,8 +17,8 @@ type Request struct {
 	Disk   int
 	Offset int64
 	Length int64
-	// Done receives the response. It is never invoked while the
-	// server lock is held; it may submit follow-up requests.
+	// Done receives the response. It is never invoked while a shard
+	// lock is held; it may submit follow-up requests.
 	Done func(Response)
 }
 
@@ -36,6 +36,20 @@ type Response struct {
 	Direct bool
 	// Err is non-nil when the device read failed.
 	Err error
+
+	// pbuf is the pooled buffer backing Data, when the device read
+	// landed in pooled memory. Release recycles it.
+	pbuf *bufpool.Buf
+}
+
+// Release returns the pooled memory backing Data to the buffer pool.
+// Call it at most once, after the last use of Data; consumers that
+// never call it merely forgo recycling (the memory is garbage
+// collected instead). Safe when no pooled buffer is attached.
+func (r *Response) Release() {
+	r.pbuf.Release()
+	r.pbuf = nil
+	r.Data = nil
 }
 
 // Stats accumulates server counters. MemoryInUse and LiveBuffers are
@@ -67,6 +81,31 @@ type Stats struct {
 	DisksDegraded    int64 // disks with an open circuit (gauge)
 }
 
+// add accumulates the monotonic counters of o into st (the gauge
+// fields are filled from the server's atomics, not summed).
+func (st *Stats) add(o *Stats) {
+	st.Requests += o.Requests
+	st.DirectReads += o.DirectReads
+	st.BufferHits += o.BufferHits
+	st.QueuedServed += o.QueuedServed
+	st.StreamsDetected += o.StreamsDetected
+	st.StreamsRetired += o.StreamsRetired
+	st.StreamsGCed += o.StreamsGCed
+	st.Fetches += o.Fetches
+	st.BytesFetched += o.BytesFetched
+	st.BytesDelivered += o.BytesDelivered
+	st.BuffersFreed += o.BuffersFreed
+	st.BuffersGCed += o.BuffersGCed
+	st.BuffersEvicted += o.BuffersEvicted
+	st.NearSeqAccepted += o.NearSeqAccepted
+	st.BytesSkipped += o.BytesSkipped
+	st.RegionsGCed += o.RegionsGCed
+	st.FetchRetries += o.FetchRetries
+	st.FetchTimeouts += o.FetchTimeouts
+	st.BreakerTrips += o.BreakerTrips
+	st.BreakerFastFails += o.BreakerFastFails
+}
+
 type offKey struct {
 	disk int
 	off  int64
@@ -75,35 +114,40 @@ type offKey struct {
 // Server is the storage-node scheduler (§4, Figure 9): classifier →
 // dispatch set → disks, with prefetched data staged in the buffered
 // set. It is safe for concurrent use; completion callbacks are always
-// invoked without the internal lock held.
+// invoked without any internal lock held.
+//
+// Internally the scheduler is sharded per disk: each shard owns the
+// classifier regions, streams, candidate queue, staged buffers, GC
+// cursor, and circuit breaker for its disks behind its own mutex,
+// while the two paper-level bounds stay global — the dispatch bound D
+// through an atomic slot counter and the memory bound M through an
+// atomic byte budget. See shard.go for the ownership rules.
 type Server struct {
 	cfg   Config
 	dev   blockdev.Device
 	acct  blockdev.BufferAccounting
 	cpu   blockdev.CPUAccounting
+	rinto blockdev.ReaderInto
 	clock blockdev.Clock
+	pool  *bufpool.Pool
 
-	mu         sync.Mutex
-	cls        *classifier
-	byExpected map[offKey]*stream // stream lookup by next expected client offset
-	streams    map[int]*stream
-	candidates []*stream
-	dispatched int
-	perDisk    map[int]int   // dispatched streams per disk
-	lastOffset map[int]int64 // last fetch end per disk (for policies)
-	breakers   map[int]*breaker
-	memUsed    int64
-	bufCount   int
-	nextID     int
-	stats      Stats
-	gcCancel   func()
-	gcArmed    bool
-	closed     bool
+	shards []*shard
 
-	// pendingIO collects device calls generated under the lock; they
-	// run after the lock is released (flushIO), because real devices
-	// may block in ReadAt and their completions need the lock.
-	pendingIO []func()
+	// Global accounting (atomic; see DESIGN.md §10 for the protocol).
+	memUsed     atomic.Int64 // staged bytes across shards; never exceeds cfg.Memory
+	peakMem     atomic.Int64 // high-water mark of memUsed
+	dispatched  atomic.Int64 // dispatch slots in use; never exceeds cfg.DispatchSize
+	bufCount    atomic.Int64 // live staged buffers across shards
+	liveStreams atomic.Int64 // classified streams across shards
+	liveCands   atomic.Int64 // candidate-queue entries across shards
+	degraded    atomic.Int64 // disks with an open circuit
+	nextID      atomic.Int64 // stream id allocator
+
+	// Cross-shard wakeup: shards blocked on a global budget flag
+	// themselves; a release schedules one repump pass off-lock.
+	blocked     atomic.Int64
+	repumpArmed atomic.Bool
+	repumpFn    func()
 }
 
 // NewServer builds a server over a device. cfg is defaulted and
@@ -120,15 +164,10 @@ func NewServer(dev blockdev.Device, clock blockdev.Clock, cfg Config) (*Server, 
 		return nil, err
 	}
 	s := &Server{
-		cfg:        cfg,
-		dev:        dev,
-		clock:      clock,
-		cls:        newClassifier(cfg),
-		byExpected: make(map[offKey]*stream),
-		streams:    make(map[int]*stream),
-		perDisk:    make(map[int]int),
-		lastOffset: make(map[int]int64),
-		breakers:   make(map[int]*breaker),
+		cfg:   cfg,
+		dev:   dev,
+		clock: clock,
+		pool:  cfg.Pool,
 	}
 	if acct, ok := dev.(blockdev.BufferAccounting); ok {
 		s.acct = acct
@@ -136,45 +175,59 @@ func NewServer(dev blockdev.Device, clock blockdev.Clock, cfg Config) (*Server, 
 	if cpu, ok := dev.(blockdev.CPUAccounting); ok {
 		s.cpu = cpu
 	}
+	if ri, ok := dev.(blockdev.ReaderInto); ok {
+		s.rinto = ri
+		if s.pool == nil {
+			s.pool = bufpool.New()
+		}
+	}
+	n := cfg.Shards
+	if n <= 0 || n > dev.Disks() {
+		n = dev.Disks()
+	}
+	s.shards = make([]*shard, n)
+	for i := range s.shards {
+		s.shards[i] = newShard(s, i)
+	}
+	s.repumpFn = s.repumpPass
 	return s, nil
 }
 
-// armGC ensures the periodic collector is scheduled while there is
-// collectible state, and leaves no timer behind when the server is
-// idle (so simulations drain and idle real servers hold no timers).
-// Caller holds the lock.
-func (s *Server) armGC() {
-	if s.gcArmed || s.closed {
-		return
-	}
-	if len(s.streams) == 0 && s.cls.regionCount() == 0 && s.bufCount == 0 {
-		return
-	}
-	s.gcArmed = true
-	s.gcCancel = s.clock.Schedule(s.cfg.GCPeriod, s.gcTick)
+// shardFor routes a disk to its owning shard.
+func (s *Server) shardFor(disk int) *shard {
+	return s.shards[disk%len(s.shards)]
 }
 
 // Config returns the effective configuration.
 func (s *Server) Config() Config { return s.cfg }
 
-// Stats returns a snapshot of the counters.
-func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.statsLocked()
-}
+// NumShards returns the number of scheduler shards the node runs
+// (Config.Shards resolved against the device's disk count).
+func (s *Server) NumShards() int { return len(s.shards) }
 
-// statsLocked assembles the counter snapshot. Caller holds the lock.
-func (s *Server) statsLocked() Stats {
-	st := s.stats
-	st.MemoryInUse = s.memUsed
-	st.LiveBuffers = int64(s.bufCount)
-	st.DisksDegraded = int64(s.degradedDisks())
+// Pool returns the staging buffer pool, or nil when the device does
+// not support pooled reads (simulated devices).
+func (s *Server) Pool() *bufpool.Pool { return s.pool }
+
+// Stats returns a snapshot of the counters: the monotonic counters
+// summed across shards, the gauges from the global accounting.
+func (s *Server) Stats() Stats {
+	var st Stats
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		part := sh.stats
+		sh.mu.Unlock()
+		st.add(&part)
+	}
+	st.MemoryInUse = s.memUsed.Load()
+	st.PeakMemory = s.peakMem.Load()
+	st.LiveBuffers = s.bufCount.Load()
+	st.DisksDegraded = s.degraded.Load()
 	return st
 }
 
 // Snapshot couples the counters with the scheduler gauges. Everything
-// is read under one lock acquisition, so the fields are mutually
+// is read holding every shard lock, so the fields are mutually
 // consistent — polling Stats, ActiveStreams, and DispatchedStreams
 // separately can interleave with dispatch and observe states that
 // never coexisted.
@@ -186,61 +239,70 @@ type Snapshot struct {
 }
 
 // Snapshot returns a mutually consistent view of counters and gauges.
+// Shard locks are taken in index order, so Snapshot may run
+// concurrently with itself and with request traffic.
 func (s *Server) Snapshot() Snapshot {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return Snapshot{
-		Stats:             s.statsLocked(),
-		ActiveStreams:     len(s.streams),
-		DispatchedStreams: s.dispatched,
-		CandidateQueue:    len(s.candidates),
+	for _, sh := range s.shards {
+		sh.mu.Lock()
 	}
+	var snap Snapshot
+	localDispatched := 0
+	var localMem int64
+	for _, sh := range s.shards {
+		snap.Stats.add(&sh.stats)
+		snap.ActiveStreams += len(sh.streams)
+		snap.DispatchedStreams += sh.dispatched
+		snap.CandidateQueue += len(sh.candidates)
+		localDispatched += sh.dispatched
+		localMem += sh.memUsed
+	}
+	snap.Stats.MemoryInUse = s.memUsed.Load()
+	snap.Stats.PeakMemory = s.peakMem.Load()
+	snap.Stats.LiveBuffers = s.bufCount.Load()
+	snap.Stats.DisksDegraded = s.degraded.Load()
+	if invariants.Enabled {
+		// The only place all locks are held together: the shard-local
+		// accounting must sum to the global atomics.
+		invariants.Check(int64(localDispatched) == s.dispatched.Load(),
+			"shards hold %d dispatch slots but the global counter says %d", localDispatched, s.dispatched.Load())
+		invariants.Check(localMem == s.memUsed.Load(),
+			"shards stage %d bytes but the global budget says %d", localMem, s.memUsed.Load())
+	}
+	for i := len(s.shards) - 1; i >= 0; i-- {
+		s.shards[i].mu.Unlock()
+	}
+	return snap
 }
 
 // ActiveStreams returns the number of classified streams.
-func (s *Server) ActiveStreams() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.streams)
-}
+func (s *Server) ActiveStreams() int { return int(s.liveStreams.Load()) }
 
 // DispatchedStreams returns the current dispatch-set size.
-func (s *Server) DispatchedStreams() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.dispatched
-}
+func (s *Server) DispatchedStreams() int { return int(s.dispatched.Load()) }
 
-// Close stops the garbage collector. In-flight requests still
+// Close stops the garbage collectors. In-flight requests still
 // complete; new submissions are rejected.
 func (s *Server) Close() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return
-	}
-	s.closed = true
-	if s.gcCancel != nil {
-		s.gcCancel()
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if !sh.closed {
+			sh.closed = true
+			if sh.gcCancel != nil {
+				sh.gcCancel()
+			}
+		}
+		sh.mu.Unlock()
 	}
 }
 
-// flushIO runs device calls queued under the lock. It must be called
-// after every locked section that may queue I/O (Submit, fetch
-// completions, the GC tick), with the lock released.
-func (s *Server) flushIO() {
-	for {
-		s.mu.Lock()
-		calls := s.pendingIO
-		s.pendingIO = nil
-		s.mu.Unlock()
-		if len(calls) == 0 {
-			return
-		}
-		for _, fn := range calls {
-			fn()
-		}
+// Submit routes one client request (Figure 9) to its disk's shard:
+// buffered set first, then the stream queues, then the classifier,
+// and otherwise the direct path to the disks.
+func (s *Server) Submit(req Request) error {
+	if err := blockdev.CheckRequest(s.dev, req.Disk, req.Offset, req.Length); err != nil {
+		return fmt.Errorf("core: %w", err)
 	}
+	return s.shardFor(req.Disk).submit(req)
 }
 
 // traceEvent records e when tracing is configured.
@@ -250,954 +312,159 @@ func (s *Server) traceEvent(e trace.Event) {
 	}
 }
 
-// complete delivers a response off-lock through the clock so that
-// arbitrarily long hit chains cannot recurse.
+// complete delivers a single response off-lock through the clock.
+// Staged-buffer deliveries go through the per-shard batch instead
+// (shard.deliver); this path serves the direct reads and failure
+// completions that occur one at a time.
 func (s *Server) complete(done func(Response), resp Response) {
 	if done == nil {
+		resp.Release()
 		return
 	}
 	resp.End = s.clock.Now()
 	s.clock.Schedule(0, func() { done(resp) })
 }
 
-// completeFromMemory delivers a response served out of host memory,
-// charging the host CPU cost of the delivery when the device models
-// one. Device-path completions are charged by the device itself.
-func (s *Server) completeFromMemory(length int64, done func(Response), resp Response) {
-	if done == nil {
-		return
-	}
-	if s.cpu == nil {
-		s.complete(done, resp)
-		return
-	}
-	s.cpu.ChargeRequest(length, func() {
-		resp.End = s.clock.Now()
-		done(resp)
-	})
+// --- global budget accounting -------------------------------------
+//
+// The memory bound M and dispatch bound D are properties of the whole
+// node, not of one shard, so they live in atomics. Reservations are
+// compare-and-swap loops that never overshoot the bound; releases
+// wake shards that flagged themselves blocked.
+
+// memWouldFit is the advisory admission gate: it reports whether n
+// more staged bytes currently fit under M. A later memReserve may
+// still fail if another shard reserves first.
+func (s *Server) memWouldFit(n int64) bool {
+	return s.memUsed.Load()+n <= s.cfg.Memory
 }
 
-// Submit routes one client request (Figure 9): buffered set first,
-// then the stream queues, then the classifier, and otherwise the
-// direct path to the disks.
-func (s *Server) Submit(req Request) error {
-	if err := blockdev.CheckRequest(s.dev, req.Disk, req.Offset, req.Length); err != nil {
-		return fmt.Errorf("core: %w", err)
-	}
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return errors.New("core: server closed")
-	}
-	now := s.clock.Now()
-	s.stats.Requests++
-	if o := s.cfg.Obs; o != nil {
-		o.requests.Inc()
-	}
-
-	// Degraded path: an open circuit fails the disk's requests fast
-	// instead of queuing them behind a sick device, so client threads
-	// (and the staging memory behind them) never pile up on it.
-	if !s.breakerAllows(req.Disk, now) {
-		s.stats.BreakerFastFails++
-		if o := s.cfg.Obs; o != nil {
-			o.breakerFastFails.Inc()
+// memReserve claims n staged bytes against M, updating the peak
+// high-water mark. It reports false — claiming nothing — when the
+// reservation would exceed the budget.
+func (s *Server) memReserve(n int64) bool {
+	for {
+		cur := s.memUsed.Load()
+		if cur+n > s.cfg.Memory {
+			return false
 		}
-		s.syncGauges()
-		s.mu.Unlock()
-		s.complete(req.Done, Response{Start: now, Direct: true, Err: ErrDiskDegraded})
-		return nil
-	}
-
-	// Stream path: the request continues a classified stream.
-	key := offKey{disk: req.Disk, off: req.Offset}
-	if st := s.byExpected[key]; st != nil {
-		s.acceptStreamRequest(st, req, now)
-		s.armGC()
-		s.syncGauges()
-		s.mu.Unlock()
-		s.flushIO()
-		return nil
-	}
-
-	// Near-sequential path: a stream expecting a nearby offset absorbs
-	// the request (skips count as consumed; overlaps re-read staged
-	// data).
-	if s.cfg.NearSeqWindow > 0 {
-		if st := s.lookupNearSeq(req.Disk, req.Offset); st != nil {
-			s.acceptNearSeq(st, req, now)
-			s.armGC()
-			s.syncGauges()
-			s.mu.Unlock()
-			s.flushIO()
-			return nil
-		}
-	}
-
-	// Classifier path: record the access; on detection, create the
-	// stream and admit it to the candidate queue. The triggering
-	// request itself is serviced directly (§4.1: requests are issued
-	// directly to the disk until a stream is detected).
-	if s.cls.observe(req.Disk, req.Offset, req.Length, now) {
-		s.createStream(req, now)
-	}
-	s.directRead(req, now)
-	s.armGC()
-	s.syncGauges()
-	s.mu.Unlock()
-	s.flushIO()
-	return nil
-}
-
-// acceptStreamRequest handles an in-order request of a known stream:
-// serve from a ready buffer, or queue it for an in-flight/future
-// fetch. Caller holds the lock.
-func (s *Server) acceptStreamRequest(st *stream, req Request, now time.Duration) {
-	// Advance the expected offset.
-	delete(s.byExpected, offKey{disk: st.disk, off: st.nextClient})
-	st.nextClient = req.Offset + req.Length
-	s.byExpected[offKey{disk: st.disk, off: st.nextClient}] = st
-	st.lastActive = now
-
-	covered := false
-	for _, b := range st.buffers {
-		if !b.covers(req.Offset, req.Length) {
+		if !s.memUsed.CompareAndSwap(cur, cur+n) {
 			continue
 		}
-		if b.ready {
-			s.stats.BufferHits++
-			if o := s.cfg.Obs; o != nil {
-				o.bufferHits.Inc()
-			}
-			s.serveFromBuffer(st, b, pendingReq{off: req.Offset, length: req.Length, start: now, done: req.Done}, now)
-			return
-		}
-		covered = true // an in-flight fetch will deliver it
-		break
-	}
-	// If the range was fetched before but its buffer has since been
-	// dropped (GC), rewind the fetch pointer so it is read again.
-	if !covered && req.Offset < st.nextFetch {
-		st.nextFetch = req.Offset
-	}
-	st.queue = append(st.queue, pendingReq{off: req.Offset, length: req.Length, start: now, done: req.Done})
-
-	// A stream with waiting clients and nothing staged or queued for
-	// dispatch re-enters the candidate queue (it may have been rotated
-	// out with all buffers consumed).
-	if !st.dispatched && !st.queued && s.eligible(st) {
-		s.enqueueCandidate(st)
-		s.pump()
-	}
-}
-
-// lookupNearSeq returns the stream on disk whose expected offset is
-// nearest to off within the configured window, or nil. Caller holds
-// the lock.
-func (s *Server) lookupNearSeq(disk int, off int64) *stream {
-	var best *stream
-	var bestDist int64
-	for _, st := range s.streams {
-		if st.disk != disk {
-			continue
-		}
-		dist := off - st.nextClient
-		if dist < 0 {
-			dist = -dist
-		}
-		if dist > s.cfg.NearSeqWindow {
-			continue
-		}
-		if best == nil || dist < bestDist {
-			best, bestDist = st, dist
-		}
-	}
-	return best
-}
-
-// acceptNearSeq folds a near-sequential request into a stream: a
-// backward overlap is served from staged data (or directly) without
-// moving the stream; a forward gap marks the skipped range consumed
-// and advances the stream. Caller holds the lock.
-func (s *Server) acceptNearSeq(st *stream, req Request, now time.Duration) {
-	s.stats.NearSeqAccepted++
-	if o := s.cfg.Obs; o != nil {
-		o.nearSeqAccepted.Inc()
-	}
-	if req.Offset+req.Length <= st.nextClient {
-		// Entirely behind the stream: a re-read. Serve staged data if
-		// it is still resident; otherwise go directly to the disk.
-		st.lastActive = now
-		for _, b := range st.buffers {
-			if b.ready && b.covers(req.Offset, req.Length) {
-				s.stats.BufferHits++
-				if o := s.cfg.Obs; o != nil {
-					o.bufferHits.Inc()
-				}
-				s.serveFromBuffer(st, b,
-					pendingReq{off: req.Offset, length: req.Length, start: now, done: req.Done}, now)
-				return
-			}
-		}
-		s.directRead(req, now)
-		return
-	}
-	// Forward gap (or partial overlap): credit the skipped range to
-	// the buffers that staged it, so they still free when the stream
-	// moves past them.
-	if gap := req.Offset - st.nextClient; gap > 0 {
-		s.stats.BytesSkipped += gap
-		for _, b := range append([]*buffer(nil), st.buffers...) {
-			if b.start >= req.Offset || b.end <= st.nextClient {
-				continue
-			}
-			covered := req.Offset
-			if b.end < covered {
-				covered = b.end
-			}
-			if mark := covered - b.start; mark > b.consumed {
-				b.consumed = mark
-			}
-			if b.ready && b.consumed >= b.size() {
-				s.freeBuffer(st, b, false)
-			}
-		}
-	}
-	s.acceptStreamRequest(st, req, now)
-}
-
-// eligible reports whether a stream may generate more disk requests:
-// it has disk left and its staged-ahead window (the per-stream working
-// set, §4.3) is below N·R beyond the client's position.
-func (s *Server) eligible(st *stream) bool {
-	if st.nextFetch >= s.dev.Capacity(st.disk) {
-		return false
-	}
-	if s.diskBlocked(st.disk, s.clock.Now()) {
-		// An open circuit keeps the stream out of the dispatch set; it
-		// re-enters on the next client request after the disk recovers
-		// (or is collected once it idles out).
-		return false
-	}
-	ahead := st.nextFetch - st.nextClient
-	return ahead < int64(s.cfg.RequestsPerStream)*s.cfg.ReadAhead
-}
-
-// serveFromBuffer completes one request from a ready buffer and frees
-// the buffer once fully consumed. Consumption is a watermark relative
-// to the buffer start, so duplicate or overlapping reads (near-
-// sequential mode) never over-count. Caller holds the lock.
-func (s *Server) serveFromBuffer(st *stream, b *buffer, p pendingReq, now time.Duration) {
-	if mark := p.off + p.length - b.start; mark > b.consumed {
-		b.consumed = mark
-	}
-	b.lastActive = now
-	s.stats.BytesDelivered += p.length
-	if o := s.cfg.Obs; o != nil {
-		o.bytesDelivered.Add(p.length)
-		o.requestLatency.Observe(now - p.start)
-		o.span(st.id, st.disk, obs.StageDeliver, p.off, p.length)
-	}
-	s.traceEvent(trace.Event{Kind: trace.KindClient, Stream: st.id, Disk: st.disk, Offset: p.off,
-		Length: p.length, Start: p.start, End: now, Hit: true})
-	s.completeFromMemory(p.length, p.done, Response{
-		Start:      p.start,
-		Data:       b.slice(p.off, p.length),
-		FromBuffer: true,
-	})
-	if b.consumed >= b.size() {
-		s.freeBuffer(st, b, false)
-		s.maybeRetire(st)
-		s.pump()
-	}
-	// Consumption may have reopened the stream's working-set window.
-	if !st.dispatched && !st.queued && s.eligible(st) {
-		s.enqueueCandidate(st)
-		s.pump()
-	}
-}
-
-// directRead services a request through the non-sequential path. The
-// device call itself is deferred to flushIO. Caller holds the lock.
-func (s *Server) directRead(req Request, now time.Duration) {
-	s.stats.DirectReads++
-	if o := s.cfg.Obs; o != nil {
-		o.directReads.Inc()
-	}
-	s.pendingIO = append(s.pendingIO, func() {
-		err := s.dev.ReadAt(req.Disk, req.Offset, req.Length, func(data []byte, derr error) {
-			s.mu.Lock()
-			s.stats.BytesDelivered += req.Length
-			end := s.clock.Now()
-			if derr != nil {
-				s.noteDiskFailure(req.Disk, end)
-			} else {
-				s.noteDiskSuccess(req.Disk)
-			}
-			if o := s.cfg.Obs; o != nil {
-				o.bytesDelivered.Add(req.Length)
-				o.requestLatency.Observe(end - now)
-			}
-			errMsg := ""
-			if derr != nil {
-				errMsg = derr.Error()
-			}
-			s.traceEvent(trace.Event{Kind: trace.KindDirect, Stream: trace.NoStream, Disk: req.Disk,
-				Offset: req.Offset, Length: req.Length, Start: now, End: end, Err: errMsg})
-			s.traceEvent(trace.Event{Kind: trace.KindClient, Stream: trace.NoStream, Disk: req.Disk,
-				Offset: req.Offset, Length: req.Length, Start: now, End: end, Err: errMsg})
-			s.mu.Unlock()
-			s.complete(req.Done, Response{Start: now, Data: data, Direct: true, Err: derr})
-		})
-		if err != nil {
-			// Validated at Submit; only a racing capacity change could
-			// land here. Fail the request rather than wedging the
-			// client.
-			s.complete(req.Done, Response{Start: now, Direct: true, Err: err})
-		}
-	})
-}
-
-// createStream registers a new sequential stream whose next expected
-// request follows req. Caller holds the lock.
-func (s *Server) createStream(req Request, now time.Duration) {
-	next := req.Offset + req.Length
-	if next >= s.dev.Capacity(req.Disk) {
-		return // detected at the very end of the disk: nothing to do
-	}
-	key := offKey{disk: req.Disk, off: next}
-	if s.byExpected[key] != nil {
-		return // an existing stream already expects this offset
-	}
-	st := &stream{
-		id:         s.nextID,
-		disk:       req.Disk,
-		nextClient: next,
-		nextFetch:  next,
-		lastActive: now,
-	}
-	s.nextID++
-	s.streams[st.id] = st
-	s.byExpected[key] = st
-	s.stats.StreamsDetected++
-	if o := s.cfg.Obs; o != nil {
-		o.streamsDetected.Inc()
-		o.span(st.id, st.disk, obs.StageClassify, req.Offset, req.Length)
-	}
-	s.enqueueCandidate(st)
-	s.pump()
-}
-
-func (s *Server) enqueueCandidate(st *stream) {
-	st.queued = true
-	s.candidates = append(s.candidates, st)
-	s.cfg.Obs.span(st.id, st.disk, obs.StageEnqueue, st.nextFetch, 0)
-}
-
-// pump admits candidates into the dispatch set while D and M allow
-// (§4.2). Caller holds the lock.
-func (s *Server) pump() {
-	if invariants.Enabled {
-		defer s.checkInvariants()
-	}
-	for s.dispatched < s.cfg.DispatchSize && len(s.candidates) > 0 {
-		if s.memUsed+s.cfg.ReadAhead > s.cfg.Memory {
-			// Under memory pressure, reclaim the least-recently-used
-			// idle staged buffer before giving up: candidates must not
-			// starve behind prefetched data nobody is consuming.
-			if !s.evictIdleBuffer() {
-				return
-			}
-			continue
-		}
-		// Streams are detected in bursts (a disk's cache turns the
-		// last detection reads into back-to-back hits), so plain FIFO
-		// admission can hand every slot to one disk's streams and idle
-		// the rest of the array. The dispatch set is therefore divided
-		// fairly: each disk holds at most ceil(D/#disks) slots, and
-		// among admittable candidates those on the least-loaded disk
-		// win; the policy picks within that set (FIFO for the paper's
-		// round-robin). Disks with an open circuit are excluded on both
-		// sides: their candidates cannot be admitted, and they do not
-		// count toward the fair share, so the healthy disks keep the
-		// full dispatch set between them.
-		now := s.clock.Now()
-		ndisks := s.dev.Disks() - s.degradedDisks()
-		if ndisks < 1 {
-			ndisks = 1
-		}
-		maxPerDisk := (s.cfg.DispatchSize + ndisks - 1) / ndisks
-		minLoad := -1
-		for _, c := range s.candidates {
-			if s.diskBlocked(c.disk, now) {
-				continue
-			}
-			load := s.perDisk[c.disk]
-			if load >= maxPerDisk {
-				continue
-			}
-			if minLoad < 0 || load < minLoad {
-				minLoad = load
-			}
-		}
-		if minLoad < 0 {
-			return // every candidate's disk is at its fair share (or blocked)
-		}
-		eligibleIdx := make([]int, 0, len(s.candidates))
-		filtered := make([]*stream, 0, len(s.candidates))
-		for i, c := range s.candidates {
-			if s.perDisk[c.disk] == minLoad && !s.diskBlocked(c.disk, now) {
-				eligibleIdx = append(eligibleIdx, i)
-				filtered = append(filtered, c)
-			}
-		}
-		pick := s.cfg.Policy.Next(filtered, s.lastOffset)
-		if pick < 0 || pick >= len(filtered) {
-			pick = 0
-		}
-		idx := eligibleIdx[pick]
-		st := s.candidates[idx]
-		s.candidates = append(s.candidates[:idx], s.candidates[idx+1:]...)
-		st.queued = false
-		if !s.eligible(st) {
-			// Working-set full or disk exhausted: the stream re-enters
-			// the queue when consumption advances (acceptStreamRequest)
-			// or retires.
-			s.maybeRetire(st)
-			continue
-		}
-		st.dispatched = true
-		st.issuedInResidency = 0
-		s.dispatched++
-		s.perDisk[st.disk]++
-		s.cfg.Obs.span(st.id, st.disk, obs.StageDispatch, st.nextFetch, 0)
-		s.issueFetch(st)
-	}
-}
-
-// checkInvariants asserts the scheduler's state invariants when the
-// `invariants` build tag is on (no-op otherwise): the §4.2 dispatch
-// bound D, the §4.3 memory bound M (the runtime face of M ≥ D·R·N),
-// and the consistency of the accounting the two bounds rely on. It is
-// called from the dispatch path (pump), the completion path
-// (onFetchDone), and the GC tick. Caller holds the lock.
-func (s *Server) checkInvariants() {
-	if !invariants.Enabled {
-		return
-	}
-	invariants.Check(s.memUsed >= 0, "staged memory went negative: %d", s.memUsed)
-	invariants.Check(s.memUsed <= s.cfg.Memory,
-		"staged bytes %d exceed the memory bound M=%d (D=%d R=%d N=%d)",
-		s.memUsed, s.cfg.Memory, s.cfg.DispatchSize, s.cfg.ReadAhead, s.cfg.RequestsPerStream)
-	invariants.Check(s.dispatched >= 0 && s.dispatched <= s.cfg.DispatchSize,
-		"dispatch set holds %d streams, bound D=%d", s.dispatched, s.cfg.DispatchSize)
-	invariants.Check(s.bufCount >= 0, "live buffer count went negative: %d", s.bufCount)
-
-	perDisk := 0
-	for _, n := range s.perDisk {
-		perDisk += n
-	}
-	invariants.Check(perDisk == s.dispatched,
-		"per-disk dispatch counts sum to %d, dispatch set holds %d", perDisk, s.dispatched)
-
-	var staged int64
-	nbuf := 0
-	ndispatched := 0
-	for _, st := range s.streams {
-		for _, b := range st.buffers {
-			staged += b.size()
-			nbuf++
-		}
-		if st.dispatched {
-			ndispatched++
-		}
-		invariants.Check(!(st.dispatched && st.queued),
-			"stream %d is both dispatched and queued as a candidate", st.id)
-		invariants.Check(st.issuedInResidency <= s.cfg.RequestsPerStream,
-			"stream %d issued %d fetches in one residency, bound N=%d",
-			st.id, st.issuedInResidency, s.cfg.RequestsPerStream)
-	}
-	invariants.Check(staged == s.memUsed,
-		"buffers hold %d bytes but accounting says %d", staged, s.memUsed)
-	invariants.Check(nbuf == s.bufCount,
-		"%d live buffers but accounting says %d", nbuf, s.bufCount)
-	invariants.Check(ndispatched == s.dispatched,
-		"%d streams marked dispatched but dispatch counter says %d", ndispatched, s.dispatched)
-
-	for key, st := range s.byExpected {
-		invariants.Check(key.disk == st.disk && key.off == st.nextClient,
-			"stream %d indexed under (disk=%d, off=%d) but expects (disk=%d, off=%d)",
-			st.id, key.disk, key.off, st.disk, st.nextClient)
-	}
-}
-
-// evictIdleBuffer frees the least-recently-active staged buffer that
-// is ready, has no waiter, and has been idle at least EvictIdle. It
-// reports whether anything was freed. Caller holds the lock.
-func (s *Server) evictIdleBuffer() bool {
-	now := s.clock.Now()
-	var victim *buffer
-	var owner *stream
-	for _, st := range s.streams {
-		if st.fetchInFlight {
-			continue
-		}
-		for _, b := range st.buffers {
-			if !b.ready || now-b.lastActive < s.cfg.EvictIdle {
-				continue
-			}
-			if hasWaiter(st, b) {
-				continue
-			}
-			if victim == nil || b.lastActive < victim.lastActive {
-				victim, owner = b, st
-			}
-		}
-	}
-	if victim == nil {
-		return false
-	}
-	s.stats.BuffersEvicted++
-	if o := s.cfg.Obs; o != nil {
-		o.buffersEvicted.Inc()
-		o.span(owner.id, victim.disk, obs.StageEvict, victim.start, victim.size())
-	}
-	s.traceEvent(trace.Event{Kind: trace.KindEvict, Stream: owner.id, Disk: victim.disk,
-		Offset: victim.start, Length: victim.size(), Start: victim.issuedAt, End: now})
-	s.freeBuffer(owner, victim, false)
-	// Unconsumed data was dropped; a later request for it rewinds the
-	// fetch pointer (acceptStreamRequest).
-	return true
-}
-
-// hasWaiter reports whether any queued request of st falls inside b.
-func hasWaiter(st *stream, b *buffer) bool {
-	for _, p := range st.queue {
-		if b.covers(p.off, p.length) {
-			return true
-		}
-	}
-	return false
-}
-
-// issueFetch generates one R-sized disk request for a dispatched
-// stream. Caller holds the lock.
-func (s *Server) issueFetch(st *stream) {
-	capacity := s.dev.Capacity(st.disk)
-	flen := s.cfg.ReadAhead
-	if rem := capacity - st.nextFetch; flen > rem {
-		flen = rem
-	}
-	if flen <= 0 {
-		s.rotateOut(st)
-		return
-	}
-	b := &buffer{
-		disk:       st.disk,
-		start:      st.nextFetch,
-		end:        st.nextFetch + flen,
-		lastActive: s.clock.Now(),
-		issuedAt:   s.clock.Now(),
-		owner:      st,
-	}
-	st.buffers = append(st.buffers, b)
-	st.nextFetch = b.end
-	st.fetchInFlight = true
-	st.totalFetched += flen
-	s.memUsed += flen
-	if s.memUsed > s.stats.PeakMemory {
-		s.stats.PeakMemory = s.memUsed
-	}
-	s.bufCount++
-	s.updateAccounting()
-	s.stats.Fetches++
-	s.stats.BytesFetched += flen
-	if o := s.cfg.Obs; o != nil {
-		o.fetches.Inc()
-		o.bytesFetched.Add(flen)
-		o.span(st.id, st.disk, obs.StageFetch, b.start, flen)
-	}
-
-	// The device call runs off-lock (flushIO). The stream cannot issue
-	// a second fetch meanwhile: fetchInFlight stays set until the
-	// completion path clears it.
-	s.armFetchDeadline(st, b)
-	s.pendingIO = append(s.pendingIO, s.fetchCall(st, b))
-}
-
-// fetchCall builds the off-lock device call for a buffer's fetch (and
-// its retries). Caller holds the lock.
-func (s *Server) fetchCall(st *stream, b *buffer) func() {
-	return func() {
-		err := s.dev.ReadAt(st.disk, b.start, b.size(), func(data []byte, derr error) {
-			s.onFetchDone(st, b, data, derr)
-		})
-		if err != nil {
-			// Validated ranges make this unreachable in practice;
-			// treat it as a failed fetch so waiters are not wedged.
-			s.onFetchDone(st, b, nil, err)
-		}
-	}
-}
-
-// armFetchDeadline starts the FetchTimeout timer for a buffer's fetch,
-// replacing any previous timer. Caller holds the lock.
-func (s *Server) armFetchDeadline(st *stream, b *buffer) {
-	if s.cfg.FetchTimeout <= 0 {
-		return
-	}
-	if b.cancelTimeout != nil {
-		b.cancelTimeout()
-	}
-	b.cancelTimeout = s.clock.Schedule(s.cfg.FetchTimeout, func() {
-		s.onFetchTimeout(st, b)
-	})
-}
-
-// onFetchTimeout fires when a fetch outlives FetchTimeout: the waiters
-// covered by the buffer receive ErrFetchTimeout, the staged memory is
-// reclaimed, and the stream leaves the dispatch set so the slot goes to
-// a live stream. The late device completion, if it ever arrives, is
-// dropped by the abandoned flag. The timeout counts as a device
-// failure toward the disk's circuit.
-func (s *Server) onFetchTimeout(st *stream, b *buffer) {
-	s.mu.Lock()
-	if b.ready || b.abandoned {
-		s.mu.Unlock()
-		return // completed (or already timed out) before the timer ran
-	}
-	b.abandoned = true
-	b.cancelTimeout = nil
-	st.fetchInFlight = false
-	now := s.clock.Now()
-	s.stats.FetchTimeouts++
-	if o := s.cfg.Obs; o != nil {
-		o.fetchTimeouts.Inc()
-	}
-	s.traceEvent(trace.Event{Kind: trace.KindFetch, Stream: st.id, Disk: st.disk, Offset: b.start,
-		Length: b.size(), Start: b.issuedAt, End: now, Err: ErrFetchTimeout.Error()})
-	s.noteDiskFailure(st.disk, now)
-	var failed []pendingReq
-	st.queue, failed = splitCovered(st.queue, b)
-	s.freeBuffer(st, b, false)
-	s.parkStream(st)
-	s.checkInvariants()
-	s.syncGauges()
-	s.mu.Unlock()
-	for _, p := range failed {
-		s.complete(p.done, Response{Start: p.start, Err: ErrFetchTimeout})
-	}
-	s.flushIO()
-}
-
-// scheduleRetry re-issues a transiently-failed fetch after exponential
-// backoff (RetryBackoff doubling per attempt). The buffer stays live —
-// memory accounted, waiters queued, fetchInFlight held — so the stream
-// cannot double-fetch the range meanwhile. The FetchTimeout deadline
-// is NOT re-armed: it bounds the whole fetch, retries included, and
-// may fire mid-backoff. Caller holds the lock.
-func (s *Server) scheduleRetry(st *stream, b *buffer) {
-	s.stats.FetchRetries++
-	if o := s.cfg.Obs; o != nil {
-		o.fetchRetries.Inc()
-	}
-	backoff := s.cfg.RetryBackoff << (b.attempts - 1)
-	s.clock.Schedule(backoff, func() {
-		s.mu.Lock()
-		if b.abandoned {
-			s.mu.Unlock()
-			return // timed out while backing off
-		}
-		s.pendingIO = append(s.pendingIO, s.fetchCall(st, b))
-		s.mu.Unlock()
-		s.flushIO()
-	})
-}
-
-// onFetchDone is the completion path (§4.2). It gives priority to the
-// issue path — the next fetch (or the next candidate stream) is issued
-// before any pending client requests are completed — so the disks
-// never idle behind client completions.
-func (s *Server) onFetchDone(st *stream, b *buffer, data []byte, derr error) {
-	s.mu.Lock()
-	now := s.clock.Now()
-	if b.abandoned {
-		// The fetch already hit FetchTimeout: memory reclaimed, waiters
-		// failed, stream parked. Drop the late completion.
-		s.mu.Unlock()
-		return
-	}
-	if derr != nil && b.attempts < s.cfg.FetchRetries && blockdev.IsTransient(derr) {
-		// Transient device error with retry budget left: re-issue the
-		// same fetch after backoff instead of failing its waiters. The
-		// deadline timer stays armed across attempts.
-		b.attempts++
-		s.scheduleRetry(st, b)
-		s.mu.Unlock()
-		return
-	}
-	if b.cancelTimeout != nil {
-		b.cancelTimeout()
-		b.cancelTimeout = nil
-	}
-	b.ready = true
-	b.data = data
-	b.lastActive = now
-	fetchErr := ""
-	if derr != nil {
-		fetchErr = derr.Error()
-	}
-	if o := s.cfg.Obs; o != nil {
-		o.fetchLatency.Observe(now - b.issuedAt)
-		o.span(st.id, st.disk, obs.StageStaged, b.start, b.size())
-	}
-	s.traceEvent(trace.Event{Kind: trace.KindFetch, Stream: st.id, Disk: st.disk, Offset: b.start,
-		Length: b.size(), Start: b.issuedAt, End: now, Err: fetchErr})
-	st.fetchInFlight = false
-	st.issuedInResidency++
-	s.lastOffset[st.disk] = b.end
-
-	if derr != nil {
-		// Fail everything waiting on this buffer and drop it.
-		s.noteDiskFailure(st.disk, now)
-		var failed []pendingReq
-		st.queue, failed = splitCovered(st.queue, b)
-		s.freeBuffer(st, b, false)
-		s.parkStream(st)
-		s.checkInvariants()
-		s.syncGauges()
-		s.mu.Unlock()
-		for _, p := range failed {
-			s.complete(p.done, Response{Start: p.start, Err: derr})
-		}
-		s.flushIO()
-		return
-	}
-
-	s.noteDiskSuccess(st.disk)
-
-	// Issue path first.
-	if st.dispatched {
-		if st.issuedInResidency < s.cfg.RequestsPerStream &&
-			st.nextFetch < s.dev.Capacity(st.disk) &&
-			s.memUsed+s.cfg.ReadAhead <= s.cfg.Memory {
-			s.issueFetch(st)
-		} else {
-			s.rotateOut(st)
-		}
-	}
-
-	// Completion path: serve queued requests now covered by staged
-	// data, in order.
-	s.drainQueue(st, now)
-	s.checkInvariants()
-	s.syncGauges()
-	s.mu.Unlock()
-	s.flushIO()
-}
-
-// drainQueue serves the head of the stream queue while ready buffers
-// cover it. Caller holds the lock.
-func (s *Server) drainQueue(st *stream, now time.Duration) {
-	for len(st.queue) > 0 {
-		p := st.queue[0]
-		var hit *buffer
-		for _, b := range st.buffers {
-			if b.ready && b.covers(p.off, p.length) {
-				hit = b
+		next := cur + n
+		for {
+			peak := s.peakMem.Load()
+			if next <= peak || s.peakMem.CompareAndSwap(peak, next) {
 				break
 			}
 		}
-		if hit == nil {
-			return
+		return true
+	}
+}
+
+// memRelease returns n staged bytes to the budget and wakes blocked
+// shards.
+func (s *Server) memRelease(n int64) {
+	s.memUsed.Add(-n)
+	s.scheduleRepump()
+}
+
+// slotAcquire claims one dispatch slot against D, reporting false
+// when the set is full.
+func (s *Server) slotAcquire() bool {
+	for {
+		cur := s.dispatched.Load()
+		if cur >= int64(s.cfg.DispatchSize) {
+			return false
 		}
-		st.queue = st.queue[1:]
-		s.stats.QueuedServed++
-		if o := s.cfg.Obs; o != nil {
-			o.queuedServed.Inc()
-		}
-		s.serveFromBuffer(st, hit, p, now)
-	}
-}
-
-// splitCovered partitions queue into (kept, covered-by-b).
-func splitCovered(queue []pendingReq, b *buffer) (kept, covered []pendingReq) {
-	for _, p := range queue {
-		if b.covers(p.off, p.length) {
-			covered = append(covered, p)
-		} else {
-			kept = append(kept, p)
-		}
-	}
-	return kept, covered
-}
-
-// rotateOut removes a stream from the dispatch set (§4.2: after N
-// requests it is replaced by the next sequential stream) and re-queues
-// it as a candidate when it still has work. Caller holds the lock.
-func (s *Server) rotateOut(st *stream) {
-	s.unDispatch(st)
-	st.issuedInResidency = 0
-	if !st.queued && s.eligible(st) {
-		s.enqueueCandidate(st)
-	}
-	s.maybeRetire(st)
-	s.pump()
-}
-
-// parkStream removes a stream whose fetch failed (or timed out) from
-// the dispatch set without re-admitting it to the candidate queue:
-// speculatively prefetching the next window of a stream that just lost
-// its staged data — with nobody waiting — only burns a sick disk
-// further. The stream re-enters on its next client request (or idles
-// out and is collected). Caller holds the lock.
-func (s *Server) parkStream(st *stream) {
-	s.unDispatch(st)
-	st.issuedInResidency = 0
-	s.maybeRetire(st)
-	s.pump()
-}
-
-// unDispatch releases a stream's dispatch slot. Caller holds the lock.
-func (s *Server) unDispatch(st *stream) {
-	if !st.dispatched {
-		return
-	}
-	st.dispatched = false
-	s.dispatched--
-	if s.perDisk[st.disk] > 0 {
-		s.perDisk[st.disk]--
-	}
-	// Rotation is worth a timeline entry: dispatch-set churn is the
-	// §4.2 mechanism the paper's fairness argument rests on.
-	if s.cfg.Obs != nil || s.cfg.Trace != nil {
-		now := s.clock.Now()
-		if o := s.cfg.Obs; o != nil {
-			o.rotations.Inc()
-			o.span(st.id, st.disk, obs.StageRotate, st.nextFetch, 0)
-		}
-		s.traceEvent(trace.Event{Kind: trace.KindRotate, Stream: st.id, Disk: st.disk,
-			Offset: st.nextFetch, Start: now, End: now})
-	}
-}
-
-// freeBuffer releases a staged buffer's memory. Caller holds the lock.
-func (s *Server) freeBuffer(st *stream, b *buffer, gc bool) {
-	for i, cur := range st.buffers {
-		if cur == b {
-			st.buffers = append(st.buffers[:i], st.buffers[i+1:]...)
-			break
+		if s.dispatched.CompareAndSwap(cur, cur+1) {
+			return true
 		}
 	}
-	s.memUsed -= b.size()
-	s.bufCount--
-	b.data = nil
-	if gc {
-		s.stats.BuffersGCed++
-	} else {
-		s.stats.BuffersFreed++
-	}
-	if o := s.cfg.Obs; o != nil {
-		if gc {
-			o.buffersGCed.Inc()
-		} else {
-			o.buffersFreed.Inc()
-		}
-	}
-	s.updateAccounting()
 }
 
-// maybeRetire drops a stream that has prefetched to the end of its
-// disk and holds no data or waiters. Caller holds the lock.
-func (s *Server) maybeRetire(st *stream) {
-	if st.dispatched || st.queued || st.fetchInFlight {
-		return
-	}
-	if st.nextFetch < s.dev.Capacity(st.disk) {
-		return
-	}
-	if len(st.buffers) > 0 || len(st.queue) > 0 {
-		return
-	}
-	if _, ok := s.streams[st.id]; !ok {
-		return
-	}
-	delete(s.streams, st.id)
-	delete(s.byExpected, offKey{disk: st.disk, off: st.nextClient})
-	s.stats.StreamsRetired++
-	if o := s.cfg.Obs; o != nil {
-		o.streamsRetired.Inc()
-		o.span(st.id, st.disk, obs.StageRetire, st.nextClient, 0)
-	}
+// slotRelease returns one dispatch slot and wakes blocked shards.
+func (s *Server) slotRelease() {
+	s.dispatched.Add(-1)
+	s.scheduleRepump()
 }
 
-func (s *Server) updateAccounting() {
-	if s.acct != nil {
-		s.acct.SetLiveBuffers(s.bufCount)
-	}
-}
-
-// gcTick is the periodic garbage collector (§4.3): it frees staged
-// buffers that have waited too long for their remaining requests, and
-// removes streams (queues, hash entries) that were classified as
-// sequential but went idle.
-func (s *Server) gcTick() {
-	s.mu.Lock()
-	s.gcArmed = false
-	if s.closed {
-		s.mu.Unlock()
+// scheduleRepump arms one off-lock pass over the shards that flagged
+// themselves blocked on a global budget. Safe to call under a shard
+// lock (the pass runs through the clock, never inline).
+func (s *Server) scheduleRepump() {
+	if s.blocked.Load() == 0 {
 		return
 	}
-	now := s.clock.Now()
-	if o := s.cfg.Obs; o != nil {
-		o.gcTicks.Inc()
+	if !s.repumpArmed.CompareAndSwap(false, true) {
+		return
 	}
+	s.clock.Schedule(0, s.repumpFn)
+}
 
-	for id, st := range s.streams {
-		// Streams with in-flight fetches or waiting clients are live by
-		// definition: a waiter's data is either in flight or the stream
-		// is queued/eligible, so it will be served.
-		if st.fetchInFlight || len(st.queue) > 0 || st.dispatched {
+// repumpPass pumps every blocked shard, holding one shard lock at a
+// time. When a shard is still starved for memory and holds no local
+// eviction victim, an LRU victim is reclaimed from whichever shard
+// has one (the cross-shard face of §4.3 pressure eviction) and
+// another pass is scheduled.
+func (s *Server) repumpPass() {
+	s.repumpArmed.Store(false)
+	for _, sh := range s.shards {
+		if !sh.clearBlocked() {
 			continue
 		}
-		// Free idle staged buffers (prefetched data nobody came back
-		// for). The fetch pointer rewinds on a later request for the
-		// dropped range (acceptStreamRequest).
-		for _, b := range append([]*buffer(nil), st.buffers...) {
-			if b.ready && now-b.lastActive > s.cfg.BufferTimeout {
-				s.freeBuffer(st, b, true)
-			}
+		sh.mu.Lock()
+		if !sh.closed {
+			sh.pump()
+			sh.syncGauges()
 		}
-		// Drop idle streams entirely: queue, hash entry, candidacy.
-		if now-st.lastActive > s.cfg.StreamTimeout {
-			for _, b := range append([]*buffer(nil), st.buffers...) {
-				s.freeBuffer(st, b, true)
+		sh.mu.Unlock()
+		sh.flush()
+		if sh.wantPump.Load() && !s.memWouldFit(s.cfg.ReadAhead) {
+			if s.evictGlobal() {
+				s.scheduleRepump()
 			}
-			if st.queued {
-				for i, c := range s.candidates {
-					if c == st {
-						s.candidates = append(s.candidates[:i], s.candidates[i+1:]...)
-						break
-					}
-				}
-				st.queued = false
-			}
-			delete(s.streams, id)
-			delete(s.byExpected, offKey{disk: st.disk, off: st.nextClient})
-			s.stats.StreamsGCed++
-			if o := s.cfg.Obs; o != nil {
-				o.streamsGCed.Inc()
-				o.span(st.id, st.disk, obs.StageGC, st.nextClient, 0)
-			}
-			s.traceEvent(trace.Event{Kind: trace.KindGC, Stream: st.id, Disk: st.disk,
-				Offset: st.nextClient, Start: st.lastActive, End: now})
 		}
 	}
-	s.stats.RegionsGCed += int64(s.cls.gc(now - s.cfg.StreamTimeout))
-	s.pump()
-	s.armGC()
-	s.checkInvariants()
-	s.syncGauges()
-	s.mu.Unlock()
-	s.flushIO()
+}
+
+// evictGlobal frees the least-recently-active evictable staged buffer
+// across all shards, holding one shard lock at a time: a scan pass
+// records each shard's local LRU victim, then the global victim's
+// shard re-finds and frees it (tolerating races by re-checking). It
+// reports whether anything was freed.
+func (s *Server) evictGlobal() bool {
+	victimShard := -1
+	var victimAge time.Duration
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		_, b := sh.findEvictVictim()
+		sh.mu.Unlock()
+		if b == nil {
+			continue
+		}
+		if victimShard < 0 || b.lastActive < victimAge {
+			victimShard, victimAge = i, b.lastActive
+		}
+	}
+	if victimShard < 0 {
+		return false
+	}
+	sh := s.shards[victimShard]
+	sh.mu.Lock()
+	freed := sh.evictIdleBuffer()
+	sh.syncGauges()
+	sh.mu.Unlock()
+	sh.flush()
+	return freed
+}
+
+// noteDegradedTransition adjusts the global degraded-disk count when a
+// breaker opens (+1) or leaves the open state (-1), and wakes blocked
+// shards: a recovering disk raises every shard's fair share.
+func (s *Server) noteDegradedTransition(delta int64) {
+	s.degraded.Add(delta)
+	if delta < 0 {
+		s.scheduleRepump()
+	}
 }

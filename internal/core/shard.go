@@ -1,0 +1,1273 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"seqstream/internal/blockdev"
+	"seqstream/internal/bufpool"
+	"seqstream/internal/invariants"
+	"seqstream/internal/obs"
+	"seqstream/internal/trace"
+)
+
+// shard is one scheduler shard. Disks are assigned to shards by
+// disk % len(shards) (one disk per shard by default), and every
+// structure a disk's traffic touches — classifier regions, streams,
+// candidate queue, staged buffers, circuit breakers, GC cursor —
+// belongs to exactly one shard and is guarded by that shard's mutex.
+//
+// Ownership and locking rules:
+//
+//   - All fields below mu are guarded by mu. No code path ever holds
+//     two shard locks at once; cross-shard work (Server.Snapshot,
+//     Server.evictGlobal) locks shards one at a time or in index
+//     order.
+//   - The global bounds D and M live in Server atomics
+//     (Server.dispatched, Server.memUsed); a shard reserves against
+//     them with CAS loops while holding only its own lock.
+//   - Client callbacks and device calls never run under mu: they are
+//     queued in pendingIO/pendingDone under the lock and drained by
+//     flush after it is released.
+//   - When a shard cannot make progress because a global budget is
+//     exhausted, it flags itself (wantPump) and returns; whichever
+//     shard releases the resource schedules a repump pass that pumps
+//     the flagged shards off-lock.
+type shard struct {
+	srv *Server
+	idx int
+
+	mu         sync.Mutex
+	cls        *classifier
+	byExpected map[offKey]*stream // stream lookup by next expected client offset
+	streams    map[int]*stream
+	candidates []*stream
+	dispatched int           // dispatch slots held by this shard's streams
+	perDisk    map[int]int   // dispatched streams per disk
+	lastOffset map[int]int64 // last fetch end per disk (for policies)
+	breakers   map[int]*breaker
+	memUsed    int64 // staged bytes owned by this shard
+	bufCount   int   // live buffers owned by this shard
+	stats      Stats
+	gcCancel   func()
+	gcArmed    bool
+	closed     bool
+
+	// pendingIO collects device calls generated under the lock; they
+	// run after the lock is released (flush), because real devices may
+	// block in ReadAt and their completions need the lock.
+	pendingIO []func()
+	// pendingDone collects staged-data completions generated under the
+	// lock; flush delivers the whole batch after the device calls, so
+	// the issue path keeps its priority (§4.2) and delivery costs no
+	// per-response timer.
+	pendingDone []doneEntry
+	// spareIO/spareDone recycle the drained slices so the steady-state
+	// hit path allocates nothing.
+	spareIO   []func()
+	spareDone []doneEntry
+
+	// wantPump flags that this shard gave up on admission because a
+	// global budget (D or M) was exhausted; Server.repumpPass clears
+	// it. Atomic so releases on other shards can read it locklessly.
+	wantPump atomic.Bool
+	// flushDepth bounds synchronous completion recursion; deep chains
+	// are flattened through the clock.
+	flushDepth atomic.Int32
+	flushFn    func()
+}
+
+// doneEntry is one batched client completion.
+type doneEntry struct {
+	done   func(Response)
+	resp   Response
+	length int64
+}
+
+// maxFlushDepth bounds nested flush calls (completion → Submit →
+// flush → …) before the remainder is deferred through the clock.
+const maxFlushDepth = 8
+
+func newShard(srv *Server, idx int) *shard {
+	sh := &shard{
+		srv:        srv,
+		idx:        idx,
+		cls:        newClassifier(srv.cfg),
+		byExpected: make(map[offKey]*stream),
+		streams:    make(map[int]*stream),
+		perDisk:    make(map[int]int),
+		lastOffset: make(map[int]int64),
+		breakers:   make(map[int]*breaker),
+	}
+	sh.flushFn = sh.flushWork
+	return sh
+}
+
+// markBlocked flags the shard as starved on a global budget so the
+// next release repumps it. Callable from any goroutine.
+func (sh *shard) markBlocked() {
+	if sh.wantPump.CompareAndSwap(false, true) {
+		sh.srv.blocked.Add(1)
+	}
+}
+
+// clearBlocked consumes the blocked flag, reporting whether it was
+// set.
+func (sh *shard) clearBlocked() bool {
+	if sh.wantPump.CompareAndSwap(true, false) {
+		sh.srv.blocked.Add(-1)
+		return true
+	}
+	return false
+}
+
+// armGC ensures the periodic collector is scheduled while there is
+// collectible state, and leaves no timer behind when the shard is
+// idle (so simulations drain and idle real servers hold no timers).
+// Caller holds sh.mu.
+func (sh *shard) armGC() {
+	if sh.gcArmed || sh.closed {
+		return
+	}
+	if len(sh.streams) == 0 && sh.cls.regionCount() == 0 && sh.bufCount == 0 {
+		return
+	}
+	sh.gcArmed = true
+	sh.gcCancel = sh.srv.clock.Schedule(sh.srv.cfg.GCPeriod, sh.gcTick)
+}
+
+// flush drains the work queued under the shard lock: device calls
+// first, then the batched client completions. Completions may submit
+// follow-up requests synchronously; past maxFlushDepth the remainder
+// is deferred through the clock so hit chains cannot grow the stack.
+// Must be called after every locked section that may queue work, with
+// the lock released.
+func (sh *shard) flush() {
+	if sh.flushDepth.Add(1) > maxFlushDepth {
+		sh.flushDepth.Add(-1)
+		sh.srv.clock.Schedule(0, sh.flushFn)
+		return
+	}
+	sh.flushWork()
+	sh.flushDepth.Add(-1)
+}
+
+func (sh *shard) flushWork() {
+	for {
+		sh.mu.Lock()
+		calls, batch := sh.pendingIO, sh.pendingDone
+		sh.pendingIO, sh.pendingDone = sh.spareIO, sh.spareDone
+		sh.spareIO, sh.spareDone = nil, nil
+		sh.mu.Unlock()
+		if len(calls) == 0 && len(batch) == 0 {
+			sh.recycle(calls, batch)
+			return
+		}
+		for _, fn := range calls {
+			fn()
+		}
+		sh.deliver(batch)
+		clear(calls)
+		clear(batch)
+		sh.recycle(calls, batch)
+	}
+}
+
+// recycle returns drained slices for reuse so steady-state flushing
+// allocates nothing. Under concurrent flushes a slice may be dropped
+// to the garbage collector instead, which is only a missed reuse.
+func (sh *shard) recycle(calls []func(), batch []doneEntry) {
+	sh.mu.Lock()
+	if sh.spareIO == nil && calls != nil {
+		sh.spareIO = calls[:0]
+	}
+	if sh.spareDone == nil && batch != nil {
+		sh.spareDone = batch[:0]
+	}
+	sh.mu.Unlock()
+}
+
+// deliver completes one batch of staged-data responses. When the
+// device models host CPU, each delivery is charged individually (the
+// sim's accounting is per request); otherwise the batch completes
+// synchronously with no per-response timer.
+func (sh *shard) deliver(batch []doneEntry) {
+	srv := sh.srv
+	if srv.cpu != nil {
+		for i := range batch {
+			e := batch[i] // copy: the backing array is recycled
+			srv.cpu.ChargeRequest(e.length, func() {
+				e.resp.End = srv.clock.Now()
+				e.done(e.resp)
+			})
+		}
+		return
+	}
+	for i := range batch {
+		e := &batch[i]
+		e.resp.End = srv.clock.Now()
+		e.done(e.resp)
+	}
+}
+
+// enqueueDone queues one staged-data completion for the next flush.
+// Caller holds sh.mu.
+func (sh *shard) enqueueDone(done func(Response), resp Response, length int64) {
+	if done == nil {
+		// Nobody is waiting: drop the delivery (the pooled ref was only
+		// attached for a live consumer).
+		resp.Release()
+		return
+	}
+	sh.pendingDone = append(sh.pendingDone, doneEntry{done: done, resp: resp, length: length})
+}
+
+// submit is Server.Submit routed to the disk's shard; see the flow
+// description there.
+func (sh *shard) submit(req Request) error {
+	srv := sh.srv
+	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
+		return errors.New("core: server closed")
+	}
+	now := srv.clock.Now()
+	sh.stats.Requests++
+	if o := srv.cfg.Obs; o != nil {
+		o.requests.Inc()
+	}
+
+	// Degraded path: an open circuit fails the disk's requests fast
+	// instead of queuing them behind a sick device, so client threads
+	// (and the staging memory behind them) never pile up on it.
+	if !sh.breakerAllows(req.Disk, now) {
+		sh.stats.BreakerFastFails++
+		if o := srv.cfg.Obs; o != nil {
+			o.breakerFastFails.Inc()
+		}
+		sh.syncGauges()
+		sh.mu.Unlock()
+		srv.complete(req.Done, Response{Start: now, Direct: true, Err: ErrDiskDegraded})
+		return nil
+	}
+
+	// Stream path: the request continues a classified stream.
+	key := offKey{disk: req.Disk, off: req.Offset}
+	if st := sh.byExpected[key]; st != nil {
+		sh.acceptStreamRequest(st, req, now)
+		sh.armGC()
+		sh.syncGauges()
+		sh.mu.Unlock()
+		sh.flush()
+		return nil
+	}
+
+	// Near-sequential path: a stream expecting a nearby offset absorbs
+	// the request (skips count as consumed; overlaps re-read staged
+	// data).
+	if srv.cfg.NearSeqWindow > 0 {
+		if st := sh.lookupNearSeq(req.Disk, req.Offset); st != nil {
+			sh.acceptNearSeq(st, req, now)
+			sh.armGC()
+			sh.syncGauges()
+			sh.mu.Unlock()
+			sh.flush()
+			return nil
+		}
+	}
+
+	// Classifier path: record the access; on detection, create the
+	// stream and admit it to the candidate queue. The triggering
+	// request itself is serviced directly (§4.1: requests are issued
+	// directly to the disk until a stream is detected).
+	if sh.cls.observe(req.Disk, req.Offset, req.Length, now) {
+		sh.createStream(req, now)
+	}
+	sh.directRead(req, now)
+	sh.armGC()
+	sh.syncGauges()
+	sh.mu.Unlock()
+	sh.flush()
+	return nil
+}
+
+// acceptStreamRequest handles an in-order request of a known stream:
+// serve from a ready buffer, or queue it for an in-flight/future
+// fetch. Caller holds sh.mu.
+func (sh *shard) acceptStreamRequest(st *stream, req Request, now time.Duration) {
+	// Advance the expected offset.
+	delete(sh.byExpected, offKey{disk: st.disk, off: st.nextClient})
+	st.nextClient = req.Offset + req.Length
+	sh.byExpected[offKey{disk: st.disk, off: st.nextClient}] = st
+	st.lastActive = now
+
+	covered := false
+	for _, b := range st.buffers {
+		if !b.covers(req.Offset, req.Length) {
+			continue
+		}
+		if b.ready {
+			sh.stats.BufferHits++
+			if o := sh.srv.cfg.Obs; o != nil {
+				o.bufferHits.Inc()
+			}
+			sh.serveFromBuffer(st, b, pendingReq{off: req.Offset, length: req.Length, start: now, done: req.Done}, now)
+			return
+		}
+		covered = true // an in-flight fetch will deliver it
+		break
+	}
+	// If the range was fetched before but its buffer has since been
+	// dropped (GC), rewind the fetch pointer so it is read again.
+	if !covered && req.Offset < st.nextFetch {
+		st.nextFetch = req.Offset
+	}
+	st.queue = append(st.queue, pendingReq{off: req.Offset, length: req.Length, start: now, done: req.Done})
+
+	// A stream with waiting clients and nothing staged or queued for
+	// dispatch re-enters the candidate queue (it may have been rotated
+	// out with all buffers consumed).
+	if !st.dispatched && !st.queued && sh.eligible(st) {
+		sh.enqueueCandidate(st)
+		sh.pump()
+	}
+}
+
+// lookupNearSeq returns the stream on disk whose expected offset is
+// nearest to off within the configured window, or nil. Caller holds
+// sh.mu.
+func (sh *shard) lookupNearSeq(disk int, off int64) *stream {
+	var best *stream
+	var bestDist int64
+	for _, st := range sh.streams {
+		if st.disk != disk {
+			continue
+		}
+		dist := off - st.nextClient
+		if dist < 0 {
+			dist = -dist
+		}
+		if dist > sh.srv.cfg.NearSeqWindow {
+			continue
+		}
+		if best == nil || dist < bestDist {
+			best, bestDist = st, dist
+		}
+	}
+	return best
+}
+
+// acceptNearSeq folds a near-sequential request into a stream: a
+// backward overlap is served from staged data (or directly) without
+// moving the stream; a forward gap marks the skipped range consumed
+// and advances the stream. Caller holds sh.mu.
+func (sh *shard) acceptNearSeq(st *stream, req Request, now time.Duration) {
+	sh.stats.NearSeqAccepted++
+	if o := sh.srv.cfg.Obs; o != nil {
+		o.nearSeqAccepted.Inc()
+	}
+	if req.Offset+req.Length <= st.nextClient {
+		// Entirely behind the stream: a re-read. Serve staged data if
+		// it is still resident; otherwise go directly to the disk.
+		st.lastActive = now
+		for _, b := range st.buffers {
+			if b.ready && b.covers(req.Offset, req.Length) {
+				sh.stats.BufferHits++
+				if o := sh.srv.cfg.Obs; o != nil {
+					o.bufferHits.Inc()
+				}
+				sh.serveFromBuffer(st, b,
+					pendingReq{off: req.Offset, length: req.Length, start: now, done: req.Done}, now)
+				return
+			}
+		}
+		sh.directRead(req, now)
+		return
+	}
+	// Forward gap (or partial overlap): credit the skipped range to
+	// the buffers that staged it, so they still free when the stream
+	// moves past them.
+	if gap := req.Offset - st.nextClient; gap > 0 {
+		sh.stats.BytesSkipped += gap
+		for _, b := range append([]*buffer(nil), st.buffers...) {
+			if b.start >= req.Offset || b.end <= st.nextClient {
+				continue
+			}
+			covered := req.Offset
+			if b.end < covered {
+				covered = b.end
+			}
+			if mark := covered - b.start; mark > b.consumed {
+				b.consumed = mark
+			}
+			if b.ready && b.consumed >= b.size() {
+				sh.freeBuffer(st, b, false)
+			}
+		}
+	}
+	sh.acceptStreamRequest(st, req, now)
+}
+
+// eligible reports whether a stream may generate more disk requests:
+// it has disk left and its staged-ahead window (the per-stream working
+// set, §4.3) is below N·R beyond the client's position.
+func (sh *shard) eligible(st *stream) bool {
+	if st.nextFetch >= sh.srv.dev.Capacity(st.disk) {
+		return false
+	}
+	if sh.diskBlocked(st.disk, sh.srv.clock.Now()) {
+		// An open circuit keeps the stream out of the dispatch set; it
+		// re-enters on the next client request after the disk recovers
+		// (or is collected once it idles out).
+		return false
+	}
+	ahead := st.nextFetch - st.nextClient
+	return ahead < int64(sh.srv.cfg.RequestsPerStream)*sh.srv.cfg.ReadAhead
+}
+
+// serveFromBuffer completes one request from a ready buffer and frees
+// the buffer once fully consumed. Consumption is a watermark relative
+// to the buffer start, so duplicate or overlapping reads (near-
+// sequential mode) never over-count. The completion itself is batched
+// (enqueueDone) and carries a reference on the buffer's pooled memory
+// when there is one. Caller holds sh.mu.
+func (sh *shard) serveFromBuffer(st *stream, b *buffer, p pendingReq, now time.Duration) {
+	if mark := p.off + p.length - b.start; mark > b.consumed {
+		b.consumed = mark
+	}
+	b.lastActive = now
+	sh.stats.BytesDelivered += p.length
+	if o := sh.srv.cfg.Obs; o != nil {
+		o.bytesDelivered.Add(p.length)
+		o.requestLatency.Observe(now - p.start)
+		o.span(st.id, st.disk, obs.StageDeliver, p.off, p.length)
+	}
+	sh.srv.traceEvent(trace.Event{Kind: trace.KindClient, Stream: st.id, Disk: st.disk, Offset: p.off,
+		Length: p.length, Start: p.start, End: now, Hit: true})
+	if p.done != nil {
+		resp := Response{
+			Start:      p.start,
+			Data:       b.slice(p.off, p.length),
+			FromBuffer: true,
+		}
+		if resp.Data != nil && b.pbuf != nil {
+			b.pbuf.Retain()
+			resp.pbuf = b.pbuf
+		}
+		sh.enqueueDone(p.done, resp, p.length)
+	}
+	if b.consumed >= b.size() {
+		sh.freeBuffer(st, b, false)
+		sh.maybeRetire(st)
+		sh.pump()
+	}
+	// Consumption may have reopened the stream's working-set window.
+	if !st.dispatched && !st.queued && sh.eligible(st) {
+		sh.enqueueCandidate(st)
+		sh.pump()
+	}
+}
+
+// directRead services a request through the non-sequential path,
+// reading into pooled memory when the device supports it. The device
+// call itself is deferred to flush. Caller holds sh.mu.
+func (sh *shard) directRead(req Request, now time.Duration) {
+	sh.stats.DirectReads++
+	if o := sh.srv.cfg.Obs; o != nil {
+		o.directReads.Inc()
+	}
+	srv := sh.srv
+	sh.pendingIO = append(sh.pendingIO, func() {
+		var pb *bufpool.Buf
+		var err error
+		if srv.rinto != nil {
+			pb = srv.pool.Get(req.Length)
+			err = srv.rinto.ReadInto(req.Disk, req.Offset, req.Length, pb.Data, func(data []byte, derr error) {
+				sh.onDirectDone(req, now, pb, data, derr)
+			})
+		} else {
+			err = srv.dev.ReadAt(req.Disk, req.Offset, req.Length, func(data []byte, derr error) {
+				sh.onDirectDone(req, now, nil, data, derr)
+			})
+		}
+		if err != nil {
+			// Validated at Submit; only a racing capacity change could
+			// land here. Fail the request rather than wedging the
+			// client.
+			pb.Release()
+			srv.complete(req.Done, Response{Start: now, Direct: true, Err: err})
+		}
+	})
+}
+
+// onDirectDone is the direct-path completion: it books the delivery
+// under the shard lock, then completes off-lock, handing the pooled
+// buffer to the consumer (or back to the pool when the device did not
+// materialize data into it).
+func (sh *shard) onDirectDone(req Request, start time.Duration, pb *bufpool.Buf, data []byte, derr error) {
+	srv := sh.srv
+	sh.mu.Lock()
+	sh.stats.BytesDelivered += req.Length
+	end := srv.clock.Now()
+	if derr != nil {
+		sh.noteDiskFailure(req.Disk, end)
+	} else {
+		sh.noteDiskSuccess(req.Disk)
+	}
+	if o := srv.cfg.Obs; o != nil {
+		o.bytesDelivered.Add(req.Length)
+		o.requestLatency.Observe(end - start)
+	}
+	errMsg := ""
+	if derr != nil {
+		errMsg = derr.Error()
+	}
+	srv.traceEvent(trace.Event{Kind: trace.KindDirect, Stream: trace.NoStream, Disk: req.Disk,
+		Offset: req.Offset, Length: req.Length, Start: start, End: end, Err: errMsg})
+	srv.traceEvent(trace.Event{Kind: trace.KindClient, Stream: trace.NoStream, Disk: req.Disk,
+		Offset: req.Offset, Length: req.Length, Start: start, End: end, Err: errMsg})
+	sh.mu.Unlock()
+	resp := Response{Start: start, Data: data, Direct: true, Err: derr}
+	if derr != nil || data == nil {
+		pb.Release()
+	} else {
+		resp.pbuf = pb
+	}
+	srv.complete(req.Done, resp)
+}
+
+// createStream registers a new sequential stream whose next expected
+// request follows req. Caller holds sh.mu.
+func (sh *shard) createStream(req Request, now time.Duration) {
+	srv := sh.srv
+	next := req.Offset + req.Length
+	if next >= srv.dev.Capacity(req.Disk) {
+		return // detected at the very end of the disk: nothing to do
+	}
+	key := offKey{disk: req.Disk, off: next}
+	if sh.byExpected[key] != nil {
+		return // an existing stream already expects this offset
+	}
+	st := &stream{
+		id:         int(srv.nextID.Add(1) - 1),
+		disk:       req.Disk,
+		nextClient: next,
+		nextFetch:  next,
+		lastActive: now,
+	}
+	sh.streams[st.id] = st
+	sh.byExpected[key] = st
+	srv.liveStreams.Add(1)
+	sh.stats.StreamsDetected++
+	if o := srv.cfg.Obs; o != nil {
+		o.streamsDetected.Inc()
+		o.span(st.id, st.disk, obs.StageClassify, req.Offset, req.Length)
+	}
+	sh.enqueueCandidate(st)
+	sh.pump()
+}
+
+func (sh *shard) enqueueCandidate(st *stream) {
+	st.queued = true
+	sh.candidates = append(sh.candidates, st)
+	sh.srv.liveCands.Add(1)
+	sh.srv.cfg.Obs.span(st.id, st.disk, obs.StageEnqueue, st.nextFetch, 0)
+}
+
+// pump admits candidates into the dispatch set while the global D and
+// M budgets allow (§4.2). Fairness is enforced against this shard's
+// disks with the global fair share ceil(D / healthy disks), so no
+// disk can hold more than its share of the dispatch set no matter how
+// the disks are distributed over shards. When a global budget is
+// exhausted the shard flags itself for a repump instead of spinning.
+// Caller holds sh.mu.
+func (sh *shard) pump() {
+	srv := sh.srv
+	if invariants.Enabled {
+		defer sh.checkInvariants()
+	}
+	for len(sh.candidates) > 0 {
+		if !srv.memWouldFit(srv.cfg.ReadAhead) {
+			// Under memory pressure, reclaim the least-recently-used
+			// idle staged buffer before giving up: candidates must not
+			// starve behind prefetched data nobody is consuming. Only
+			// this shard's buffers are visible here; when none qualify
+			// the repump pass falls back to a cross-shard eviction.
+			if !sh.evictIdleBuffer() {
+				sh.markBlocked()
+				return
+			}
+			continue
+		}
+		// Streams are detected in bursts (a disk's cache turns the
+		// last detection reads into back-to-back hits), so plain FIFO
+		// admission can hand every slot to one disk's streams and idle
+		// the rest of the array. The dispatch set is therefore divided
+		// fairly: each disk holds at most ceil(D/#disks) slots, and
+		// among admittable candidates those on the least-loaded disk
+		// win; the policy picks within that set (FIFO for the paper's
+		// round-robin). Disks with an open circuit are excluded on both
+		// sides: their candidates cannot be admitted, and they do not
+		// count toward the fair share, so the healthy disks keep the
+		// full dispatch set between them.
+		now := srv.clock.Now()
+		ndisks := srv.dev.Disks() - int(srv.degraded.Load())
+		if ndisks < 1 {
+			ndisks = 1
+		}
+		maxPerDisk := (srv.cfg.DispatchSize + ndisks - 1) / ndisks
+		minLoad := -1
+		for _, c := range sh.candidates {
+			if sh.diskBlocked(c.disk, now) {
+				continue
+			}
+			load := sh.perDisk[c.disk]
+			if load >= maxPerDisk {
+				continue
+			}
+			if minLoad < 0 || load < minLoad {
+				minLoad = load
+			}
+		}
+		if minLoad < 0 {
+			return // every candidate's disk is at its fair share (or blocked)
+		}
+		if !srv.slotAcquire() {
+			// The dispatch set is full globally; a release will repump.
+			sh.markBlocked()
+			return
+		}
+		eligibleIdx := make([]int, 0, len(sh.candidates))
+		filtered := make([]*stream, 0, len(sh.candidates))
+		for i, c := range sh.candidates {
+			if sh.perDisk[c.disk] == minLoad && !sh.diskBlocked(c.disk, now) {
+				eligibleIdx = append(eligibleIdx, i)
+				filtered = append(filtered, c)
+			}
+		}
+		pick := srv.cfg.Policy.Next(filtered, sh.lastOffset)
+		if pick < 0 || pick >= len(filtered) {
+			pick = 0
+		}
+		idx := eligibleIdx[pick]
+		st := sh.candidates[idx]
+		sh.candidates = append(sh.candidates[:idx], sh.candidates[idx+1:]...)
+		srv.liveCands.Add(-1)
+		st.queued = false
+		if !sh.eligible(st) {
+			// Working-set full or disk exhausted: the stream re-enters
+			// the queue when consumption advances (acceptStreamRequest)
+			// or retires.
+			srv.slotRelease()
+			sh.maybeRetire(st)
+			continue
+		}
+		st.dispatched = true
+		st.issuedInResidency = 0
+		sh.dispatched++
+		sh.perDisk[st.disk]++
+		srv.cfg.Obs.span(st.id, st.disk, obs.StageDispatch, st.nextFetch, 0)
+		sh.issueFetch(st)
+	}
+}
+
+// checkInvariants asserts the scheduler's state invariants when the
+// `invariants` build tag is on (no-op otherwise): the §4.2 dispatch
+// bound D, the §4.3 memory bound M (the runtime face of M ≥ D·R·N),
+// and the consistency of the shard-local accounting the global bounds
+// rest on. It is called from the dispatch path (pump), the completion
+// path (onFetchDone), and the GC tick. Caller holds sh.mu.
+func (sh *shard) checkInvariants() {
+	if !invariants.Enabled {
+		return
+	}
+	srv := sh.srv
+	gmem := srv.memUsed.Load()
+	invariants.Check(gmem >= 0, "staged memory went negative: %d", gmem)
+	invariants.Check(gmem <= srv.cfg.Memory,
+		"staged bytes %d exceed the memory bound M=%d (D=%d R=%d N=%d)",
+		gmem, srv.cfg.Memory, srv.cfg.DispatchSize, srv.cfg.ReadAhead, srv.cfg.RequestsPerStream)
+	gdisp := srv.dispatched.Load()
+	invariants.Check(gdisp >= 0 && gdisp <= int64(srv.cfg.DispatchSize),
+		"dispatch set holds %d streams, bound D=%d", gdisp, srv.cfg.DispatchSize)
+	invariants.Check(sh.memUsed >= 0, "shard %d staged memory went negative: %d", sh.idx, sh.memUsed)
+	invariants.Check(sh.bufCount >= 0, "shard %d live buffer count went negative: %d", sh.idx, sh.bufCount)
+
+	perDisk := 0
+	for _, n := range sh.perDisk {
+		perDisk += n
+	}
+	invariants.Check(perDisk == sh.dispatched,
+		"shard %d per-disk dispatch counts sum to %d, shard holds %d", sh.idx, perDisk, sh.dispatched)
+
+	var staged int64
+	nbuf := 0
+	ndispatched := 0
+	for _, st := range sh.streams {
+		for _, b := range st.buffers {
+			staged += b.size()
+			nbuf++
+		}
+		if st.dispatched {
+			ndispatched++
+		}
+		invariants.Check(!(st.dispatched && st.queued),
+			"stream %d is both dispatched and queued as a candidate", st.id)
+		invariants.Check(st.issuedInResidency <= srv.cfg.RequestsPerStream,
+			"stream %d issued %d fetches in one residency, bound N=%d",
+			st.id, st.issuedInResidency, srv.cfg.RequestsPerStream)
+	}
+	invariants.Check(staged == sh.memUsed,
+		"shard %d buffers hold %d bytes but accounting says %d", sh.idx, staged, sh.memUsed)
+	invariants.Check(nbuf == sh.bufCount,
+		"shard %d has %d live buffers but accounting says %d", sh.idx, nbuf, sh.bufCount)
+	invariants.Check(ndispatched == sh.dispatched,
+		"shard %d has %d streams marked dispatched but counter says %d", sh.idx, ndispatched, sh.dispatched)
+
+	for key, st := range sh.byExpected {
+		invariants.Check(key.disk == st.disk && key.off == st.nextClient,
+			"stream %d indexed under (disk=%d, off=%d) but expects (disk=%d, off=%d)",
+			st.id, key.disk, key.off, st.disk, st.nextClient)
+	}
+}
+
+// findEvictVictim returns the shard's least-recently-active staged
+// buffer that is ready, has no waiter, and has been idle at least
+// EvictIdle (with its owner), or nils. Caller holds sh.mu.
+func (sh *shard) findEvictVictim() (*stream, *buffer) {
+	now := sh.srv.clock.Now()
+	var victim *buffer
+	var owner *stream
+	for _, st := range sh.streams {
+		if st.fetchInFlight {
+			continue
+		}
+		for _, b := range st.buffers {
+			if !b.ready || now-b.lastActive < sh.srv.cfg.EvictIdle {
+				continue
+			}
+			if hasWaiter(st, b) {
+				continue
+			}
+			if victim == nil || b.lastActive < victim.lastActive {
+				victim, owner = b, st
+			}
+		}
+	}
+	return owner, victim
+}
+
+// evictIdleBuffer frees the shard's LRU evictable staged buffer,
+// reporting whether anything was freed. Caller holds sh.mu.
+func (sh *shard) evictIdleBuffer() bool {
+	owner, victim := sh.findEvictVictim()
+	if victim == nil {
+		return false
+	}
+	now := sh.srv.clock.Now()
+	sh.stats.BuffersEvicted++
+	if o := sh.srv.cfg.Obs; o != nil {
+		o.buffersEvicted.Inc()
+		o.span(owner.id, victim.disk, obs.StageEvict, victim.start, victim.size())
+	}
+	sh.srv.traceEvent(trace.Event{Kind: trace.KindEvict, Stream: owner.id, Disk: victim.disk,
+		Offset: victim.start, Length: victim.size(), Start: victim.issuedAt, End: now})
+	sh.freeBuffer(owner, victim, false)
+	// Unconsumed data was dropped; a later request for it rewinds the
+	// fetch pointer (acceptStreamRequest).
+	return true
+}
+
+// hasWaiter reports whether any queued request of st falls inside b.
+func hasWaiter(st *stream, b *buffer) bool {
+	for _, p := range st.queue {
+		if b.covers(p.off, p.length) {
+			return true
+		}
+	}
+	return false
+}
+
+// issueFetch generates one R-sized disk request for a dispatched
+// stream, reserving its bytes against the global budget and drawing
+// its staging memory from the pool when the device reads into caller
+// buffers. Caller holds sh.mu.
+func (sh *shard) issueFetch(st *stream) {
+	srv := sh.srv
+	capacity := srv.dev.Capacity(st.disk)
+	flen := srv.cfg.ReadAhead
+	if rem := capacity - st.nextFetch; flen > rem {
+		flen = rem
+	}
+	if flen <= 0 {
+		sh.rotateOut(st)
+		return
+	}
+	if !srv.memReserve(flen) {
+		// Another shard won the admission-check race for the last
+		// bytes; give the slot back and wait for a release.
+		sh.markBlocked()
+		sh.rotateOut(st)
+		return
+	}
+	b := &buffer{
+		disk:       st.disk,
+		start:      st.nextFetch,
+		end:        st.nextFetch + flen,
+		lastActive: srv.clock.Now(),
+		issuedAt:   srv.clock.Now(),
+		owner:      st,
+	}
+	if srv.rinto != nil {
+		b.pbuf = srv.pool.Get(flen)
+		b.inDevice = true
+	}
+	st.buffers = append(st.buffers, b)
+	st.nextFetch = b.end
+	st.fetchInFlight = true
+	st.totalFetched += flen
+	sh.memUsed += flen
+	sh.bufCount++
+	srv.bufCount.Add(1)
+	sh.updateAccounting()
+	sh.stats.Fetches++
+	sh.stats.BytesFetched += flen
+	if o := srv.cfg.Obs; o != nil {
+		o.fetches.Inc()
+		o.bytesFetched.Add(flen)
+		o.span(st.id, st.disk, obs.StageFetch, b.start, flen)
+	}
+
+	// The device call runs off-lock (flush). The stream cannot issue
+	// a second fetch meanwhile: fetchInFlight stays set until the
+	// completion path clears it.
+	sh.armFetchDeadline(st, b)
+	sh.pendingIO = append(sh.pendingIO, sh.fetchCall(st, b))
+}
+
+// fetchCall builds the off-lock device call for a buffer's fetch (and
+// its retries): into the buffer's pooled memory when it has any,
+// through the allocating path otherwise. Caller holds sh.mu.
+func (sh *shard) fetchCall(st *stream, b *buffer) func() {
+	srv := sh.srv
+	return func() {
+		var err error
+		if b.pbuf != nil {
+			err = srv.rinto.ReadInto(st.disk, b.start, b.size(), b.pbuf.Data, func(data []byte, derr error) {
+				sh.onFetchDone(st, b, data, derr)
+			})
+		} else {
+			err = srv.dev.ReadAt(st.disk, b.start, b.size(), func(data []byte, derr error) {
+				sh.onFetchDone(st, b, data, derr)
+			})
+		}
+		if err != nil {
+			// Validated ranges make this unreachable in practice;
+			// treat it as a failed fetch so waiters are not wedged.
+			sh.onFetchDone(st, b, nil, err)
+		}
+	}
+}
+
+// armFetchDeadline starts the FetchTimeout timer for a buffer's fetch,
+// replacing any previous timer. Caller holds sh.mu.
+func (sh *shard) armFetchDeadline(st *stream, b *buffer) {
+	if sh.srv.cfg.FetchTimeout <= 0 {
+		return
+	}
+	if b.cancelTimeout != nil {
+		b.cancelTimeout()
+	}
+	b.cancelTimeout = sh.srv.clock.Schedule(sh.srv.cfg.FetchTimeout, func() {
+		sh.onFetchTimeout(st, b)
+	})
+}
+
+// onFetchTimeout fires when a fetch outlives FetchTimeout: the waiters
+// covered by the buffer receive ErrFetchTimeout, the staged memory is
+// reclaimed, and the stream leaves the dispatch set so the slot goes to
+// a live stream. The late device completion, if it ever arrives, is
+// dropped by the abandoned flag — and is also what recycles the pooled
+// memory, because the device may still be writing into it. Only when
+// no call is in flight (the fetch was in retry backoff) is the pooled
+// buffer released here. The timeout counts as a device failure toward
+// the disk's circuit.
+func (sh *shard) onFetchTimeout(st *stream, b *buffer) {
+	srv := sh.srv
+	sh.mu.Lock()
+	if b.ready || b.abandoned {
+		sh.mu.Unlock()
+		return // completed (or already timed out) before the timer ran
+	}
+	b.abandoned = true
+	b.cancelTimeout = nil
+	st.fetchInFlight = false
+	now := srv.clock.Now()
+	sh.stats.FetchTimeouts++
+	if o := srv.cfg.Obs; o != nil {
+		o.fetchTimeouts.Inc()
+	}
+	srv.traceEvent(trace.Event{Kind: trace.KindFetch, Stream: st.id, Disk: st.disk, Offset: b.start,
+		Length: b.size(), Start: b.issuedAt, End: now, Err: ErrFetchTimeout.Error()})
+	sh.noteDiskFailure(st.disk, now)
+	var failed []pendingReq
+	st.queue, failed = splitCovered(st.queue, b)
+	sh.freeBuffer(st, b, false)
+	if !b.inDevice && b.pbuf != nil {
+		b.pbuf.Release()
+		b.pbuf = nil
+	}
+	sh.parkStream(st)
+	sh.checkInvariants()
+	sh.syncGauges()
+	sh.mu.Unlock()
+	for _, p := range failed {
+		srv.complete(p.done, Response{Start: p.start, Err: ErrFetchTimeout})
+	}
+	sh.flush()
+}
+
+// scheduleRetry re-issues a transiently-failed fetch after exponential
+// backoff (RetryBackoff doubling per attempt). The buffer stays live —
+// memory accounted, waiters queued, fetchInFlight held, pooled bytes
+// attached — so the stream cannot double-fetch the range meanwhile.
+// The FetchTimeout deadline is NOT re-armed: it bounds the whole
+// fetch, retries included, and may fire mid-backoff. Caller holds
+// sh.mu.
+func (sh *shard) scheduleRetry(st *stream, b *buffer) {
+	sh.stats.FetchRetries++
+	if o := sh.srv.cfg.Obs; o != nil {
+		o.fetchRetries.Inc()
+	}
+	backoff := sh.srv.cfg.RetryBackoff << (b.attempts - 1)
+	sh.srv.clock.Schedule(backoff, func() {
+		sh.mu.Lock()
+		if b.abandoned {
+			sh.mu.Unlock()
+			return // timed out while backing off; pooled bytes already freed
+		}
+		if b.pbuf != nil {
+			b.inDevice = true
+		}
+		sh.pendingIO = append(sh.pendingIO, sh.fetchCall(st, b))
+		sh.mu.Unlock()
+		sh.flush()
+	})
+}
+
+// onFetchDone is the completion path (§4.2). It gives priority to the
+// issue path — the next fetch (or the next candidate stream) is issued
+// before any pending client requests are completed — so the disks
+// never idle behind client completions.
+func (sh *shard) onFetchDone(st *stream, b *buffer, data []byte, derr error) {
+	srv := sh.srv
+	sh.mu.Lock()
+	now := srv.clock.Now()
+	b.inDevice = false
+	if b.abandoned {
+		// The fetch already hit FetchTimeout: memory reclaimed, waiters
+		// failed, stream parked. Drop the late completion; the pooled
+		// bytes the device was still writing into are safe to recycle
+		// only now.
+		b.pbuf.Release()
+		b.pbuf = nil
+		sh.mu.Unlock()
+		return
+	}
+	if derr != nil && b.attempts < srv.cfg.FetchRetries && blockdev.IsTransient(derr) {
+		// Transient device error with retry budget left: re-issue the
+		// same fetch after backoff instead of failing its waiters. The
+		// deadline timer stays armed across attempts.
+		b.attempts++
+		sh.scheduleRetry(st, b)
+		sh.mu.Unlock()
+		return
+	}
+	if b.cancelTimeout != nil {
+		b.cancelTimeout()
+		b.cancelTimeout = nil
+	}
+	b.ready = true
+	b.data = data
+	if data == nil && b.pbuf != nil {
+		// The device did not materialize bytes into the pooled buffer
+		// (simulation-style backend); nothing references it.
+		b.pbuf.Release()
+		b.pbuf = nil
+	}
+	b.lastActive = now
+	fetchErr := ""
+	if derr != nil {
+		fetchErr = derr.Error()
+	}
+	if o := srv.cfg.Obs; o != nil {
+		o.fetchLatency.Observe(now - b.issuedAt)
+		o.span(st.id, st.disk, obs.StageStaged, b.start, b.size())
+	}
+	srv.traceEvent(trace.Event{Kind: trace.KindFetch, Stream: st.id, Disk: st.disk, Offset: b.start,
+		Length: b.size(), Start: b.issuedAt, End: now, Err: fetchErr})
+	st.fetchInFlight = false
+	st.issuedInResidency++
+	sh.lastOffset[st.disk] = b.end
+
+	if derr != nil {
+		// Fail everything waiting on this buffer and drop it.
+		sh.noteDiskFailure(st.disk, now)
+		var failed []pendingReq
+		st.queue, failed = splitCovered(st.queue, b)
+		sh.freeBuffer(st, b, false)
+		sh.parkStream(st)
+		sh.checkInvariants()
+		sh.syncGauges()
+		sh.mu.Unlock()
+		for _, p := range failed {
+			srv.complete(p.done, Response{Start: p.start, Err: derr})
+		}
+		sh.flush()
+		return
+	}
+
+	sh.noteDiskSuccess(st.disk)
+
+	// Issue path first.
+	if st.dispatched {
+		if st.issuedInResidency < srv.cfg.RequestsPerStream &&
+			st.nextFetch < srv.dev.Capacity(st.disk) &&
+			srv.memWouldFit(srv.cfg.ReadAhead) {
+			sh.issueFetch(st)
+		} else {
+			sh.rotateOut(st)
+		}
+	}
+
+	// Completion path: serve queued requests now covered by staged
+	// data, in order.
+	sh.drainQueue(st, now)
+	sh.checkInvariants()
+	sh.syncGauges()
+	sh.mu.Unlock()
+	sh.flush()
+}
+
+// drainQueue serves the head of the stream queue while ready buffers
+// cover it. Caller holds sh.mu.
+func (sh *shard) drainQueue(st *stream, now time.Duration) {
+	for len(st.queue) > 0 {
+		p := st.queue[0]
+		var hit *buffer
+		for _, b := range st.buffers {
+			if b.ready && b.covers(p.off, p.length) {
+				hit = b
+				break
+			}
+		}
+		if hit == nil {
+			return
+		}
+		st.queue = st.queue[1:]
+		sh.stats.QueuedServed++
+		if o := sh.srv.cfg.Obs; o != nil {
+			o.queuedServed.Inc()
+		}
+		sh.serveFromBuffer(st, hit, p, now)
+	}
+}
+
+// splitCovered partitions queue into (kept, covered-by-b).
+func splitCovered(queue []pendingReq, b *buffer) (kept, covered []pendingReq) {
+	for _, p := range queue {
+		if b.covers(p.off, p.length) {
+			covered = append(covered, p)
+		} else {
+			kept = append(kept, p)
+		}
+	}
+	return kept, covered
+}
+
+// rotateOut removes a stream from the dispatch set (§4.2: after N
+// requests it is replaced by the next sequential stream) and re-queues
+// it as a candidate when it still has work. Caller holds sh.mu.
+func (sh *shard) rotateOut(st *stream) {
+	sh.unDispatch(st)
+	st.issuedInResidency = 0
+	if !st.queued && sh.eligible(st) {
+		sh.enqueueCandidate(st)
+	}
+	sh.maybeRetire(st)
+	sh.pump()
+}
+
+// parkStream removes a stream whose fetch failed (or timed out) from
+// the dispatch set without re-admitting it to the candidate queue:
+// speculatively prefetching the next window of a stream that just lost
+// its staged data — with nobody waiting — only burns a sick disk
+// further. The stream re-enters on its next client request (or idles
+// out and is collected). Caller holds sh.mu.
+func (sh *shard) parkStream(st *stream) {
+	sh.unDispatch(st)
+	st.issuedInResidency = 0
+	sh.maybeRetire(st)
+	sh.pump()
+}
+
+// unDispatch releases a stream's dispatch slot, both locally and in
+// the global counter. Caller holds sh.mu.
+func (sh *shard) unDispatch(st *stream) {
+	if !st.dispatched {
+		return
+	}
+	st.dispatched = false
+	sh.dispatched--
+	sh.srv.slotRelease()
+	if sh.perDisk[st.disk] > 0 {
+		sh.perDisk[st.disk]--
+	}
+	// Rotation is worth a timeline entry: dispatch-set churn is the
+	// §4.2 mechanism the paper's fairness argument rests on.
+	if sh.srv.cfg.Obs != nil || sh.srv.cfg.Trace != nil {
+		now := sh.srv.clock.Now()
+		if o := sh.srv.cfg.Obs; o != nil {
+			o.rotations.Inc()
+			o.span(st.id, st.disk, obs.StageRotate, st.nextFetch, 0)
+		}
+		sh.srv.traceEvent(trace.Event{Kind: trace.KindRotate, Stream: st.id, Disk: st.disk,
+			Offset: st.nextFetch, Start: now, End: now})
+	}
+}
+
+// freeBuffer releases a staged buffer's memory: the global budget
+// bytes always; the pooled bytes only when no device call can still
+// touch them (abandoned fetches recycle through the late completion
+// instead). Caller holds sh.mu.
+func (sh *shard) freeBuffer(st *stream, b *buffer, gc bool) {
+	for i, cur := range st.buffers {
+		if cur == b {
+			st.buffers = append(st.buffers[:i], st.buffers[i+1:]...)
+			break
+		}
+	}
+	sh.memUsed -= b.size()
+	sh.bufCount--
+	sh.srv.bufCount.Add(-1)
+	sh.srv.memRelease(b.size())
+	b.data = nil
+	if !b.abandoned && b.pbuf != nil {
+		b.pbuf.Release()
+		b.pbuf = nil
+	}
+	if gc {
+		sh.stats.BuffersGCed++
+	} else {
+		sh.stats.BuffersFreed++
+	}
+	if o := sh.srv.cfg.Obs; o != nil {
+		if gc {
+			o.buffersGCed.Inc()
+		} else {
+			o.buffersFreed.Inc()
+		}
+	}
+	sh.updateAccounting()
+}
+
+// maybeRetire drops a stream that has prefetched to the end of its
+// disk and holds no data or waiters. Caller holds sh.mu.
+func (sh *shard) maybeRetire(st *stream) {
+	if st.dispatched || st.queued || st.fetchInFlight {
+		return
+	}
+	if st.nextFetch < sh.srv.dev.Capacity(st.disk) {
+		return
+	}
+	if len(st.buffers) > 0 || len(st.queue) > 0 {
+		return
+	}
+	if _, ok := sh.streams[st.id]; !ok {
+		return
+	}
+	delete(sh.streams, st.id)
+	delete(sh.byExpected, offKey{disk: st.disk, off: st.nextClient})
+	sh.srv.liveStreams.Add(-1)
+	sh.stats.StreamsRetired++
+	if o := sh.srv.cfg.Obs; o != nil {
+		o.streamsRetired.Inc()
+		o.span(st.id, st.disk, obs.StageRetire, st.nextClient, 0)
+	}
+}
+
+func (sh *shard) updateAccounting() {
+	if sh.srv.acct != nil {
+		sh.srv.acct.SetLiveBuffers(int(sh.srv.bufCount.Load()))
+	}
+}
+
+// gcTick is the periodic garbage collector (§4.3) for one shard: it
+// frees staged buffers that have waited too long for their remaining
+// requests, and removes streams (queues, hash entries) that were
+// classified as sequential but went idle.
+func (sh *shard) gcTick() {
+	srv := sh.srv
+	sh.mu.Lock()
+	sh.gcArmed = false
+	if sh.closed {
+		sh.mu.Unlock()
+		return
+	}
+	now := srv.clock.Now()
+	if o := srv.cfg.Obs; o != nil {
+		o.gcTicks.Inc()
+	}
+
+	for id, st := range sh.streams {
+		// Streams with in-flight fetches or waiting clients are live by
+		// definition: a waiter's data is either in flight or the stream
+		// is queued/eligible, so it will be served.
+		if st.fetchInFlight || len(st.queue) > 0 || st.dispatched {
+			continue
+		}
+		// Free idle staged buffers (prefetched data nobody came back
+		// for). The fetch pointer rewinds on a later request for the
+		// dropped range (acceptStreamRequest).
+		for _, b := range append([]*buffer(nil), st.buffers...) {
+			if b.ready && now-b.lastActive > srv.cfg.BufferTimeout {
+				sh.freeBuffer(st, b, true)
+			}
+		}
+		// Drop idle streams entirely: queue, hash entry, candidacy.
+		if now-st.lastActive > srv.cfg.StreamTimeout {
+			for _, b := range append([]*buffer(nil), st.buffers...) {
+				sh.freeBuffer(st, b, true)
+			}
+			if st.queued {
+				for i, c := range sh.candidates {
+					if c == st {
+						sh.candidates = append(sh.candidates[:i], sh.candidates[i+1:]...)
+						break
+					}
+				}
+				st.queued = false
+				srv.liveCands.Add(-1)
+			}
+			delete(sh.streams, id)
+			delete(sh.byExpected, offKey{disk: st.disk, off: st.nextClient})
+			srv.liveStreams.Add(-1)
+			sh.stats.StreamsGCed++
+			if o := srv.cfg.Obs; o != nil {
+				o.streamsGCed.Inc()
+				o.span(st.id, st.disk, obs.StageGC, st.nextClient, 0)
+			}
+			srv.traceEvent(trace.Event{Kind: trace.KindGC, Stream: st.id, Disk: st.disk,
+				Offset: st.nextClient, Start: st.lastActive, End: now})
+		}
+	}
+	sh.stats.RegionsGCed += int64(sh.cls.gc(now - srv.cfg.StreamTimeout))
+	sh.pump()
+	sh.armGC()
+	sh.checkInvariants()
+	sh.syncGauges()
+	sh.mu.Unlock()
+	sh.flush()
+}

@@ -1,6 +1,10 @@
 package core
 
-import "time"
+import (
+	"time"
+
+	"seqstream/internal/bufpool"
+)
 
 // pendingReq is a client request waiting for prefetched data.
 type pendingReq struct {
@@ -52,6 +56,16 @@ type buffer struct {
 	end   int64
 	// data holds the device bytes for backends that materialize them.
 	data []byte
+	// pbuf is the pooled memory the fetch reads into on devices that
+	// support blockdev.ReaderInto (data aliases it when ready). It is
+	// recycled when the buffer is freed — or, for abandoned fetches,
+	// only when the late device completion arrives, because the device
+	// may still be writing into it (see shard.onFetchTimeout).
+	pbuf *bufpool.Buf
+	// inDevice marks a window in which a device call may touch pbuf:
+	// set when a fetch is (re-)issued, cleared when its completion
+	// arrives. While set, pbuf must not be recycled.
+	inDevice bool
 	// ready marks fetch completion.
 	ready bool
 	// consumed counts bytes delivered to clients from this buffer; the

@@ -124,9 +124,12 @@ func DialRetry(addr string, opts ClientOptions, attempts int, backoff time.Durat
 		if d > maxBackoff {
 			d = maxBackoff
 		}
-		// Deterministic per-attempt jitter in [d/2, d): desynchronizes
-		// a fleet of restarting clients without pulling in a PRNG.
-		d = d/2 + time.Duration(splitmix64(uint64(i)+uint64(time.Now().UnixNano())))%(d/2+1)
+		// Deterministic per-attempt jitter in [d/2, d]: desynchronizes
+		// a fleet of restarting clients without pulling in a PRNG. The
+		// modulo runs in uint64 — converting the mixer output to a
+		// Duration first can flip it negative and undershoot d/2.
+		j := splitmix64(uint64(i) + uint64(time.Now().UnixNano()))
+		d = d/2 + time.Duration(j%uint64(d/2+1))
 		time.Sleep(d)
 	}
 	return nil, fmt.Errorf("netserve: dial %s failed after %d attempts: %w", addr, attempts, lastErr)

@@ -1,0 +1,19 @@
+// Package netserve implements the storage-node wire protocol of §5:
+// clients emulate many sequential streams over TCP against a storage
+// node; read responses carry no payload by default (as in the paper,
+// so the network does not bottleneck the I/O measurement), unless the
+// client asks for data.
+//
+// # Ownership and payload lifetime
+//
+// Each server connection runs one reader loop and one writer
+// goroutine; the writer owns all socket writes, and completion
+// callbacks (which arrive on arbitrary scheduler goroutines) only
+// enqueue responses. Payload bytes are borrowed from the storage
+// node's staging pool: whoever disposes of a Response — the writer
+// after the frame is on the wire, or the dead-writer drop path —
+// must call Response.Release to recycle them. Responses still
+// buffered in the channel when a connection dies fall to the garbage
+// collector instead, which pooled memory tolerates (a missed recycle,
+// not a leak).
+package netserve

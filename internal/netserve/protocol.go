@@ -1,8 +1,3 @@
-// Package netserve implements the storage-node wire protocol of §5:
-// clients emulate many sequential streams over TCP against a storage
-// node; read responses carry no payload by default (as in the paper,
-// so the network does not bottleneck the I/O measurement), unless the
-// client asks for data.
 package netserve
 
 import (
@@ -67,6 +62,21 @@ type Response struct {
 	ID     uint64
 	Status uint32
 	Data   []byte // nil unless FlagWantData was set and the read succeeded
+
+	// release recycles the pooled memory backing Data (server side
+	// only; nil on decoded responses and non-pooled payloads).
+	release func()
+}
+
+// Release returns the pooled memory backing Data to its pool, if any.
+// The server's writer calls it after the payload is on the wire; it is
+// safe to call more than once and on responses with no pooled payload.
+func (r *Response) Release() {
+	if r.release != nil {
+		r.release()
+		r.release = nil
+	}
+	r.Data = nil
 }
 
 // Errors.

@@ -168,10 +168,16 @@ func (s *Server) handle(conn net.Conn, o *Obs) {
 			if s.opts.WriteTimeout > 0 {
 				conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
 			}
-			if err := WriteResponse(conn, resp); err != nil {
+			err := WriteResponse(conn, resp)
+			// The payload is on the wire (or lost with the connection);
+			// either way its pooled memory can be recycled.
+			resp.Release()
+			if err != nil {
 				// Unblock the reader too: the connection is dead in one
 				// direction, so stop consuming requests that can never
-				// be answered.
+				// be answered. Responses still buffered in the channel
+				// are dropped to the garbage collector, which pooled
+				// payloads tolerate (a missed recycle, not a leak).
 				conn.Close()
 				return
 			}
@@ -184,6 +190,7 @@ func (s *Server) handle(conn net.Conn, o *Obs) {
 		select {
 		case responses <- resp:
 		case <-writerDone:
+			resp.Release()
 			s.mu.Lock()
 			s.stats.DroppedResponses++
 			s.mu.Unlock()
@@ -272,7 +279,13 @@ func (s *Server) handle(conn net.Conn, o *Obs) {
 						o.requestLatency.Observe(r.End - r.Start)
 					}
 					if wantData && r.Data != nil {
+						// The frame borrows the storage node's (possibly
+						// pooled) bytes; the writer releases them once
+						// they are on the wire.
 						resp.Data = r.Data
+						resp.release = r.Release
+					} else {
+						r.Release()
 					}
 				}
 				// A full channel applies backpressure to completions

@@ -1,0 +1,21 @@
+// Package obs is the unified instrumentation layer: a typed metric
+// registry (counters, gauges, histograms), stream-lifecycle span
+// recording, and HTTP exposition (/metrics, /debug/vars, pprof) for a
+// running storage node.
+//
+// The package is clock-free by construction: nothing in it reads the
+// wall clock, so the same instruments serve both the discrete-event
+// simulator (virtual time) and real nodes (wall time). Callers stamp
+// durations and instants themselves — histograms observe durations the
+// caller measured, and span logs take an injected now() function. The
+// simdet analyzer gates the package to keep it that way.
+//
+// All instruments are safe for concurrent use and cheap enough for the
+// scheduler's dispatch hot path: counters and gauges are single atomic
+// words, histogram observation is two atomic adds plus one atomic
+// bucket increment. With the scheduler sharded (see internal/core),
+// instruments are the only state shards update without holding their
+// own lock, so everything here must stay lock-free; gauges mirroring
+// the scheduler's global accounting are synced from atomics, never
+// computed under a shard mutex.
+package obs
