@@ -47,9 +47,32 @@ func run(args []string) error {
 		benchDisks    = fs.Int("bench-disks", 64, "bench: number of in-memory disks")
 		benchStreams  = fs.Int("bench-streams", 512, "bench: concurrent sequential streams")
 		benchRequests = fs.Int("bench-requests", 200, "bench: requests per stream")
+
+		benchFlight = fs.String("bench-flight", "", "run the flight-recorder overhead benchmark (recording off vs on) and write the report to this path")
+		budget      = fs.Float64("flight-budget", bench.DefaultFlightBudget, "bench-flight: acceptable req/s overhead fraction; exceeding it fails the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *benchFlight != "" {
+		rep, err := bench.RunFlightComparison(bench.Config{
+			Disks:    *benchDisks,
+			Streams:  *benchStreams,
+			Requests: *benchRequests,
+		}, *budget)
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep.Summary())
+		if err := rep.WriteJSON(*benchFlight); err != nil {
+			return err
+		}
+		if !rep.WithinBudget {
+			return fmt.Errorf("flight recorder overhead %.2f%% exceeds budget %.1f%%",
+				rep.OverheadFrac*100, rep.Budget*100)
+		}
+		return nil
 	}
 
 	if *benchJSON != "" {

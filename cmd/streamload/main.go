@@ -37,6 +37,7 @@ func run(args []string) error {
 		writes   = fs.Bool("write", false, "issue write streams instead of reads (node must run -ingest)")
 		perOut   = fs.Bool("per-stream", false, "print per-stream statistics")
 
+		traced      = fs.Bool("trace", false, "stamp every request with a client-generated trace id (follow them in the node's /debug/flight)")
 		timeout     = fs.Duration("timeout", 0, "per-request deadline; timed-out requests fail the run (0 waits forever)")
 		dialRetries = fs.Int("dial-retries", 1, "dial attempts before giving up")
 		dialBackoff = fs.Duration("dial-backoff", 50*time.Millisecond, "initial backoff between dial attempts, doubled and jittered per retry")
@@ -56,6 +57,7 @@ func run(args []string) error {
 
 	client, err := netserve.DialRetry(*addr, netserve.ClientOptions{
 		RequestTimeout: *timeout,
+		Tracing:        *traced,
 	}, *dialRetries, *dialBackoff)
 	if err != nil {
 		return err

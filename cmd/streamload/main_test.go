@@ -6,6 +6,7 @@ import (
 
 	"seqstream/internal/blockdev"
 	"seqstream/internal/core"
+	"seqstream/internal/flight"
 	"seqstream/internal/netserve"
 )
 
@@ -48,6 +49,34 @@ func TestRunReadLoad(t *testing.T) {
 	}
 	if srv.Stats().Requests != 64 {
 		t.Errorf("server requests = %d", srv.Stats().Requests)
+	}
+}
+
+// TestRunTracedLoad drives a -trace run against a node with a flight
+// recorder attached: the client-stamped trace ids must surface in the
+// recorder's timeline.
+func TestRunTracedLoad(t *testing.T) {
+	srv := startNode(t)
+	rec, err := flight.New(blockdev.NewRealClock().Now, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetFlight(rec)
+	err = run([]string{
+		"-addr", srv.Addr(), "-streams", "2", "-requests", "8",
+		"-capacity", "1GiB", "-trace",
+	})
+	if err != nil {
+		t.Fatalf("run -trace: %v", err)
+	}
+	traced := 0
+	for _, ev := range rec.Snapshot().Merged() {
+		if ev.Trace != 0 {
+			traced++
+		}
+	}
+	if traced == 0 {
+		t.Error("no flight events carry a trace id after a -trace run")
 	}
 }
 

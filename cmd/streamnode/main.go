@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -22,6 +23,7 @@ import (
 	"seqstream/internal/blockdev"
 	"seqstream/internal/controller"
 	"seqstream/internal/core"
+	"seqstream/internal/flight"
 	"seqstream/internal/netserve"
 	"seqstream/internal/obs"
 	"seqstream/internal/units"
@@ -41,6 +43,7 @@ type node struct {
 	ingest  *core.Ingest
 	reg     *obs.Registry
 	spans   *obs.SpanLog
+	flight  *flight.Recorder
 	debug   *obs.DebugServer
 	closers []func()
 }
@@ -54,6 +57,12 @@ func (n *node) Close() {
 		n.ingest.Close()
 	}
 	n.core.Close()
+	// Close the span log after core.Close so the scheduler's shutdown
+	// flush has already drained; entries recorded up to the last
+	// request reach the sink instead of dying with the process.
+	if n.spans != nil {
+		n.spans.Close()
+	}
 	for _, c := range n.closers {
 		c()
 	}
@@ -73,8 +82,11 @@ func run(args []string) error {
 		d         = fs.Int("dispatch", 0, "dispatch set size (D); 0 derives M/(R*N)")
 		ingest    = fs.Bool("ingest", false, "accept FlagWrite requests through the write-once coalescer")
 		chunk     = fs.String("chunk", "1MiB", "ingest chunk size (with -ingest)")
-		debugAddr = fs.String("debug-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (empty disables)")
+		debugAddr = fs.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/pprof, and /debug/flight on this address (empty disables)")
 		statsIvl  = fs.Duration("stats-interval", 0, "log a one-line metric summary this often (0 disables)")
+
+		flightEvents = fs.Int("flight-events", 0, "per-shard flight-recorder ring capacity in events, rounded up to a power of two (0 uses the default, 4096)")
+		spanLogPath  = fs.String("span-log", "", "append lifecycle span JSON lines to this file (flushed on shutdown)")
 
 		fault        = fs.String("fault", "", "fault-injection script, rules separated by ';' (e.g. 'disk=0,mode=err,every=5;mode=delay,delay=50ms')")
 		fetchTimeout = fs.Duration("fetch-timeout", 0, "fail a stream fetch stuck on the device this long (0 disables)")
@@ -93,6 +105,7 @@ func run(args []string) error {
 		listen: *listen, disks: *disks, capacity: *capacity, latency: *latency,
 		files: *files, memory: *memory, ra: *ra, n: *n, d: *d,
 		ingest: *ingest, chunk: *chunk, debugAddr: *debugAddr,
+		flightEvents: *flightEvents, spanLogPath: *spanLogPath,
 		fault:        *fault,
 		fetchTimeout: *fetchTimeout, fetchRetries: *fetchRetries, retryBackoff: *retryBackoff,
 		breakerThreshold: *brkThresh, breakerCooldown: *brkCooldown,
@@ -159,6 +172,10 @@ type buildParams struct {
 	chunk     string
 	debugAddr string
 
+	// Flight recorder and span-log sink.
+	flightEvents int
+	spanLogPath  string
+
 	// Failure handling: fault-injection script plus the fetch-timeout,
 	// retry, breaker, and connection-deadline knobs.
 	fault            string
@@ -222,11 +239,20 @@ func build(p buildParams) (*node, error) {
 	// metric vocabulary; here they read zero (no simulated controller).
 	out.reg = obs.NewRegistry()
 	controller.NewObs(out.reg)
+	obs.RegisterRuntimeMetrics(out.reg)
 	spans, err := obs.NewSpanLog(clock.Now, 4096)
 	if err != nil {
 		return nil, err
 	}
 	out.spans = spans
+	if p.spanLogPath != "" {
+		f, err := os.OpenFile(p.spanLogPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		spans.SetSink(f)
+		out.closers = append(out.closers, func() { f.Close() })
+	}
 
 	cfg := core.Config{
 		DispatchSize:      p.d,
@@ -241,6 +267,27 @@ func build(p buildParams) (*node, error) {
 		BreakerCooldown:   p.breakerCooldown,
 	}
 	cfg.ApplyDefaults()
+
+	// The flight recorder is always on: one ring per scheduler shard
+	// (mirroring the server's disk→shard routing), fixed memory,
+	// lock-free writes. It must exist before the server so each shard
+	// binds its ring at construction.
+	shards := cfg.Shards
+	if shards <= 0 || shards > dev.Disks() {
+		shards = dev.Disks()
+	}
+	rec, err := flight.New(clock.Now, shards, p.flightEvents)
+	if err != nil {
+		return nil, err
+	}
+	out.flight = rec
+	cfg.Flight = rec
+	// Memory devices stamp device-read completions onto the same rings;
+	// file-backed and fault-wrapped devices have no completion hook.
+	if fd, ok := dev.(interface{ SetFlight(*flight.Recorder) }); ok {
+		fd.SetFlight(rec)
+	}
+
 	coreSrv, err := core.NewServer(dev, clock, cfg)
 	if err != nil {
 		return nil, err
@@ -256,6 +303,7 @@ func build(p buildParams) (*node, error) {
 		return nil, err
 	}
 	srv.SetObs(netserve.NewObs(out.reg))
+	srv.SetFlight(rec)
 	out.srv = srv
 
 	if p.ingest {
@@ -280,11 +328,13 @@ func build(p buildParams) (*node, error) {
 	}
 
 	if p.debugAddr != "" {
-		handler := obs.Handler(out.reg, map[string]obs.VarFunc{
+		handler := obs.HandlerExtra(out.reg, map[string]obs.VarFunc{
 			"core":     func() any { return out.core.Snapshot() },
 			"netserve": func() any { return out.srv.Stats() },
 			"config":   func() any { return out.core.Config() },
 			"spans":    func() any { return spans.Snapshot() },
+		}, map[string]http.Handler{
+			"/debug/flight": flight.Handler(rec),
 		})
 		dbg, err := obs.Serve(p.debugAddr, handler)
 		if err != nil {

@@ -4,10 +4,13 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
+	"seqstream/internal/flight"
 	"seqstream/internal/netserve"
 )
 
@@ -84,6 +87,9 @@ func TestDebugEndpoints(t *testing.T) {
 		"seqstream_controller_queue_depth",
 		"seqstream_netserve_request_latency_seconds_bucket",
 		"# TYPE seqstream_core_requests_total counter",
+		// Runtime health rides on the same registry.
+		"seqstream_runtime_goroutines",
+		"seqstream_runtime_heap_inuse_bytes",
 	} {
 		if !strings.Contains(metrics, family) {
 			t.Errorf("/metrics missing %q", family)
@@ -103,8 +109,63 @@ func TestDebugEndpoints(t *testing.T) {
 	if body := fetch(t, base+"/debug/pprof/cmdline"); body == "" {
 		t.Error("/debug/pprof/cmdline empty")
 	}
-	if idx := fetch(t, base+"/"); !strings.Contains(idx, "/metrics") {
+	idx := fetch(t, base+"/")
+	if !strings.Contains(idx, "/metrics") {
 		t.Errorf("index does not list endpoints: %q", idx)
+	}
+	if !strings.Contains(idx, "/debug/flight") {
+		t.Errorf("index does not list /debug/flight: %q", idx)
+	}
+
+	// The always-on flight recorder saw the workload; the snapshot
+	// endpoint serves it in both encodings.
+	var snap flight.Snapshot
+	if err := json.Unmarshal([]byte(fetch(t, base+"/debug/flight?format=json")), &snap); err != nil {
+		t.Fatalf("/debug/flight?format=json is not a snapshot: %v", err)
+	}
+	if len(snap.Merged()) == 0 {
+		t.Error("/debug/flight snapshot is empty after a streamed workload")
+	}
+	if _, err := flight.ReadSnapshot(strings.NewReader(fetch(t, base+"/debug/flight"))); err != nil {
+		t.Errorf("binary /debug/flight does not parse: %v", err)
+	}
+}
+
+// TestSpanLogSink exercises the -span-log path: spans recorded during
+// a run must reach the file once the node closes, not die with the
+// process.
+func TestSpanLogSink(t *testing.T) {
+	p := testParams()
+	p.spanLogPath = filepath.Join(t.TempDir(), "spans.jsonl")
+	nd, err := build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := netserve.Dial(nd.srv.Addr())
+	if err != nil {
+		nd.Close()
+		t.Fatal(err)
+	}
+	if err := client.RunStreams(0, 256<<20, 4, 16, 64<<10, 0); err != nil {
+		t.Fatalf("RunStreams: %v", err)
+	}
+	client.Close()
+	nd.Close()
+
+	data, err := os.ReadFile(p.spanLogPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("span log file is empty after shutdown")
+	}
+	var ev map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("span log line is not JSON: %v (%q)", err, lines[0])
+	}
+	if _, ok := ev["stage"]; !ok {
+		t.Errorf("span entry missing stage: %q", lines[0])
 	}
 }
 

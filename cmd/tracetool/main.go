@@ -1,0 +1,223 @@
+// Command tracetool analyzes flight-recorder snapshots: it merges the
+// per-shard rings into one global timeline, reconstructs each stream's
+// lifecycle (classify→enqueue→dispatch→fetch→staged→deliver→…→retire),
+// runs the anomaly detectors, and can export a Chrome trace_event file
+// for chrome://tracing or Perfetto.
+//
+// Usage:
+//
+//	tracetool -in flight.bin -summary
+//	tracetool -addr 127.0.0.1:7071 -streams -anomalies
+//	tracetool -in flight.bin -chrome trace.json
+//	tracetool -in flight.bin -anomalies -fail-on-anomaly   # CI gate
+//
+// -in reads a snapshot file in either the binary /debug/flight format
+// or its ?format=json form (sniffed); -addr scrapes a live node's
+// debug listener.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+
+	"seqstream/internal/flight"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// errAnomalies marks the -fail-on-anomaly exit path.
+type errAnomalies int
+
+func (e errAnomalies) Error() string {
+	return fmt.Sprintf("tracetool: %d anomalies detected", int(e))
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tracetool", flag.ContinueOnError)
+	var (
+		in   = fs.String("in", "", "snapshot file (binary or JSON /debug/flight output)")
+		addr = fs.String("addr", "", "scrape a live node's debug address (host:port) instead of -in")
+
+		summary   = fs.Bool("summary", false, "print event and lifecycle counts")
+		streams   = fs.Bool("streams", false, "print each stream's lifecycle")
+		anomalies = fs.Bool("anomalies", false, "run the anomaly detectors and print findings")
+		failOn    = fs.Bool("fail-on-anomaly", false, "exit nonzero when -anomalies finds anything")
+		chrome    = fs.String("chrome", "", "write a Chrome trace_event JSON file to this path")
+
+		starve      = fs.Int("starve-rotations", 0, "rotation-starvation threshold (0 uses the default)")
+		stragFactor = fs.Float64("straggler-factor", 0, "straggler median-latency multiple (0 uses the default)")
+		stragMin    = fs.Int("straggler-min", 0, "minimum fetches before a disk can be a straggler (0 uses the default)")
+		churn       = fs.Float64("evict-churn", 0, "evicted/fetched byte ratio flagged as M pressure (0 uses the default)")
+		flaps       = fs.Int("flap-opens", 0, "breaker opens flagged as a flap (0 uses the default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*in == "") == (*addr == "") {
+		return fmt.Errorf("tracetool: need exactly one of -in or -addr")
+	}
+	if !*summary && !*streams && !*anomalies && *chrome == "" {
+		*summary = true // bare invocations get the overview
+	}
+
+	snap, err := load(*in, *addr)
+	if err != nil {
+		return err
+	}
+	tl := flight.Analyze(snap.Merged())
+
+	if *summary {
+		printSummary(out, snap, tl)
+	}
+	if *streams {
+		printStreams(out, tl)
+	}
+	if *chrome != "" {
+		f, err := os.Create(*chrome)
+		if err != nil {
+			return fmt.Errorf("tracetool: %w", err)
+		}
+		werr := flight.WriteChromeTrace(f, tl.Events)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("tracetool: writing chrome trace: %w", werr)
+		}
+		fmt.Fprintf(out, "chrome trace: %d events -> %s\n", len(tl.Events), *chrome)
+	}
+	if *anomalies {
+		found := tl.Detect(flight.DetectorConfig{
+			StarveRotations:     *starve,
+			StragglerFactor:     *stragFactor,
+			StragglerMinFetches: *stragMin,
+			EvictChurnRatio:     *churn,
+			FlapOpens:           *flaps,
+		})
+		if len(found) == 0 {
+			fmt.Fprintln(out, "anomalies: none")
+		}
+		for _, a := range found {
+			fmt.Fprintf(out, "anomaly[%s]: %s\n", a.Kind, a.Detail)
+		}
+		if *failOn && len(found) > 0 {
+			return errAnomalies(len(found))
+		}
+	}
+	return nil
+}
+
+// load reads the snapshot from a file or scrapes it from a node.
+func load(in, addr string) (*flight.Snapshot, error) {
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, fmt.Errorf("tracetool: %w", err)
+		}
+		defer f.Close()
+		snap, err := flight.ReadSnapshot(f)
+		if err != nil {
+			return nil, fmt.Errorf("tracetool: %s: %w", in, err)
+		}
+		return snap, nil
+	}
+	url := "http://" + addr + "/debug/flight"
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("tracetool: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("tracetool: %s returned %s", url, resp.Status)
+	}
+	snap, err := flight.ReadSnapshot(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("tracetool: %s: %w", url, err)
+	}
+	return snap, nil
+}
+
+// printSummary writes the snapshot overview: ring fill, event counts
+// per op, and lifecycle completeness.
+func printSummary(out io.Writer, snap *flight.Snapshot, tl *flight.Timeline) {
+	fmt.Fprintf(out, "snapshot: %d rings, %d events\n", len(snap.Rings), len(tl.Events))
+	for i, ring := range snap.Rings {
+		if len(ring) > 0 {
+			fmt.Fprintf(out, "  ring %d: %d events (seq %d..%d)\n",
+				i, len(ring), ring[0].Seq, ring[len(ring)-1].Seq)
+		}
+	}
+	counts := make(map[flight.Op]int)
+	for _, e := range tl.Events {
+		counts[e.Op]++
+	}
+	ops := make([]flight.Op, 0, len(counts))
+	for op := range counts {
+		ops = append(ops, op)
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i] < ops[j] })
+	for _, op := range ops {
+		fmt.Fprintf(out, "  op %-13s %d\n", op, counts[op])
+	}
+	complete := 0
+	for _, id := range tl.StreamIDs() {
+		if tl.Streams[id].Complete() {
+			complete++
+		}
+	}
+	fmt.Fprintf(out, "streams: %d seen, %d with complete lifecycles\n", len(tl.Streams), complete)
+}
+
+// printStreams writes one line per stream: its op trail and whether
+// the lifecycle is complete.
+func printStreams(out io.Writer, tl *flight.Timeline) {
+	for _, id := range tl.StreamIDs() {
+		l := tl.Streams[id]
+		trail := make([]string, 0, len(l.Events))
+		for _, e := range l.Events {
+			trail = append(trail, e.Op.String())
+		}
+		status := "complete"
+		if !l.Complete() {
+			miss := make([]string, 0, 4)
+			for _, op := range l.Missing() {
+				miss = append(miss, op.String())
+			}
+			status = "missing " + strings.Join(miss, ",")
+		}
+		first, last := l.Events[0].T, l.Events[len(l.Events)-1].T
+		fmt.Fprintf(out, "stream %d disk %d [%s]: %d events over %v: %s\n",
+			id, l.Disk, status, len(l.Events), last-first, compressTrail(trail))
+	}
+}
+
+// compressTrail collapses runs of repeated ops ("fetch fetch fetch" →
+// "fetch×3") so long lifecycles stay one readable line.
+func compressTrail(trail []string) string {
+	var b strings.Builder
+	for i := 0; i < len(trail); {
+		j := i
+		for j < len(trail) && trail[j] == trail[i] {
+			j++
+		}
+		if b.Len() > 0 {
+			b.WriteString(" ")
+		}
+		b.WriteString(trail[i])
+		if j-i > 1 {
+			fmt.Fprintf(&b, "×%d", j-i)
+		}
+		i = j
+	}
+	return b.String()
+}

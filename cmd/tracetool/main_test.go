@@ -1,0 +1,172 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"seqstream/internal/flight"
+)
+
+// buildRecorder records one complete stream lifecycle plus a starved
+// stream, across two rings.
+func buildRecorder(t *testing.T) *flight.Recorder {
+	t.Helper()
+	var now time.Duration
+	rec, err := flight.New(func() time.Duration { now += time.Microsecond; return now }, 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0 := rec.Ring(0)
+	for _, op := range []flight.Op{flight.OpClassify, flight.OpEnqueue, flight.OpDispatch} {
+		r0.Record(flight.Event{Op: op, Stream: 1, Disk: 0, T: rec.Now()})
+	}
+	r0.Record(flight.Event{Op: flight.OpFetch, Stream: 1, Disk: 0, Length: 1 << 20, T: rec.Now()})
+	r0.Record(flight.Event{Op: flight.OpStaged, Stream: 1, Disk: 0, Length: 1 << 20, T: rec.Now(), Dur: time.Microsecond})
+	r0.Record(flight.Event{Op: flight.OpDeliver, Stream: 1, Disk: 0, Length: 4096, T: rec.Now(), Trace: 7})
+	r0.Record(flight.Event{Op: flight.OpRetire, Stream: 1, Disk: 0, T: rec.Now()})
+	// Stream 2 enqueues on ring 1 and starves behind 8 rotations.
+	r1 := rec.Ring(1)
+	r1.Record(flight.Event{Op: flight.OpEnqueue, Stream: 2, Disk: 1, T: rec.Now()})
+	for i := 0; i < 8; i++ {
+		r1.Record(flight.Event{Op: flight.OpRotate, Stream: 3, Disk: 1, T: rec.Now()})
+	}
+	return rec
+}
+
+// writeSnapshot saves the recorder's snapshot to a temp file.
+func writeSnapshot(t *testing.T, rec *flight.Recorder) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "flight.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.Snapshot().WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Fatal("no input source accepted")
+	}
+	if err := run([]string{"-in", "x", "-addr", "y"}, &out); err == nil {
+		t.Fatal("both input sources accepted")
+	}
+}
+
+func TestSummaryAndStreamsFromFile(t *testing.T) {
+	path := writeSnapshot(t, buildRecorder(t))
+	var out bytes.Buffer
+	// Bare invocation defaults to -summary.
+	if err := run([]string{"-in", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"2 rings", "op classify", "op retire", "streams: 3 seen, 1 with complete lifecycles"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("summary missing %q:\n%s", want, text)
+		}
+	}
+
+	out.Reset()
+	if err := run([]string{"-in", path, "-streams"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text = out.String()
+	if !strings.Contains(text, "stream 1 disk 0 [complete]") {
+		t.Fatalf("stream 1 not reported complete:\n%s", text)
+	}
+	if !strings.Contains(text, "stream 2 disk 1 [missing") {
+		t.Fatalf("stream 2 not reported incomplete:\n%s", text)
+	}
+}
+
+func TestAnomaliesAndFailFlag(t *testing.T) {
+	path := writeSnapshot(t, buildRecorder(t))
+	var out bytes.Buffer
+	if err := run([]string{"-in", path, "-anomalies", "-starve-rotations", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "anomaly[rotation-starvation]") {
+		t.Fatalf("starvation not detected:\n%s", out.String())
+	}
+	// With -fail-on-anomaly the same run errors.
+	if err := run([]string{"-in", path, "-anomalies", "-starve-rotations", "4", "-fail-on-anomaly"}, &out); err == nil {
+		t.Fatal("fail-on-anomaly did not fail")
+	}
+	// Raising the threshold quiets it.
+	out.Reset()
+	if err := run([]string{"-in", path, "-anomalies", "-starve-rotations", "100", "-fail-on-anomaly"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "anomalies: none") {
+		t.Fatalf("quiet run should say none:\n%s", out.String())
+	}
+}
+
+func TestChromeExport(t *testing.T) {
+	path := writeSnapshot(t, buildRecorder(t))
+	chromePath := filepath.Join(t.TempDir(), "trace.json")
+	var out bytes.Buffer
+	if err := run([]string{"-in", path, "-chrome", chromePath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(chromePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("chrome output not a JSON array: %v", err)
+	}
+	if len(events) != 16 {
+		t.Fatalf("chrome trace has %d events, want 16", len(events))
+	}
+}
+
+func TestScrapeAddr(t *testing.T) {
+	rec := buildRecorder(t)
+	srv := httptest.NewServer(flight.Handler(rec))
+	defer srv.Close()
+	addr := strings.TrimPrefix(srv.URL, "http://")
+	var out bytes.Buffer
+	if err := run([]string{"-addr", addr, "-summary"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "streams: 3 seen") {
+		t.Fatalf("scraped summary:\n%s", out.String())
+	}
+}
+
+func TestCompressTrail(t *testing.T) {
+	got := compressTrail([]string{"fetch", "fetch", "fetch", "staged", "deliver", "deliver"})
+	if got != "fetch×3 staged deliver×2" {
+		t.Fatalf("compressTrail = %q", got)
+	}
+	if compressTrail(nil) != "" {
+		t.Fatal("empty trail should compress to empty")
+	}
+}
+
+func TestBadSnapshotFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk.bin")
+	if err := os.WriteFile(path, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-in", path}, &out); err == nil {
+		t.Fatal("junk snapshot accepted")
+	}
+}

@@ -29,6 +29,9 @@ var GatedPackages = []string{
 	// func), so simulation code can instrument without breaking
 	// determinism; gate it to keep it that way.
 	"seqstream/internal/obs",
+	// flight records inside the simulation too: its Recorder takes an
+	// injected `now` func, so the same discipline applies.
+	"seqstream/internal/flight",
 }
 
 // forbiddenCalls maps import path -> function name -> the suggested

@@ -18,6 +18,7 @@ import (
 
 	"seqstream/internal/blockdev"
 	"seqstream/internal/core"
+	"seqstream/internal/flight"
 )
 
 // Config parameterizes one bench run.
@@ -44,6 +45,9 @@ type Config struct {
 	// memcpy per fetch to the measurement (default off: pure
 	// scheduling cost).
 	Fill bool
+	// Flight attaches an always-on flight recorder (one ring per shard
+	// plus the device layer), measuring the recorder's hot-path cost.
+	Flight bool
 }
 
 // ApplyDefaults fills zero fields with the defaults described on each
@@ -99,6 +103,11 @@ type Result struct {
 	// BufferHitRate is the fraction of requests served from staged
 	// buffers (immediately or after waiting on their fetch).
 	BufferHitRate float64 `json:"buffer_hit_rate"`
+	// FlightOn reports whether the flight recorder was attached.
+	FlightOn bool `json:"flight_on"`
+	// FlightEvents is the number of events retained in the recorder's
+	// rings at the end of the run (0 with FlightOn false).
+	FlightEvents int `json:"flight_events,omitempty"`
 }
 
 // Run executes one bench configuration: Streams goroutines each issue
@@ -120,6 +129,19 @@ func Run(name string, cfg Config) (Result, error) {
 	clock := blockdev.NewRealClock()
 	ccfg := core.DefaultConfig(cfg.Memory, cfg.ReadAhead)
 	ccfg.Shards = cfg.Shards
+	shards := cfg.Shards
+	if shards <= 0 || shards > cfg.Disks {
+		shards = cfg.Disks
+	}
+	var rec *flight.Recorder
+	if cfg.Flight {
+		rec, err = flight.New(clock.Now, shards, 0)
+		if err != nil {
+			return Result{}, err
+		}
+		ccfg.Flight = rec
+		dev.SetFlight(rec)
+	}
 	srv, err := core.NewServer(dev, clock, ccfg)
 	if err != nil {
 		return Result{}, err
@@ -182,9 +204,11 @@ func Run(name string, cfg Config) (Result, error) {
 
 	st := srv.Stats()
 	total := int64(cfg.Streams) * int64(cfg.Requests)
-	shards := cfg.Shards
-	if shards <= 0 || shards > cfg.Disks {
-		shards = cfg.Disks
+	flightEvents := 0
+	if rec != nil {
+		for _, ring := range rec.Snapshot().Rings {
+			flightEvents += len(ring)
+		}
 	}
 	return Result{
 		Name:           name,
@@ -201,7 +225,110 @@ func Run(name string, cfg Config) (Result, error) {
 		P50Micros:      quantile(0.50),
 		P99Micros:      quantile(0.99),
 		BufferHitRate:  float64(st.BufferHits+st.QueuedServed) / float64(st.Requests),
+		FlightOn:       cfg.Flight,
+		FlightEvents:   flightEvents,
 	}, nil
+}
+
+// DefaultFlightBudget is the acceptable request-throughput regression
+// from turning the flight recorder on: 5%.
+const DefaultFlightBudget = 0.05
+
+// flightTrials is how many times each configuration runs for the
+// overhead comparison. Single runs of a sub-second workload jitter by
+// several percent — more than the budget itself — so the gate judges
+// best-of-N, which converges on the machine's true capability for each
+// configuration.
+const flightTrials = 3
+
+// FlightReport compares the same workload with the flight recorder off
+// and on, the overhead-budget document behind the CI gate.
+type FlightReport struct {
+	// GOMAXPROCS records the parallelism the run had available.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Trials is how many runs per configuration fed the best-of pick.
+	Trials int `json:"trials"`
+	// Off and On are the best (highest req/s) runs per configuration.
+	Off Result `json:"off"`
+	On  Result `json:"on"`
+	// OverheadFrac is 1 - on.req/s ÷ off.req/s: the fraction of request
+	// throughput the recorder costs (negative means noise favored the
+	// recorded run).
+	OverheadFrac float64 `json:"overhead_frac"`
+	// Budget is the overhead fraction the report was judged against.
+	Budget float64 `json:"budget"`
+	// WithinBudget is OverheadFrac <= Budget.
+	WithinBudget bool `json:"within_budget"`
+}
+
+// RunFlightComparison benches the workload with recording off then on
+// and judges the overhead against budget (<=0 uses
+// DefaultFlightBudget).
+func RunFlightComparison(cfg Config, budget float64) (FlightReport, error) {
+	if budget <= 0 {
+		budget = DefaultFlightBudget
+	}
+	best := func(name string, c Config) (Result, error) {
+		var b Result
+		for i := 0; i < flightTrials; i++ {
+			r, err := Run(name, c)
+			if err != nil {
+				return Result{}, err
+			}
+			if i == 0 || r.RequestsPerSec > b.RequestsPerSec {
+				b = r
+			}
+		}
+		return b, nil
+	}
+	off := cfg
+	off.Flight = false
+	or, err := best("flight-off", off)
+	if err != nil {
+		return FlightReport{}, err
+	}
+	on := cfg
+	on.Flight = true
+	nr, err := best("flight-on", on)
+	if err != nil {
+		return FlightReport{}, err
+	}
+	overhead := 1 - nr.RequestsPerSec/or.RequestsPerSec
+	return FlightReport{
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Trials:       flightTrials,
+		Off:          or,
+		On:           nr,
+		OverheadFrac: overhead,
+		Budget:       budget,
+		WithinBudget: overhead <= budget,
+	}, nil
+}
+
+// WriteJSON writes the flight report to path, indented.
+func (r FlightReport) WriteJSON(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	return os.WriteFile(path, b, 0o644)
+}
+
+// Summary renders the flight report as a short human-readable table.
+func (r FlightReport) Summary() string {
+	out := fmt.Sprintf("flight-recorder overhead bench (GOMAXPROCS=%d)\n", r.GOMAXPROCS)
+	out += fmt.Sprintf("%-12s %12s %10s %10s %12s\n", "config", "req/s", "allocs/op", "p99(µs)", "events")
+	for _, res := range []Result{r.Off, r.On} {
+		out += fmt.Sprintf("%-12s %12.0f %10.2f %10.1f %12d\n",
+			res.Name, res.RequestsPerSec, res.AllocsPerOp, res.P99Micros, res.FlightEvents)
+	}
+	verdict := "within"
+	if !r.WithinBudget {
+		verdict = "OVER"
+	}
+	out += fmt.Sprintf("overhead: %.2f%% (%s budget %.1f%%)\n", r.OverheadFrac*100, verdict, r.Budget*100)
+	return out
 }
 
 // Report is the BENCH_core.json document: the sharded configuration

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"seqstream/internal/flight"
 )
 
 // MemDevice is an in-memory Device for real-time servers, examples,
@@ -19,7 +21,13 @@ type MemDevice struct {
 	mu     sync.Mutex
 	reads  int64
 	writes int64
+	fr     *flight.Recorder
 }
+
+// SetFlight attaches a flight recorder: each completed read records an
+// OpDevRead on the disk's ring, timed by the recorder's clock. Call it
+// before traffic; it is not synchronized with in-flight reads.
+func (d *MemDevice) SetFlight(rec *flight.Recorder) { d.fr = rec }
 
 var (
 	_ Device     = (*MemDevice)(nil)
@@ -109,10 +117,20 @@ func (d *MemDevice) read(disk int, off, length int64, buf []byte, done func([]by
 	if err := CheckRequest(d, disk, off, length); err != nil {
 		return err
 	}
+	var start time.Duration
+	if d.fr != nil {
+		start = d.fr.Now()
+	}
 	complete := func() {
 		d.mu.Lock()
 		d.reads++
 		d.mu.Unlock()
+		if fr := d.fr; fr != nil {
+			now := fr.Now()
+			fr.RingFor(disk).Record(flight.Event{Op: flight.OpDevRead, Disk: uint16(disk),
+				Stream: flight.NoStream, Offset: off, Length: length,
+				T: now, Dur: now - start})
+		}
 		if done == nil {
 			return
 		}

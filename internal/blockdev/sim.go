@@ -4,6 +4,7 @@ import (
 	"errors"
 	"time"
 
+	"seqstream/internal/flight"
 	"seqstream/internal/iostack"
 	"seqstream/internal/sim"
 )
@@ -32,6 +33,22 @@ func (c *SimClock) Schedule(d time.Duration, fn func()) (cancel func()) {
 // interface. Completions carry nil data.
 type SimDevice struct {
 	host *iostack.Host
+	fr   *flight.Recorder
+}
+
+// SetFlight attaches a flight recorder: every completed device read
+// records an OpDevRead on the disk's ring, timed by the recorder's
+// clock (the engine's virtual clock in simulations). It also cascades
+// to the host's controllers so the controller layer stamps its
+// accept/complete events with global disk ids. Call it before traffic.
+func (d *SimDevice) SetFlight(rec *flight.Recorder) {
+	d.fr = rec
+	base := 0
+	for i := 0; i < d.host.Controllers(); i++ {
+		ctrl := d.host.Controller(i)
+		ctrl.SetFlight(rec, base)
+		base += ctrl.Disks()
+	}
 }
 
 var (
@@ -68,7 +85,12 @@ func (d *SimDevice) ReadAt(disk int, off, length int64, done func([]byte, error)
 	if err := CheckRequest(d, disk, off, length); err != nil {
 		return err
 	}
-	return d.host.ReadAt(disk, off, length, func(iostack.Result) {
+	return d.host.ReadAt(disk, off, length, func(res iostack.Result) {
+		if d.fr != nil {
+			d.fr.RingFor(disk).Record(flight.Event{Op: flight.OpDevRead, Disk: uint16(disk),
+				Stream: flight.NoStream, Offset: off, Length: length,
+				T: time.Duration(res.End), Dur: time.Duration(res.End - res.Start)})
+		}
 		if done != nil {
 			done(nil, nil)
 		}

@@ -7,6 +7,7 @@ import (
 
 	"seqstream/internal/bus"
 	"seqstream/internal/disk"
+	"seqstream/internal/flight"
 	"seqstream/internal/invariants"
 	"seqstream/internal/sim"
 )
@@ -138,6 +139,20 @@ type Controller struct {
 	active   []int         // per-disk outstanding fetches
 	stats    Stats
 	obs      *Obs
+
+	// fr records controller accept/complete events; diskBase maps this
+	// controller's local drive indices to the node's global disk ids so
+	// the events line up with the core scheduler's.
+	fr       *flight.Recorder
+	diskBase int
+}
+
+// SetFlight attaches a flight recorder (nil detaches). diskBase is
+// added to local drive indices when stamping events, so a multi-
+// controller host reports global disk ids. Call it before traffic.
+func (c *Controller) SetFlight(rec *flight.Recorder, diskBase int) {
+	c.fr = rec
+	c.diskBase = diskBase
 }
 
 // New constructs a controller over the given drives. The host link is
@@ -198,6 +213,20 @@ func (c *Controller) Submit(diskID int, off, n int64, done func(Result)) error {
 	}
 	start := c.eng.Now()
 	c.stats.Requests++
+	if c.fr != nil {
+		gdisk := uint16(c.diskBase + diskID)
+		c.fr.RingFor(c.diskBase + diskID).Record(flight.Event{Op: flight.OpCtrlSubmit,
+			Disk: gdisk, Stream: flight.NoStream, Offset: off, Length: n, T: time.Duration(start)})
+		orig := done
+		done = func(res Result) {
+			c.fr.RingFor(int(gdisk)).Record(flight.Event{Op: flight.OpCtrlDone,
+				Disk: gdisk, Stream: flight.NoStream, Offset: off, Length: n,
+				T: time.Duration(res.End), Dur: time.Duration(res.End - res.Start)})
+			if orig != nil {
+				orig(res)
+			}
+		}
+	}
 
 	finish := func(res Result) {
 		c.stats.BytesHost += n

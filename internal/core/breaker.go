@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"time"
+
+	"seqstream/internal/flight"
 )
 
 // ErrDiskDegraded fails a request fast because its disk's circuit
@@ -102,6 +104,10 @@ func (sh *shard) noteDiskFailure(disk int, now time.Duration) {
 		if o := sh.srv.cfg.Obs; o != nil {
 			o.breakerTrips.Inc()
 		}
+		if sh.fr != nil {
+			sh.fr.Record(flight.Event{Op: flight.OpBreakerOpen, Err: flight.ErrDegraded,
+				Disk: uint16(disk), Stream: flight.NoStream, T: now})
+		}
 	} else if b.state == breakerOpen {
 		// Failures of requests already in flight while open extend the
 		// cooldown: the disk is still sick.
@@ -123,6 +129,10 @@ func (sh *shard) noteDiskSuccess(disk int) {
 		// A request issued before the trip completed after it: the
 		// disk answered, so the circuit closes without probing.
 		sh.srv.noteDegradedTransition(-1)
+	}
+	if b.state != breakerClosed && sh.fr != nil {
+		sh.fr.Record(flight.Event{Op: flight.OpBreakerClose, Disk: uint16(disk),
+			Stream: flight.NoStream, T: sh.srv.clock.Now()})
 	}
 	b.fails = 0
 	b.state = breakerClosed

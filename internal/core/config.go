@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"seqstream/internal/bufpool"
+	"seqstream/internal/flight"
 	"seqstream/internal/invariants"
 	"seqstream/internal/trace"
 )
@@ -117,6 +118,13 @@ type Config struct {
 	// (optionally) a stream-lifecycle span log. Build it with NewObs
 	// over a shared obs.Registry.
 	Obs *Obs
+
+	// Flight, when non-nil, is the always-on flight recorder: each
+	// scheduler shard stamps its lifecycle events onto ring
+	// Flight.Ring(shard index), so a recorder with one ring per shard
+	// keeps shard timelines contention-free. Recording is lock-free and
+	// allocation-free; see package flight.
+	Flight *flight.Recorder
 }
 
 // DefaultConfig returns the §5 defaults for a node with the given

@@ -17,6 +17,10 @@ type Request struct {
 	Disk   int
 	Offset int64
 	Length int64
+	// Trace is the request's trace id, allocated at ingress (netserve)
+	// or supplied by the client; zero means untraced. It is stamped on
+	// the flight-recorder events the request generates.
+	Trace uint64
 	// Done receives the response. It is never invoked while a shard
 	// lock is held; it may submit follow-up requests.
 	Done func(Response)
@@ -281,7 +285,8 @@ func (s *Server) ActiveStreams() int { return int(s.liveStreams.Load()) }
 func (s *Server) DispatchedStreams() int { return int(s.dispatched.Load()) }
 
 // Close stops the garbage collectors. In-flight requests still
-// complete; new submissions are rejected.
+// complete; new submissions are rejected. Buffered span-log entries
+// are flushed to the log's sink so shutdown loses no lifecycle events.
 func (s *Server) Close() {
 	for _, sh := range s.shards {
 		sh.mu.Lock()
@@ -292,6 +297,9 @@ func (s *Server) Close() {
 			}
 		}
 		sh.mu.Unlock()
+	}
+	if s.cfg.Obs != nil {
+		_ = s.cfg.Obs.Spans().Flush()
 	}
 }
 

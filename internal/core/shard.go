@@ -8,6 +8,7 @@ import (
 
 	"seqstream/internal/blockdev"
 	"seqstream/internal/bufpool"
+	"seqstream/internal/flight"
 	"seqstream/internal/invariants"
 	"seqstream/internal/obs"
 	"seqstream/internal/trace"
@@ -38,6 +39,11 @@ import (
 type shard struct {
 	srv *Server
 	idx int
+
+	// fr is this shard's flight-recorder ring (nil when recording is
+	// off). The binding is fixed at construction so the hot path pays
+	// one nil check, never a map or modulo.
+	fr *flight.Ring
 
 	mu         sync.Mutex
 	cls        *classifier
@@ -94,6 +100,7 @@ func newShard(srv *Server, idx int) *shard {
 	sh := &shard{
 		srv:        srv,
 		idx:        idx,
+		fr:         srv.cfg.Flight.Ring(idx),
 		cls:        newClassifier(srv.cfg),
 		byExpected: make(map[offKey]*stream),
 		streams:    make(map[int]*stream),
@@ -238,6 +245,15 @@ func (sh *shard) submit(req Request) error {
 	if o := srv.cfg.Obs; o != nil {
 		o.requests.Inc()
 	}
+	// Edge events (submit/fastfail/direct) are not part of the stream
+	// lifecycle chain; they exist to follow an individual traced request
+	// end to end, so untraced bulk traffic skips them. This keeps the
+	// buffer-hit path at exactly one Record (deliver) per request, which
+	// is what makes the always-on recorder affordable.
+	if sh.fr != nil && req.Trace != 0 {
+		sh.fr.Record(flight.Event{Trace: req.Trace, Op: flight.OpSubmit, Disk: uint16(req.Disk),
+			Stream: flight.NoStream, Offset: req.Offset, Length: req.Length, T: now})
+	}
 
 	// Degraded path: an open circuit fails the disk's requests fast
 	// instead of queuing them behind a sick device, so client threads
@@ -246,6 +262,10 @@ func (sh *shard) submit(req Request) error {
 		sh.stats.BreakerFastFails++
 		if o := srv.cfg.Obs; o != nil {
 			o.breakerFastFails.Inc()
+		}
+		if sh.fr != nil && req.Trace != 0 {
+			sh.fr.Record(flight.Event{Trace: req.Trace, Op: flight.OpFastFail, Err: flight.ErrDegraded,
+				Disk: uint16(req.Disk), Stream: flight.NoStream, Offset: req.Offset, Length: req.Length, T: now})
 		}
 		sh.syncGauges()
 		sh.mu.Unlock()
@@ -313,7 +333,7 @@ func (sh *shard) acceptStreamRequest(st *stream, req Request, now time.Duration)
 			if o := sh.srv.cfg.Obs; o != nil {
 				o.bufferHits.Inc()
 			}
-			sh.serveFromBuffer(st, b, pendingReq{off: req.Offset, length: req.Length, start: now, done: req.Done}, now)
+			sh.serveFromBuffer(st, b, pendingReq{off: req.Offset, length: req.Length, start: now, trace: req.Trace, done: req.Done}, now)
 			return
 		}
 		covered = true // an in-flight fetch will deliver it
@@ -324,7 +344,7 @@ func (sh *shard) acceptStreamRequest(st *stream, req Request, now time.Duration)
 	if !covered && req.Offset < st.nextFetch {
 		st.nextFetch = req.Offset
 	}
-	st.queue = append(st.queue, pendingReq{off: req.Offset, length: req.Length, start: now, done: req.Done})
+	st.queue = append(st.queue, pendingReq{off: req.Offset, length: req.Length, start: now, trace: req.Trace, done: req.Done})
 
 	// A stream with waiting clients and nothing staged or queued for
 	// dispatch re-enters the candidate queue (it may have been rotated
@@ -379,7 +399,7 @@ func (sh *shard) acceptNearSeq(st *stream, req Request, now time.Duration) {
 					o.bufferHits.Inc()
 				}
 				sh.serveFromBuffer(st, b,
-					pendingReq{off: req.Offset, length: req.Length, start: now, done: req.Done}, now)
+					pendingReq{off: req.Offset, length: req.Length, start: now, trace: req.Trace, done: req.Done}, now)
 				return
 			}
 		}
@@ -434,6 +454,7 @@ func (sh *shard) eligible(st *stream) bool {
 // (enqueueDone) and carries a reference on the buffer's pooled memory
 // when there is one. Caller holds sh.mu.
 func (sh *shard) serveFromBuffer(st *stream, b *buffer, p pendingReq, now time.Duration) {
+	firstHit := b.consumed == 0
 	if mark := p.off + p.length - b.start; mark > b.consumed {
 		b.consumed = mark
 	}
@@ -446,6 +467,18 @@ func (sh *shard) serveFromBuffer(st *stream, b *buffer, p pendingReq, now time.D
 	}
 	sh.srv.traceEvent(trace.Event{Kind: trace.KindClient, Stream: st.id, Disk: st.disk, Offset: p.off,
 		Length: p.length, Start: p.start, End: now, Hit: true})
+	// Deliver events are recorded at buffer granularity — the first
+	// request served from each staged buffer — rather than per request:
+	// a stream delivering thousands of buffer hits would otherwise
+	// flood the bounded ring with identical events and evict the
+	// scheduling history the recorder exists to keep. The first hit
+	// also carries the interesting latency (it includes any wait for
+	// the fetch). Traced requests always record so an individual
+	// request can be followed end to end.
+	if sh.fr != nil && (p.trace != 0 || firstHit) {
+		sh.fr.Record(flight.Event{Trace: p.trace, Op: flight.OpDeliver, Disk: uint16(st.disk),
+			Stream: int32(st.id), Offset: p.off, Length: p.length, T: now, Dur: now - p.start})
+	}
 	if p.done != nil {
 		resp := Response{
 			Start:      p.start,
@@ -528,6 +561,14 @@ func (sh *shard) onDirectDone(req Request, start time.Duration, pb *bufpool.Buf,
 		Offset: req.Offset, Length: req.Length, Start: start, End: end, Err: errMsg})
 	srv.traceEvent(trace.Event{Kind: trace.KindClient, Stream: trace.NoStream, Disk: req.Disk,
 		Offset: req.Offset, Length: req.Length, Start: start, End: end, Err: errMsg})
+	if sh.fr != nil && req.Trace != 0 {
+		code := flight.ErrNone
+		if derr != nil {
+			code = flight.ErrIO
+		}
+		sh.fr.Record(flight.Event{Trace: req.Trace, Op: flight.OpDirect, Err: code, Disk: uint16(req.Disk),
+			Stream: flight.NoStream, Offset: req.Offset, Length: req.Length, T: end, Dur: end - start})
+	}
 	sh.mu.Unlock()
 	resp := Response{Start: start, Data: data, Direct: true, Err: derr}
 	if derr != nil || data == nil {
@@ -565,6 +606,10 @@ func (sh *shard) createStream(req Request, now time.Duration) {
 		o.streamsDetected.Inc()
 		o.span(st.id, st.disk, obs.StageClassify, req.Offset, req.Length)
 	}
+	if sh.fr != nil {
+		sh.fr.Record(flight.Event{Trace: req.Trace, Op: flight.OpClassify, Disk: uint16(st.disk),
+			Stream: int32(st.id), Offset: req.Offset, Length: req.Length, T: now})
+	}
 	sh.enqueueCandidate(st)
 	sh.pump()
 }
@@ -574,6 +619,10 @@ func (sh *shard) enqueueCandidate(st *stream) {
 	sh.candidates = append(sh.candidates, st)
 	sh.srv.liveCands.Add(1)
 	sh.srv.cfg.Obs.span(st.id, st.disk, obs.StageEnqueue, st.nextFetch, 0)
+	if sh.fr != nil {
+		sh.fr.Record(flight.Event{Op: flight.OpEnqueue, Disk: uint16(st.disk),
+			Stream: int32(st.id), Offset: st.nextFetch, T: sh.srv.clock.Now()})
+	}
 }
 
 // pump admits candidates into the dispatch set while the global D and
@@ -669,6 +718,10 @@ func (sh *shard) pump() {
 		sh.dispatched++
 		sh.perDisk[st.disk]++
 		srv.cfg.Obs.span(st.id, st.disk, obs.StageDispatch, st.nextFetch, 0)
+		if sh.fr != nil {
+			sh.fr.Record(flight.Event{Op: flight.OpDispatch, Disk: uint16(st.disk),
+				Stream: int32(st.id), Offset: st.nextFetch, T: now})
+		}
 		sh.issueFetch(st)
 	}
 }
@@ -774,6 +827,10 @@ func (sh *shard) evictIdleBuffer() bool {
 	}
 	sh.srv.traceEvent(trace.Event{Kind: trace.KindEvict, Stream: owner.id, Disk: victim.disk,
 		Offset: victim.start, Length: victim.size(), Start: victim.issuedAt, End: now})
+	if sh.fr != nil {
+		sh.fr.Record(flight.Event{Op: flight.OpEvict, Disk: uint16(victim.disk),
+			Stream: int32(owner.id), Offset: victim.start, Length: victim.size(), T: now})
+	}
 	sh.freeBuffer(owner, victim, false)
 	// Unconsumed data was dropped; a later request for it rewinds the
 	// fetch pointer (acceptStreamRequest).
@@ -838,6 +895,10 @@ func (sh *shard) issueFetch(st *stream) {
 		o.fetches.Inc()
 		o.bytesFetched.Add(flen)
 		o.span(st.id, st.disk, obs.StageFetch, b.start, flen)
+	}
+	if sh.fr != nil {
+		sh.fr.Record(flight.Event{Op: flight.OpFetch, Disk: uint16(st.disk),
+			Stream: int32(st.id), Offset: b.start, Length: flen, T: b.issuedAt})
 	}
 
 	// The device call runs off-lock (flush). The stream cannot issue
@@ -911,6 +972,10 @@ func (sh *shard) onFetchTimeout(st *stream, b *buffer) {
 	}
 	srv.traceEvent(trace.Event{Kind: trace.KindFetch, Stream: st.id, Disk: st.disk, Offset: b.start,
 		Length: b.size(), Start: b.issuedAt, End: now, Err: ErrFetchTimeout.Error()})
+	if sh.fr != nil {
+		sh.fr.Record(flight.Event{Op: flight.OpTimeout, Err: flight.ErrTimeout, Disk: uint16(st.disk),
+			Stream: int32(st.id), Offset: b.start, Length: b.size(), T: now, Dur: now - b.issuedAt})
+	}
 	sh.noteDiskFailure(st.disk, now)
 	var failed []pendingReq
 	st.queue, failed = splitCovered(st.queue, b)
@@ -940,6 +1005,10 @@ func (sh *shard) scheduleRetry(st *stream, b *buffer) {
 	sh.stats.FetchRetries++
 	if o := sh.srv.cfg.Obs; o != nil {
 		o.fetchRetries.Inc()
+	}
+	if sh.fr != nil {
+		sh.fr.Record(flight.Event{Op: flight.OpRetry, Disk: uint16(st.disk),
+			Stream: int32(st.id), Offset: b.start, Length: b.size(), T: sh.srv.clock.Now()})
 	}
 	backoff := sh.srv.cfg.RetryBackoff << (b.attempts - 1)
 	sh.srv.clock.Schedule(backoff, func() {
@@ -1008,6 +1077,14 @@ func (sh *shard) onFetchDone(st *stream, b *buffer, data []byte, derr error) {
 	}
 	srv.traceEvent(trace.Event{Kind: trace.KindFetch, Stream: st.id, Disk: st.disk, Offset: b.start,
 		Length: b.size(), Start: b.issuedAt, End: now, Err: fetchErr})
+	if sh.fr != nil {
+		op, code := flight.OpStaged, flight.ErrNone
+		if derr != nil {
+			op, code = flight.OpFetchErr, flight.ErrIO
+		}
+		sh.fr.Record(flight.Event{Op: op, Err: code, Disk: uint16(st.disk),
+			Stream: int32(st.id), Offset: b.start, Length: b.size(), T: now, Dur: now - b.issuedAt})
+	}
 	st.fetchInFlight = false
 	st.issuedInResidency++
 	sh.lastOffset[st.disk] = b.end
@@ -1127,7 +1204,7 @@ func (sh *shard) unDispatch(st *stream) {
 	}
 	// Rotation is worth a timeline entry: dispatch-set churn is the
 	// §4.2 mechanism the paper's fairness argument rests on.
-	if sh.srv.cfg.Obs != nil || sh.srv.cfg.Trace != nil {
+	if sh.srv.cfg.Obs != nil || sh.srv.cfg.Trace != nil || sh.fr != nil {
 		now := sh.srv.clock.Now()
 		if o := sh.srv.cfg.Obs; o != nil {
 			o.rotations.Inc()
@@ -1135,6 +1212,10 @@ func (sh *shard) unDispatch(st *stream) {
 		}
 		sh.srv.traceEvent(trace.Event{Kind: trace.KindRotate, Stream: st.id, Disk: st.disk,
 			Offset: st.nextFetch, Start: now, End: now})
+		if sh.fr != nil {
+			sh.fr.Record(flight.Event{Op: flight.OpRotate, Disk: uint16(st.disk),
+				Stream: int32(st.id), Offset: st.nextFetch, T: now})
+		}
 	}
 }
 
@@ -1195,6 +1276,10 @@ func (sh *shard) maybeRetire(st *stream) {
 	if o := sh.srv.cfg.Obs; o != nil {
 		o.streamsRetired.Inc()
 		o.span(st.id, st.disk, obs.StageRetire, st.nextClient, 0)
+	}
+	if sh.fr != nil {
+		sh.fr.Record(flight.Event{Op: flight.OpRetire, Disk: uint16(st.disk),
+			Stream: int32(st.id), Offset: st.nextClient, T: sh.srv.clock.Now()})
 	}
 }
 
@@ -1261,6 +1346,10 @@ func (sh *shard) gcTick() {
 			}
 			srv.traceEvent(trace.Event{Kind: trace.KindGC, Stream: st.id, Disk: st.disk,
 				Offset: st.nextClient, Start: st.lastActive, End: now})
+			if sh.fr != nil {
+				sh.fr.Record(flight.Event{Op: flight.OpGC, Disk: uint16(st.disk),
+					Stream: int32(st.id), Offset: st.nextClient, T: now})
+			}
 		}
 	}
 	sh.stats.RegionsGCed += int64(sh.cls.gc(now - srv.cfg.StreamTimeout))

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"seqstream/internal/blockdev"
+	"seqstream/internal/flight"
 )
 
 // TestShardContention drives concurrent classification, dispatch,
@@ -130,6 +131,19 @@ func TestShardContention(t *testing.T) {
 // means a per-request allocation crept back in (CI's bench-smoke job
 // runs this test).
 func TestBufferHitZeroAlloc(t *testing.T) {
+	bufferHitZeroAlloc(t, false)
+}
+
+// TestBufferHitZeroAllocWithFlight repeats the allocation guard with
+// the flight recorder attached and the measured request carrying a
+// trace id, so every iteration records submit and deliver events. The
+// always-on recorder is only viable if its hot path is alloc-free too.
+func TestBufferHitZeroAllocWithFlight(t *testing.T) {
+	bufferHitZeroAlloc(t, true)
+}
+
+func bufferHitZeroAlloc(t *testing.T, withFlight bool) {
+	t.Helper()
 	dev, err := blockdev.NewMemDevice(1, 1<<30, 0, true)
 	if err != nil {
 		t.Fatal(err)
@@ -140,7 +154,15 @@ func TestBufferHitZeroAlloc(t *testing.T) {
 	// charged to the measured loop.
 	cfg.GCPeriod = time.Hour
 	cfg.EvictIdle = time.Hour
-	srv, err := NewServer(dev, blockdev.NewRealClock(), cfg)
+	clock := blockdev.NewRealClock()
+	if withFlight {
+		rec, err := flight.New(clock.Now, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Flight = rec
+	}
+	srv, err := NewServer(dev, clock, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,6 +185,9 @@ func TestBufferHitZeroAlloc(t *testing.T) {
 	// Re-read a staged block just behind the stream position: a pure
 	// buffer hit (near-seq backward match), no fetch, no direct read.
 	target := Request{Disk: 0, Offset: 14 * req, Length: req, Done: done}
+	if withFlight {
+		target.Trace = cfg.Flight.NextTrace()
+	}
 	avg := testing.AllocsPerRun(200, func() {
 		if err := srv.Submit(target); err != nil {
 			t.Fatal(err)
@@ -175,5 +200,16 @@ func TestBufferHitZeroAlloc(t *testing.T) {
 	st := srv.Stats()
 	if st.BufferHits == 0 {
 		t.Fatalf("no buffer hits recorded (stats: %+v) — the measured path was not the hit path", st)
+	}
+	if withFlight {
+		n := 0
+		for _, ev := range cfg.Flight.Snapshot().Merged() {
+			if ev.Trace == target.Trace {
+				n++
+			}
+		}
+		if n == 0 {
+			t.Fatalf("no flight events carry the measured trace id — the recorder was not on the measured path")
+		}
 	}
 }

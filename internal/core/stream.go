@@ -11,6 +11,7 @@ type pendingReq struct {
 	off    int64
 	length int64
 	start  time.Duration
+	trace  uint64 // flight-recorder trace id, 0 = untraced
 	done   func(Response)
 }
 

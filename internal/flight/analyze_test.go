@@ -1,0 +1,207 @@
+package flight
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// seqEvents stamps ascending Seq values so hand-built timelines order
+// the way recorded ones do.
+func seqEvents(events []Event) []Event {
+	for i := range events {
+		events[i].Seq = uint64(i + 1)
+	}
+	return events
+}
+
+// completeStream returns the full lifecycle chain for one stream.
+func completeStream(id int32, disk uint16) []Event {
+	return []Event{
+		{Op: OpClassify, Stream: id, Disk: disk},
+		{Op: OpEnqueue, Stream: id, Disk: disk},
+		{Op: OpDispatch, Stream: id, Disk: disk},
+		{Op: OpFetch, Stream: id, Disk: disk, Length: 1 << 20},
+		{Op: OpStaged, Stream: id, Disk: disk, Length: 1 << 20, Dur: time.Millisecond},
+		{Op: OpDeliver, Stream: id, Disk: disk, Length: 4096},
+		{Op: OpRetire, Stream: id, Disk: disk},
+	}
+}
+
+func TestAnalyzeLifecycles(t *testing.T) {
+	events := append(completeStream(1, 0), completeStream(2, 3)...)
+	// Stream 3 never dispatches and has no terminal.
+	events = append(events,
+		Event{Op: OpClassify, Stream: 3, Disk: 5},
+		Event{Op: OpEnqueue, Stream: 3, Disk: 5},
+	)
+	// Unattributed events must not create streams.
+	events = append(events, Event{Op: OpIngress, Stream: NoStream, Disk: 1, Trace: 7})
+	tl := Analyze(seqEvents(events))
+
+	if got := tl.StreamIDs(); len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("StreamIDs = %v", got)
+	}
+	for _, id := range []int32{1, 2} {
+		l := tl.Streams[id]
+		if !l.Complete() {
+			t.Fatalf("stream %d incomplete, missing %v", id, l.Missing())
+		}
+		if l.Terminal() != OpRetire {
+			t.Fatalf("stream %d terminal = %v", id, l.Terminal())
+		}
+	}
+	l := tl.Streams[3]
+	if l.Complete() {
+		t.Fatal("stream 3 should be incomplete")
+	}
+	if l.Terminal() != OpNone {
+		t.Fatalf("stream 3 terminal = %v, want none", l.Terminal())
+	}
+	missing := l.Missing()
+	want := map[Op]bool{OpDispatch: true, OpFetch: true, OpStaged: true, OpDeliver: true, OpRetire: true}
+	if len(missing) != len(want) {
+		t.Fatalf("stream 3 missing %v", missing)
+	}
+	for _, op := range missing {
+		if !want[op] {
+			t.Fatalf("stream 3 unexpectedly missing %v", op)
+		}
+	}
+	if tl.Streams[2].Disk != 3 {
+		t.Fatalf("stream 2 disk = %d", tl.Streams[2].Disk)
+	}
+}
+
+func TestDetectRotationStarvation(t *testing.T) {
+	// Stream 1 enqueues, then 10 rotations pass before it dispatches.
+	var events []Event
+	events = append(events, Event{Op: OpEnqueue, Stream: 1, Disk: 0})
+	for i := 0; i < 10; i++ {
+		events = append(events, Event{Op: OpRotate, Stream: 2, Disk: 1})
+	}
+	events = append(events, Event{Op: OpDispatch, Stream: 1, Disk: 0})
+	tl := Analyze(seqEvents(events))
+
+	got := tl.Detect(DetectorConfig{StarveRotations: 5})
+	if len(got) != 1 || got[0].Kind != "rotation-starvation" || got[0].Stream != 1 {
+		t.Fatalf("anomalies = %+v", got)
+	}
+	// Above the threshold: quiet.
+	if got := tl.Detect(DetectorConfig{StarveRotations: 11}); len(got) != 0 {
+		t.Fatalf("expected no anomalies, got %+v", got)
+	}
+	// A stream still waiting at snapshot end counts too.
+	events = []Event{{Op: OpEnqueue, Stream: 9, Disk: 0}}
+	for i := 0; i < 6; i++ {
+		events = append(events, Event{Op: OpRotate, Stream: 2, Disk: 1})
+	}
+	tl = Analyze(seqEvents(events))
+	if got := tl.Detect(DetectorConfig{StarveRotations: 5}); len(got) != 1 || got[0].Stream != 9 {
+		t.Fatalf("open-ended wait not flagged: %+v", got)
+	}
+}
+
+func TestDetectMPressure(t *testing.T) {
+	events := seqEvents([]Event{
+		{Op: OpFetch, Stream: 1, Length: 100},
+		{Op: OpFetch, Stream: 2, Length: 100},
+		{Op: OpEvict, Stream: 1, Length: 50},
+	})
+	tl := Analyze(events)
+	got := tl.Detect(DetectorConfig{StarveRotations: 1 << 30, EvictChurnRatio: 0.20})
+	if len(got) != 1 || got[0].Kind != "m-pressure" || got[0].Disk != -1 {
+		t.Fatalf("anomalies = %+v", got)
+	}
+	if got := tl.Detect(DetectorConfig{StarveRotations: 1 << 30, EvictChurnRatio: 0.50}); len(got) != 0 {
+		t.Fatalf("below-threshold churn flagged: %+v", got)
+	}
+}
+
+func TestDetectBreakerFlaps(t *testing.T) {
+	events := seqEvents([]Event{
+		{Op: OpBreakerOpen, Stream: NoStream, Disk: 4},
+		{Op: OpBreakerClose, Stream: NoStream, Disk: 4},
+		{Op: OpBreakerOpen, Stream: NoStream, Disk: 4},
+		{Op: OpBreakerOpen, Stream: NoStream, Disk: 6},
+	})
+	got := Analyze(events).Detect(DetectorConfig{})
+	if len(got) != 1 || got[0].Kind != "breaker-flap" || got[0].Disk != 4 {
+		t.Fatalf("anomalies = %+v", got)
+	}
+}
+
+func TestDetectStragglers(t *testing.T) {
+	var events []Event
+	// Nine healthy disks at 1ms, one straggler at 10ms, all on shard 0.
+	for d := 0; d < 10; d++ {
+		dur := time.Millisecond
+		if d == 9 {
+			dur = 10 * time.Millisecond
+		}
+		for i := 0; i < 8; i++ {
+			events = append(events, Event{Op: OpStaged, Stream: int32(d), Disk: uint16(d), Shard: 0, Dur: dur})
+		}
+	}
+	got := Analyze(seqEvents(events)).Detect(DetectorConfig{StarveRotations: 1 << 30})
+	if len(got) != 1 || got[0].Kind != "straggler-fetch" || got[0].Disk != 9 {
+		t.Fatalf("anomalies = %+v", got)
+	}
+	// Too few samples: quiet.
+	got = Analyze(seqEvents(events)).Detect(DetectorConfig{StarveRotations: 1 << 30, StragglerMinFetches: 9})
+	if len(got) != 0 {
+		t.Fatalf("under-sampled disk flagged: %+v", got)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	events := seqEvents([]Event{
+		{Op: OpIngress, Stream: NoStream, Disk: 2, Trace: 5, T: time.Millisecond},
+		{Op: OpStaged, Stream: 7, Disk: 2, Shard: 1, T: 3 * time.Millisecond, Dur: 2 * time.Millisecond, Err: ErrIO},
+	})
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var out []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("chrome trace is not a JSON array: %v\n%s", err, buf.String())
+	}
+	if len(out) != 2 {
+		t.Fatalf("got %d records, want 2", len(out))
+	}
+	if out[0]["ph"] != "i" || out[0]["name"] != "ingress" {
+		t.Fatalf("instant record = %v", out[0])
+	}
+	if tid := out[0]["tid"].(float64); tid != float64(chromeDiskTidBase+2) {
+		t.Fatalf("unattributed tid = %v", tid)
+	}
+	if out[1]["ph"] != "X" {
+		t.Fatalf("span record = %v", out[1])
+	}
+	if ts := out[1]["ts"].(float64); ts != 1000 { // (3ms - 2ms) in µs
+		t.Fatalf("span ts = %v, want 1000", ts)
+	}
+	if dur := out[1]["dur"].(float64); dur != 2000 {
+		t.Fatalf("span dur = %v, want 2000", dur)
+	}
+	args := out[1]["args"].(map[string]any)
+	if args["err"] != "io" {
+		t.Fatalf("span args = %v", args)
+	}
+	if out[1]["pid"].(float64) != 1 || out[1]["tid"].(float64) != 7 {
+		t.Fatalf("span rows = pid %v tid %v", out[1]["pid"], out[1]["tid"])
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var out []any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil || len(out) != 0 {
+		t.Fatalf("empty trace: %v %v", out, err)
+	}
+}

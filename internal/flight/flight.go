@@ -1,0 +1,406 @@
+// Package flight is the storage node's always-on flight recorder: a
+// fixed-memory, lock-free ring of compact binary trace events per
+// scheduler shard. Every layer of the request path — netserve ingress,
+// the core scheduler, the simulated controller, and the device
+// completions — stamps its events with the trace context allocated at
+// ingress, so an offline analyzer (cmd/tracetool) can reconstruct each
+// stream's full lifecycle from one snapshot.
+//
+// The recorder is built to sit on the scheduler's hot path:
+//
+//   - Recording is wait-free and allocation-free. A writer claims a
+//     slot with one atomic cursor increment and publishes the event
+//     through a per-slot seqlock (an odd marker while the words are
+//     being stored, an even generation-stamped marker when complete).
+//   - Every slot word is accessed atomically, so recording stays clean
+//     under the race detector with concurrent writers and snapshots.
+//   - Memory is fixed at construction: rings overwrite their oldest
+//     events, and a snapshot simply skips slots that were mid-write.
+//
+// A torn slot is possible only when a writer stalls for a full ring
+// lap while another laps it — the snapshot detects the marker mismatch
+// and drops the slot, trading one lost event for a lock-free hot path.
+package flight
+
+import (
+	"errors"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// NoStream marks events not attributed to a classified stream.
+const NoStream int32 = -1
+
+// DefaultRingEvents is the per-shard ring capacity used when a caller
+// passes zero: 4096 events × 64 B ≈ 256 KiB per shard.
+const DefaultRingEvents = 4096
+
+// Op identifies what happened. The values are part of the snapshot
+// wire format; append only.
+type Op uint8
+
+// Ops, roughly in the order a traced request meets them.
+const (
+	OpNone Op = iota
+	// OpIngress: netserve accepted a request and allocated (or adopted)
+	// its trace context.
+	OpIngress
+	// OpRespond: netserve handed the response to the connection writer.
+	OpRespond
+	// OpSubmit: the core scheduler accepted the request at its shard.
+	OpSubmit
+	// OpFastFail: an open circuit breaker failed the request fast.
+	OpFastFail
+	// OpClassify: the classifier detected a new sequential stream.
+	OpClassify
+	// OpEnqueue: a stream (re-)entered the candidate queue.
+	OpEnqueue
+	// OpDispatch: a stream was admitted to the dispatch set.
+	OpDispatch
+	// OpFetch: a read-ahead disk request was issued.
+	OpFetch
+	// OpStaged: a fetch completed into the buffered set.
+	OpStaged
+	// OpFetchErr: a fetch failed terminally.
+	OpFetchErr
+	// OpRetry: a transiently-failed fetch was re-issued.
+	OpRetry
+	// OpTimeout: a fetch hit the FetchTimeout deadline.
+	OpTimeout
+	// OpDeliver: a client request was served from staged memory.
+	OpDeliver
+	// OpDirect: a direct-path (non-sequential) read completed.
+	OpDirect
+	// OpEvict: a staged buffer was reclaimed under memory pressure.
+	OpEvict
+	// OpRotate: a stream rotated out of the dispatch set.
+	OpRotate
+	// OpGC: an idle stream was collected.
+	OpGC
+	// OpRetire: a stream consumed its disk to the end.
+	OpRetire
+	// OpBreakerOpen: a per-disk circuit opened.
+	OpBreakerOpen
+	// OpBreakerClose: a per-disk circuit closed.
+	OpBreakerClose
+	// OpCtrlSubmit: the simulated controller accepted a disk request.
+	OpCtrlSubmit
+	// OpCtrlDone: the simulated controller completed a disk request.
+	OpCtrlDone
+	// OpDevRead: a device read completed (blockdev layer).
+	OpDevRead
+
+	opSentinel // keep last
+)
+
+// String implements fmt.Stringer. It is switch-based rather than
+// table-based so the package holds no package-level state.
+func (o Op) String() string {
+	switch o {
+	case OpIngress:
+		return "ingress"
+	case OpRespond:
+		return "respond"
+	case OpSubmit:
+		return "submit"
+	case OpFastFail:
+		return "fastfail"
+	case OpClassify:
+		return "classify"
+	case OpEnqueue:
+		return "enqueue"
+	case OpDispatch:
+		return "dispatch"
+	case OpFetch:
+		return "fetch"
+	case OpStaged:
+		return "staged"
+	case OpFetchErr:
+		return "fetcherr"
+	case OpRetry:
+		return "retry"
+	case OpTimeout:
+		return "timeout"
+	case OpDeliver:
+		return "deliver"
+	case OpDirect:
+		return "direct"
+	case OpEvict:
+		return "evict"
+	case OpRotate:
+		return "rotate"
+	case OpGC:
+		return "gc"
+	case OpRetire:
+		return "retire"
+	case OpBreakerOpen:
+		return "breaker_open"
+	case OpBreakerClose:
+		return "breaker_close"
+	case OpCtrlSubmit:
+		return "ctrl_submit"
+	case OpCtrlDone:
+		return "ctrl_done"
+	case OpDevRead:
+		return "dev_read"
+	default:
+		return "unknown"
+	}
+}
+
+// Error codes carried in Event.Err.
+const (
+	ErrNone uint8 = iota
+	// ErrIO: the device (or a lower layer) reported a read error.
+	ErrIO
+	// ErrTimeout: the fetch deadline fired.
+	ErrTimeout
+	// ErrDegraded: an open circuit breaker rejected the request.
+	ErrDegraded
+)
+
+// ErrName renders an Event.Err code.
+func ErrName(code uint8) string {
+	switch code {
+	case ErrNone:
+		return ""
+	case ErrIO:
+		return "io"
+	case ErrTimeout:
+		return "timeout"
+	case ErrDegraded:
+		return "degraded"
+	default:
+		return "err?"
+	}
+}
+
+// Event is one recorded trace event. Seq is a recorder-unique merge
+// key (slot claim × ring count + shard): it orders a ring's events by
+// claim and interleaves the rings deterministically even when
+// virtual-time runs stamp many events with the same instant. It is
+// derived from the seqlock generation at snapshot time — recording
+// never touches recorder-global state.
+type Event struct {
+	Seq    uint64        `json:"seq"`
+	Trace  uint64        `json:"trace,omitempty"` // 0 = not client-attributed
+	Op     Op            `json:"op"`
+	Err    uint8         `json:"err,omitempty"`
+	Shard  uint16        `json:"shard"` // ring the event was recorded on
+	Disk   uint16        `json:"disk"`
+	Stream int32         `json:"stream"` // NoStream when not attributed
+	Offset int64         `json:"offset"`
+	Length int64         `json:"length,omitempty"`
+	T      time.Duration `json:"t"`             // event (completion) time
+	Dur    time.Duration `json:"dur,omitempty"` // span duration, 0 for instants
+}
+
+// wordsPerEvent is the packed wire size of one event in snapshot
+// files. The shard index is implicit in the ring and not packed; Seq
+// is included so files round-trip exactly.
+const wordsPerEvent = 7
+
+// pack flattens an event into its snapshot wire words.
+func (e *Event) pack(w *[wordsPerEvent]uint64) {
+	w[0] = e.Seq
+	w[1] = e.Trace
+	w[2] = uint64(e.Op) | uint64(e.Err)<<8 | uint64(e.Disk)<<16 | uint64(uint32(e.Stream))<<32
+	w[3] = uint64(e.Offset)
+	w[4] = uint64(e.Length)
+	w[5] = uint64(e.T)
+	w[6] = uint64(e.Dur)
+}
+
+// unpack rebuilds an event from wire words recorded on ring shard.
+func unpack(w *[wordsPerEvent]uint64, shard uint16) Event {
+	return Event{
+		Seq:    w[0],
+		Trace:  w[1],
+		Op:     Op(w[2] & 0xff),
+		Err:    uint8(w[2] >> 8),
+		Disk:   uint16(w[2] >> 16),
+		Stream: int32(uint32(w[2] >> 32)),
+		Shard:  shard,
+		Offset: int64(w[3]),
+		Length: int64(w[4]),
+		T:      time.Duration(w[5]),
+		Dur:    time.Duration(w[6]),
+	}
+}
+
+// slotWords is the in-memory slot payload: the wire words minus Seq,
+// which the snapshot derives from the slot's claim generation.
+const slotWords = wordsPerEvent - 1
+
+// slot is one seqlock-protected event cell. marker is 0 when the slot
+// was never written, 2c+1 while claim c's words are being stored, and
+// 2c+2 once claim c is published — so a snapshot can both detect
+// in-progress writes and verify the words it read all belong to one
+// claim generation. The payload cells are `word`s: plain memory in
+// fast builds (the marker double-check discards torn reads), atomic
+// under -race.
+type slot struct {
+	marker atomic.Uint64
+	w      [slotWords]word
+}
+
+// Ring is one shard's event ring. All methods are safe for concurrent
+// use and safe on a nil receiver (recording into a nil ring is a
+// no-op), so call sites need no recorder guards.
+type Ring struct {
+	rec   *Recorder
+	shard uint16
+	// stride is the recorder's ring count: Seq = claim×stride+shard+1
+	// is unique across the recorder and ascending within the ring.
+	stride uint64
+
+	cursor atomic.Uint64
+	// Pad the cursor onto its own cache line: each shard hammers its
+	// own ring's cursor, and rings are allocated independently.
+	_ [56]byte
+
+	mask  uint64
+	slots []slot
+}
+
+// Record claims the next slot and publishes e (e.Seq is ignored; the
+// snapshot derives it from the claim). It never blocks, never
+// allocates, touches no recorder-global state, and is safe from any
+// goroutine.
+func (r *Ring) Record(e Event) {
+	if r == nil {
+		return
+	}
+	c := r.cursor.Add(1) - 1
+	s := &r.slots[c&r.mask]
+	s.marker.Store(2*c + 1)
+	s.w[0].store(e.Trace)
+	s.w[1].store(uint64(e.Op) | uint64(e.Err)<<8 | uint64(e.Disk)<<16 | uint64(uint32(e.Stream))<<32)
+	s.w[2].store(uint64(e.Offset))
+	s.w[3].store(uint64(e.Length))
+	s.w[4].store(uint64(e.T))
+	s.w[5].store(uint64(e.Dur))
+	s.marker.Store(2*c + 2)
+}
+
+// snapshot copies the ring's consistent slots, ordered by Seq. Torn
+// slots (a writer mid-publish, or lapped during the read) are skipped.
+func (r *Ring) snapshot() []Event {
+	out := make([]Event, 0, len(r.slots))
+	for i := range r.slots {
+		s := &r.slots[i]
+		m := s.marker.Load()
+		if m == 0 || m&1 == 1 {
+			continue // never written, or a write is in progress
+		}
+		var w [slotWords]uint64
+		for k := range w {
+			w[k] = s.w[k].load()
+		}
+		if s.marker.Load() != m {
+			continue // lapped mid-read: the words span two claims
+		}
+		claim := m/2 - 1
+		out = append(out, Event{
+			Seq:    claim*r.stride + uint64(r.shard) + 1,
+			Trace:  w[0],
+			Op:     Op(w[1] & 0xff),
+			Err:    uint8(w[1] >> 8),
+			Disk:   uint16(w[1] >> 16),
+			Stream: int32(uint32(w[1] >> 32)),
+			Shard:  r.shard,
+			Offset: int64(w[2]),
+			Length: int64(w[3]),
+			T:      time.Duration(w[4]),
+			Dur:    time.Duration(w[5]),
+		})
+	}
+	// Ring order is claim order except across the wrap point, so the
+	// slice is two already-sorted runs; stdlib sort keeps it obvious.
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Recorder owns the per-shard rings and the trace-id allocator. The
+// zero of every counter is reserved: trace id 0 means "untraced" and
+// seq starts at 1.
+type Recorder struct {
+	now   func() time.Duration
+	tid   atomic.Uint64
+	rings []*Ring
+}
+
+// New builds a recorder with `rings` rings of perRing events each
+// (perRing is rounded up to a power of two; zero uses
+// DefaultRingEvents). now supplies timestamps for layers without their
+// own clock — a simulation clock's Now or a real clock's.
+func New(now func() time.Duration, rings, perRing int) (*Recorder, error) {
+	if now == nil {
+		return nil, errors.New("flight: nil clock")
+	}
+	if rings <= 0 {
+		return nil, errors.New("flight: ring count must be positive")
+	}
+	if perRing <= 0 {
+		perRing = DefaultRingEvents
+	}
+	size := 1
+	for size < perRing {
+		size <<= 1
+	}
+	r := &Recorder{now: now, rings: make([]*Ring, rings)}
+	for i := range r.rings {
+		r.rings[i] = &Ring{
+			rec:    r,
+			shard:  uint16(i),
+			stride: uint64(rings),
+			mask:   uint64(size - 1),
+			slots:  make([]slot, size),
+		}
+	}
+	return r, nil
+}
+
+// Now reads the recorder's clock, for layers that have none of their
+// own. Zero on a nil recorder.
+func (r *Recorder) Now() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return r.now()
+}
+
+// NextTrace allocates a fresh nonzero trace id (netserve ingress calls
+// this when a client did not supply one). Zero on a nil recorder.
+func (r *Recorder) NextTrace() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.tid.Add(1)
+}
+
+// Rings returns the ring count, 0 on a nil recorder.
+func (r *Recorder) Rings() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.rings)
+}
+
+// Ring returns ring i (modulo the ring count), nil on a nil recorder —
+// so a shard can cache its ring once and record unconditionally.
+func (r *Recorder) Ring(i int) *Ring {
+	if r == nil {
+		return nil
+	}
+	if i < 0 {
+		i = -i
+	}
+	return r.rings[i%len(r.rings)]
+}
+
+// RingFor routes a disk to a ring with the same modulo the core uses
+// to route disks to shards, so disk-level events land beside their
+// shard's scheduling events whenever the ring and shard counts match.
+func (r *Recorder) RingFor(disk int) *Ring { return r.Ring(disk) }

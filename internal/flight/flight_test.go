@@ -1,0 +1,259 @@
+package flight
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// testClock returns a deterministic monotonic clock.
+func testClock() func() time.Duration {
+	var mu sync.Mutex
+	var t time.Duration
+	return func() time.Duration {
+		mu.Lock()
+		defer mu.Unlock()
+		t += time.Microsecond
+		return t
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 1, 0); err == nil {
+		t.Fatal("nil clock accepted")
+	}
+	if _, err := New(testClock(), 0, 0); err == nil {
+		t.Fatal("zero rings accepted")
+	}
+	rec, err := New(testClock(), 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Rings() != 3 {
+		t.Fatalf("Rings() = %d, want 3", rec.Rings())
+	}
+	// perRing rounds up to a power of two.
+	if got := len(rec.Ring(0).slots); got != 128 {
+		t.Fatalf("ring size = %d, want 128", got)
+	}
+	rec, err = New(testClock(), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rec.Ring(0).slots); got != DefaultRingEvents {
+		t.Fatalf("default ring size = %d, want %d", got, DefaultRingEvents)
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	rec, err := New(testClock(), 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := Event{
+		Trace:  42,
+		Op:     OpStaged,
+		Err:    ErrIO,
+		Disk:   7,
+		Stream: 123,
+		Offset: 1 << 40,
+		Length: 1 << 20,
+		T:      5 * time.Millisecond,
+		Dur:    time.Millisecond,
+	}
+	rec.Ring(1).Record(in)
+	snap := rec.Snapshot()
+	if len(snap.Rings) != 2 || len(snap.Rings[1]) != 1 {
+		t.Fatalf("snapshot shape: %d rings, ring1 has %d events", len(snap.Rings), len(snap.Rings[1]))
+	}
+	got := snap.Rings[1][0]
+	if got.Seq == 0 {
+		t.Fatal("Seq was not stamped")
+	}
+	if got.Shard != 1 {
+		t.Fatalf("Shard = %d, want 1", got.Shard)
+	}
+	in.Seq, in.Shard = got.Seq, got.Shard
+	if got != in {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, in)
+	}
+}
+
+func TestNegativeFieldsSurvivePacking(t *testing.T) {
+	rec, err := New(testClock(), 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Ring(0).Record(Event{Op: OpEvict, Stream: NoStream, Offset: -1, T: time.Second})
+	got := rec.Snapshot().Rings[0][0]
+	if got.Stream != NoStream {
+		t.Fatalf("Stream = %d, want %d", got.Stream, NoStream)
+	}
+	if got.Offset != -1 {
+		t.Fatalf("Offset = %d, want -1", got.Offset)
+	}
+}
+
+func TestRingWrapKeepsNewest(t *testing.T) {
+	rec, err := New(testClock(), 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rec.Ring(0)
+	for i := 0; i < 20; i++ {
+		r.Record(Event{Op: OpFetch, Offset: int64(i)})
+	}
+	events := rec.Snapshot().Rings[0]
+	if len(events) != 8 {
+		t.Fatalf("got %d events after wrap, want 8", len(events))
+	}
+	for i, e := range events {
+		if e.Offset != int64(12+i) {
+			t.Fatalf("event %d has offset %d, want %d (oldest overwritten first)", i, e.Offset, 12+i)
+		}
+		if i > 0 && events[i-1].Seq >= e.Seq {
+			t.Fatal("snapshot not Seq-ordered")
+		}
+	}
+}
+
+func TestNilReceivers(t *testing.T) {
+	var rec *Recorder
+	if rec.Now() != 0 || rec.NextTrace() != 0 || rec.Rings() != 0 {
+		t.Fatal("nil recorder accessors not zero")
+	}
+	if rec.Ring(3) != nil || rec.RingFor(9) != nil {
+		t.Fatal("nil recorder returned a ring")
+	}
+	rec.Ring(0).Record(Event{Op: OpFetch}) // must not panic
+	snap := rec.Snapshot()
+	if snap == nil || len(snap.Rings) != 0 {
+		t.Fatal("nil recorder snapshot not empty")
+	}
+}
+
+func TestRingRouting(t *testing.T) {
+	rec, err := New(testClock(), 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Ring(0) != rec.Ring(4) || rec.RingFor(6) != rec.Ring(2) {
+		t.Fatal("ring modulo routing broken")
+	}
+	if rec.Ring(-3) == nil {
+		t.Fatal("negative index panicked past the guard")
+	}
+}
+
+func TestNextTraceNonZero(t *testing.T) {
+	rec, err := New(testClock(), 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[uint64]bool)
+	for i := 0; i < 100; i++ {
+		id := rec.NextTrace()
+		if id == 0 {
+			t.Fatal("NextTrace returned the reserved zero id")
+		}
+		if seen[id] {
+			t.Fatalf("NextTrace repeated id %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestConcurrentRecordAndSnapshot(t *testing.T) {
+	rec, err := New(testClock(), 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 8
+	const perWriter = 500
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent snapshotter
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				snap := rec.Snapshot()
+				for _, ring := range snap.Rings {
+					for i := 1; i < len(ring); i++ {
+						if ring[i-1].Seq >= ring[i].Seq {
+							t.Error("snapshot out of order")
+							return
+						}
+					}
+				}
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rec.Ring(w)
+			for i := 0; i < perWriter; i++ {
+				r.Record(Event{Op: OpFetch, Disk: uint16(w), Offset: int64(i)})
+			}
+		}(w)
+	}
+	// Wait for writers, then stop the snapshotter.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	close(stop)
+	<-done
+
+	// Final snapshot: every surviving slot must be a whole event.
+	total := 0
+	for _, ring := range rec.Snapshot().Rings {
+		total += len(ring)
+		for _, e := range ring {
+			if e.Op != OpFetch {
+				t.Fatalf("torn event leaked: %+v", e)
+			}
+		}
+	}
+	if total != 2*64 {
+		t.Fatalf("full rings hold %d events, want %d", total, 2*64)
+	}
+}
+
+func TestRecordZeroAllocs(t *testing.T) {
+	rec, err := New(func() time.Duration { return 0 }, 1, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rec.Ring(0)
+	e := Event{Trace: 1, Op: OpDeliver, Disk: 3, Stream: 9, Offset: 4096, Length: 512, T: time.Second}
+	allocs := testing.AllocsPerRun(1000, func() { r.Record(e) })
+	if allocs != 0 {
+		t.Fatalf("Record allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestOpAndErrNames(t *testing.T) {
+	for op := OpIngress; op < opSentinel; op++ {
+		if op.String() == "unknown" {
+			t.Fatalf("op %d has no name", op)
+		}
+	}
+	if opSentinel.String() != "unknown" || OpNone.String() != "unknown" {
+		t.Fatal("sentinel/none ops should be unknown")
+	}
+	for _, code := range []uint8{ErrIO, ErrTimeout, ErrDegraded} {
+		if ErrName(code) == "" || ErrName(code) == "err?" {
+			t.Fatalf("err code %d has no name", code)
+		}
+	}
+	if ErrName(ErrNone) != "" {
+		t.Fatal("ErrNone should render empty")
+	}
+	if ErrName(200) != "err?" {
+		t.Fatal("unknown err code should render err?")
+	}
+}

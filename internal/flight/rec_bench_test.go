@@ -1,0 +1,16 @@
+package flight
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkRecord(b *testing.B) {
+	rec, _ := New(func() time.Duration { return 0 }, 1, 4096)
+	r := rec.Ring(0)
+	e := Event{Trace: 1, Op: OpDeliver, Disk: 3, Stream: 9, Offset: 4096, Length: 512, T: time.Second}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Record(e)
+	}
+}

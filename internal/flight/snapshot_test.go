@@ -1,0 +1,172 @@
+package flight
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// populate records a spread of events across the recorder's rings.
+func populate(t *testing.T) *Recorder {
+	t.Helper()
+	rec, err := New(testClock(), 3, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		rec.RingFor(i).Record(Event{
+			Trace:  uint64(i + 1),
+			Op:     Op(1 + i%int(opSentinel-1)),
+			Disk:   uint16(i),
+			Stream: int32(i % 4),
+			Offset: int64(i) * 4096,
+			Length: 4096,
+			T:      time.Duration(i) * time.Millisecond,
+			Dur:    time.Duration(i%3) * time.Millisecond,
+		})
+	}
+	return rec
+}
+
+func snapshotsEqual(a, b *Snapshot) bool {
+	if len(a.Rings) != len(b.Rings) {
+		return false
+	}
+	for i := range a.Rings {
+		if len(a.Rings[i]) != len(b.Rings[i]) {
+			return false
+		}
+		for j := range a.Rings[i] {
+			if a.Rings[i][j] != b.Rings[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	snap := populate(t).Snapshot()
+	var buf bytes.Buffer
+	if _, err := snap.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != snapshotVersion {
+		t.Fatalf("version %d, want %d", got.Version, snapshotVersion)
+	}
+	if !snapshotsEqual(snap, got) {
+		t.Fatalf("binary round trip mismatch:\n got %+v\nwant %+v", got.Rings, snap.Rings)
+	}
+}
+
+func TestJSONRoundTripViaHandler(t *testing.T) {
+	rec := populate(t)
+	snap := rec.Snapshot()
+	h := Handler(rec)
+
+	// JSON format.
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/flight?format=json", nil))
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("json content type %q", ct)
+	}
+	got, err := ReadSnapshot(rr.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snapshotsEqual(snap, got) {
+		t.Fatal("json round trip mismatch")
+	}
+
+	// Binary format (the default).
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/flight", nil))
+	if ct := rr.Header().Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("binary content type %q", ct)
+	}
+	got, err = ReadSnapshot(rr.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snapshotsEqual(snap, got) {
+		t.Fatal("binary handler round trip mismatch")
+	}
+}
+
+func TestMergedOrder(t *testing.T) {
+	snap := populate(t).Snapshot()
+	merged := snap.Merged()
+	n := 0
+	for _, r := range snap.Rings {
+		n += len(r)
+	}
+	if len(merged) != n {
+		t.Fatalf("merged %d events, rings hold %d", len(merged), n)
+	}
+	for i := 1; i < len(merged); i++ {
+		if merged[i-1].Seq >= merged[i].Seq {
+			t.Fatal("merged timeline not Seq-ordered")
+		}
+	}
+}
+
+func TestReadSnapshotMalformed(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":        {},
+		"bad magic":    []byte("NOPE\x01\x00\x01\x00"),
+		"bad version":  []byte("SQFL\xff\x00\x01\x00"),
+		"short header": []byte("SQ"),
+		"truncated":    nil, // built below
+		"bad json":     []byte("{not json"),
+		"giant ring":   nil, // built below
+		"short count":  []byte("SQFL\x01\x00\x01\x00\x02"),
+		"short event":  nil, // built below
+	}
+	// A valid header claiming one ring with one event, then nothing.
+	trunc := []byte("SQFL\x01\x00\x01\x00")
+	trunc = append(trunc, 1, 0, 0, 0)
+	cases["truncated"] = trunc
+	// One ring claiming an absurd event count.
+	giant := []byte("SQFL\x01\x00\x01\x00")
+	var cnt [4]byte
+	binary.LittleEndian.PutUint32(cnt[:], maxSnapshotRingEvents+1)
+	giant = append(giant, cnt[:]...)
+	cases["giant ring"] = giant
+	// One ring, one event, but only half the record bytes.
+	short := []byte("SQFL\x01\x00\x01\x00")
+	short = append(short, 1, 0, 0, 0)
+	short = append(short, make([]byte, 20)...)
+	cases["short event"] = short
+
+	for name, in := range cases {
+		if _, err := ReadSnapshot(bytes.NewReader(in)); !errors.Is(err, ErrBadSnapshot) {
+			t.Errorf("%s: error = %v, want ErrBadSnapshot", name, err)
+		}
+	}
+}
+
+func TestReadSnapshotEmptyRecorder(t *testing.T) {
+	rec, err := New(testClock(), 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := rec.Snapshot().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rings) != 2 || len(got.Rings[0]) != 0 || len(got.Rings[1]) != 0 {
+		t.Fatalf("empty recorder decoded as %+v", got.Rings)
+	}
+}

@@ -1,0 +1,19 @@
+//go:build !race
+
+package flight
+
+// word is one slot payload cell. In normal builds it is a plain
+// uint64: the per-slot seqlock marker (always atomic) brackets every
+// write, and the snapshot re-checks the marker after reading, so a
+// torn or concurrent read is detected and discarded rather than
+// prevented. This shaves the full-barrier cost of seven atomic stores
+// off every Record — the difference between a recorder the scheduler
+// can keep enabled and one it cannot.
+//
+// Race builds (word_race.go) swap in atomic cells so `go test -race`
+// verifies the surrounding protocol without flagging the seqlock's
+// intentional benign race.
+type word uint64
+
+func (w *word) load() uint64   { return uint64(*w) }
+func (w *word) store(v uint64) { *w = word(v) }

@@ -1,0 +1,14 @@
+//go:build race
+
+package flight
+
+import "sync/atomic"
+
+// word is one slot payload cell. Under the race detector every access
+// is atomic, so the seqlock protocol itself is what gets verified —
+// the fast build (word_fast.go) uses plain cells guarded by the
+// marker double-check instead.
+type word struct{ v atomic.Uint64 }
+
+func (w *word) load() uint64   { return w.v.Load() }
+func (w *word) store(v uint64) { w.v.Store(v) }

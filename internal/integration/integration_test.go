@@ -6,6 +6,9 @@ import (
 
 	"seqstream/internal/blockdev"
 	"seqstream/internal/core"
+	"seqstream/internal/disk"
+	"seqstream/internal/flight"
+	"seqstream/internal/geom"
 	"seqstream/internal/iostack"
 	"seqstream/internal/metrics"
 	"seqstream/internal/netserve"
@@ -272,5 +275,164 @@ func TestPipelinedClientsThroughScheduler(t *testing.T) {
 	}
 	if gen.Recorder().TotalRequests() != 6*64 {
 		t.Errorf("TotalRequests = %d", gen.Recorder().TotalRequests())
+	}
+}
+
+// TestFlightLifecycleAcceptance is the tracing tentpole's acceptance
+// run: 64 simulated disks, 512 sequential streams, every stream read
+// to the exact end of its disk so the scheduler retires it naturally.
+// The flight recorder (one ring per scheduler shard, clocked by the
+// simulation) must hold a complete
+// classify→enqueue→dispatch→fetch→staged→deliver→retire lifecycle for
+// every single stream, and the anomaly detectors must come back clean
+// on a healthy run.
+func TestFlightLifecycleAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large simulation")
+	}
+	const (
+		diskCap   = 8 << 20 // shrunk drives: streams must reach the exact end
+		reqSize   = 64 << 10
+		perDisk   = 8 // 64 disks × 8 = 512 streams
+		shards    = 8
+		ringSlots = 8192
+	)
+	eng := sim.NewEngine()
+	host, err := iostack.New(eng, iostack.LargeConfig(iostack.Options{
+		DiskConfig: func(seed uint64) disk.Config {
+			cfg := disk.ProfileWD800JD(seed)
+			g := geom.WD800JD()
+			g.Capacity = diskCap
+			g.Cylinders = 512
+			cfg.Geometry = g
+			return cfg
+		},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := blockdev.NewSimDevice(host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.Disks() != 64 {
+		t.Fatalf("disks = %d, want 64", dev.Disks())
+	}
+	clock := blockdev.NewSimClock(eng)
+	rec, err := flight.New(clock.Now, shards, ringSlots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig(1<<30, 1<<20)
+	cfg.Shards = shards
+	cfg.Flight = rec
+	// One classifier region per stream slice: the default 4 MB regions
+	// would cap the shrunken 8 MB disks at two stream promotions each.
+	cfg.RegionBlocks = 16 // 16 × 64 KB blocks = the 1 MB stream slice
+	// Collect finished streams quickly so the post-workload drain stays
+	// short in simulated time.
+	cfg.BufferTimeout = 2 * time.Second
+	cfg.StreamTimeout = 4 * time.Second
+	node, err := core.NewServer(dev, clock, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	dev.SetFlight(rec)
+
+	gen, err := workload.NewGenerator(blockdev.NewSimClock(eng), func(disk int, off, length int64, done func()) error {
+		return node.Submit(core.Request{Disk: disk, Offset: off, Length: length,
+			Done: func(core.Response) { done() }})
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stream i on each disk owns the disjoint slice
+	// [i·1MB, (i+1)·1MB) — one classifier region each, no two streams
+	// merge. The last slice ends at the disk's exact capacity, so that
+	// stream retires through maybeRetire; the inner streams go idle at
+	// their slice end (the scheduler prefetched past it) and are
+	// collected by the GC sweep — both are terminal lifecycle events.
+	const slice = diskCap / perDisk
+	totalStreams := 0
+	for d := 0; d < dev.Disks(); d++ {
+		for i := 0; i < perDisk; i++ {
+			spec := workload.StreamSpec{
+				ID:          d*perDisk + i,
+				Disk:        d,
+				Start:       int64(i) * slice,
+				RequestSize: reqSize,
+				Requests:    int(slice / reqSize),
+			}
+			if err := gen.Add(spec); err != nil {
+				t.Fatal(err)
+			}
+			totalStreams++
+		}
+	}
+	if totalStreams != 512 {
+		t.Fatalf("streams = %d, want 512", totalStreams)
+	}
+	finished := false
+	if err := gen.Start(func() { finished = true }); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunWhile(func() bool { return !finished }); err != nil {
+		t.Fatal(err)
+	}
+	if !finished {
+		t.Fatal("workload never finished")
+	}
+	// Drain trailing prefetch completions so final deliver/retire events
+	// land before the snapshot.
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := node.Stats()
+	if st.StreamsDetected != 512 {
+		t.Fatalf("StreamsDetected = %d, want 512", st.StreamsDetected)
+	}
+	if st.StreamsRetired+st.StreamsGCed != 512 {
+		t.Fatalf("retired %d + gced %d != 512: streams leaked", st.StreamsRetired, st.StreamsGCed)
+	}
+	if st.StreamsRetired < int64(dev.Disks()) {
+		t.Errorf("StreamsRetired = %d, want >= %d (the capacity-reaching stream on each disk)",
+			st.StreamsRetired, dev.Disks())
+	}
+
+	tl := flight.Analyze(rec.Snapshot().Merged())
+	if got := len(tl.Streams); got != 512 {
+		t.Fatalf("flight timeline has %d streams, want 512", got)
+	}
+	incomplete := 0
+	for _, id := range tl.StreamIDs() {
+		l := tl.Streams[id]
+		if !l.Complete() {
+			incomplete++
+			if incomplete <= 5 {
+				t.Errorf("stream %d (disk %d): incomplete lifecycle, missing %v over %d events",
+					id, l.Disk, l.Missing(), len(l.Events))
+			}
+		}
+	}
+	if incomplete > 0 {
+		t.Fatalf("%d/512 streams lack a complete lifecycle", incomplete)
+	}
+	// A healthy, fair run must not trip the anomaly detectors.
+	if anoms := tl.Detect(flight.DetectorConfig{}); len(anoms) != 0 {
+		for _, a := range anoms {
+			t.Errorf("unexpected anomaly: %s: %s", a.Kind, a.Detail)
+		}
+	}
+	// Device-level events rode along on the same rings.
+	devReads := 0
+	for _, e := range tl.Events {
+		if e.Op == flight.OpDevRead {
+			devReads++
+		}
+	}
+	if devReads == 0 {
+		t.Error("no device-read events recorded via SimDevice.SetFlight")
 	}
 }

@@ -22,6 +22,8 @@ type Client struct {
 	conn net.Conn
 	rec  *metrics.Recorder
 	opts ClientOptions
+	// traceBase seeds the per-request trace ids when Tracing is on.
+	traceBase uint64
 
 	mu           sync.Mutex
 	nextID       uint64
@@ -58,6 +60,11 @@ type ClientOptions struct {
 	// WriteTimeout bounds each request-frame write to the socket. Zero
 	// means no deadline.
 	WriteTimeout time.Duration
+	// Tracing stamps every request with a client-generated trace id
+	// (FlagTraced + an 8-byte wire extension), so server-side flight
+	// recordings can be correlated with this client's requests. Off by
+	// default: untraced requests still get a server-allocated id.
+	Tracing bool
 }
 
 // ErrDisconnected is the terminal error pending requests are failed
@@ -93,6 +100,9 @@ func DialOpts(addr string, opts ClientOptions) (*Client, error) {
 		opts:       opts,
 		pending:    make(map[uint64]pendingHandle),
 		readerDone: make(chan struct{}),
+	}
+	if opts.Tracing {
+		c.traceBase = splitmix64(uint64(time.Now().UnixNano()))
 	}
 	go c.readLoop()
 	return c, nil
@@ -182,6 +192,17 @@ func (c *Client) Go(stream int, disk uint16, off, length int64, flags uint16,
 	}
 	id := c.nextID
 	c.nextID++
+	var tid uint64
+	if c.opts.Tracing {
+		// Mix the connection's identity into the id stream so two traced
+		// clients against one node do not collide; the mixer output is
+		// never zero for these inputs in practice, but guard anyway
+		// (zero means "untraced" on the wire).
+		tid = splitmix64(c.traceBase + id)
+		if tid == 0 {
+			tid = 1
+		}
+	}
 	h := pendingHandle{
 		stream: stream,
 		length: length,
@@ -199,7 +220,7 @@ func (c *Client) Go(stream int, disk uint16, off, length int64, flags uint16,
 	if c.opts.WriteTimeout > 0 {
 		c.conn.SetWriteDeadline(time.Now().Add(c.opts.WriteTimeout))
 	}
-	err := WriteRequest(c.conn, Request{ID: id, Disk: disk, Flags: flags, Offset: off, Length: length})
+	err := WriteRequest(c.conn, Request{ID: id, Disk: disk, Flags: flags, Offset: off, Length: length, Trace: tid})
 	if err != nil {
 		c.mu.Lock()
 		h, ok := c.pending[id]

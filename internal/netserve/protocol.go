@@ -25,6 +25,12 @@ const (
 	// the paper's data-less responses — so the node writes
 	// deterministic fill; the flag exercises the full scheduling path.
 	FlagWrite
+	// FlagTraced marks a request frame that carries an 8-byte trace id
+	// after the fixed header. Servers that predate the flag reject the
+	// frame (bad magic on the extension bytes), and old clients never
+	// set it, so the extension is backward compatible in the direction
+	// that matters: new server, any client.
+	FlagTraced
 )
 
 // Response status codes.
@@ -55,6 +61,9 @@ type Request struct {
 	Flags  uint16
 	Offset int64
 	Length int64
+	// Trace is the request's trace id, carried on the wire only when
+	// FlagTraced is set. Zero means "server, allocate one for me".
+	Trace uint64
 }
 
 // Response answers a request.
@@ -85,20 +94,31 @@ var (
 	ErrTooLarge = errors.New("netserve: frame too large")
 )
 
-// WriteRequest encodes a request frame.
+// WriteRequest encodes a request frame: the fixed header, plus the
+// 8-byte trace id when FlagTraced is set (the flag is derived from the
+// Trace field, so callers just set Trace).
 func WriteRequest(w io.Writer, req Request) error {
-	var buf [reqHeaderSize]byte
+	if req.Trace != 0 {
+		req.Flags |= FlagTraced
+	}
+	var buf [reqHeaderSize + 8]byte
 	binary.LittleEndian.PutUint32(buf[0:], Magic)
 	binary.LittleEndian.PutUint64(buf[4:], req.ID)
 	binary.LittleEndian.PutUint16(buf[12:], req.Disk)
 	binary.LittleEndian.PutUint16(buf[14:], req.Flags)
 	binary.LittleEndian.PutUint64(buf[16:], uint64(req.Offset))
 	binary.LittleEndian.PutUint32(buf[24:], uint32(req.Length))
-	_, err := w.Write(buf[:])
+	n := reqHeaderSize
+	if req.Flags&FlagTraced != 0 {
+		binary.LittleEndian.PutUint64(buf[reqHeaderSize:], req.Trace)
+		n += 8
+	}
+	_, err := w.Write(buf[:n])
 	return err
 }
 
-// ReadRequest decodes a request frame.
+// ReadRequest decodes a request frame, reading the trace-id extension
+// when FlagTraced is set.
 func ReadRequest(r io.Reader) (Request, error) {
 	var buf [reqHeaderSize]byte
 	if _, err := io.ReadFull(r, buf[:]); err != nil {
@@ -116,6 +136,13 @@ func ReadRequest(r io.Reader) (Request, error) {
 	}
 	if req.Length > MaxLength {
 		return Request{}, ErrTooLarge
+	}
+	if req.Flags&FlagTraced != 0 {
+		var ext [8]byte
+		if _, err := io.ReadFull(r, ext[:]); err != nil {
+			return Request{}, fmt.Errorf("netserve: trace extension: %w", err)
+		}
+		req.Trace = binary.LittleEndian.Uint64(ext[:])
 	}
 	return req, nil
 }

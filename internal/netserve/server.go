@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"seqstream/internal/core"
+	"seqstream/internal/flight"
 )
 
 // Server accepts stream clients over TCP and routes their reads
@@ -25,9 +26,16 @@ type Server struct {
 	closed bool
 	wg     sync.WaitGroup
 
-	stats ServerStats
-	obs   atomic.Pointer[Obs]
+	stats  ServerStats
+	obs    atomic.Pointer[Obs]
+	flight atomic.Pointer[flight.Recorder]
 }
+
+// SetFlight attaches a flight recorder; nil detaches. The server
+// becomes the trace-context ingress: it adopts a client-supplied trace
+// id or allocates one, records OpIngress/OpRespond around every
+// request, and propagates the id into the core.
+func (s *Server) SetFlight(rec *flight.Recorder) { s.flight.Store(rec) }
 
 // ServerStats counts server-side activity.
 type ServerStats struct {
@@ -218,11 +226,37 @@ func (s *Server) handle(conn net.Conn, o *Obs) {
 			o.requests.Inc()
 		}
 
+		// Trace ingress: adopt the client's id or allocate one, and
+		// stamp the request's entry on the disk's ring so the node-edge
+		// events sit beside the shard's scheduling events.
+		rec := s.flight.Load()
+		var tid uint64
+		var ingressAt time.Duration
+		if rec != nil {
+			tid = req.Trace
+			if tid == 0 {
+				tid = rec.NextTrace()
+			}
+			ingressAt = rec.Now()
+			rec.RingFor(int(req.Disk)).Record(flight.Event{Trace: tid, Op: flight.OpIngress,
+				Disk: req.Disk, Stream: flight.NoStream, Offset: req.Offset, Length: req.Length, T: ingressAt})
+		}
+		respond := func(code uint8) {
+			if rec == nil {
+				return
+			}
+			now := rec.Now()
+			rec.RingFor(int(req.Disk)).Record(flight.Event{Trace: tid, Op: flight.OpRespond, Err: code,
+				Disk: req.Disk, Stream: flight.NoStream, Offset: req.Offset, Length: req.Length,
+				T: now, Dur: now - ingressAt})
+		}
+
 		if req.Flags&FlagWrite != 0 {
 			s.mu.Lock()
 			ing := s.ingest
 			s.mu.Unlock()
 			if ing == nil {
+				respond(flight.ErrIO)
 				send(Response{ID: req.ID, Status: StatusBadRequest})
 				continue
 			}
@@ -232,7 +266,9 @@ func (s *Server) handle(conn net.Conn, o *Obs) {
 				resp := Response{ID: req.ID, Status: StatusOK}
 				if ackErr != nil {
 					resp.Status = StatusIOError
+					respond(flight.ErrIO)
 				} else {
+					respond(flight.ErrNone)
 					s.mu.Lock()
 					s.stats.BytesRead += req.Length // bytes moved either direction
 					s.mu.Unlock()
@@ -250,6 +286,7 @@ func (s *Server) handle(conn net.Conn, o *Obs) {
 				if o != nil {
 					o.errors.Inc()
 				}
+				respond(flight.ErrIO)
 				send(Response{ID: req.ID, Status: StatusBadRequest})
 			}
 			continue
@@ -261,16 +298,24 @@ func (s *Server) handle(conn net.Conn, o *Obs) {
 			Disk:   int(req.Disk),
 			Offset: req.Offset,
 			Length: req.Length,
+			Trace:  tid,
 			Done: func(r core.Response) {
 				defer pending.Done()
 				resp := Response{ID: req.ID, Status: StatusOK}
 				if r.Err != nil {
-					if errors.Is(r.Err, core.ErrFetchTimeout) {
+					switch {
+					case errors.Is(r.Err, core.ErrFetchTimeout):
 						resp.Status = StatusTimeout
-					} else {
+						respond(flight.ErrTimeout)
+					case errors.Is(r.Err, core.ErrDiskDegraded):
 						resp.Status = StatusIOError
+						respond(flight.ErrDegraded)
+					default:
+						resp.Status = StatusIOError
+						respond(flight.ErrIO)
 					}
 				} else {
+					respond(flight.ErrNone)
 					s.mu.Lock()
 					s.stats.BytesRead += req.Length
 					s.mu.Unlock()
@@ -302,6 +347,7 @@ func (s *Server) handle(conn net.Conn, o *Obs) {
 			if o != nil {
 				o.errors.Inc()
 			}
+			respond(flight.ErrIO)
 			send(Response{ID: req.ID, Status: StatusBadRequest})
 		}
 	}

@@ -22,6 +22,13 @@ type VarFunc func() any
 // vars maps names to snapshot functions (core stats, config, ...) and
 // may be nil.
 func Handler(reg *Registry, vars map[string]VarFunc) http.Handler {
+	return HandlerExtra(reg, vars, nil)
+}
+
+// HandlerExtra is Handler plus caller-mounted endpoints (path →
+// handler), e.g. the flight recorder's /debug/flight snapshot. Extra
+// paths appear on the index page alongside the built-ins.
+func HandlerExtra(reg *Registry, vars map[string]VarFunc, extra map[string]http.Handler) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -47,12 +54,18 @@ func Handler(reg *Registry, vars map[string]VarFunc) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	endpoints := []string{"/metrics", "/debug/vars", "/debug/pprof/"}
+	for path, h := range extra {
+		if h != nil {
+			mux.Handle(path, h)
+			endpoints = append(endpoints, path)
+		}
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		endpoints := []string{"/metrics", "/debug/vars", "/debug/pprof/"}
 		sort.Strings(endpoints)
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "seqstream debug endpoints:")

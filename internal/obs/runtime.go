@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/metrics"
+)
+
+// RegisterRuntimeMetrics exports Go runtime health into the registry
+// as gauge funcs, sampled at scrape time: goroutine count, heap
+// in-use, GC pause totals, and a scheduling-latency proxy. These are
+// the signals that explain a node that is "up" but slow — a goroutine
+// leak, GC thrash, or a saturated scheduler — without attaching pprof.
+func RegisterRuntimeMetrics(reg *Registry) {
+	reg.GaugeFunc("seqstream_runtime_goroutines",
+		"live goroutines",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("seqstream_runtime_heap_inuse_bytes",
+		"bytes in in-use heap spans",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapInuse)
+		})
+	reg.GaugeFunc("seqstream_runtime_gc_pause_last_seconds",
+		"most recent stop-the-world GC pause",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			if ms.NumGC == 0 {
+				return 0
+			}
+			return float64(ms.PauseNs[(ms.NumGC+255)%256]) / 1e9
+		})
+	reg.GaugeFunc("seqstream_runtime_gc_pause_total_seconds",
+		"cumulative stop-the-world GC pause time",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.PauseTotalNs) / 1e9
+		})
+	reg.GaugeFunc("seqstream_runtime_sched_latency_seconds",
+		"approximate mean time goroutines spend runnable before running (scheduler saturation proxy)",
+		func() float64 { return schedLatencyMean() })
+}
+
+// schedLatencyMean reduces the runtime's /sched/latencies:seconds
+// histogram to a weighted mean. A mean loses the tail but gives a
+// single scrape-friendly saturation signal; attach pprof for detail.
+func schedLatencyMean() float64 {
+	sample := []metrics.Sample{{Name: "/sched/latencies:seconds"}}
+	metrics.Read(sample)
+	if sample[0].Value.Kind() != metrics.KindFloat64Histogram {
+		return 0
+	}
+	h := sample[0].Value.Float64Histogram()
+	var count, sum float64
+	for i, n := range h.Counts {
+		if n == 0 {
+			continue
+		}
+		// Boundary buckets can be open-ended (±Inf); credit those
+		// samples at the finite edge.
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		var mid float64
+		switch {
+		case isInf(-lo) && isInf(hi):
+			continue
+		case isInf(-lo):
+			mid = hi
+		case isInf(hi):
+			mid = lo
+		default:
+			mid = (lo + hi) / 2
+		}
+		count += float64(n)
+		sum += float64(n) * mid
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / count
+}
+
+// isInf avoids importing math for one check.
+func isInf(f float64) bool { return f > 1e300 }

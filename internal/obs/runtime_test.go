@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestRegisterRuntimeMetrics(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+	runtime.GC() // make the pause metrics nonzero
+
+	vars := reg.Vars()
+	for _, name := range []string{
+		"seqstream_runtime_goroutines",
+		"seqstream_runtime_heap_inuse_bytes",
+		"seqstream_runtime_gc_pause_last_seconds",
+		"seqstream_runtime_gc_pause_total_seconds",
+		"seqstream_runtime_sched_latency_seconds",
+	} {
+		v, ok := vars[name]
+		if !ok {
+			t.Fatalf("metric %s not registered", name)
+		}
+		f, ok := v.(float64)
+		if !ok {
+			t.Fatalf("metric %s is %T, want float64", name, v)
+		}
+		if f < 0 {
+			t.Fatalf("metric %s = %v, want >= 0", name, f)
+		}
+	}
+	if vars["seqstream_runtime_goroutines"].(float64) < 1 {
+		t.Fatal("goroutine gauge should count at least this test")
+	}
+	if vars["seqstream_runtime_heap_inuse_bytes"].(float64) == 0 {
+		t.Fatal("heap in-use gauge is zero")
+	}
+	if vars["seqstream_runtime_gc_pause_total_seconds"].(float64) == 0 {
+		t.Fatal("GC pause total is zero after an explicit GC")
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "seqstream_runtime_goroutines") {
+		t.Fatal("runtime gauges missing from prometheus exposition")
+	}
+}

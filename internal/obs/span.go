@@ -1,7 +1,9 @@
 package obs
 
 import (
+	"encoding/json"
 	"errors"
+	"io"
 	"sort"
 	"sync"
 	"time"
@@ -87,6 +89,15 @@ type SpanLog struct {
 	events  []SpanEvent
 	next    int
 	wrapped bool
+
+	// sink receives flushed events as JSON lines; nil discards. total
+	// and flushed are absolute event counts (recorded ever / flushed
+	// through), so a flush emits exactly the retained events that were
+	// not flushed before — ring overwrites can drop events between
+	// flushes, but never duplicate them.
+	sink    io.Writer
+	total   int64
+	flushed int64
 }
 
 // NewSpanLog builds a span log holding up to capacity events (older
@@ -107,6 +118,7 @@ func (l *SpanLog) Record(stream, disk int, stage Stage, off, length int64) {
 	e := SpanEvent{Stream: stream, Disk: disk, Stage: stage, At: l.now(), Offset: off, Length: length}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.total++
 	if len(l.events) < cap(l.events) {
 		l.events = append(l.events, e)
 		return
@@ -114,6 +126,67 @@ func (l *SpanLog) Record(stream, disk int, stage Stage, off, length int64) {
 	l.events[l.next] = e
 	l.next = (l.next + 1) % cap(l.events)
 	l.wrapped = true
+}
+
+// SetSink directs flushed events to w as JSON lines (one SpanEvent per
+// line, the ReadJSONL-style framing). Nil detaches the sink. The log
+// does not own w: the caller closes it after Close.
+func (l *SpanLog) SetSink(w io.Writer) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.sink = w
+	l.mu.Unlock()
+}
+
+// Flush writes the retained events recorded since the last flush to
+// the sink. Events the ring overwrote between flushes are lost (the
+// log is bounded by design); nothing is ever written twice. Safe on a
+// nil log or with no sink.
+func (l *SpanLog) Flush() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushLocked()
+}
+
+// Close flushes and detaches the sink, so process-exit paths can hook
+// it without racing later flushes. It does not close the underlying
+// writer. Safe on a nil log.
+func (l *SpanLog) Close() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	err := l.flushLocked()
+	l.sink = nil
+	return err
+}
+
+// flushLocked emits the unflushed retained events. Caller holds l.mu.
+func (l *SpanLog) flushLocked() error {
+	if l.sink == nil {
+		l.flushed = l.total
+		return nil
+	}
+	start := l.total - int64(len(l.events))
+	if l.flushed > start {
+		start = l.flushed
+	}
+	enc := json.NewEncoder(l.sink)
+	size := int64(cap(l.events))
+	for a := start; a < l.total; a++ {
+		if err := enc.Encode(l.events[a%size]); err != nil {
+			l.flushed = a
+			return err
+		}
+	}
+	l.flushed = l.total
+	return nil
 }
 
 // Len returns the number of retained events.

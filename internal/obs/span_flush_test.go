@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// decodeLines parses a JSON-lines buffer back into span events.
+func decodeLines(t *testing.T, buf *bytes.Buffer) []SpanEvent {
+	t.Helper()
+	var out []SpanEvent
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var e SpanEvent
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("bad flushed line %q: %v", line, err)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+func spanClock() func() time.Duration {
+	var t time.Duration
+	return func() time.Duration { t += time.Millisecond; return t }
+}
+
+func TestSpanLogFlushNoDuplicates(t *testing.T) {
+	l, err := NewSpanLog(spanClock(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	l.SetSink(&buf)
+
+	for i := 0; i < 3; i++ {
+		l.Record(i, 0, StageClassify, int64(i)*4096, 4096)
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := decodeLines(t, &buf); len(got) != 3 || got[0].Stream != 0 || got[2].Stream != 2 {
+		t.Fatalf("first flush = %+v", got)
+	}
+
+	// A second flush with nothing new writes nothing.
+	mark := buf.Len()
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != mark {
+		t.Fatal("idle flush duplicated events")
+	}
+
+	// New events flush incrementally.
+	l.Record(9, 1, StageRetire, 0, 0)
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got := decodeLines(t, &buf)
+	if len(got) != 4 || got[3].Stream != 9 || got[3].Stage != StageRetire {
+		t.Fatalf("incremental flush = %+v", got)
+	}
+}
+
+func TestSpanLogFlushAfterOverwrite(t *testing.T) {
+	l, err := NewSpanLog(spanClock(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	l.SetSink(&buf)
+
+	// 10 events through a 4-slot ring: the first flush can only emit
+	// the 4 retained, and must be the newest 4 (streams 6..9).
+	for i := 0; i < 10; i++ {
+		l.Record(i, 0, StageDeliver, 0, 0)
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got := decodeLines(t, &buf)
+	if len(got) != 4 {
+		t.Fatalf("flushed %d events, want 4", len(got))
+	}
+	for i, e := range got {
+		if e.Stream != 6+i {
+			t.Fatalf("flushed[%d].Stream = %d, want %d", i, e.Stream, 6+i)
+		}
+	}
+
+	// Overwrite two more; only those two flush (7 and 8 were already
+	// written — never again).
+	l.Record(10, 0, StageDeliver, 0, 0)
+	l.Record(11, 0, StageDeliver, 0, 0)
+	buf.Reset()
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got = decodeLines(t, &buf)
+	if len(got) != 2 || got[0].Stream != 10 || got[1].Stream != 11 {
+		t.Fatalf("post-wrap flush = %+v", got)
+	}
+}
+
+func TestSpanLogCloseFlushesAndDetaches(t *testing.T) {
+	l, err := NewSpanLog(spanClock(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	l.SetSink(&buf)
+	l.Record(1, 0, StageClassify, 0, 4096)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := decodeLines(t, &buf); len(got) != 1 {
+		t.Fatalf("close flushed %d events, want 1", len(got))
+	}
+	// After Close, the sink is detached: further flushes write nothing.
+	l.Record(2, 0, StageRetire, 0, 0)
+	mark := buf.Len()
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != mark {
+		t.Fatal("flush after Close still wrote to the sink")
+	}
+}
+
+// failWriter fails every write.
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("sink broke") }
+
+func TestSpanLogFlushSinkError(t *testing.T) {
+	l, err := NewSpanLog(spanClock(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.SetSink(failWriter{})
+	l.Record(1, 0, StageClassify, 0, 0)
+	if err := l.Flush(); err == nil {
+		t.Fatal("sink error swallowed")
+	}
+	// The failed event is retried on the next flush (flushed cursor did
+	// not advance past it).
+	var buf bytes.Buffer
+	l.SetSink(&buf)
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := decodeLines(t, &buf); len(got) != 1 || got[0].Stream != 1 {
+		t.Fatalf("retry flush = %+v", got)
+	}
+}
+
+func TestSpanLogNilSafety(t *testing.T) {
+	var l *SpanLog
+	l.SetSink(nil)
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

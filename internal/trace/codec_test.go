@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestReadCSVMalformedFields exercises every per-field parse error in
+// parseCSVRecord plus structural CSV failures.
+func TestReadCSVMalformedFields(t *testing.T) {
+	hdr := strings.Join(csvHeader, ",")
+	cases := map[string]string{
+		"no header":      "",
+		"bad offset":     hdr + "\nrotate,1,0,zzz,0,10,20,10,false,\n",
+		"bad length":     hdr + "\ngc,1,0,0,zzz,10,20,10,false,\n",
+		"bad start_ns":   hdr + "\nclient,1,0,0,0,zzz,20,10,false,\n",
+		"bad end_ns":     hdr + "\nclient,1,0,0,0,10,zzz,10,false,\n",
+		"short record":   hdr + "\nclient,1,0\n",
+		"extra column":   hdr + "\nclient,1,0,0,0,10,20,10,false,,surplus\n",
+		"header too big": hdr + ",surplus\nclient,1,0,0,0,10,20,10,false,\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestReadCSVRotateGCRoundTrip pins the two bookkeeping kinds (rotate,
+// gc) through the CSV codec on their own: both are instant events with
+// zero length whose kind strings must survive the trip.
+func TestReadCSVRotateGCRoundTrip(t *testing.T) {
+	tr, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{
+		{Kind: KindRotate, Stream: 3, Disk: 1, Offset: 1 << 30, Start: time.Millisecond, End: time.Millisecond},
+		{Kind: KindGC, Stream: 4, Disk: 2, Start: 2 * time.Millisecond, End: 2 * time.Millisecond},
+	}
+	for _, e := range want {
+		tr.Record(e)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestReadJSONLMalformed(t *testing.T) {
+	cases := map[string]string{
+		"garbage":       "not json at all\n",
+		"truncated":     `{"kind":1,"stream":`,
+		"wrong type":    `{"kind":"client"}` + "\n",
+		"trailing junk": `{"kind":1,"stream":0,"disk":0,"offset":0,"length":0,"startNanos":0,"endNanos":0}` + "\n[]\n",
+		"bare array":    `[{"kind":1}]` + "\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadJSONL(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadJSONLRotateGCRoundTrip(t *testing.T) {
+	tr, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{
+		{Kind: KindRotate, Stream: 7, Disk: 0, Offset: 4096, Start: time.Second, End: time.Second},
+		{Kind: KindGC, Stream: NoStream, Disk: 3},
+	}
+	for _, e := range want {
+		tr.Record(e)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestReadEmptyInputs(t *testing.T) {
+	if got, err := ReadJSONL(strings.NewReader("")); err != nil || len(got) != 0 {
+		t.Fatalf("empty JSONL: %v %v", got, err)
+	}
+	// A header-only CSV is a valid empty export.
+	if got, err := ReadCSV(strings.NewReader(strings.Join(csvHeader, ",") + "\n")); err != nil || len(got) != 0 {
+		t.Fatalf("header-only CSV: %v %v", got, err)
+	}
+}
+
+// TestCSVRoundTripAfterWrap verifies the codec exports exactly the
+// retained window of a wrapped ring, oldest first.
+func TestCSVRoundTripAfterWrap(t *testing.T) {
+	tr, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		tr.Record(Event{Kind: KindClient, Stream: i, Start: time.Duration(i), End: time.Duration(i + 1)})
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("wrapped export has %d events, want 3", len(got))
+	}
+	for i, e := range got {
+		if e.Stream != 4+i {
+			t.Fatalf("event %d is stream %d, want %d", i, e.Stream, 4+i)
+		}
+	}
+}
