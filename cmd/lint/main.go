@@ -1,27 +1,33 @@
 // Command lint is the repo's multichecker: it runs the custom
-// determinism and scheduler-invariant analyzers over the given
-// package patterns and exits non-zero on findings.
+// determinism, scheduler-invariant, and type-aware flow analyzers
+// over the given package patterns and exits non-zero on findings.
 //
 // Usage:
 //
 //	go run ./cmd/lint ./...
 //	go run ./cmd/lint -list
 //	go run ./cmd/lint -run simdet,lockcheck ./internal/...
+//	go run ./cmd/lint -json ./... | jq .
 //
-// Findings print as file:line:col: [analyzer] message. A finding is
-// suppressed by a `//lint:allow <analyzer> <reason>` comment on the
-// same line or the line above (see internal/analysis/framework).
+// Findings print as file:line:col: [analyzer] message (or as a JSON
+// array with -json, for tooling). A finding is suppressed by a
+// `//lint:allow <analyzer> <reason>` comment on the same line or the
+// line above (see internal/analysis/framework).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 
+	"seqstream/internal/analysis/atomiccheck"
 	"seqstream/internal/analysis/framework"
 	"seqstream/internal/analysis/lockcheck"
+	"seqstream/internal/analysis/refcheck"
+	"seqstream/internal/analysis/shardcheck"
 	"seqstream/internal/analysis/simdet"
 	"seqstream/internal/analysis/unitcheck"
 )
@@ -30,6 +36,18 @@ var all = []*framework.Analyzer{
 	simdet.Analyzer,
 	lockcheck.Analyzer,
 	unitcheck.Analyzer,
+	refcheck.Analyzer,
+	atomiccheck.Analyzer,
+	shardcheck.Analyzer,
+}
+
+// jsonDiag is the -json wire form of one finding.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
 func main() {
@@ -42,6 +60,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	list := fs.Bool("list", false, "list analyzers and exit")
 	only := fs.String("run", "", "comma-separated analyzer names to run (default all)")
 	dir := fs.String("C", ".", "directory to resolve package patterns in")
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array instead of text")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -86,8 +105,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "lint: %v\n", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Fprintln(stdout, d)
+	if *asJSON {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "lint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "lint: %d finding(s)\n", len(diags))

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -11,7 +12,7 @@ func TestList(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
 	}
-	for _, name := range []string{"simdet", "lockcheck", "unitcheck"} {
+	for _, name := range []string{"simdet", "lockcheck", "unitcheck", "refcheck", "atomiccheck", "shardcheck"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, out.String())
 		}
@@ -33,5 +34,22 @@ func TestCleanPackages(t *testing.T) {
 	code := run([]string{"-C", "../..", "./internal/sim/...", "./internal/units/..."}, &out, &errOut)
 	if code != 0 {
 		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+}
+
+// TestJSONOutput: -json emits a decodable array (empty for a clean
+// run) and nothing else on stdout.
+func TestJSONOutput(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-C", "../..", "-json", "./internal/units/..."}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	var diags []jsonDiag
+	if err := json.Unmarshal([]byte(out.String()), &diags); err != nil {
+		t.Fatalf("stdout is not a JSON diagnostics array: %v\n%s", err, out.String())
+	}
+	if len(diags) != 0 {
+		t.Fatalf("clean package produced findings: %v", diags)
 	}
 }

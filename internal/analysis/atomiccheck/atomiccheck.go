@@ -1,0 +1,279 @@
+// Package atomiccheck enforces atomics discipline in the concurrent
+// packages. A struct field that is accessed through sync/atomic
+// anywhere (atomic.LoadInt64(&s.n), atomic.AddInt64(&s.n, 1), ...)
+// must be accessed that way everywhere: one plain read racing an
+// atomic write is undefined behavior the race detector only catches
+// when a test happens to interleave it. The check also flags by-value
+// copies of structs containing atomics or sync primitives (mutexes,
+// wait groups, ...) — a copied atomic silently forks the counter, a
+// copied mutex silently forks the critical section.
+//
+// Method-style atomics (atomic.Int64 et al.) need no mixed-access
+// check — the type system already prevents plain access — so only
+// their copies are diagnosed. False positives (e.g. a plain read in a
+// constructor before the value is shared) can be silenced with
+// //lint:allow atomiccheck.
+package atomiccheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"seqstream/internal/analysis/framework"
+)
+
+// GatedPackages lists the import-path prefixes the analyzer applies to.
+var GatedPackages = []string{
+	"seqstream/internal/core",
+	"seqstream/internal/netserve",
+	"seqstream/internal/flight",
+	"seqstream/internal/bufpool",
+	"seqstream/internal/obs",
+}
+
+// Analyzer is the atomiccheck check.
+var Analyzer = &framework.Analyzer{
+	Name: "atomiccheck",
+	Doc: "flag plain reads/writes of fields accessed via sync/atomic " +
+		"elsewhere, and by-value copies of structs holding atomics or mutexes",
+	NeedTypes: true,
+	Run:       run,
+}
+
+func gated(path string) bool {
+	for _, p := range GatedPackages {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *framework.Pass) error {
+	if !gated(pass.Pkg.Path) {
+		return nil
+	}
+	info := pass.Pkg.Info
+
+	// Pass 1 (package-wide): every field whose address feeds a
+	// sync/atomic call is an atomic field; the selector nodes consumed
+	// by those calls are exempt from the plain-access check.
+	atomicFields := make(map[*types.Var]bool)
+	consumed := make(map[*ast.SelectorExpr]bool)
+	for _, f := range pass.Pkg.Files {
+		imports := framework.FileImports(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgID, ok := sel.X.(*ast.Ident)
+			if !ok || imports[pkgID.Name] != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				fsel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if fv := fieldOf(info, fsel); fv != nil {
+					atomicFields[fv] = true
+					consumed[fsel] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: plain accesses of atomic fields, and struct copies.
+	for _, f := range pass.Pkg.Files {
+		writes := writeTargets(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if consumed[n] {
+					return true
+				}
+				fv := fieldOf(info, n)
+				if fv == nil || !atomicFields[fv] {
+					return true
+				}
+				verb := "read"
+				if writes[n] {
+					verb = "write"
+				}
+				pass.Reportf(n.Pos(), "plain %s of %s: the field is accessed with sync/atomic elsewhere", verb, renderSel(n))
+			case *ast.AssignStmt:
+				checkAssignCopy(pass, info, n)
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					if tv, ok := info.Types[stripParens(n.X)]; ok {
+						if elem := rangeElem(tv.Type); elem != nil {
+							if name := noCopyIn(elem); name != "" {
+								pass.Reportf(n.Value.Pos(), "range copies %s values by value; each copy forks its %s — iterate by index or over pointers", elem.String(), name)
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// fieldOf resolves a selector to the struct field it names, or nil.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+		return nil
+	}
+	// Qualified identifiers (pkg.Var) land in Uses, not Selections.
+	if v, ok := info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+		return v
+	}
+	return nil
+}
+
+// writeTargets marks selector expressions that are assignment or
+// inc/dec targets, so reports can say read vs write.
+func writeTargets(f *ast.File) map[*ast.SelectorExpr]bool {
+	out := make(map[*ast.SelectorExpr]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if sel, ok := stripParens(lhs).(*ast.SelectorExpr); ok {
+					out[sel] = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if sel, ok := stripParens(n.X).(*ast.SelectorExpr); ok {
+				out[sel] = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if sel, ok := stripParens(n.X).(*ast.SelectorExpr); ok {
+					out[sel] = true // address-taken: treat as a write
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkAssignCopy flags `x = y` where y's type carries a no-copy
+// component and y names an existing value (copying it). Composite
+// literals and calls construct fresh values and pass.
+func checkAssignCopy(pass *framework.Pass, info *types.Info, n *ast.AssignStmt) {
+	if len(n.Lhs) != len(n.Rhs) {
+		return
+	}
+	for i, rhs := range n.Rhs {
+		src := stripParens(rhs)
+		switch src.(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		default:
+			continue
+		}
+		if id, ok := src.(*ast.Ident); ok && (id.Name == "nil" || id.Name == "true" || id.Name == "false") {
+			continue
+		}
+		tv, ok := info.Types[src]
+		if !ok {
+			continue
+		}
+		if name := noCopyIn(tv.Type); name != "" {
+			pass.Reportf(n.Lhs[i].Pos(), "assignment copies a %s value containing %s; use a pointer", tv.Type.String(), name)
+		}
+	}
+}
+
+func stripParens(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// rangeElem returns the by-value element type of a ranged expression,
+// or nil when iteration does not copy (pointers, maps of pointers...).
+func rangeElem(t types.Type) types.Type {
+	switch t := t.Underlying().(type) {
+	case *types.Slice:
+		return t.Elem()
+	case *types.Array:
+		return t.Elem()
+	case *types.Map:
+		return t.Elem()
+	case *types.Chan:
+		return t.Elem()
+	}
+	return nil
+}
+
+// noCopyIn returns the name of a sync/atomic or sync primitive buried
+// in t ("sync.Mutex", "atomic.Int64"), or "" when t copies safely.
+func noCopyIn(t types.Type) string {
+	return noCopy(t, make(map[types.Type]bool))
+}
+
+func noCopy(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if pkg := obj.Pkg(); pkg != nil {
+			switch pkg.Path() {
+			case "sync":
+				switch obj.Name() {
+				case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Map", "Pool":
+					return "sync." + obj.Name()
+				}
+			case "sync/atomic":
+				switch obj.Name() {
+				case "Bool", "Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer", "Value":
+					return "atomic." + obj.Name()
+				}
+			}
+		}
+		return noCopy(named.Underlying(), seen)
+	}
+	switch t := t.(type) {
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if name := noCopy(t.Field(i).Type(), seen); name != "" {
+				return name
+			}
+		}
+	case *types.Array:
+		return noCopy(t.Elem(), seen)
+	}
+	return ""
+}
+
+// renderSel prints a selector for diagnostics ("s.count").
+func renderSel(sel *ast.SelectorExpr) string {
+	if id, ok := sel.X.(*ast.Ident); ok {
+		return id.Name + "." + sel.Sel.Name
+	}
+	return sel.Sel.Name
+}

@@ -1,0 +1,35 @@
+package atomiccheck
+
+import (
+	"testing"
+
+	"seqstream/internal/analysis/framework"
+)
+
+// TestBadFixture: mixed atomic/plain access and lock-bearing copies
+// are reported.
+func TestBadFixture(t *testing.T) {
+	framework.RunFixture(t, "testdata/bad", "seqstream/internal/core/atomicfixture", Analyzer)
+}
+
+// TestGoodFixture: consistent atomics, method-style types, pointer
+// iteration, and //lint:allow pass.
+func TestGoodFixture(t *testing.T) {
+	framework.RunFixture(t, "testdata/good", "seqstream/internal/flight/atomicfixture", Analyzer)
+}
+
+// TestUngatedPackage: atomiccheck scopes itself to the concurrent
+// packages.
+func TestUngatedPackage(t *testing.T) {
+	pkg, err := framework.ParseDirFiles("testdata/bad", "seqstream/internal/sim", []string{"bad.go"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := framework.Run([]*framework.Package{pkg}, []*framework.Analyzer{Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("ungated package reported %d diagnostics: %v", len(diags), diags)
+	}
+}

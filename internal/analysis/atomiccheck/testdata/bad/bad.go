@@ -1,0 +1,51 @@
+// Fixture: atomics-discipline violations atomiccheck must catch.
+package atomicfixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	hits  int64
+	mu    sync.Mutex
+	state int
+}
+
+type gauge struct {
+	v atomic.Int64
+}
+
+// hits is atomic here...
+func bump(c *counter) {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// ...so plain accesses elsewhere race it.
+func peek(c *counter) int64 {
+	return c.hits // want "plain read of c.hits"
+}
+
+func reset(c *counter) {
+	c.hits = 0 // want "plain write of c.hits"
+}
+
+// Copying the struct copies the mutex (and the atomic counter).
+func clone(c *counter) counter {
+	d := *c // want "containing sync.Mutex"
+	return d
+}
+
+func copyField(g *gauge) gauge {
+	out := *g // want "atomic.Int64"
+	return out
+}
+
+// Ranging by value forks every element's mutex.
+func sum(cs []counter) int {
+	n := 0
+	for _, c := range cs { // want "range copies"
+		n += c.state
+	}
+	return n
+}

@@ -1,0 +1,79 @@
+// Fixture: patterns atomiccheck must accept.
+package atomicfixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	hits int64
+	mu   sync.Mutex
+	cold int
+}
+
+type gauge struct {
+	v atomic.Int64
+}
+
+type plain struct {
+	a, b int
+}
+
+// Consistent atomic access everywhere is fine.
+func bump(c *counter) {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func read(c *counter) int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// Fields never touched atomically are free to be plain.
+func touchCold(c *counter) {
+	c.mu.Lock()
+	c.cold++
+	c.mu.Unlock()
+}
+
+// Method-style atomics are safe by construction.
+func methodStyle(g *gauge) int64 {
+	g.v.Add(1)
+	return g.v.Load()
+}
+
+// Pointers move freely; construction from a literal is not a copy.
+func construct() *counter {
+	c := counter{}
+	return &c
+}
+
+func viaPointer(cs []*counter) int64 {
+	var n int64
+	for _, c := range cs {
+		n += atomic.LoadInt64(&c.hits)
+	}
+	return n
+}
+
+// Plain structs copy freely.
+func copyPlain(p plain) plain {
+	q := p
+	return q
+}
+
+// Ranging by index avoids the copy.
+func sumByIndex(cs []counter) int64 {
+	var n int64
+	for i := range cs {
+		n += atomic.LoadInt64(&cs[i].hits)
+	}
+	return n
+}
+
+// Suppression works for deliberate pre-publication access.
+func freshInit() *counter {
+	c := &counter{}
+	c.hits = 1 //lint:allow atomiccheck value not shared yet
+	return c
+}

@@ -1,0 +1,343 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one straight-line run of a function body. Nodes holds the
+// statements executed in order, plus the condition/range expressions
+// evaluated on the way out of the block (so flow analyses see every
+// expression evaluation exactly where it happens). Succs are the
+// possible next blocks.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// CFG is an intra-procedural control-flow graph over one function
+// body. It is approximate in the ways a lint-grade analysis tolerates:
+// goto is modeled as an exit, a call to panic terminates its block,
+// and function literals are opaque (analyze their bodies as separate
+// functions). Entry is the first block; Exit is a virtual empty block
+// every return (and the fall-off-the-end path) feeds into.
+type CFG struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+}
+
+// NewCFG builds the control-flow graph of one function body.
+func NewCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}, labels: make(map[string]cfgLabel)}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.stmts(body.List)
+	if b.cur != nil {
+		b.edge(b.cur, b.cfg.Exit)
+	}
+	return b.cfg
+}
+
+// cfgLabel records the break/continue targets of a labeled construct.
+type cfgLabel struct {
+	brk, cont *Block
+}
+
+type cfgBuilder struct {
+	cfg *CFG
+	// cur is the block under construction; nil after a terminator
+	// (return, break, ...), in which case subsequent statements start a
+	// fresh unreachable block.
+	cur *Block
+	// brks/conts are the innermost-last break/continue targets.
+	brks, conts []*Block
+	// labels maps label names to their targets; pendingLabel carries a
+	// label to the construct it prefixes.
+	labels       map[string]cfgLabel
+	pendingLabel string
+	// nextCase is the following case block while building a switch, the
+	// target of fallthrough.
+	nextCase *Block
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// block returns the block under construction, starting an unreachable
+// one after a terminator so dead code is still analyzed (and does not
+// crash the walker).
+func (b *cfgBuilder) block() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	blk := b.block()
+	blk.Nodes = append(blk.Nodes, n)
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the pending label (if any), registering the given
+// targets under it.
+func (b *cfgBuilder) takeLabel(brk, cont *Block) string {
+	name := b.pendingLabel
+	b.pendingLabel = ""
+	if name != "" {
+		b.labels[name] = cfgLabel{brk: brk, cont: cont}
+	}
+	return name
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+
+	case *ast.LabeledStmt:
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		cond := b.block()
+		thenB := b.newBlock()
+		b.edge(cond, thenB)
+		b.cur = thenB
+		b.stmts(s.Body.List)
+		thenEnd := b.cur
+		elseEnd := cond // no else: flow falls through the condition
+		if s.Else != nil {
+			elseB := b.newBlock()
+			b.edge(cond, elseB)
+			b.cur = elseB
+			b.stmt(s.Else)
+			elseEnd = b.cur
+		}
+		if thenEnd == nil && elseEnd == nil {
+			b.cur = nil
+			return
+		}
+		join := b.newBlock()
+		if thenEnd != nil {
+			b.edge(thenEnd, join)
+		}
+		if elseEnd != nil {
+			b.edge(elseEnd, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock()
+		b.edge(b.block(), head)
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+		}
+		exit := b.newBlock()
+		if s.Cond != nil {
+			b.edge(head, exit)
+		}
+		contTarget := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+			contTarget = post
+		}
+		name := b.takeLabel(exit, contTarget)
+		b.brks, b.conts = append(b.brks, exit), append(b.conts, contTarget)
+		body := b.newBlock()
+		b.edge(head, body)
+		b.cur = body
+		b.stmts(s.Body.List)
+		if b.cur != nil {
+			b.edge(b.cur, contTarget)
+		}
+		if post != nil {
+			b.cur = post
+			b.stmt(s.Post)
+			b.edge(b.block(), head)
+		}
+		b.brks, b.conts = b.brks[:len(b.brks)-1], b.conts[:len(b.conts)-1]
+		delete(b.labels, name)
+		b.cur = exit
+
+	case *ast.RangeStmt:
+		b.add(s.X)
+		head := b.newBlock()
+		b.edge(b.block(), head)
+		exit := b.newBlock()
+		b.edge(head, exit) // the range may be empty
+		name := b.takeLabel(exit, head)
+		b.brks, b.conts = append(b.brks, exit), append(b.conts, head)
+		body := b.newBlock()
+		b.edge(head, body)
+		b.cur = body
+		b.stmts(s.Body.List)
+		if b.cur != nil {
+			b.edge(b.cur, head)
+		}
+		b.brks, b.conts = b.brks[:len(b.brks)-1], b.conts[:len(b.conts)-1]
+		delete(b.labels, name)
+		b.cur = exit
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		b.switchLike(s)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.block(), b.cfg.Exit)
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			target := b.cfg.Exit
+			if s.Label != nil {
+				if l, ok := b.labels[s.Label.Name]; ok && l.brk != nil {
+					target = l.brk
+				}
+			} else if len(b.brks) > 0 {
+				target = b.brks[len(b.brks)-1]
+			}
+			b.edge(b.block(), target)
+		case token.CONTINUE:
+			target := b.cfg.Exit
+			if s.Label != nil {
+				if l, ok := b.labels[s.Label.Name]; ok && l.cont != nil {
+					target = l.cont
+				}
+			} else if len(b.conts) > 0 {
+				target = b.conts[len(b.conts)-1]
+			}
+			b.edge(b.block(), target)
+		case token.FALLTHROUGH:
+			if b.nextCase != nil {
+				b.edge(b.block(), b.nextCase)
+			}
+		case token.GOTO:
+			// Approximation: goto leaves the analysis. The repo's style
+			// has no gotos; a flow that uses one simply under-reports.
+			b.edge(b.block(), b.cfg.Exit)
+		}
+		b.cur = nil
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				b.edge(b.block(), b.cfg.Exit)
+				b.cur = nil
+			}
+		}
+
+	default:
+		// Assignments, declarations, sends, defers, go, inc/dec, empty:
+		// straight-line.
+		b.add(s)
+	}
+}
+
+// switchLike builds switch/type-switch/select: a head evaluating the
+// init/tag, one block per clause, all joining at a common exit (which
+// is also the break target).
+func (b *cfgBuilder) switchLike(s ast.Stmt) {
+	var clauses []ast.Stmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Tag)
+		clauses = s.Body.List
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		clauses = s.Body.List
+	case *ast.SelectStmt:
+		clauses = s.Body.List
+	}
+	head := b.block()
+	exit := b.newBlock()
+	name := b.takeLabel(exit, nil)
+	b.brks = append(b.brks, exit)
+
+	// Pre-create the case blocks so fallthrough can target the next one.
+	blocks := make([]*Block, len(clauses))
+	for i := range clauses {
+		blocks[i] = b.newBlock()
+		b.edge(head, blocks[i])
+	}
+	savedNext := b.nextCase
+	for i, cl := range clauses {
+		b.nextCase = nil
+		if i+1 < len(blocks) {
+			b.nextCase = blocks[i+1]
+		}
+		b.cur = blocks[i]
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cl.List {
+				b.add(e)
+			}
+			b.stmts(cl.Body)
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			} else {
+				b.stmt(cl.Comm)
+			}
+			b.stmts(cl.Body)
+		}
+		if b.cur != nil {
+			b.edge(b.cur, exit)
+		}
+	}
+	b.nextCase = savedNext
+
+	// A switch with no default may match nothing; a select without a
+	// default always takes some case (or blocks forever — same thing
+	// for flow purposes).
+	if _, isSelect := s.(*ast.SelectStmt); !hasDefault && (!isSelect || len(clauses) == 0) {
+		b.edge(head, exit)
+	}
+	b.brks = b.brks[:len(b.brks)-1]
+	delete(b.labels, name)
+	b.cur = exit
+}

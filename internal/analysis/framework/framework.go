@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"sort"
 	"strings"
 )
@@ -30,6 +31,10 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-paragraph description.
 	Doc string
+	// NeedTypes requests type-checked packages: Run sees Pkg.Types and
+	// Pkg.Info populated (and fails the whole run if the code does not
+	// type-check).
+	NeedTypes bool
 	// Run inspects a package and reports findings via pass.Reportf.
 	Run func(pass *Pass) error
 }
@@ -57,6 +62,11 @@ type Package struct {
 	Files []*ast.File
 	// Fset positions all Files.
 	Fset *token.FileSet
+	// Types and Info carry the go/types view of the package. They are
+	// nil until TypeCheck runs (Run does so when any analyzer sets
+	// NeedTypes).
+	Types *types.Package
+	Info  *types.Info
 }
 
 // Index resolves import paths to loaded packages, so analyzers can
@@ -148,6 +158,14 @@ func FileImports(f *ast.File) map[string]string {
 // diagnostics sorted by position. //lint:allow suppression is applied
 // here so every analyzer gets it uniformly.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	for _, a := range analyzers {
+		if a.NeedTypes {
+			if err := TypeCheck(pkgs); err != nil {
+				return nil, err
+			}
+			break
+		}
+	}
 	ix := NewIndex(pkgs)
 	var out []Diagnostic
 	for _, pkg := range pkgs {
@@ -176,7 +194,10 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
 	return out, nil
 }

@@ -6,6 +6,7 @@ import (
 	"go/token"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -132,6 +133,18 @@ func TestLoad(t *testing.T) {
 	}
 	if NewIndex(pkgs).FuncDecl(p.Path, "Load") == nil {
 		t.Fatalf("index did not resolve framework.Load")
+	}
+}
+
+// TestLoadBadPattern: go list failures surface the go command's own
+// stderr, not a bare exit status.
+func TestLoadBadPattern(t *testing.T) {
+	_, err := Load("../../..", "./does/not/exist")
+	if err == nil {
+		t.Fatalf("Load accepted a nonexistent package pattern")
+	}
+	if !strings.Contains(err.Error(), "does/not/exist") {
+		t.Fatalf("error does not carry go list stderr: %v", err)
 	}
 }
 

@@ -1,6 +1,7 @@
 package framework
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"go/parser"
@@ -8,6 +9,7 @@ import (
 	"io"
 	"os/exec"
 	"path/filepath"
+	"strings"
 )
 
 // listPackage is the subset of `go list -json` output the loader uses.
@@ -33,7 +35,11 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("framework: %w", err)
 	}
-	cmd.Stderr = nil
+	// Capture stderr: when go list fails (bad pattern, broken module),
+	// its diagnostics are the only thing that makes the failure
+	// actionable in CI logs.
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
 	if err := cmd.Start(); err != nil {
 		return nil, fmt.Errorf("framework: go list: %w", err)
 	}
@@ -46,7 +52,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 				break
 			}
 			_ = cmd.Wait()
-			return nil, fmt.Errorf("framework: go list output: %w", err)
+			return nil, fmt.Errorf("framework: go list output: %w%s", err, stderrSuffix(&stderr))
 		}
 		p, err := ParseDirFiles(lp.Dir, lp.ImportPath, lp.GoFiles)
 		if err != nil {
@@ -59,9 +65,19 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		}
 	}
 	if err := cmd.Wait(); err != nil {
-		return nil, fmt.Errorf("framework: go list: %w", err)
+		return nil, fmt.Errorf("framework: go list: %w%s", err, stderrSuffix(&stderr))
 	}
 	return pkgs, nil
+}
+
+// stderrSuffix formats captured go-list stderr for inclusion in an
+// error message (empty when the command wrote nothing).
+func stderrSuffix(buf *bytes.Buffer) string {
+	s := strings.TrimSpace(buf.String())
+	if s == "" {
+		return ""
+	}
+	return "\n" + s
 }
 
 // ParseDirFiles parses the named files of one directory as a package

@@ -1,0 +1,137 @@
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"strings"
+	"sync"
+)
+
+// typeMu serializes type-checking. The fallback source importer caches
+// the packages it has checked (stdlib, mostly) and is not safe for
+// concurrent use; serializing here also keeps that cache warm across
+// fixture runs inside one test binary.
+var typeMu sync.Mutex
+
+// srcImporter is the shared fallback importer: it type-checks packages
+// outside the current load — the standard library and, for fixture
+// packages, this module's own packages — from source. Built lazily so
+// analyzer suites that never ask for types pay nothing.
+var srcImporter types.ImporterFrom
+
+// chainImporter resolves imports against the current load first, so
+// every package of one lint run shares one types.Package per import
+// path, and falls back to compiling from source for everything else.
+type chainImporter struct {
+	local    map[string]*types.Package
+	fallback types.ImporterFrom
+}
+
+func (c chainImporter) Import(path string) (*types.Package, error) {
+	return c.ImportFrom(path, "", 0)
+}
+
+func (c chainImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p := c.local[path]; p != nil {
+		return p, nil
+	}
+	return c.fallback.ImportFrom(path, srcDir, mode)
+}
+
+// TypeCheck type-checks every package of the load that does not carry
+// type information yet, in dependency order, filling Package.Types and
+// Package.Info. Imports between loaded packages resolve to the loaded
+// packages themselves; everything else (the standard library, and the
+// module's packages when checking a fixture) is compiled from source
+// by the go/importer "source" importer — no export data or external
+// tooling required.
+//
+// Production packages are expected to be compilable, so any type error
+// is a hard failure: analyzers must not run on partial type
+// information, where a nil types.Object would silently disable a
+// check.
+func TypeCheck(pkgs []*Package) error {
+	typeMu.Lock()
+	defer typeMu.Unlock()
+	if srcImporter == nil {
+		srcImporter = importer.ForCompiler(token.NewFileSet(), "source", nil).(types.ImporterFrom)
+	}
+
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	// Postorder DFS over the in-load import edges gives a dependency
+	// order (import cycles cannot type-check anyway and fail cleanly).
+	seen := make(map[string]bool, len(pkgs))
+	order := make([]*Package, 0, len(pkgs))
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if seen[p.Path] {
+			return
+		}
+		seen[p.Path] = true
+		for _, f := range p.Files {
+			for _, im := range f.Imports {
+				if dep := byPath[strings.Trim(im.Path.Value, `"`)]; dep != nil {
+					visit(dep)
+				}
+			}
+		}
+		order = append(order, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+
+	local := make(map[string]*types.Package, len(pkgs))
+	for _, p := range pkgs {
+		if p.Types != nil {
+			local[p.Path] = p.Types
+		}
+	}
+	for _, p := range order {
+		if p.Types != nil {
+			continue
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		var terrs []error
+		conf := types.Config{
+			Importer: chainImporter{local: local, fallback: srcImporter},
+			Error:    func(err error) { terrs = append(terrs, err) },
+		}
+		tpkg, err := conf.Check(p.Path, p.Fset, p.Files, info)
+		if len(terrs) > 0 {
+			// Show every error (capped), not just the first: a missing
+			// import cascades and the root cause may not come first.
+			msgs := make([]string, 0, len(terrs))
+			for i, e := range terrs {
+				if i == 10 {
+					msgs = append(msgs, fmt.Sprintf("... and %d more", len(terrs)-i))
+					break
+				}
+				msgs = append(msgs, e.Error())
+			}
+			return fmt.Errorf("framework: type-checking %s:\n\t%s", p.Path, strings.Join(msgs, "\n\t"))
+		}
+		if err != nil {
+			return fmt.Errorf("framework: type-checking %s: %w", p.Path, err)
+		}
+		p.Types, p.Info = tpkg, info
+		local[p.Path] = tpkg
+	}
+	return nil
+}

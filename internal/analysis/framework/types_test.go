@@ -1,0 +1,116 @@
+package framework
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// TestTypeCheck: packages type-check against the stdlib from source,
+// imports between loaded packages resolve to the loaded packages, and
+// the resulting Info answers identity questions.
+func TestTypeCheck(t *testing.T) {
+	base := parsePkg(t, "example.com/base", `package base
+
+import "sync"
+
+type Counter struct {
+	Mu sync.Mutex
+	N  int
+}
+
+func (c *Counter) Bump() { c.N++ }
+`)
+	user := parsePkg(t, "example.com/user", `package user
+
+import "example.com/base"
+
+func Use() int {
+	var c base.Counter
+	c.Bump()
+	return c.N
+}
+`)
+	if err := TypeCheck([]*Package{base, user}); err != nil {
+		t.Fatalf("TypeCheck: %v", err)
+	}
+	if base.Types == nil || base.Info == nil || user.Types == nil || user.Info == nil {
+		t.Fatalf("TypeCheck left Types/Info unset")
+	}
+	// The in-load import must resolve to the very types.Package we
+	// checked, not a shadow copy.
+	found := false
+	for _, imp := range user.Types.Imports() {
+		if imp == base.Types {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("user's import of base resolved to %v, not the loaded package", user.Types.Imports())
+	}
+	// Field selections carry types: find c.N and check it is an int.
+	sawSel := false
+	for _, f := range user.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "N" {
+				return true
+			}
+			sawSel = true
+			tv, ok := user.Info.Types[ast.Expr(sel)]
+			if !ok {
+				t.Errorf("no type recorded for c.N")
+				return true
+			}
+			if b, ok := tv.Type.(*types.Basic); !ok || b.Kind() != types.Int {
+				t.Errorf("c.N has type %v, want int", tv.Type)
+			}
+			return true
+		})
+	}
+	if !sawSel {
+		t.Fatalf("selector c.N not found in fixture")
+	}
+	// Re-checking is a no-op, not a duplicate-definition error.
+	if err := TypeCheck([]*Package{base, user}); err != nil {
+		t.Fatalf("second TypeCheck: %v", err)
+	}
+}
+
+// TestTypeCheckError: a package that does not compile fails the run
+// with the type errors in the message.
+func TestTypeCheckError(t *testing.T) {
+	bad := parsePkg(t, "example.com/bad", `package bad
+
+func f() int { return "not an int" }
+`)
+	err := TypeCheck([]*Package{bad})
+	if err == nil {
+		t.Fatalf("TypeCheck accepted a type error")
+	}
+	if !strings.Contains(err.Error(), "cannot use") {
+		t.Fatalf("error does not carry the type-checker message: %v", err)
+	}
+}
+
+// TestRunNeedTypes: Run type-checks exactly when an analyzer asks.
+func TestRunNeedTypes(t *testing.T) {
+	var sawInfo bool
+	typed := &Analyzer{
+		Name:      "typedprobe",
+		Doc:       "test analyzer",
+		NeedTypes: true,
+		Run: func(pass *Pass) error {
+			sawInfo = pass.Pkg.Info != nil && pass.Pkg.Types != nil
+			return nil
+		},
+	}
+	pkg := parsePkg(t, "example.com/t", "package t\n\nfunc F() {}\n")
+	if _, err := Run([]*Package{pkg}, []*Analyzer{typed}); err != nil {
+		t.Fatal(err)
+	}
+	if !sawInfo {
+		t.Fatalf("NeedTypes analyzer ran without type info")
+	}
+}

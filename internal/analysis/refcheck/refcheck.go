@@ -1,0 +1,647 @@
+// Package refcheck proves bufpool reference-count discipline
+// intra-procedurally: every path from a `pool.Get` (or `v.Retain`)
+// that makes a local variable own a `*bufpool.Buf` reference must
+// reach exactly one `Release` or one explicit ownership transfer —
+// returning the buffer, sending it on a channel, storing it into a
+// struct field or map, or passing it to a call site annotated
+// `//lint:owns`. Missing releases (leaks), second releases, and uses
+// after a release or transfer are reported.
+//
+// The analysis is deliberately local and conservative: variables that
+// escape its model — captured by a closure, address-taken, aliased
+// into another variable, or handed to `go`/`defer` calls it does not
+// understand — are silently untracked rather than guessed at. Borrowed
+// references (parameters, plain call arguments) carry no obligation;
+// a callee that takes ownership is marked at the call site:
+//
+//	srv.deliver(b) //lint:owns deliver releases after write
+//
+// False positives can be silenced with //lint:allow refcheck.
+package refcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"seqstream/internal/analysis/framework"
+)
+
+// GatedPackages lists the import-path prefixes the analyzer applies to.
+var GatedPackages = []string{
+	"seqstream/internal/core",
+	"seqstream/internal/bufpool",
+	"seqstream/internal/netserve",
+}
+
+// Analyzer is the refcheck check.
+var Analyzer = &framework.Analyzer{
+	Name: "refcheck",
+	Doc: "track *bufpool.Buf ownership per path: a Get/Retain must reach " +
+		"exactly one Release or ownership transfer",
+	NeedTypes: true,
+	Run:       run,
+}
+
+func gated(path string) bool {
+	for _, p := range GatedPackages {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *framework.Pass) error {
+	if !gated(pass.Pkg.Path) {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		owns := ownsLines(pass, f)
+		// Every function body — declarations and literals — is an
+		// independent flow. A literal's body is skipped while analyzing
+		// its enclosing function (closures untrack what they capture).
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				analyzeBody(pass, fd.Body, owns)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				analyzeBody(pass, fl.Body, owns)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// ownsLines collects the file lines carrying a //lint:owns marker. A
+// marker covers its own line and the line below, like //lint:allow.
+func ownsLines(pass *framework.Pass, f *ast.File) map[int]bool {
+	out := make(map[int]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if text == "lint:owns" || strings.HasPrefix(text, "lint:owns ") {
+				out[pass.Fset().Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return out
+}
+
+// isBufPtr reports whether t is *bufpool.Buf.
+func isBufPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Buf" && obj.Pkg() != nil && obj.Pkg().Name() == "bufpool"
+}
+
+// Ownership states of one tracked variable on one path.
+const (
+	stNone     = iota // no obligation (untracked, nil, or mixed paths)
+	stOwned           // holds a reference this function must resolve
+	stReleased        // reference given back to the pool
+	stMoved           // ownership transferred out of the function
+)
+
+// Per-occurrence actions resolved during classification; idents
+// without an entry are plain uses.
+const (
+	actUse = iota
+	actOrigin
+	actRetain
+	actRelease
+	actTransfer
+	actClear // v = nil
+	actSkip  // nil comparison, defer-Release receiver: no effect
+)
+
+type funcAnalysis struct {
+	pass *framework.Pass
+	owns map[int]bool
+	body *ast.BlockStmt
+
+	// tracked maps the variables under analysis to the position of
+	// their first origin (for leak reports).
+	tracked map[*types.Var]token.Pos
+	// deferRelease holds variables resolved by a `defer v.Release()`;
+	// an owned state at exit is not a leak for them.
+	deferRelease map[*types.Var]bool
+
+	cfg      *framework.CFG
+	reported map[string]bool
+}
+
+func analyzeBody(pass *framework.Pass, body *ast.BlockStmt, owns map[int]bool) {
+	a := &funcAnalysis{
+		pass:         pass,
+		owns:         owns,
+		body:         body,
+		tracked:      make(map[*types.Var]token.Pos),
+		deferRelease: make(map[*types.Var]bool),
+		reported:     make(map[string]bool),
+	}
+	a.prescan()
+	if len(a.tracked) == 0 {
+		return
+	}
+	a.cfg = framework.NewCFG(body)
+	a.solve()
+}
+
+// walkLocal visits the body's nodes without descending into nested
+// function literals (their bodies are separate flows).
+func walkLocal(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// obj resolves an expression to the local variable it names, if any.
+func (a *funcAnalysis) obj(e ast.Expr) *types.Var {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	info := a.pass.Pkg.Info
+	o := info.Uses[id]
+	if o == nil {
+		o = info.Defs[id]
+	}
+	v, ok := o.(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// prescan selects the variables to track: locals of type *bufpool.Buf
+// defined in this body with at least one origin (a Get-style call
+// assignment or a Retain), excluding anything that escapes the local
+// model — captured by a closure, address-taken, aliased, or passed to
+// go/defer calls other than `defer v.Release()`.
+func (a *funcAnalysis) prescan() {
+	info := a.pass.Pkg.Info
+	defined := make(map[*types.Var]bool)
+	walkLocal(a.body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := info.Defs[id].(*types.Var); ok && !v.IsField() && isBufPtr(v.Type()) {
+				defined[v] = true
+			}
+		}
+		return true
+	})
+	if len(defined) == 0 {
+		return
+	}
+
+	disqualify := func(e ast.Expr) {
+		if v := a.obj(e); v != nil {
+			delete(defined, v)
+		}
+	}
+	// Closures untrack captures: any tracked ident inside a FuncLit.
+	ast.Inspect(a.body, func(n ast.Node) bool {
+		fl, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if v, ok := info.Uses[id].(*types.Var); ok {
+					delete(defined, v)
+				}
+			}
+			return true
+		})
+		return false
+	})
+	walkLocal(a.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				disqualify(n.X)
+			}
+		case *ast.AssignStmt:
+			// Aliasing (w := v) unlinks the source; a tracked LHS
+			// assigned anything but an origin call or nil unlinks too.
+			for i, rhs := range n.Rhs {
+				if len(n.Lhs) == len(n.Rhs) {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+						disqualify(rhs)
+					}
+					if a.obj(n.Lhs[i]) != nil && !isOriginRHS(info, rhs) {
+						disqualify(n.Lhs[i])
+					}
+				}
+			}
+			if len(n.Lhs) > 1 && len(n.Rhs) == 1 {
+				if _, isCall := n.Rhs[0].(*ast.CallExpr); !isCall {
+					for _, lhs := range n.Lhs {
+						disqualify(lhs)
+					}
+				}
+			}
+		case *ast.GoStmt:
+			for _, arg := range n.Call.Args {
+				disqualify(arg)
+			}
+		case *ast.DeferStmt:
+			if v, method := a.recvCall(n.Call); v != nil && method == "Release" {
+				a.deferRelease[v] = true
+				return true
+			}
+			for _, arg := range n.Call.Args {
+				disqualify(arg)
+			}
+		case *ast.RangeStmt:
+			// for _, v := range bufs: v is a container alias.
+			disqualify(n.Key)
+			disqualify(n.Value)
+		}
+		return true
+	})
+
+	// Keep only variables with an origin, remembering where.
+	walkLocal(a.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				v := a.obj(lhs)
+				if v == nil || !defined[v] {
+					continue
+				}
+				var rhs ast.Expr
+				if len(n.Lhs) == len(n.Rhs) {
+					rhs = n.Rhs[i]
+				} else if len(n.Rhs) == 1 {
+					rhs = n.Rhs[0]
+				}
+				if rhs != nil && isOriginRHS(info, rhs) {
+					if _, ok := a.tracked[v]; !ok {
+						a.tracked[v] = lhs.Pos()
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if v, method := a.recvCall(n); v != nil && defined[v] && method == "Retain" {
+				if _, ok := a.tracked[v]; !ok {
+					a.tracked[v] = n.Pos()
+				}
+			}
+		}
+		return true
+	})
+	for v := range a.deferRelease {
+		if _, ok := a.tracked[v]; !ok {
+			delete(a.deferRelease, v)
+		}
+	}
+}
+
+// isOriginRHS reports whether rhs creates an owned reference when
+// assigned: a call producing *bufpool.Buf (possibly in a tuple), or
+// nil (which only resets state).
+func isOriginRHS(info *types.Info, rhs ast.Expr) bool {
+	if id, ok := rhs.(*ast.Ident); ok && id.Name == "nil" {
+		return true
+	}
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	tv, ok := info.Types[ast.Expr(call)]
+	if !ok {
+		return false
+	}
+	if tuple, ok := tv.Type.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isBufPtr(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isBufPtr(tv.Type)
+}
+
+// recvCall matches `v.Method()` on a tracked-shaped receiver ident.
+func (a *funcAnalysis) recvCall(call *ast.CallExpr) (*types.Var, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	v := a.obj(sel.X)
+	if v == nil || !isBufPtr(v.Type()) {
+		return nil, ""
+	}
+	return v, sel.Sel.Name
+}
+
+type flowState map[*types.Var]int
+
+func (st flowState) clone() flowState {
+	out := make(flowState, len(st))
+	for k, v := range st {
+		out[k] = v
+	}
+	return out
+}
+
+func (st flowState) equal(other flowState) bool {
+	if len(st) != len(other) {
+		return false
+	}
+	for k, v := range st {
+		if other[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// merge joins predecessor states: agreement keeps the state, any
+// OWNED path keeps the obligation alive (so the leak surfaces at
+// exit), and other disagreements go quiet (NONE) rather than guess.
+func merge(states []flowState, vars []*types.Var) flowState {
+	out := make(flowState, len(vars))
+	for _, v := range vars {
+		first, agree := 0, true
+		for i, st := range states {
+			s := st[v]
+			if i == 0 {
+				first = s
+			} else if s != first {
+				agree = false
+			}
+		}
+		if agree {
+			out[v] = first
+			continue
+		}
+		owned := false
+		for _, st := range states {
+			if st[v] == stOwned {
+				owned = true
+			}
+		}
+		if owned {
+			out[v] = stOwned
+		} else {
+			out[v] = stNone
+		}
+	}
+	return out
+}
+
+// solve runs the fixpoint over the CFG, then one reporting pass.
+func (a *funcAnalysis) solve() {
+	vars := make([]*types.Var, 0, len(a.tracked))
+	for v := range a.tracked {
+		vars = append(vars, v)
+	}
+	blocks := a.cfg.Blocks
+	preds := make(map[*framework.Block][]*framework.Block)
+	for _, b := range blocks {
+		for _, s := range b.Succs {
+			preds[s] = append(preds[s], b)
+		}
+	}
+	in := make(map[*framework.Block]flowState, len(blocks))
+	for _, b := range blocks {
+		in[b] = make(flowState)
+	}
+	changed := true
+	for rounds := 0; changed && rounds < 4*len(blocks)+8; rounds++ {
+		changed = false
+		for _, b := range blocks {
+			var st flowState
+			if ps := preds[b]; len(ps) == 0 {
+				st = make(flowState)
+			} else {
+				states := make([]flowState, 0, len(ps))
+				for _, p := range ps {
+					states = append(states, a.apply(p, in[p], false))
+				}
+				st = merge(states, vars)
+			}
+			if !st.equal(in[b]) {
+				in[b] = st
+				changed = true
+			}
+		}
+	}
+	// Report pass: walk each block once from its solved entry state.
+	for _, b := range blocks {
+		a.apply(b, in[b], true)
+	}
+	for v, st := range in[a.cfg.Exit] {
+		if st == stOwned && !a.deferRelease[v] {
+			a.reportf(a.tracked[v], "%s: buffer obtained here is not released on every path (missing Release or ownership transfer)", v.Name())
+		}
+	}
+}
+
+func (a *funcAnalysis) reportf(pos token.Pos, format string, args ...any) {
+	p := a.pass.Fset().Position(pos)
+	key := p.String() + format
+	if a.reported[key] {
+		return
+	}
+	a.reported[key] = true
+	a.pass.Reportf(pos, format, args...)
+}
+
+// apply runs one block's transfer function from state st. With report
+// set it emits diagnostics; the fixpoint runs it silently.
+func (a *funcAnalysis) apply(b *framework.Block, st flowState, report bool) flowState {
+	st = st.clone()
+	for _, n := range b.Nodes {
+		actions := a.classify(n)
+		walkLocal(n, func(nd ast.Node) bool {
+			id, ok := nd.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v := a.obj(id)
+			if v == nil {
+				return true
+			}
+			if _, ok := a.tracked[v]; !ok {
+				return true
+			}
+			act := actions[id]
+			cur := st[v]
+			switch act {
+			case actSkip:
+			case actOrigin:
+				if cur == stOwned && report {
+					a.reportf(id.Pos(), "%s reassigned while owning a buffer: previous reference leaks", v.Name())
+				}
+				st[v] = stOwned
+			case actClear:
+				if cur == stOwned && report {
+					a.reportf(id.Pos(), "%s set to nil while owning a buffer: reference leaks", v.Name())
+				}
+				st[v] = stNone
+			case actRetain:
+				// Retaining a moved reference is how code keeps using a
+				// buffer it stored: a fresh obligation starts here.
+				if cur == stReleased && report {
+					a.reportf(id.Pos(), "use of %s after Release", v.Name())
+				}
+				st[v] = stOwned
+			case actRelease:
+				switch cur {
+				case stOwned:
+					st[v] = stReleased
+				case stReleased:
+					if report {
+						a.reportf(id.Pos(), "second Release of %s: already released on this path", v.Name())
+					}
+				case stMoved:
+					if report {
+						a.reportf(id.Pos(), "Release of %s after ownership transfer", v.Name())
+					}
+				}
+			case actTransfer:
+				switch cur {
+				case stOwned:
+					st[v] = stMoved
+				case stReleased:
+					if report {
+						a.reportf(id.Pos(), "use of %s after Release", v.Name())
+					}
+				case stMoved:
+					if report {
+						a.reportf(id.Pos(), "second ownership transfer of %s: reference was already moved", v.Name())
+					}
+				}
+			default:
+				// Plain reads stay legal after a transfer (the reference
+				// is stored, not freed) but not after a Release.
+				if cur == stReleased && report {
+					a.reportf(id.Pos(), "use of %s after Release", v.Name())
+				}
+			}
+			return true
+		})
+	}
+	return st
+}
+
+// classify resolves the special ident occurrences of one CFG node:
+// origins, releases, retains, transfers, nil-resets, and no-op
+// positions (nil comparisons, defer receivers).
+func (a *funcAnalysis) classify(n ast.Node) map[*ast.Ident]int {
+	actions := make(map[*ast.Ident]int)
+	mark := func(e ast.Expr, act int) {
+		if id, ok := e.(*ast.Ident); ok {
+			if v := a.obj(id); v != nil {
+				if _, tracked := a.tracked[v]; tracked {
+					actions[id] = act
+				}
+			}
+		}
+	}
+	line := func(pos token.Pos) int { return a.pass.Fset().Position(pos).Line }
+
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		for i, lhs := range s.Lhs {
+			var rhs ast.Expr
+			if len(s.Lhs) == len(s.Rhs) {
+				rhs = s.Rhs[i]
+			} else if len(s.Rhs) == 1 {
+				rhs = s.Rhs[0]
+			}
+			if rhs == nil {
+				continue
+			}
+			if a.obj(lhs) != nil {
+				if id, ok := rhs.(*ast.Ident); ok && id.Name == "nil" {
+					mark(lhs, actClear)
+				} else if isOriginRHS(a.pass.Pkg.Info, rhs) {
+					mark(lhs, actOrigin)
+				}
+				continue
+			}
+			// Store into a field, map, or slice element transfers the
+			// reference out of the local frame.
+			switch lhs.(type) {
+			case *ast.SelectorExpr, *ast.IndexExpr:
+				mark(rhs, actTransfer)
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			mark(r, actTransfer)
+		}
+	case *ast.SendStmt:
+		mark(s.Value, actTransfer)
+	case *ast.DeferStmt:
+		// `defer v.Release()` was folded into the exit check; the
+		// receiver occurrence itself must not count as a use.
+		if sel, ok := s.Call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Release" {
+			mark(sel.X, actSkip)
+		}
+	}
+
+	walkLocal(n, func(nd ast.Node) bool {
+		switch nd := nd.(type) {
+		case *ast.CallExpr:
+			if sel, ok := nd.Fun.(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Release":
+					if _, marked := actions[selIdent(sel.X)]; !marked {
+						mark(sel.X, actRelease)
+					}
+				case "Retain":
+					mark(sel.X, actRetain)
+				}
+			}
+			l := line(nd.Pos())
+			if a.owns[l] || a.owns[l-1] {
+				for _, arg := range nd.Args {
+					mark(arg, actTransfer)
+				}
+			}
+		case *ast.BinaryExpr:
+			// Comparing against nil reads nothing through the pointer:
+			// guard checks after a release/transfer stay legal.
+			if nd.Op == token.EQL || nd.Op == token.NEQ {
+				if isNil(nd.X) {
+					mark(nd.Y, actSkip)
+				}
+				if isNil(nd.Y) {
+					mark(nd.X, actSkip)
+				}
+			}
+		}
+		return true
+	})
+	return actions
+}
+
+func selIdent(e ast.Expr) *ast.Ident {
+	id, _ := e.(*ast.Ident)
+	return id
+}
+
+func isNil(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}

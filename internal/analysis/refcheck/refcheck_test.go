@@ -1,0 +1,35 @@
+package refcheck
+
+import (
+	"testing"
+
+	"seqstream/internal/analysis/framework"
+)
+
+// TestBadFixture: leaks, double releases, use-after-release, and
+// double transfers are reported.
+func TestBadFixture(t *testing.T) {
+	framework.RunFixture(t, "testdata/bad", "seqstream/internal/core/reffixture", Analyzer)
+}
+
+// TestGoodFixture: releases, defers, every transfer form, borrows,
+// closures, and //lint:allow pass.
+func TestGoodFixture(t *testing.T) {
+	framework.RunFixture(t, "testdata/good", "seqstream/internal/core/reffixture", Analyzer)
+}
+
+// TestUngatedPackage: refcheck scopes itself to the buffer-handling
+// packages.
+func TestUngatedPackage(t *testing.T) {
+	pkg, err := framework.ParseDirFiles("testdata/bad", "seqstream/internal/sim", []string{"bad.go"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := framework.Run([]*framework.Package{pkg}, []*framework.Analyzer{Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("ungated package reported %d diagnostics: %v", len(diags), diags)
+	}
+}

@@ -1,0 +1,69 @@
+// Fixture: ownership violations refcheck must catch.
+package reffixture
+
+import "seqstream/internal/bufpool"
+
+type holder struct {
+	buf *bufpool.Buf
+}
+
+// An early return skips the release: the reference leaks.
+func earlyReturnLeak(p *bufpool.Pool, fail bool) *bufpool.Buf {
+	b := p.Get(64) // want "not released on every path"
+	if fail {
+		return nil
+	}
+	return b
+}
+
+// No path releases at all.
+func plainLeak(p *bufpool.Pool) int {
+	b := p.Get(64) // want "not released on every path"
+	return len(b.Data)
+}
+
+// The same reference released twice corrupts the refcount.
+func doubleRelease(p *bufpool.Pool) {
+	b := p.Get(64)
+	b.Release()
+	b.Release() // want "second Release of b"
+}
+
+// Reading through the pointer after Release races the pool's reuse.
+func useAfterRelease(p *bufpool.Pool) int {
+	b := p.Get(64)
+	b.Release()
+	return len(b.Data) // want "use of b after Release"
+}
+
+// Releasing after the reference was sent away releases the receiver's
+// reference.
+func releaseAfterSend(p *bufpool.Pool, ch chan *bufpool.Buf) {
+	b := p.Get(64)
+	ch <- b
+	b.Release() // want "Release of b after ownership transfer"
+}
+
+// Transferring the same reference twice hands out one refcount two
+// ways.
+func doubleTransfer(p *bufpool.Pool, h *holder, ch chan *bufpool.Buf) {
+	b := p.Get(64)
+	h.buf = b
+	ch <- b // want "second ownership transfer of b"
+}
+
+// Overwriting an owned reference drops it without a Release.
+func reassignLeak(p *bufpool.Pool) {
+	b := p.Get(64)
+	b = p.Get(128) // want "reassigned while owning"
+	b.Release()
+}
+
+// Nil-ing out an owned reference drops it without a Release.
+func nilLeak(p *bufpool.Pool) {
+	b := p.Get(64)
+	b = nil // want "set to nil while owning"
+	if b == nil {
+		return
+	}
+}

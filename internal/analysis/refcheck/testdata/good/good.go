@@ -1,0 +1,105 @@
+// Fixture: ownership patterns refcheck must accept.
+package reffixture
+
+import "seqstream/internal/bufpool"
+
+type holder struct {
+	buf *bufpool.Buf
+}
+
+// Straight-line get and release.
+func getRelease(p *bufpool.Pool) {
+	b := p.Get(64)
+	_ = b.Data
+	b.Release()
+}
+
+// Deferred release covers every path.
+func deferRelease(p *bufpool.Pool, fail bool) int {
+	b := p.Get(64)
+	defer b.Release()
+	if fail {
+		return 0
+	}
+	return len(b.Data)
+}
+
+// Error path releases; success path transfers ownership by returning.
+func getOrReturn(p *bufpool.Pool, fail bool) *bufpool.Buf {
+	b := p.Get(64)
+	if fail {
+		b.Release()
+		return nil
+	}
+	return b
+}
+
+// Storing into a struct field transfers ownership; reading through the
+// moved reference afterwards is fine (nothing was freed).
+func stash(p *bufpool.Pool, h *holder) int {
+	b := p.Get(64)
+	h.buf = b
+	return len(b.Data)
+}
+
+// Sending on a channel transfers ownership.
+func send(p *bufpool.Pool, ch chan *bufpool.Buf) {
+	b := p.Get(64)
+	ch <- b
+}
+
+// An annotated call site takes ownership.
+func handoff(p *bufpool.Pool) {
+	b := p.Get(64)
+	consume(b) //lint:owns consume releases when done
+}
+
+func consume(b *bufpool.Buf) {
+	b.Release()
+}
+
+// Plain calls borrow: the caller keeps the release obligation.
+func borrow(p *bufpool.Pool) {
+	b := p.Get(64)
+	inspect(b)
+	b.Release()
+}
+
+func inspect(b *bufpool.Buf) { _ = b.Data }
+
+// Each loop iteration resolves its own reference.
+func loopGetRelease(p *bufpool.Pool) {
+	for i := 0; i < 4; i++ {
+		b := p.Get(32)
+		b.Release()
+	}
+}
+
+// Retaining a stored reference starts a fresh obligation, resolved
+// below.
+func retainUse(p *bufpool.Pool, h *holder) {
+	b := p.Get(64)
+	h.buf = b
+	b.Retain()
+	b.Release()
+}
+
+// A nil comparison after the flow resolved the reference reads nothing
+// through the pointer.
+func nilGuard(p *bufpool.Pool) bool {
+	b := p.Get(64)
+	b.Release()
+	return b != nil
+}
+
+// Closures take captured buffers out of the local model.
+func captured(p *bufpool.Pool, run func(func())) {
+	b := p.Get(64)
+	run(func() { b.Release() })
+}
+
+// Suppression: leaks silenced with //lint:allow stay silent.
+func allowed(p *bufpool.Pool) *holder {
+	b := p.Get(64) //lint:allow refcheck ownership tracked by the holder's close path
+	return &holder{buf: b}
+}

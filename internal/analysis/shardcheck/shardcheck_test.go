@@ -1,0 +1,35 @@
+package shardcheck
+
+import (
+	"testing"
+
+	"seqstream/internal/analysis/framework"
+)
+
+// TestBadFixture: unlocked, early-unlocked, closure, and cross-shard
+// accesses are reported.
+func TestBadFixture(t *testing.T) {
+	framework.RunFixture(t, "testdata/bad", "seqstream/internal/core/shardfixture", Analyzer)
+}
+
+// TestGoodFixture: bracketed, deferred, //lint:holds, construction,
+// and //lint:allow pass.
+func TestGoodFixture(t *testing.T) {
+	framework.RunFixture(t, "testdata/good", "seqstream/internal/core/shardfixture", Analyzer)
+}
+
+// TestUngatedPackage: shardcheck scopes itself to the shard-owning
+// packages.
+func TestUngatedPackage(t *testing.T) {
+	pkg, err := framework.ParseDirFiles("testdata/bad", "seqstream/internal/sim", []string{"bad.go"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := framework.Run([]*framework.Package{pkg}, []*framework.Analyzer{Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("ungated package reported %d diagnostics: %v", len(diags), diags)
+	}
+}

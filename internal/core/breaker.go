@@ -43,6 +43,8 @@ type breaker struct {
 
 // breakerFor returns the disk's circuit, creating it lazily, or nil
 // when the breaker is disabled. Caller holds sh.mu.
+//
+//lint:holds mu
 func (sh *shard) breakerFor(disk int) *breaker {
 	if sh.srv.cfg.BreakerThreshold <= 0 {
 		return nil
@@ -58,6 +60,8 @@ func (sh *shard) breakerFor(disk int) *breaker {
 // breakerAllows reports whether a request for disk may proceed,
 // transitioning open → half-open once the cooldown elapses. Caller
 // holds sh.mu.
+//
+//lint:holds mu
 func (sh *shard) breakerAllows(disk int, now time.Duration) bool {
 	if sh.srv.cfg.BreakerThreshold <= 0 {
 		return true
@@ -77,6 +81,8 @@ func (sh *shard) breakerAllows(disk int, now time.Duration) bool {
 // diskBlocked reports whether disk is refusing traffic right now (open
 // and still cooling down). Dispatch skips blocked disks' streams.
 // Caller holds sh.mu.
+//
+//lint:holds mu
 func (sh *shard) diskBlocked(disk int, now time.Duration) bool {
 	if sh.srv.cfg.BreakerThreshold <= 0 {
 		return false
@@ -88,6 +94,8 @@ func (sh *shard) diskBlocked(disk int, now time.Duration) bool {
 // noteDiskFailure records one device failure on disk, tripping the
 // circuit at the threshold (or instantly re-opening a probing one).
 // Caller holds sh.mu.
+//
+//lint:holds mu
 func (sh *shard) noteDiskFailure(disk int, now time.Duration) {
 	b := sh.breakerFor(disk)
 	if b == nil {
@@ -117,6 +125,8 @@ func (sh *shard) noteDiskFailure(disk int, now time.Duration) {
 
 // noteDiskSuccess records one device success on disk, closing a
 // probing circuit. Caller holds sh.mu.
+//
+//lint:holds mu
 func (sh *shard) noteDiskSuccess(disk int) {
 	if sh.srv.cfg.BreakerThreshold <= 0 {
 		return

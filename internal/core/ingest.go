@@ -103,15 +103,15 @@ type Ingest struct {
 	clock  blockdev.Clock
 
 	mu         sync.Mutex
-	byNext     map[offKey]*wstream
-	memUsed    int64
-	stats      IngestStats
-	closed     bool
-	gcArmed    bool
-	gcCancel   func()
-	inFlight   int
-	idleSignal chan struct{}
-	pendingIO  []func()
+	byNext     map[offKey]*wstream //lint:guardedby mu
+	memUsed    int64               //lint:guardedby mu
+	stats      IngestStats         //lint:guardedby mu
+	closed     bool                //lint:guardedby mu
+	gcArmed    bool                //lint:guardedby mu
+	gcCancel   func()              //lint:guardedby mu
+	inFlight   int                 //lint:guardedby mu
+	idleSignal chan struct{}       //lint:guardedby mu
+	pendingIO  []func()            //lint:guardedby mu
 }
 
 // NewIngest builds an ingest coalescer over a writable device.
@@ -250,6 +250,8 @@ func (g *Ingest) Write(disk int, off int64, data []byte, length int64, done func
 // the `invariants` build tag is on. The memory bound itself is soft
 // here (forceFlush cannot reclaim chunks already in flight), so the
 // hard invariants are the accounting ones. Caller holds the lock.
+//
+//lint:holds mu
 func (g *Ingest) checkInvariants() {
 	if !invariants.Enabled {
 		return
@@ -273,6 +275,8 @@ func (g *Ingest) checkInvariants() {
 
 // directWrite passes a large write straight to the device. Caller
 // holds the lock.
+//
+//lint:holds mu
 func (g *Ingest) directWrite(disk int, off int64, data []byte, length int64, done func(error)) {
 	g.inFlight++
 	g.pendingIO = append(g.pendingIO, func() {
@@ -304,6 +308,8 @@ func (g *Ingest) directWrite(disk int, off int64, data []byte, length int64, don
 
 // flushChunk sends a stream's open chunk to the device. Caller holds
 // the lock.
+//
+//lint:holds mu
 func (g *Ingest) flushChunk(st *wstream) {
 	ch := st.chunk
 	if ch == nil || ch.filled == 0 {
@@ -333,7 +339,12 @@ func (g *Ingest) finishFlush(ch *wchunk, werr error) {
 	if werr != nil {
 		g.stats.Errors++
 	}
-	idle := g.idleSignal != nil && g.inFlight == 0
+	// Capture the signal channel under the lock: Flush swaps it
+	// concurrently, so reading the field after Unlock would race.
+	var idle chan struct{}
+	if g.inFlight == 0 {
+		idle = g.idleSignal
+	}
 	g.mu.Unlock()
 	for _, ack := range ch.acks {
 		ack(werr)
@@ -342,9 +353,9 @@ func (g *Ingest) finishFlush(ch *wchunk, werr error) {
 	ch.buf.Release()
 	ch.buf = nil
 	ch.data = nil
-	if idle {
+	if idle != nil {
 		select {
-		case g.idleSignal <- struct{}{}:
+		case idle <- struct{}{}:
 		default:
 		}
 	}
@@ -352,6 +363,8 @@ func (g *Ingest) finishFlush(ch *wchunk, werr error) {
 
 // forceFlush reclaims staged memory by flushing the least-recently
 // active open chunk until `need` bytes fit. Caller holds the lock.
+//
+//lint:holds mu
 func (g *Ingest) forceFlush(need int64) {
 	for g.memUsed+need > g.cfg.Memory {
 		var victim *wstream
@@ -389,6 +402,8 @@ func (g *Ingest) flushIO() {
 
 // armGC schedules the flush scanner while open chunks exist. Caller
 // holds the lock.
+//
+//lint:holds mu
 func (g *Ingest) armGC() {
 	if g.gcArmed || g.closed || len(g.byNext) == 0 {
 		return

@@ -108,6 +108,8 @@ func (o *Obs) span(stream, disk int, stage obs.Stage, off, length int64) {
 // families. The values are the node-wide ones — the server's atomic
 // accounting — so every shard publishes the same global view and the
 // gauges never show one shard's slice. Caller holds sh.mu.
+//
+//lint:holds mu
 func (sh *shard) syncGauges() {
 	o := sh.srv.cfg.Obs
 	if o == nil {

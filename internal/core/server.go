@@ -252,13 +252,15 @@ func (s *Server) Snapshot() Snapshot {
 	var snap Snapshot
 	localDispatched := 0
 	var localMem int64
+	// Every shard lock was taken in the loop above; the per-iteration
+	// lock set is outside the flow model shardcheck can prove.
 	for _, sh := range s.shards {
-		snap.Stats.add(&sh.stats)
-		snap.ActiveStreams += len(sh.streams)
-		snap.DispatchedStreams += sh.dispatched
+		snap.Stats.add(&sh.stats)               //lint:allow shardcheck all shard locks held (index-order loop above)
+		snap.ActiveStreams += len(sh.streams)   //lint:allow shardcheck all shard locks held (index-order loop above)
+		snap.DispatchedStreams += sh.dispatched //lint:allow shardcheck all shard locks held (index-order loop above)
 		snap.CandidateQueue += len(sh.candidates)
-		localDispatched += sh.dispatched
-		localMem += sh.memUsed
+		localDispatched += sh.dispatched //lint:allow shardcheck all shard locks held (index-order loop above)
+		localMem += sh.memUsed           //lint:allow shardcheck all shard locks held (index-order loop above)
 	}
 	snap.Stats.MemoryInUse = s.memUsed.Load()
 	snap.Stats.PeakMemory = s.peakMem.Load()

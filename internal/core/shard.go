@@ -46,34 +46,34 @@ type shard struct {
 	fr *flight.Ring
 
 	mu         sync.Mutex
-	cls        *classifier
-	byExpected map[offKey]*stream // stream lookup by next expected client offset
-	streams    map[int]*stream
-	candidates []*stream
-	dispatched int           // dispatch slots held by this shard's streams
-	perDisk    map[int]int   // dispatched streams per disk
-	lastOffset map[int]int64 // last fetch end per disk (for policies)
-	breakers   map[int]*breaker
-	memUsed    int64 // staged bytes owned by this shard
-	bufCount   int   // live buffers owned by this shard
-	stats      Stats
-	gcCancel   func()
-	gcArmed    bool
-	closed     bool
+	cls        *classifier        //lint:guardedby mu
+	byExpected map[offKey]*stream //lint:guardedby mu — stream lookup by next expected client offset
+	streams    map[int]*stream    //lint:guardedby mu
+	candidates []*stream          //lint:guardedby mu
+	dispatched int                //lint:guardedby mu — dispatch slots held by this shard's streams
+	perDisk    map[int]int        //lint:guardedby mu — dispatched streams per disk
+	lastOffset map[int]int64      //lint:guardedby mu — last fetch end per disk (for policies)
+	breakers   map[int]*breaker   //lint:guardedby mu
+	memUsed    int64              //lint:guardedby mu — staged bytes owned by this shard
+	bufCount   int                //lint:guardedby mu — live buffers owned by this shard
+	stats      Stats              //lint:guardedby mu
+	gcCancel   func()             //lint:guardedby mu
+	gcArmed    bool               //lint:guardedby mu
+	closed     bool               //lint:guardedby mu
 
 	// pendingIO collects device calls generated under the lock; they
 	// run after the lock is released (flush), because real devices may
 	// block in ReadAt and their completions need the lock.
-	pendingIO []func()
+	pendingIO []func() //lint:guardedby mu
 	// pendingDone collects staged-data completions generated under the
 	// lock; flush delivers the whole batch after the device calls, so
 	// the issue path keeps its priority (§4.2) and delivery costs no
 	// per-response timer.
-	pendingDone []doneEntry
+	pendingDone []doneEntry //lint:guardedby mu
 	// spareIO/spareDone recycle the drained slices so the steady-state
 	// hit path allocates nothing.
-	spareIO   []func()
-	spareDone []doneEntry
+	spareIO   []func()    //lint:guardedby mu
+	spareDone []doneEntry //lint:guardedby mu
 
 	// wantPump flags that this shard gave up on admission because a
 	// global budget (D or M) was exhausted; Server.repumpPass clears
@@ -134,6 +134,8 @@ func (sh *shard) clearBlocked() bool {
 // collectible state, and leaves no timer behind when the shard is
 // idle (so simulations drain and idle real servers hold no timers).
 // Caller holds sh.mu.
+//
+//lint:holds mu
 func (sh *shard) armGC() {
 	if sh.gcArmed || sh.closed {
 		return
@@ -221,6 +223,8 @@ func (sh *shard) deliver(batch []doneEntry) {
 
 // enqueueDone queues one staged-data completion for the next flush.
 // Caller holds sh.mu.
+//
+//lint:holds mu
 func (sh *shard) enqueueDone(done func(Response), resp Response, length int64) {
 	if done == nil {
 		// Nobody is waiting: drop the delivery (the pooled ref was only
@@ -316,6 +320,8 @@ func (sh *shard) submit(req Request) error {
 // acceptStreamRequest handles an in-order request of a known stream:
 // serve from a ready buffer, or queue it for an in-flight/future
 // fetch. Caller holds sh.mu.
+//
+//lint:holds mu
 func (sh *shard) acceptStreamRequest(st *stream, req Request, now time.Duration) {
 	// Advance the expected offset.
 	delete(sh.byExpected, offKey{disk: st.disk, off: st.nextClient})
@@ -358,6 +364,8 @@ func (sh *shard) acceptStreamRequest(st *stream, req Request, now time.Duration)
 // lookupNearSeq returns the stream on disk whose expected offset is
 // nearest to off within the configured window, or nil. Caller holds
 // sh.mu.
+//
+//lint:holds mu
 func (sh *shard) lookupNearSeq(disk int, off int64) *stream {
 	var best *stream
 	var bestDist int64
@@ -383,6 +391,8 @@ func (sh *shard) lookupNearSeq(disk int, off int64) *stream {
 // backward overlap is served from staged data (or directly) without
 // moving the stream; a forward gap marks the skipped range consumed
 // and advances the stream. Caller holds sh.mu.
+//
+//lint:holds mu
 func (sh *shard) acceptNearSeq(st *stream, req Request, now time.Duration) {
 	sh.stats.NearSeqAccepted++
 	if o := sh.srv.cfg.Obs; o != nil {
@@ -453,6 +463,8 @@ func (sh *shard) eligible(st *stream) bool {
 // sequential mode) never over-count. The completion itself is batched
 // (enqueueDone) and carries a reference on the buffer's pooled memory
 // when there is one. Caller holds sh.mu.
+//
+//lint:holds mu
 func (sh *shard) serveFromBuffer(st *stream, b *buffer, p pendingReq, now time.Duration) {
 	firstHit := b.consumed == 0
 	if mark := p.off + p.length - b.start; mark > b.consumed {
@@ -506,6 +518,8 @@ func (sh *shard) serveFromBuffer(st *stream, b *buffer, p pendingReq, now time.D
 // directRead services a request through the non-sequential path,
 // reading into pooled memory when the device supports it. The device
 // call itself is deferred to flush. Caller holds sh.mu.
+//
+//lint:holds mu
 func (sh *shard) directRead(req Request, now time.Duration) {
 	sh.stats.DirectReads++
 	if o := sh.srv.cfg.Obs; o != nil {
@@ -581,6 +595,8 @@ func (sh *shard) onDirectDone(req Request, start time.Duration, pb *bufpool.Buf,
 
 // createStream registers a new sequential stream whose next expected
 // request follows req. Caller holds sh.mu.
+//
+//lint:holds mu
 func (sh *shard) createStream(req Request, now time.Duration) {
 	srv := sh.srv
 	next := req.Offset + req.Length
@@ -614,6 +630,10 @@ func (sh *shard) createStream(req Request, now time.Duration) {
 	sh.pump()
 }
 
+// enqueueCandidate appends st to the candidate queue and marks it
+// queued. Caller holds sh.mu.
+//
+//lint:holds mu
 func (sh *shard) enqueueCandidate(st *stream) {
 	st.queued = true
 	sh.candidates = append(sh.candidates, st)
@@ -632,6 +652,8 @@ func (sh *shard) enqueueCandidate(st *stream) {
 // the disks are distributed over shards. When a global budget is
 // exhausted the shard flags itself for a repump instead of spinning.
 // Caller holds sh.mu.
+//
+//lint:holds mu
 func (sh *shard) pump() {
 	srv := sh.srv
 	if invariants.Enabled {
@@ -732,6 +754,8 @@ func (sh *shard) pump() {
 // and the consistency of the shard-local accounting the global bounds
 // rest on. It is called from the dispatch path (pump), the completion
 // path (onFetchDone), and the GC tick. Caller holds sh.mu.
+//
+//lint:holds mu
 func (sh *shard) checkInvariants() {
 	if !invariants.Enabled {
 		return
@@ -789,6 +813,8 @@ func (sh *shard) checkInvariants() {
 // findEvictVictim returns the shard's least-recently-active staged
 // buffer that is ready, has no waiter, and has been idle at least
 // EvictIdle (with its owner), or nils. Caller holds sh.mu.
+//
+//lint:holds mu
 func (sh *shard) findEvictVictim() (*stream, *buffer) {
 	now := sh.srv.clock.Now()
 	var victim *buffer
@@ -814,6 +840,8 @@ func (sh *shard) findEvictVictim() (*stream, *buffer) {
 
 // evictIdleBuffer frees the shard's LRU evictable staged buffer,
 // reporting whether anything was freed. Caller holds sh.mu.
+//
+//lint:holds mu
 func (sh *shard) evictIdleBuffer() bool {
 	owner, victim := sh.findEvictVictim()
 	if victim == nil {
@@ -851,6 +879,8 @@ func hasWaiter(st *stream, b *buffer) bool {
 // stream, reserving its bytes against the global budget and drawing
 // its staging memory from the pool when the device reads into caller
 // buffers. Caller holds sh.mu.
+//
+//lint:holds mu
 func (sh *shard) issueFetch(st *stream) {
 	srv := sh.srv
 	capacity := srv.dev.Capacity(st.disk)
@@ -911,6 +941,8 @@ func (sh *shard) issueFetch(st *stream) {
 // fetchCall builds the off-lock device call for a buffer's fetch (and
 // its retries): into the buffer's pooled memory when it has any,
 // through the allocating path otherwise. Caller holds sh.mu.
+//
+//lint:holds mu
 func (sh *shard) fetchCall(st *stream, b *buffer) func() {
 	srv := sh.srv
 	return func() {
@@ -934,6 +966,8 @@ func (sh *shard) fetchCall(st *stream, b *buffer) func() {
 
 // armFetchDeadline starts the FetchTimeout timer for a buffer's fetch,
 // replacing any previous timer. Caller holds sh.mu.
+//
+//lint:holds mu
 func (sh *shard) armFetchDeadline(st *stream, b *buffer) {
 	if sh.srv.cfg.FetchTimeout <= 0 {
 		return
@@ -1001,6 +1035,8 @@ func (sh *shard) onFetchTimeout(st *stream, b *buffer) {
 // The FetchTimeout deadline is NOT re-armed: it bounds the whole
 // fetch, retries included, and may fire mid-backoff. Caller holds
 // sh.mu.
+//
+//lint:holds mu
 func (sh *shard) scheduleRetry(st *stream, b *buffer) {
 	sh.stats.FetchRetries++
 	if o := sh.srv.cfg.Obs; o != nil {
@@ -1130,6 +1166,8 @@ func (sh *shard) onFetchDone(st *stream, b *buffer, data []byte, derr error) {
 
 // drainQueue serves the head of the stream queue while ready buffers
 // cover it. Caller holds sh.mu.
+//
+//lint:holds mu
 func (sh *shard) drainQueue(st *stream, now time.Duration) {
 	for len(st.queue) > 0 {
 		p := st.queue[0]
@@ -1167,6 +1205,8 @@ func splitCovered(queue []pendingReq, b *buffer) (kept, covered []pendingReq) {
 // rotateOut removes a stream from the dispatch set (§4.2: after N
 // requests it is replaced by the next sequential stream) and re-queues
 // it as a candidate when it still has work. Caller holds sh.mu.
+//
+//lint:holds mu
 func (sh *shard) rotateOut(st *stream) {
 	sh.unDispatch(st)
 	st.issuedInResidency = 0
@@ -1183,6 +1223,8 @@ func (sh *shard) rotateOut(st *stream) {
 // its staged data — with nobody waiting — only burns a sick disk
 // further. The stream re-enters on its next client request (or idles
 // out and is collected). Caller holds sh.mu.
+//
+//lint:holds mu
 func (sh *shard) parkStream(st *stream) {
 	sh.unDispatch(st)
 	st.issuedInResidency = 0
@@ -1192,6 +1234,8 @@ func (sh *shard) parkStream(st *stream) {
 
 // unDispatch releases a stream's dispatch slot, both locally and in
 // the global counter. Caller holds sh.mu.
+//
+//lint:holds mu
 func (sh *shard) unDispatch(st *stream) {
 	if !st.dispatched {
 		return
@@ -1223,6 +1267,8 @@ func (sh *shard) unDispatch(st *stream) {
 // bytes always; the pooled bytes only when no device call can still
 // touch them (abandoned fetches recycle through the late completion
 // instead). Caller holds sh.mu.
+//
+//lint:holds mu
 func (sh *shard) freeBuffer(st *stream, b *buffer, gc bool) {
 	for i, cur := range st.buffers {
 		if cur == b {
@@ -1256,6 +1302,8 @@ func (sh *shard) freeBuffer(st *stream, b *buffer, gc bool) {
 
 // maybeRetire drops a stream that has prefetched to the end of its
 // disk and holds no data or waiters. Caller holds sh.mu.
+//
+//lint:holds mu
 func (sh *shard) maybeRetire(st *stream) {
 	if st.dispatched || st.queued || st.fetchInFlight {
 		return

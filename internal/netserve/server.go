@@ -22,11 +22,11 @@ type Server struct {
 	opts   ServerOptions
 
 	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
-	closed bool
+	conns  map[net.Conn]struct{} //lint:guardedby mu
+	closed bool                  //lint:guardedby mu
 	wg     sync.WaitGroup
 
-	stats  ServerStats
+	stats  ServerStats //lint:guardedby mu
 	obs    atomic.Pointer[Obs]
 	flight atomic.Pointer[flight.Recorder]
 }

@@ -199,7 +199,7 @@ type metric struct {
 // programming error, caught at wiring time.
 type Registry struct {
 	mu      sync.Mutex
-	metrics map[string]*metric
+	metrics map[string]*metric //lint:guardedby mu
 }
 
 // NewRegistry returns an empty registry.

@@ -86,18 +86,18 @@ type SpanLog struct {
 	now func() time.Duration
 
 	mu      sync.Mutex
-	events  []SpanEvent
-	next    int
-	wrapped bool
+	events  []SpanEvent //lint:guardedby mu
+	next    int         //lint:guardedby mu
+	wrapped bool        //lint:guardedby mu
 
 	// sink receives flushed events as JSON lines; nil discards. total
 	// and flushed are absolute event counts (recorded ever / flushed
 	// through), so a flush emits exactly the retained events that were
 	// not flushed before — ring overwrites can drop events between
 	// flushes, but never duplicate them.
-	sink    io.Writer
-	total   int64
-	flushed int64
+	sink    io.Writer //lint:guardedby mu
+	total   int64     //lint:guardedby mu
+	flushed int64     //lint:guardedby mu
 }
 
 // NewSpanLog builds a span log holding up to capacity events (older
@@ -168,6 +168,8 @@ func (l *SpanLog) Close() error {
 }
 
 // flushLocked emits the unflushed retained events. Caller holds l.mu.
+//
+//lint:holds mu
 func (l *SpanLog) flushLocked() error {
 	if l.sink == nil {
 		l.flushed = l.total
