@@ -50,6 +50,9 @@ func run(args []string) error {
 
 		benchFlight = fs.String("bench-flight", "", "run the flight-recorder overhead benchmark (recording off vs on) and write the report to this path")
 		budget      = fs.Float64("flight-budget", bench.DefaultFlightBudget, "bench-flight: acceptable req/s overhead fraction; exceeding it fails the run")
+
+		benchHealth  = fs.String("bench-health", "", "run the health-engine overhead benchmark (windows+engine off vs on, recorder on in both) and write the report to this path")
+		healthBudget = fs.Float64("health-budget", bench.DefaultHealthBudget, "bench-health: acceptable req/s overhead fraction; exceeding it fails the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,6 +78,26 @@ func run(args []string) error {
 		return nil
 	}
 
+	if *benchHealth != "" {
+		rep, err := bench.RunHealthComparison(bench.Config{
+			Disks:    *benchDisks,
+			Streams:  *benchStreams,
+			Requests: *benchRequests,
+		}, *healthBudget)
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep.Summary())
+		if err := rep.WriteJSON(*benchHealth); err != nil {
+			return err
+		}
+		if !rep.WithinBudget {
+			return fmt.Errorf("health engine overhead %.2f%% exceeds budget %.1f%%",
+				rep.OverheadFrac*100, rep.Budget*100)
+		}
+		return nil
+	}
+
 	if *benchJSON != "" {
 		rep, err := bench.RunComparison(bench.Config{
 			Disks:    *benchDisks,
@@ -85,6 +108,19 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Print(rep.Summary())
+		// Fold the health-overhead comparison into the same document so
+		// BENCH_core.json records the budget verdict alongside the
+		// sharding speedup.
+		h, err := bench.RunHealthComparison(bench.Config{
+			Disks:    *benchDisks,
+			Streams:  *benchStreams,
+			Requests: *benchRequests,
+		}, *healthBudget)
+		if err != nil {
+			return err
+		}
+		fmt.Print(h.Summary())
+		rep.Health = &h
 		return rep.WriteJSON(*benchJSON)
 	}
 

@@ -8,11 +8,16 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"sort"
 	"time"
 
+	"seqstream/internal/health"
 	"seqstream/internal/netserve"
 	"seqstream/internal/units"
 )
@@ -36,6 +41,8 @@ func run(args []string) error {
 		wantData = fs.Bool("data", false, "request payloads (off to mirror the paper's setup)")
 		writes   = fs.Bool("write", false, "issue write streams instead of reads (node must run -ingest)")
 		perOut   = fs.Bool("per-stream", false, "print per-stream statistics")
+
+		healthAddr = fs.String("health-addr", "", "storage node debug address (host:port); after the run, fetch /debug/health and print windowed per-disk latency plus anomaly counts (empty disables)")
 
 		traced      = fs.Bool("trace", false, "stamp every request with a client-generated trace id (follow them in the node's /debug/flight)")
 		timeout     = fs.Duration("timeout", 0, "per-request deadline; timed-out requests fail the run (0 waits forever)")
@@ -91,6 +98,56 @@ func run(args []string) error {
 			fmt.Printf("  stream %3d: %.2f MB/s mean=%v\n",
 				id, s.Throughput()/1e6, s.Latency.Mean().Round(time.Microsecond))
 		}
+	}
+	if *healthAddr != "" {
+		if err := printHealth(os.Stdout, *healthAddr); err != nil {
+			return fmt.Errorf("health summary: %w", err)
+		}
+	}
+	return nil
+}
+
+// printHealth fetches the node's /debug/health rollup and prints the
+// end-of-run summary: node verdict, windowed per-disk fetch latency,
+// and active anomaly counts by kind.
+func printHealth(w io.Writer, addr string) error {
+	resp, err := http.Get("http://" + addr + "/debug/health")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /debug/health: status %d", resp.StatusCode)
+	}
+	var rep health.Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "health: verdict=%s anomalies=%d events=%d lost=%d\n",
+		rep.Verdict, len(rep.Anomalies), rep.EventsSeen, rep.EventsLost)
+	fmt.Fprintf(w, "  request window: p50=%v p99=%v (%d samples)\n",
+		rep.Request.P50.Round(time.Microsecond), rep.Request.P99.Round(time.Microsecond), rep.Request.Count)
+	for _, d := range rep.Disks {
+		fmt.Fprintf(w, "  disk %d [shard %d] %s: fetch p50=%v p99=%v ewma=%v",
+			d.Disk, d.Shard, d.Verdict,
+			d.Fetch.P50.Round(time.Microsecond), d.Fetch.P99.Round(time.Microsecond),
+			d.EWMA.Round(time.Microsecond))
+		if d.Breaker != "" {
+			fmt.Fprintf(w, " breaker=%s", d.Breaker)
+		}
+		fmt.Fprintln(w)
+	}
+	counts := map[string]int{}
+	for _, a := range rep.Anomalies {
+		counts[a.Kind]++
+	}
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(w, "  anomaly[%s] x%d\n", k, counts[k])
 	}
 	return nil
 }

@@ -1,12 +1,15 @@
 package main
 
 import (
+	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
 	"seqstream/internal/blockdev"
 	"seqstream/internal/core"
 	"seqstream/internal/flight"
+	"seqstream/internal/health"
 	"seqstream/internal/netserve"
 )
 
@@ -103,5 +106,59 @@ func TestRunBadArgs(t *testing.T) {
 	}
 	if err := run([]string{"-zzz"}); err == nil {
 		t.Error("bad flag accepted")
+	}
+}
+
+// TestRunWithHealthSummary drives a load run with -health-addr pointed
+// at a /debug/health endpoint and checks printHealth's rendering of
+// the rollup.
+func TestRunWithHealthSummary(t *testing.T) {
+	srv := startNode(t)
+
+	// A health engine over a synthetic breaker flap stands in for the
+	// node's debug listener.
+	clk := blockdev.NewRealClock()
+	rec, err := flight.New(clk.Now, 1, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := health.NewEngine(rec, nil, clk, health.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	rec.Ring(0).Record(flight.Event{Op: flight.OpBreakerOpen, Disk: 0})
+	rec.Ring(0).Record(flight.Event{Op: flight.OpBreakerOpen, Disk: 0})
+	eng.Tick()
+	ts := httptest.NewServer(health.Handler(eng))
+	defer ts.Close()
+	healthAddr := strings.TrimPrefix(ts.URL, "http://")
+
+	err = run([]string{
+		"-addr", srv.Addr(), "-streams", "2", "-requests", "8",
+		"-capacity", "1GiB", "-health-addr", healthAddr,
+	})
+	if err != nil {
+		t.Fatalf("run -health-addr: %v", err)
+	}
+
+	var b strings.Builder
+	if err := printHealth(&b, healthAddr); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"health: verdict=degraded anomalies=1",
+		"disk 0 [shard 0] degraded",
+		"anomaly[breaker-flap] x1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+
+	// A dead endpoint fails the summary, not silently.
+	if err := printHealth(&b, "127.0.0.1:1"); err == nil {
+		t.Error("dead health endpoint accepted")
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"seqstream/internal/controller"
 	"seqstream/internal/core"
 	"seqstream/internal/flight"
+	"seqstream/internal/health"
 	"seqstream/internal/netserve"
 	"seqstream/internal/obs"
 	"seqstream/internal/units"
@@ -44,6 +45,7 @@ type node struct {
 	reg     *obs.Registry
 	spans   *obs.SpanLog
 	flight  *flight.Recorder
+	health  *health.Engine
 	debug   *obs.DebugServer
 	closers []func()
 }
@@ -51,6 +53,9 @@ type node struct {
 func (n *node) Close() {
 	if n.debug != nil {
 		n.debug.Close()
+	}
+	if n.health != nil {
+		n.health.Close()
 	}
 	n.srv.Close()
 	if n.ingest != nil {
@@ -86,6 +91,8 @@ func run(args []string) error {
 		statsIvl  = fs.Duration("stats-interval", 0, "log a one-line metric summary this often (0 disables)")
 
 		flightEvents = fs.Int("flight-events", 0, "per-shard flight-recorder ring capacity in events, rounded up to a power of two (0 uses the default, 4096)")
+		healthIvl    = fs.Duration("health-interval", time.Second, "how often the online health engine polls the flight rings (0 disables the engine)")
+		healthWin    = fs.Duration("health-window", time.Minute, "sliding-window span for the latency telemetry behind /debug/health (0 disables windows and the engine)")
 		spanLogPath  = fs.String("span-log", "", "append lifecycle span JSON lines to this file (flushed on shutdown)")
 
 		fault        = fs.String("fault", "", "fault-injection script, rules separated by ';' (e.g. 'disk=0,mode=err,every=5;mode=delay,delay=50ms')")
@@ -106,6 +113,7 @@ func run(args []string) error {
 		files: *files, memory: *memory, ra: *ra, n: *n, d: *d,
 		ingest: *ingest, chunk: *chunk, debugAddr: *debugAddr,
 		flightEvents: *flightEvents, spanLogPath: *spanLogPath,
+		healthInterval: *healthIvl, healthWindow: *healthWin,
 		fault:        *fault,
 		fetchTimeout: *fetchTimeout, fetchRetries: *fetchRetries, retryBackoff: *retryBackoff,
 		breakerThreshold: *brkThresh, breakerCooldown: *brkCooldown,
@@ -157,6 +165,18 @@ func statsLine(nd *node) string {
 		ns.Conns, ns.Errors)
 }
 
+// extraHandlers mounts the flight snapshot dump and, when the engine
+// runs, the /debug/health rollup on the debug mux.
+func extraHandlers(rec *flight.Recorder, eng *health.Engine) map[string]http.Handler {
+	m := map[string]http.Handler{
+		"/debug/flight": flight.Handler(rec),
+	}
+	if eng != nil {
+		m["/debug/health"] = health.Handler(eng)
+	}
+	return m
+}
+
 // buildParams carries the parsed flags.
 type buildParams struct {
 	listen    string
@@ -175,6 +195,10 @@ type buildParams struct {
 	// Flight recorder and span-log sink.
 	flightEvents int
 	spanLogPath  string
+
+	// Online health engine: poll period and sliding-window span.
+	healthInterval time.Duration
+	healthWindow   time.Duration
 
 	// Failure handling: fault-injection script plus the fetch-timeout,
 	// retry, breaker, and connection-deadline knobs.
@@ -265,6 +289,7 @@ func build(p buildParams) (*node, error) {
 		RetryBackoff:      p.retryBackoff,
 		BreakerThreshold:  p.breakerThreshold,
 		BreakerCooldown:   p.breakerCooldown,
+		WindowSpan:        p.healthWindow,
 	}
 	cfg.ApplyDefaults()
 
@@ -302,9 +327,33 @@ func build(p buildParams) (*node, error) {
 		coreSrv.Close()
 		return nil, err
 	}
-	srv.SetObs(netserve.NewObs(out.reg))
+	nsObs := netserve.NewObs(out.reg)
+	if p.healthWindow > 0 {
+		if err := nsObs.AttachWindow(out.reg, clock.Now, p.healthWindow); err != nil {
+			coreSrv.Close()
+			srv.Close()
+			return nil, err
+		}
+	}
+	srv.SetObs(nsObs)
 	srv.SetFlight(rec)
 	out.srv = srv
+
+	// The health engine tails the shard rings the recorder already
+	// carries; windows disabled (healthWindow 0) also disables it, since
+	// the rollup's latency half would be empty.
+	if p.healthInterval > 0 && p.healthWindow > 0 {
+		eng, err := health.NewEngine(rec, coreSrv, clock, health.Config{
+			Interval: p.healthInterval,
+			Window:   p.healthWindow,
+		})
+		if err != nil {
+			out.Close()
+			return nil, err
+		}
+		eng.Start()
+		out.health = eng
+	}
 
 	if p.ingest {
 		chunkBytes, err := units.ParseSize(p.chunk)
@@ -333,9 +382,7 @@ func build(p buildParams) (*node, error) {
 			"netserve": func() any { return out.srv.Stats() },
 			"config":   func() any { return out.core.Config() },
 			"spans":    func() any { return spans.Snapshot() },
-		}, map[string]http.Handler{
-			"/debug/flight": flight.Handler(rec),
-		})
+		}, extraHandlers(rec, out.health))
 		dbg, err := obs.Serve(p.debugAddr, handler)
 		if err != nil {
 			out.Close()

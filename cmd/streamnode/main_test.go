@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"seqstream/internal/flight"
+	"seqstream/internal/health"
 	"seqstream/internal/netserve"
 )
 
@@ -62,6 +63,8 @@ func fetch(t *testing.T, url string) string {
 func TestDebugEndpoints(t *testing.T) {
 	p := testParams()
 	p.debugAddr = "127.0.0.1:0"
+	p.healthInterval = 50 * time.Millisecond
+	p.healthWindow = time.Minute
 	nd, err := build(p)
 	if err != nil {
 		t.Fatal(err)
@@ -128,6 +131,42 @@ func TestDebugEndpoints(t *testing.T) {
 	}
 	if _, err := flight.ReadSnapshot(strings.NewReader(fetch(t, base+"/debug/flight"))); err != nil {
 		t.Errorf("binary /debug/flight does not parse: %v", err)
+	}
+
+	// The health engine runs and rolls the workload up at
+	// /debug/health. Tick it directly rather than sleeping for the
+	// 50ms poll.
+	nd.health.Tick()
+	var rep health.Report
+	if err := json.Unmarshal([]byte(fetch(t, base+"/debug/health")), &rep); err != nil {
+		t.Fatalf("/debug/health is not JSON: %v", err)
+	}
+	if rep.Verdict != health.VerdictHealthy {
+		t.Errorf("healthy node reports %q: %+v", rep.Verdict, rep.Anomalies)
+	}
+	if len(rep.Disks) != 1 || rep.Disks[0].Fetch.Count == 0 {
+		t.Errorf("/debug/health disk rollup empty: %+v", rep.Disks)
+	}
+	if rep.Request.Count == 0 {
+		t.Errorf("/debug/health request window empty: %+v", rep.Request)
+	}
+	if rep.EventsSeen == 0 {
+		t.Error("/debug/health saw no flight events")
+	}
+	prom := fetch(t, base+"/debug/health?format=prom")
+	if !strings.Contains(prom, "seqstream_health_verdict 0") {
+		t.Errorf("prom health output missing node verdict:\n%s", prom)
+	}
+	// The windowed metric families ride on /metrics too.
+	metrics = fetch(t, base+"/metrics")
+	for _, family := range []string{
+		"seqstream_core_request_latency_window_seconds",
+		"seqstream_core_fetch_latency_window_seconds",
+		"seqstream_netserve_request_latency_window_seconds",
+	} {
+		if !strings.Contains(metrics, family) {
+			t.Errorf("/metrics missing windowed family %q", family)
+		}
 	}
 }
 

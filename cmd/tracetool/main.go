@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"seqstream/internal/flight"
+	"seqstream/internal/health"
 )
 
 func main() {
@@ -97,7 +98,7 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "chrome trace: %d events -> %s\n", len(tl.Events), *chrome)
 	}
 	if *anomalies {
-		found := tl.Detect(flight.DetectorConfig{
+		found := health.Detect(tl.Events, health.DetectorConfig{
 			StarveRotations:     *starve,
 			StragglerFactor:     *stragFactor,
 			StragglerMinFetches: *stragMin,

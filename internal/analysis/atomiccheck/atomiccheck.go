@@ -31,6 +31,7 @@ var GatedPackages = []string{
 	"seqstream/internal/flight",
 	"seqstream/internal/bufpool",
 	"seqstream/internal/obs",
+	"seqstream/internal/health",
 }
 
 // Analyzer is the atomiccheck check.

@@ -25,6 +25,7 @@ import (
 var GatedPackages = []string{
 	"seqstream/internal/core",
 	"seqstream/internal/netserve",
+	"seqstream/internal/health",
 }
 
 // Analyzer is the lockcheck check.

@@ -34,6 +34,7 @@ var GatedPackages = []string{
 	"seqstream/internal/core",
 	"seqstream/internal/netserve",
 	"seqstream/internal/obs",
+	"seqstream/internal/health",
 }
 
 // Analyzer is the shardcheck check.

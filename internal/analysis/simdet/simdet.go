@@ -32,6 +32,9 @@ var GatedPackages = []string{
 	// flight records inside the simulation too: its Recorder takes an
 	// injected `now` func, so the same discipline applies.
 	"seqstream/internal/flight",
+	// health runs over an injected blockdev.Clock so the engine ticks
+	// deterministically under virtual time; keep wall clocks out.
+	"seqstream/internal/health",
 }
 
 // forbiddenCalls maps import path -> function name -> the suggested

@@ -19,6 +19,7 @@ import (
 	"seqstream/internal/blockdev"
 	"seqstream/internal/core"
 	"seqstream/internal/flight"
+	"seqstream/internal/health"
 )
 
 // Config parameterizes one bench run.
@@ -48,6 +49,11 @@ type Config struct {
 	// Flight attaches an always-on flight recorder (one ring per shard
 	// plus the device layer), measuring the recorder's hot-path cost.
 	Flight bool
+	// Health additionally attaches the sliding-window latency telemetry
+	// and the online health engine (polling the rings on a short
+	// interval for the whole run), measuring the health stack's cost.
+	// Implies Flight: the engine tails the recorder's rings.
+	Health bool
 }
 
 // ApplyDefaults fills zero fields with the defaults described on each
@@ -108,6 +114,9 @@ type Result struct {
 	// FlightEvents is the number of events retained in the recorder's
 	// rings at the end of the run (0 with FlightOn false).
 	FlightEvents int `json:"flight_events,omitempty"`
+	// HealthOn reports whether the windows + health engine were
+	// attached.
+	HealthOn bool `json:"health_on,omitempty"`
 }
 
 // Run executes one bench configuration: Streams goroutines each issue
@@ -133,6 +142,10 @@ func Run(name string, cfg Config) (Result, error) {
 	if shards <= 0 || shards > cfg.Disks {
 		shards = cfg.Disks
 	}
+	if cfg.Health {
+		cfg.Flight = true
+		ccfg.WindowSpan = time.Minute
+	}
 	var rec *flight.Recorder
 	if cfg.Flight {
 		rec, err = flight.New(clock.Now, shards, 0)
@@ -147,6 +160,16 @@ func Run(name string, cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	defer srv.Close()
+	if cfg.Health {
+		// A deliberately aggressive poll period: the measured overhead
+		// bounds any production interval from above.
+		eng, err := health.NewEngine(rec, srv, clock, health.Config{Interval: 50 * time.Millisecond})
+		if err != nil {
+			return Result{}, err
+		}
+		eng.Start()
+		defer eng.Close()
+	}
 
 	lats := make([][]time.Duration, cfg.Streams)
 	for i := range lats {
@@ -227,6 +250,7 @@ func Run(name string, cfg Config) (Result, error) {
 		BufferHitRate:  float64(st.BufferHits+st.QueuedServed) / float64(st.Requests),
 		FlightOn:       cfg.Flight,
 		FlightEvents:   flightEvents,
+		HealthOn:       cfg.Health,
 	}, nil
 }
 
@@ -331,6 +355,103 @@ func (r FlightReport) Summary() string {
 	return out
 }
 
+// DefaultHealthBudget is the acceptable request-throughput regression
+// from attaching the health stack (windows + engine) on top of an
+// already-recording node: 1%.
+const DefaultHealthBudget = 0.01
+
+// HealthReport compares the same workload with the flight recorder on
+// in both runs, and the health stack (sliding windows + online engine)
+// off then on — so the delta isolates the health additions from the
+// recorder cost FlightReport already budgets.
+type HealthReport struct {
+	// GOMAXPROCS records the parallelism the run had available.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Trials is how many runs per configuration fed the best-of pick.
+	Trials int `json:"trials"`
+	// Off and On are the best (highest req/s) runs per configuration.
+	Off Result `json:"off"`
+	On  Result `json:"on"`
+	// OverheadFrac is 1 - on.req/s ÷ off.req/s.
+	OverheadFrac float64 `json:"overhead_frac"`
+	// Budget is the overhead fraction the report was judged against.
+	Budget float64 `json:"budget"`
+	// WithinBudget is OverheadFrac <= Budget.
+	WithinBudget bool `json:"within_budget"`
+}
+
+// RunHealthComparison benches the workload with the health stack off
+// then on (flight recording on in both) and judges the overhead
+// against budget (<=0 uses DefaultHealthBudget). Best-of-N for the
+// same reason as the flight gate.
+func RunHealthComparison(cfg Config, budget float64) (HealthReport, error) {
+	if budget <= 0 {
+		budget = DefaultHealthBudget
+	}
+	best := func(name string, c Config) (Result, error) {
+		var b Result
+		for i := 0; i < flightTrials; i++ {
+			r, err := Run(name, c)
+			if err != nil {
+				return Result{}, err
+			}
+			if i == 0 || r.RequestsPerSec > b.RequestsPerSec {
+				b = r
+			}
+		}
+		return b, nil
+	}
+	off := cfg
+	off.Flight = true
+	off.Health = false
+	or, err := best("health-off", off)
+	if err != nil {
+		return HealthReport{}, err
+	}
+	on := cfg
+	on.Health = true
+	nr, err := best("health-on", on)
+	if err != nil {
+		return HealthReport{}, err
+	}
+	overhead := 1 - nr.RequestsPerSec/or.RequestsPerSec
+	return HealthReport{
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Trials:       flightTrials,
+		Off:          or,
+		On:           nr,
+		OverheadFrac: overhead,
+		Budget:       budget,
+		WithinBudget: overhead <= budget,
+	}, nil
+}
+
+// WriteJSON writes the health report to path, indented.
+func (r HealthReport) WriteJSON(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	return os.WriteFile(path, b, 0o644)
+}
+
+// Summary renders the health report as a short human-readable table.
+func (r HealthReport) Summary() string {
+	out := fmt.Sprintf("health-engine overhead bench (GOMAXPROCS=%d)\n", r.GOMAXPROCS)
+	out += fmt.Sprintf("%-12s %12s %10s %10s\n", "config", "req/s", "allocs/op", "p99(µs)")
+	for _, res := range []Result{r.Off, r.On} {
+		out += fmt.Sprintf("%-12s %12.0f %10.2f %10.1f\n",
+			res.Name, res.RequestsPerSec, res.AllocsPerOp, res.P99Micros)
+	}
+	verdict := "within"
+	if !r.WithinBudget {
+		verdict = "OVER"
+	}
+	out += fmt.Sprintf("overhead: %.2f%% (%s budget %.1f%%)\n", r.OverheadFrac*100, verdict, r.Budget*100)
+	return out
+}
+
 // Report is the BENCH_core.json document: the sharded configuration
 // against the single-lock one on the same workload.
 type Report struct {
@@ -341,6 +462,9 @@ type Report struct {
 	// SpeedupShardedVsSingleLock is sharded req/s over single-lock
 	// req/s on the identical workload.
 	SpeedupShardedVsSingleLock float64 `json:"speedup_sharded_vs_single_lock"`
+	// Health, when the health gate also ran, embeds its overhead
+	// comparison so BENCH_core.json records the budget verdict.
+	Health *HealthReport `json:"health,omitempty"`
 }
 
 // RunComparison benches the same workload twice — Shards=1 (the

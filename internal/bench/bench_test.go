@@ -1,0 +1,43 @@
+package bench
+
+import "testing"
+
+// TestRunWithHealth smoke-tests the health-attached configuration: the
+// run completes, the recorder and engine are live, and the result
+// records both attachments.
+func TestRunWithHealth(t *testing.T) {
+	r, err := Run("health-smoke", Config{
+		Disks: 2, Streams: 4, Requests: 16,
+		Health: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.HealthOn || !r.FlightOn {
+		t.Fatalf("attachments not recorded: %+v", r)
+	}
+	if r.FlightEvents == 0 {
+		t.Fatal("no flight events with the recorder on")
+	}
+	if r.TotalRequests != 64 || r.RequestsPerSec <= 0 {
+		t.Fatalf("workload not measured: %+v", r)
+	}
+}
+
+// TestRunHealthComparisonShape checks the comparison pairs the right
+// configurations: recorder on in both, health only in the second.
+func TestRunHealthComparisonShape(t *testing.T) {
+	rep, err := RunHealthComparison(Config{Disks: 2, Streams: 4, Requests: 8}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Budget != DefaultHealthBudget || rep.Trials != flightTrials {
+		t.Fatalf("report defaults: %+v", rep)
+	}
+	if !rep.Off.FlightOn || rep.Off.HealthOn {
+		t.Fatalf("off side misconfigured: %+v", rep.Off)
+	}
+	if !rep.On.FlightOn || !rep.On.HealthOn {
+		t.Fatalf("on side misconfigured: %+v", rep.On)
+	}
+}

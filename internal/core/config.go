@@ -125,6 +125,18 @@ type Config struct {
 	// keeps shard timelines contention-free. Recording is lock-free and
 	// allocation-free; see package flight.
 	Flight *flight.Recorder
+
+	// WindowSpan, when positive, attaches sliding-window latency
+	// telemetry (see LatencyWindows): request latency node-wide and
+	// fetch latency node-wide plus per disk, observed beside the
+	// cumulative Obs histograms but covering only the last WindowSpan
+	// of traffic. Independent of Obs so the health engine can run with
+	// metrics off; zero disables windows entirely.
+	WindowSpan time.Duration
+	// WindowBuckets splits WindowSpan into this many ring slots
+	// (default obs.DefaultWindowBuckets, i.e. 12 — a 60s window
+	// rotates a 5s slot).
+	WindowBuckets int
 }
 
 // DefaultConfig returns the §5 defaults for a node with the given
@@ -234,6 +246,10 @@ func (c Config) Validate() error {
 		return errors.New("core: breaker cooldown must be positive with the breaker enabled")
 	case c.Shards < 0:
 		return errors.New("core: shard count must be >= 0")
+	case c.WindowSpan < 0:
+		return errors.New("core: window span must be >= 0")
+	case c.WindowBuckets < 0:
+		return errors.New("core: window buckets must be >= 0")
 	}
 	return nil
 }

@@ -44,6 +44,11 @@ type Obs struct {
 	requestLatency *obs.Histogram
 
 	spans *obs.SpanLog
+
+	// reg is retained so the server can register its sliding-window
+	// families once the windows exist (they are built per server, with
+	// the server's clock, unlike the cumulative instruments above).
+	reg *obs.Registry
 }
 
 // NewObs registers the scheduler's metric families on reg and attaches
@@ -84,7 +89,19 @@ func NewObs(reg *obs.Registry, spans *obs.SpanLog) *Obs {
 		requestLatency: reg.Histogram("seqstream_core_request_latency_seconds", "client request service latency"),
 
 		spans: spans,
+		reg:   reg,
 	}
+}
+
+// registerWindows exposes the node-wide sliding windows as registry
+// families (per-disk windows stay on /debug/health — one family per
+// disk would explode the scrape). Re-registration rebinds the family
+// to the newest server's windows, mirroring GaugeFunc.
+func (o *Obs) registerWindows(win *LatencyWindows) {
+	o.reg.Window("seqstream_core_request_latency_window_seconds",
+		"client request service latency over the sliding window", win.request)
+	o.reg.Window("seqstream_core_fetch_latency_window_seconds",
+		"read-ahead disk request latency over the sliding window", win.fetch)
 }
 
 // Spans returns the attached span log, or nil.

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -137,6 +138,10 @@ type Server struct {
 
 	shards []*shard
 
+	// win holds the sliding-window latency telemetry when
+	// Config.WindowSpan is positive; nil-checked on every hot path.
+	win *LatencyWindows
+
 	// Global accounting (atomic; see DESIGN.md §10 for the protocol).
 	memUsed     atomic.Int64 // staged bytes across shards; never exceeds cfg.Memory
 	peakMem     atomic.Int64 // high-water mark of memUsed
@@ -193,6 +198,16 @@ func NewServer(dev blockdev.Device, clock blockdev.Clock, cfg Config) (*Server, 
 	for i := range s.shards {
 		s.shards[i] = newShard(s, i)
 	}
+	if cfg.WindowSpan > 0 {
+		win, err := newLatencyWindows(clock.Now, cfg.WindowSpan, cfg.WindowBuckets, dev.Disks())
+		if err != nil {
+			return nil, err
+		}
+		s.win = win
+		if o := cfg.Obs; o != nil {
+			o.registerWindows(win)
+		}
+	}
 	s.repumpFn = s.repumpPass
 	return s, nil
 }
@@ -212,6 +227,55 @@ func (s *Server) NumShards() int { return len(s.shards) }
 // Pool returns the staging buffer pool, or nil when the device does
 // not support pooled reads (simulated devices).
 func (s *Server) Pool() *bufpool.Pool { return s.pool }
+
+// Disks returns the device's disk count.
+func (s *Server) Disks() int { return s.dev.Disks() }
+
+// Windows returns the sliding-window latency telemetry, nil unless
+// Config.WindowSpan enabled it. Every LatencyWindows accessor is safe
+// on the nil result.
+func (s *Server) Windows() *LatencyWindows { return s.win }
+
+// BreakerInfo reports one disk's circuit-breaker state for the health
+// rollup.
+type BreakerInfo struct {
+	Disk  int
+	State string // "closed", "open", or "half-open"
+	// ReopenAt is when an open circuit starts probing again (server
+	// clock); zero unless State is "open".
+	ReopenAt time.Duration
+}
+
+// BreakerInfos lists every disk whose circuit currently exists (the
+// breaker map is lazy: a disk appears after its first device failure,
+// so absence means closed). Empty when the breaker is disabled. Each
+// shard is locked briefly in turn; the result is not a single
+// consistent cut, matching Stats.
+func (s *Server) BreakerInfos() []BreakerInfo {
+	if s.cfg.BreakerThreshold <= 0 {
+		return nil
+	}
+	var out []BreakerInfo
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for disk, b := range sh.breakers {
+			info := BreakerInfo{Disk: disk}
+			switch b.state {
+			case breakerOpen:
+				info.State = "open"
+				info.ReopenAt = b.reopenAt
+			case breakerHalfOpen:
+				info.State = "half-open"
+			default:
+				info.State = "closed"
+			}
+			out = append(out, info)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Disk < out[j].Disk })
+	return out
+}
 
 // Stats returns a snapshot of the counters: the monotonic counters
 // summed across shards, the gauges from the global accounting.

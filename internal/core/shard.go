@@ -477,6 +477,9 @@ func (sh *shard) serveFromBuffer(st *stream, b *buffer, p pendingReq, now time.D
 		o.requestLatency.Observe(now - p.start)
 		o.span(st.id, st.disk, obs.StageDeliver, p.off, p.length)
 	}
+	if w := sh.srv.win; w != nil {
+		w.observeRequest(now - p.start)
+	}
 	sh.srv.traceEvent(trace.Event{Kind: trace.KindClient, Stream: st.id, Disk: st.disk, Offset: p.off,
 		Length: p.length, Start: p.start, End: now, Hit: true})
 	// Deliver events are recorded at buffer granularity — the first
@@ -566,6 +569,9 @@ func (sh *shard) onDirectDone(req Request, start time.Duration, pb *bufpool.Buf,
 	if o := srv.cfg.Obs; o != nil {
 		o.bytesDelivered.Add(req.Length)
 		o.requestLatency.Observe(end - start)
+	}
+	if w := srv.win; w != nil {
+		w.observeRequest(end - start)
 	}
 	errMsg := ""
 	if derr != nil {
@@ -1110,6 +1116,9 @@ func (sh *shard) onFetchDone(st *stream, b *buffer, data []byte, derr error) {
 	if o := srv.cfg.Obs; o != nil {
 		o.fetchLatency.Observe(now - b.issuedAt)
 		o.span(st.id, st.disk, obs.StageStaged, b.start, b.size())
+	}
+	if w := srv.win; w != nil {
+		w.observeFetch(st.disk, now-b.issuedAt)
 	}
 	srv.traceEvent(trace.Event{Kind: trace.KindFetch, Stream: st.id, Disk: st.disk, Offset: b.start,
 		Length: b.size(), Start: b.issuedAt, End: now, Err: fetchErr})

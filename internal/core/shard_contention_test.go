@@ -131,7 +131,7 @@ func TestShardContention(t *testing.T) {
 // means a per-request allocation crept back in (CI's bench-smoke job
 // runs this test).
 func TestBufferHitZeroAlloc(t *testing.T) {
-	bufferHitZeroAlloc(t, false)
+	bufferHitZeroAlloc(t, false, false)
 }
 
 // TestBufferHitZeroAllocWithFlight repeats the allocation guard with
@@ -139,10 +139,19 @@ func TestBufferHitZeroAlloc(t *testing.T) {
 // trace id, so every iteration records submit and deliver events. The
 // always-on recorder is only viable if its hot path is alloc-free too.
 func TestBufferHitZeroAllocWithFlight(t *testing.T) {
-	bufferHitZeroAlloc(t, true)
+	bufferHitZeroAlloc(t, true, false)
 }
 
-func bufferHitZeroAlloc(t *testing.T, withFlight bool) {
+// TestBufferHitZeroAllocWithWindows repeats the guard with the
+// sliding-window latency telemetry enabled: the windowed Observe on
+// the buffer-hit path must stay allocation-free too (the health
+// engine's remaining cost — cursor polling — runs off-path and is
+// covered by the bench health budget).
+func TestBufferHitZeroAllocWithWindows(t *testing.T) {
+	bufferHitZeroAlloc(t, false, true)
+}
+
+func bufferHitZeroAlloc(t *testing.T, withFlight, withWindows bool) {
 	t.Helper()
 	dev, err := blockdev.NewMemDevice(1, 1<<30, 0, true)
 	if err != nil {
@@ -155,6 +164,9 @@ func bufferHitZeroAlloc(t *testing.T, withFlight bool) {
 	cfg.GCPeriod = time.Hour
 	cfg.EvictIdle = time.Hour
 	clock := blockdev.NewRealClock()
+	if withWindows {
+		cfg.WindowSpan = time.Minute
+	}
 	if withFlight {
 		rec, err := flight.New(clock.Now, 1, 0)
 		if err != nil {

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"time"
+
+	"seqstream/internal/obs"
+)
+
+// LatencyWindows is the scheduler's sliding-window latency telemetry,
+// built when Config.WindowSpan is positive: a node-wide request
+// window, a node-wide fetch window, and a per-disk fetch window plus
+// EWMA. Unlike the cumulative Obs histograms these cover only the last
+// span of traffic, which is what the health rollup (and the
+// straggler-aware dispatch work it feeds) actually needs — a disk that
+// was slow an hour ago is not slow now.
+//
+// All observation paths are lock-free and allocation-free; the
+// observe hooks sit beside the cumulative histogram calls on the
+// shard hot paths and are nil-guarded the same way.
+type LatencyWindows struct {
+	span    time.Duration
+	request *obs.WindowedHistogram
+	fetch   *obs.WindowedHistogram
+	disks   []diskWindow
+}
+
+// diskWindow is one disk's windowed fetch telemetry.
+type diskWindow struct {
+	fetch *obs.WindowedHistogram
+	ewma  *obs.EWMA
+}
+
+// newLatencyWindows sizes the per-disk slice for disks and builds
+// every window over the injected clock.
+func newLatencyWindows(now func() time.Duration, span time.Duration, buckets, disks int) (*LatencyWindows, error) {
+	w := &LatencyWindows{span: span, disks: make([]diskWindow, disks)}
+	var err error
+	if w.request, err = obs.NewWindowedHistogram(now, span, buckets); err != nil {
+		return nil, err
+	}
+	if w.fetch, err = obs.NewWindowedHistogram(now, span, buckets); err != nil {
+		return nil, err
+	}
+	for i := range w.disks {
+		if w.disks[i].fetch, err = obs.NewWindowedHistogram(now, span, buckets); err != nil {
+			return nil, err
+		}
+		w.disks[i].ewma = obs.NewEWMA(0)
+	}
+	return w, nil
+}
+
+// Span returns the window length.
+func (w *LatencyWindows) Span() time.Duration {
+	if w == nil {
+		return 0
+	}
+	return w.span
+}
+
+// Disks returns how many per-disk windows exist.
+func (w *LatencyWindows) Disks() int {
+	if w == nil {
+		return 0
+	}
+	return len(w.disks)
+}
+
+// Request returns the node-wide windowed request-latency snapshot.
+func (w *LatencyWindows) Request() obs.HistogramSnapshot {
+	if w == nil {
+		return obs.HistogramSnapshot{}
+	}
+	return w.request.Snapshot()
+}
+
+// Fetch returns the node-wide windowed fetch-latency snapshot.
+func (w *LatencyWindows) Fetch() obs.HistogramSnapshot {
+	if w == nil {
+		return obs.HistogramSnapshot{}
+	}
+	return w.fetch.Snapshot()
+}
+
+// DiskFetch returns disk's windowed fetch-latency snapshot (zero for
+// out-of-range disks).
+func (w *LatencyWindows) DiskFetch(disk int) obs.HistogramSnapshot {
+	if w == nil || disk < 0 || disk >= len(w.disks) {
+		return obs.HistogramSnapshot{}
+	}
+	return w.disks[disk].fetch.Snapshot()
+}
+
+// DiskEWMA returns disk's fetch-latency EWMA (zero for out-of-range
+// disks or before any fetch).
+func (w *LatencyWindows) DiskEWMA(disk int) time.Duration {
+	if w == nil || disk < 0 || disk >= len(w.disks) {
+		return 0
+	}
+	return w.disks[disk].ewma.Value()
+}
+
+// observeRequest records one served client request (buffer hit or
+// direct read) into the request window.
+func (w *LatencyWindows) observeRequest(d time.Duration) {
+	w.request.Observe(d)
+}
+
+// observeFetch records one completed read-ahead fetch into the
+// node-wide and per-disk fetch windows and the disk's EWMA.
+func (w *LatencyWindows) observeFetch(disk int, d time.Duration) {
+	w.fetch.Observe(d)
+	if disk >= 0 && disk < len(w.disks) {
+		w.disks[disk].fetch.Observe(d)
+		w.disks[disk].ewma.Observe(d)
+	}
+}

@@ -2,7 +2,6 @@ package flight
 
 import (
 	"encoding/json"
-	"fmt"
 	"io"
 	"sort"
 	"time"
@@ -104,248 +103,6 @@ func (t *Timeline) StreamIDs() []int32 {
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
-}
-
-// --- anomaly detectors ---------------------------------------------
-
-// Anomaly is one detector finding.
-type Anomaly struct {
-	// Kind is the detector: "rotation-starvation", "m-pressure",
-	// "breaker-flap", or "straggler-fetch".
-	Kind string `json:"kind"`
-	// Stream is the affected stream, NoStream for node/disk findings.
-	Stream int32 `json:"stream"`
-	// Disk is the affected disk, -1 for node-wide findings.
-	Disk int `json:"disk"`
-	// Detail is a human-readable description with the numbers.
-	Detail string `json:"detail"`
-}
-
-// DetectorConfig tunes the anomaly thresholds. The zero value gets
-// ApplyDefaults'd by Detect.
-type DetectorConfig struct {
-	// StarveRotations flags a stream that waited in the candidate
-	// queue while at least this many rotations happened node-wide
-	// (default 64): the §4.2 round-robin should have reached it.
-	StarveRotations int
-	// StragglerFactor flags a disk whose median fetch latency exceeds
-	// this multiple of its shard's median (default 3.0).
-	StragglerFactor float64
-	// StragglerMinFetches is the minimum per-disk sample size before a
-	// disk can be flagged (default 8).
-	StragglerMinFetches int
-	// EvictChurnRatio flags M-invariant pressure when evicted bytes
-	// exceed this fraction of fetched bytes (default 0.10): staged data
-	// is being reclaimed before its stream consumes it.
-	EvictChurnRatio float64
-	// FlapOpens flags a disk whose breaker opened at least this many
-	// times in the snapshot (default 2: open→close→open is a flap).
-	FlapOpens int
-}
-
-// ApplyDefaults fills zero fields.
-func (c *DetectorConfig) ApplyDefaults() {
-	if c.StarveRotations == 0 {
-		c.StarveRotations = 64
-	}
-	if c.StragglerFactor == 0 {
-		c.StragglerFactor = 3.0
-	}
-	if c.StragglerMinFetches == 0 {
-		c.StragglerMinFetches = 8
-	}
-	if c.EvictChurnRatio == 0 {
-		c.EvictChurnRatio = 0.10
-	}
-	if c.FlapOpens == 0 {
-		c.FlapOpens = 2
-	}
-}
-
-// Detect runs all four detectors over the timeline.
-func (t *Timeline) Detect(cfg DetectorConfig) []Anomaly {
-	cfg.ApplyDefaults()
-	var out []Anomaly
-	out = append(out, t.detectStarvation(cfg)...)
-	out = append(out, t.detectMPressure(cfg)...)
-	out = append(out, t.detectBreakerFlaps(cfg)...)
-	out = append(out, t.detectStragglers(cfg)...)
-	return out
-}
-
-// detectStarvation flags streams that sat in the candidate queue
-// (enqueue → next dispatch, or enqueue → end of snapshot) while the
-// node rotated other streams at least StarveRotations times.
-func (t *Timeline) detectStarvation(cfg DetectorConfig) []Anomaly {
-	// Seq positions of every rotation, ascending (Events is sorted).
-	var rotations []uint64
-	for _, e := range t.Events {
-		if e.Op == OpRotate {
-			rotations = append(rotations, e.Seq)
-		}
-	}
-	countBetween := func(lo, hi uint64) int {
-		a := sort.Search(len(rotations), func(i int) bool { return rotations[i] > lo })
-		b := sort.Search(len(rotations), func(i int) bool { return rotations[i] >= hi })
-		if b < a {
-			return 0
-		}
-		return b - a
-	}
-	var end uint64
-	if len(t.Events) > 0 {
-		end = t.Events[len(t.Events)-1].Seq + 1
-	}
-	var out []Anomaly
-	for _, id := range t.StreamIDs() {
-		l := t.Streams[id]
-		waitFrom := uint64(0)
-		waiting := false
-		worst, worstSince := 0, uint64(0)
-		note := func(hi uint64) {
-			if n := countBetween(waitFrom, hi); n > worst {
-				worst, worstSince = n, waitFrom
-			}
-		}
-		for _, e := range l.Events {
-			switch e.Op {
-			case OpEnqueue:
-				if !waiting {
-					waiting, waitFrom = true, e.Seq
-				}
-			case OpDispatch, OpGC, OpRetire:
-				if waiting {
-					note(e.Seq)
-					waiting = false
-				}
-			}
-		}
-		if waiting {
-			note(end)
-		}
-		if worst >= cfg.StarveRotations {
-			out = append(out, Anomaly{
-				Kind:   "rotation-starvation",
-				Stream: id,
-				Disk:   int(l.Disk),
-				Detail: fmt.Sprintf("stream %d waited through %d rotations (threshold %d) after seq %d",
-					id, worst, cfg.StarveRotations, worstSince),
-			})
-		}
-	}
-	return out
-}
-
-// detectMPressure flags eviction churn: staged bytes reclaimed under
-// pressure before their streams consumed them, a sign the workload is
-// running at (or past) the M-invariant's edge.
-func (t *Timeline) detectMPressure(cfg DetectorConfig) []Anomaly {
-	var fetched, evicted int64
-	var evicts int
-	for _, e := range t.Events {
-		switch e.Op {
-		case OpFetch:
-			fetched += e.Length
-		case OpEvict:
-			evicted += e.Length
-			evicts++
-		}
-	}
-	if fetched == 0 || evicts == 0 {
-		return nil
-	}
-	ratio := float64(evicted) / float64(fetched)
-	if ratio < cfg.EvictChurnRatio {
-		return nil
-	}
-	return []Anomaly{{
-		Kind:   "m-pressure",
-		Stream: NoStream,
-		Disk:   -1,
-		Detail: fmt.Sprintf("%d evictions reclaimed %d of %d fetched bytes (%.1f%%, threshold %.1f%%): staging memory M is under pressure",
-			evicts, evicted, fetched, ratio*100, cfg.EvictChurnRatio*100),
-	}}
-}
-
-// detectBreakerFlaps flags disks whose circuit opened repeatedly.
-func (t *Timeline) detectBreakerFlaps(cfg DetectorConfig) []Anomaly {
-	opens := make(map[uint16]int)
-	for _, e := range t.Events {
-		if e.Op == OpBreakerOpen {
-			opens[e.Disk]++
-		}
-	}
-	disks := make([]uint16, 0, len(opens))
-	for d := range opens {
-		disks = append(disks, d)
-	}
-	sort.Slice(disks, func(i, j int) bool { return disks[i] < disks[j] })
-	var out []Anomaly
-	for _, d := range disks {
-		if opens[d] >= cfg.FlapOpens {
-			out = append(out, Anomaly{
-				Kind:   "breaker-flap",
-				Stream: NoStream,
-				Disk:   int(d),
-				Detail: fmt.Sprintf("disk %d's circuit opened %d times (threshold %d)", d, opens[d], cfg.FlapOpens),
-			})
-		}
-	}
-	return out
-}
-
-// detectStragglers flags disks whose median fetch latency is an
-// outlier against their shard's median fetch latency.
-func (t *Timeline) detectStragglers(cfg DetectorConfig) []Anomaly {
-	byDisk := make(map[uint16][]time.Duration)
-	byShard := make(map[uint16][]time.Duration)
-	shardOf := make(map[uint16]uint16)
-	for _, e := range t.Events {
-		if e.Op != OpStaged || e.Dur <= 0 {
-			continue
-		}
-		byDisk[e.Disk] = append(byDisk[e.Disk], e.Dur)
-		byShard[e.Shard] = append(byShard[e.Shard], e.Dur)
-		shardOf[e.Disk] = e.Shard
-	}
-	disks := make([]uint16, 0, len(byDisk))
-	for d := range byDisk {
-		disks = append(disks, d)
-	}
-	sort.Slice(disks, func(i, j int) bool { return disks[i] < disks[j] })
-	var out []Anomaly
-	for _, d := range disks {
-		lats := byDisk[d]
-		if len(lats) < cfg.StragglerMinFetches {
-			continue
-		}
-		shard := shardOf[d]
-		base := median(byShard[shard])
-		if base <= 0 {
-			continue
-		}
-		m := median(lats)
-		if float64(m) >= cfg.StragglerFactor*float64(base) {
-			out = append(out, Anomaly{
-				Kind:   "straggler-fetch",
-				Stream: NoStream,
-				Disk:   int(d),
-				Detail: fmt.Sprintf("disk %d's median fetch latency %v is %.1fx shard %d's median %v (threshold %.1fx, %d fetches)",
-					d, m, float64(m)/float64(base), shard, base, cfg.StragglerFactor, len(lats)),
-			})
-		}
-	}
-	return out
-}
-
-// median returns the middle element of an unsorted latency sample
-// (the sample is sorted in place).
-func median(d []time.Duration) time.Duration {
-	if len(d) == 0 {
-		return 0
-	}
-	sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
-	return d[len(d)/2]
 }
 
 // --- chrome trace export -------------------------------------------

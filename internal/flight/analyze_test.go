@@ -74,87 +74,6 @@ func TestAnalyzeLifecycles(t *testing.T) {
 	}
 }
 
-func TestDetectRotationStarvation(t *testing.T) {
-	// Stream 1 enqueues, then 10 rotations pass before it dispatches.
-	var events []Event
-	events = append(events, Event{Op: OpEnqueue, Stream: 1, Disk: 0})
-	for i := 0; i < 10; i++ {
-		events = append(events, Event{Op: OpRotate, Stream: 2, Disk: 1})
-	}
-	events = append(events, Event{Op: OpDispatch, Stream: 1, Disk: 0})
-	tl := Analyze(seqEvents(events))
-
-	got := tl.Detect(DetectorConfig{StarveRotations: 5})
-	if len(got) != 1 || got[0].Kind != "rotation-starvation" || got[0].Stream != 1 {
-		t.Fatalf("anomalies = %+v", got)
-	}
-	// Above the threshold: quiet.
-	if got := tl.Detect(DetectorConfig{StarveRotations: 11}); len(got) != 0 {
-		t.Fatalf("expected no anomalies, got %+v", got)
-	}
-	// A stream still waiting at snapshot end counts too.
-	events = []Event{{Op: OpEnqueue, Stream: 9, Disk: 0}}
-	for i := 0; i < 6; i++ {
-		events = append(events, Event{Op: OpRotate, Stream: 2, Disk: 1})
-	}
-	tl = Analyze(seqEvents(events))
-	if got := tl.Detect(DetectorConfig{StarveRotations: 5}); len(got) != 1 || got[0].Stream != 9 {
-		t.Fatalf("open-ended wait not flagged: %+v", got)
-	}
-}
-
-func TestDetectMPressure(t *testing.T) {
-	events := seqEvents([]Event{
-		{Op: OpFetch, Stream: 1, Length: 100},
-		{Op: OpFetch, Stream: 2, Length: 100},
-		{Op: OpEvict, Stream: 1, Length: 50},
-	})
-	tl := Analyze(events)
-	got := tl.Detect(DetectorConfig{StarveRotations: 1 << 30, EvictChurnRatio: 0.20})
-	if len(got) != 1 || got[0].Kind != "m-pressure" || got[0].Disk != -1 {
-		t.Fatalf("anomalies = %+v", got)
-	}
-	if got := tl.Detect(DetectorConfig{StarveRotations: 1 << 30, EvictChurnRatio: 0.50}); len(got) != 0 {
-		t.Fatalf("below-threshold churn flagged: %+v", got)
-	}
-}
-
-func TestDetectBreakerFlaps(t *testing.T) {
-	events := seqEvents([]Event{
-		{Op: OpBreakerOpen, Stream: NoStream, Disk: 4},
-		{Op: OpBreakerClose, Stream: NoStream, Disk: 4},
-		{Op: OpBreakerOpen, Stream: NoStream, Disk: 4},
-		{Op: OpBreakerOpen, Stream: NoStream, Disk: 6},
-	})
-	got := Analyze(events).Detect(DetectorConfig{})
-	if len(got) != 1 || got[0].Kind != "breaker-flap" || got[0].Disk != 4 {
-		t.Fatalf("anomalies = %+v", got)
-	}
-}
-
-func TestDetectStragglers(t *testing.T) {
-	var events []Event
-	// Nine healthy disks at 1ms, one straggler at 10ms, all on shard 0.
-	for d := 0; d < 10; d++ {
-		dur := time.Millisecond
-		if d == 9 {
-			dur = 10 * time.Millisecond
-		}
-		for i := 0; i < 8; i++ {
-			events = append(events, Event{Op: OpStaged, Stream: int32(d), Disk: uint16(d), Shard: 0, Dur: dur})
-		}
-	}
-	got := Analyze(seqEvents(events)).Detect(DetectorConfig{StarveRotations: 1 << 30})
-	if len(got) != 1 || got[0].Kind != "straggler-fetch" || got[0].Disk != 9 {
-		t.Fatalf("anomalies = %+v", got)
-	}
-	// Too few samples: quiet.
-	got = Analyze(seqEvents(events)).Detect(DetectorConfig{StarveRotations: 1 << 30, StragglerMinFetches: 9})
-	if len(got) != 0 {
-		t.Fatalf("under-sampled disk flagged: %+v", got)
-	}
-}
-
 func TestWriteChromeTrace(t *testing.T) {
 	events := seqEvents([]Event{
 		{Op: OpIngress, Stream: NoStream, Disk: 2, Trace: 5, T: time.Millisecond},

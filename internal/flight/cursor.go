@@ -1,0 +1,100 @@
+package flight
+
+import "time"
+
+// Cursor is an incremental reader over one ring: it remembers the next
+// slot claim to consume and returns only events published since the
+// previous poll, so an in-process consumer (the online health engine)
+// can tail the recorder continuously without snapshotting or dumping.
+//
+// A cursor is single-consumer state — one goroutine per cursor — but
+// polling is safe against concurrent writers: it reads slots through
+// the same marker double-check the snapshot path uses, and when the
+// writers lap it (more than a ring of claims since the last poll) it
+// skips forward to the oldest still-live claim and accounts the gap in
+// Lost.
+type Cursor struct {
+	ring *Ring
+	next uint64 // next claim to read
+	lost uint64 // claims skipped: lapped, torn, or overwritten mid-read
+}
+
+// NewCursor returns a cursor positioned at the ring's current write
+// cursor, so the first Poll returns only events recorded after this
+// call. Nil on a nil ring, keeping call sites unconditional.
+func (r *Ring) NewCursor() *Cursor {
+	if r == nil {
+		return nil
+	}
+	return &Cursor{ring: r, next: r.cursor.Load()}
+}
+
+// Lost returns the number of claims the cursor could not deliver
+// because the writers lapped it or overwrote a slot mid-read.
+func (c *Cursor) Lost() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.lost
+}
+
+// Poll appends every event published since the previous poll to buf
+// and returns it, in claim (Seq) order for this ring. If a claim in
+// range is still being written, Poll stops before it and resumes there
+// next time — the writer finishes within a few stores, so at most one
+// poll interval of delay. Nil cursors return buf unchanged.
+func (c *Cursor) Poll(buf []Event) []Event {
+	if c == nil {
+		return buf
+	}
+	r := c.ring
+	cur := r.cursor.Load()
+	size := uint64(len(r.slots))
+	lo := c.next
+	if cur > lo+size {
+		// Lapped: claims [lo, cur-size) were overwritten before we got
+		// to them. Skip to the oldest claim that can still be live.
+		c.lost += cur - size - lo
+		lo = cur - size
+	}
+	for k := lo; k < cur; k++ {
+		s := &r.slots[k&r.mask]
+		m := s.marker.Load()
+		want := 2*k + 2
+		if m < want {
+			// Claim k is not published yet (mid-write, or the writer
+			// has claimed but not stamped). Later claims exist but
+			// must wait so the cursor stays in order; retry next poll.
+			c.next = k
+			return buf
+		}
+		if m > want {
+			// A newer claim overwrote the slot before we read it.
+			c.lost++
+			continue
+		}
+		var w [slotWords]uint64
+		for i := range w {
+			w[i] = s.w[i].load()
+		}
+		if s.marker.Load() != m {
+			c.lost++
+			continue
+		}
+		buf = append(buf, Event{
+			Seq:    k*r.stride + uint64(r.shard) + 1,
+			Trace:  w[0],
+			Op:     Op(w[1] & 0xff),
+			Err:    uint8(w[1] >> 8),
+			Disk:   uint16(w[1] >> 16),
+			Stream: int32(uint32(w[1] >> 32)),
+			Shard:  r.shard,
+			Offset: int64(w[2]),
+			Length: int64(w[3]),
+			T:      time.Duration(w[4]),
+			Dur:    time.Duration(w[5]),
+		})
+	}
+	c.next = cur
+	return buf
+}

@@ -1,0 +1,191 @@
+package health
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"seqstream/internal/flight"
+)
+
+// seqEvents stamps ascending Seq values so hand-built event lists
+// order the way recorded ones do.
+func seqEvents(events []flight.Event) []flight.Event {
+	for i := range events {
+		events[i].Seq = uint64(i + 1)
+	}
+	return events
+}
+
+func TestDetectRotationStarvation(t *testing.T) {
+	// Stream 1 enqueues, then 10 rotations pass before it dispatches.
+	var events []flight.Event
+	events = append(events, flight.Event{Op: flight.OpEnqueue, Stream: 1, Disk: 0})
+	for i := 0; i < 10; i++ {
+		events = append(events, flight.Event{Op: flight.OpRotate, Stream: 2, Disk: 1})
+	}
+	events = append(events, flight.Event{Op: flight.OpDispatch, Stream: 1, Disk: 0})
+	events = seqEvents(events)
+
+	got := Detect(events, DetectorConfig{StarveRotations: 5})
+	if len(got) != 1 || got[0].Kind != KindRotationStarvation || got[0].Stream != 1 {
+		t.Fatalf("anomalies = %+v", got)
+	}
+	if !strings.Contains(got[0].Detail, "waited through 10 rotations") {
+		t.Fatalf("detail = %q", got[0].Detail)
+	}
+	// Above the threshold: quiet.
+	if got := Detect(events, DetectorConfig{StarveRotations: 11}); len(got) != 0 {
+		t.Fatalf("expected no anomalies, got %+v", got)
+	}
+	// A stream still waiting at snapshot end counts too.
+	events = []flight.Event{{Op: flight.OpEnqueue, Stream: 9, Disk: 0}}
+	for i := 0; i < 6; i++ {
+		events = append(events, flight.Event{Op: flight.OpRotate, Stream: 2, Disk: 1})
+	}
+	if got := Detect(seqEvents(events), DetectorConfig{StarveRotations: 5}); len(got) != 1 || got[0].Stream != 9 {
+		t.Fatalf("open-ended wait not flagged: %+v", got)
+	}
+}
+
+// TestDetectStarvationPrunesTerminated checks the bounded-memory
+// behavior the online engine relies on: streams that retire below the
+// threshold drop out of the state map, streams that starved stay.
+func TestDetectStarvationPrunesTerminated(t *testing.T) {
+	d := NewDetectors(DetectorConfig{StarveRotations: 5})
+	var events []flight.Event
+	// Stream 1 starves (6 rotations) then retires; stream 2 dispatches
+	// promptly and retires.
+	events = append(events, flight.Event{Op: flight.OpEnqueue, Stream: 1})
+	for i := 0; i < 6; i++ {
+		events = append(events, flight.Event{Op: flight.OpRotate, Stream: 3})
+	}
+	events = append(events,
+		flight.Event{Op: flight.OpDispatch, Stream: 1},
+		flight.Event{Op: flight.OpRetire, Stream: 1},
+		flight.Event{Op: flight.OpEnqueue, Stream: 2},
+		flight.Event{Op: flight.OpDispatch, Stream: 2},
+		flight.Event{Op: flight.OpRetire, Stream: 2},
+	)
+	for _, e := range seqEvents(events) {
+		d.Observe(e)
+	}
+	if len(d.streams) != 1 {
+		t.Fatalf("stream state entries = %d, want only the starved one", len(d.streams))
+	}
+	got := d.Findings()
+	if len(got) != 1 || got[0].Stream != 1 {
+		t.Fatalf("findings = %+v", got)
+	}
+	// Findings must be repeatable without mutating state.
+	if again := d.Findings(); len(again) != 1 || again[0] != got[0] {
+		t.Fatalf("second findings = %+v", again)
+	}
+}
+
+func TestDetectMPressure(t *testing.T) {
+	events := seqEvents([]flight.Event{
+		{Op: flight.OpFetch, Stream: 1, Length: 100},
+		{Op: flight.OpFetch, Stream: 2, Length: 100},
+		{Op: flight.OpEvict, Stream: 1, Length: 50},
+	})
+	got := Detect(events, DetectorConfig{StarveRotations: 1 << 30, EvictChurnRatio: 0.20})
+	if len(got) != 1 || got[0].Kind != KindMPressure || got[0].Disk != NoDisk {
+		t.Fatalf("anomalies = %+v", got)
+	}
+	if got := Detect(events, DetectorConfig{StarveRotations: 1 << 30, EvictChurnRatio: 0.50}); len(got) != 0 {
+		t.Fatalf("below-threshold churn flagged: %+v", got)
+	}
+}
+
+func TestDetectBreakerFlaps(t *testing.T) {
+	events := seqEvents([]flight.Event{
+		{Op: flight.OpBreakerOpen, Stream: flight.NoStream, Disk: 4},
+		{Op: flight.OpBreakerClose, Stream: flight.NoStream, Disk: 4},
+		{Op: flight.OpBreakerOpen, Stream: flight.NoStream, Disk: 4},
+		{Op: flight.OpBreakerOpen, Stream: flight.NoStream, Disk: 6},
+	})
+	got := Detect(events, DetectorConfig{})
+	if len(got) != 1 || got[0].Kind != KindBreakerFlap || got[0].Disk != 4 {
+		t.Fatalf("anomalies = %+v", got)
+	}
+}
+
+func TestDetectStragglers(t *testing.T) {
+	var events []flight.Event
+	// Nine healthy disks at 1ms, one straggler at 10ms, all on shard 0.
+	for d := 0; d < 10; d++ {
+		dur := time.Millisecond
+		if d == 9 {
+			dur = 10 * time.Millisecond
+		}
+		for i := 0; i < 8; i++ {
+			events = append(events, flight.Event{Op: flight.OpStaged, Stream: int32(d), Disk: uint16(d), Shard: 0, Dur: dur})
+		}
+	}
+	got := Detect(seqEvents(events), DetectorConfig{StarveRotations: 1 << 30})
+	if len(got) != 1 || got[0].Kind != KindStragglerFetch || got[0].Disk != 9 {
+		t.Fatalf("anomalies = %+v", got)
+	}
+	// Too few samples: quiet.
+	got = Detect(seqEvents(events), DetectorConfig{StarveRotations: 1 << 30, StragglerMinFetches: 9})
+	if len(got) != 0 {
+		t.Fatalf("under-sampled disk flagged: %+v", got)
+	}
+}
+
+// TestDetectIncrementalMatchesBatch feeds the same events through the
+// one-shot Detect entry point and through piecemeal Observe calls
+// (the online engine's path) and requires identical findings.
+func TestDetectIncrementalMatchesBatch(t *testing.T) {
+	var events []flight.Event
+	events = append(events, flight.Event{Op: flight.OpEnqueue, Stream: 1, Disk: 2})
+	for i := 0; i < 7; i++ {
+		events = append(events, flight.Event{Op: flight.OpRotate, Stream: 5})
+	}
+	events = append(events,
+		flight.Event{Op: flight.OpDispatch, Stream: 1, Disk: 2},
+		flight.Event{Op: flight.OpFetch, Stream: 1, Disk: 2, Length: 1000},
+		flight.Event{Op: flight.OpEvict, Stream: 1, Disk: 2, Length: 900},
+		flight.Event{Op: flight.OpBreakerOpen, Stream: flight.NoStream, Disk: 2},
+		flight.Event{Op: flight.OpBreakerOpen, Stream: flight.NoStream, Disk: 2},
+	)
+	for d := 0; d < 4; d++ {
+		dur := time.Millisecond
+		if d == 3 {
+			dur = 20 * time.Millisecond
+		}
+		for i := 0; i < 10; i++ {
+			events = append(events, flight.Event{Op: flight.OpStaged, Stream: int32(d), Disk: uint16(d), Shard: 0, Dur: dur})
+		}
+	}
+	events = seqEvents(events)
+
+	cfg := DetectorConfig{StarveRotations: 5}
+	batch := Detect(events, cfg)
+
+	inc := NewDetectors(cfg)
+	for _, e := range events {
+		inc.Observe(e)
+	}
+	live := inc.Findings()
+
+	if len(batch) != len(live) {
+		t.Fatalf("batch found %d, incremental found %d:\n%+v\n%+v", len(batch), len(live), batch, live)
+	}
+	for i := range batch {
+		if batch[i] != live[i] {
+			t.Fatalf("finding %d differs:\nbatch: %+v\nlive:  %+v", i, batch[i], live[i])
+		}
+	}
+	// All four kinds must be present in this scenario.
+	kinds := map[string]bool{}
+	for _, a := range batch {
+		kinds[a.Kind] = true
+	}
+	for _, k := range []string{KindRotationStarvation, KindMPressure, KindBreakerFlap, KindStragglerFetch} {
+		if !kinds[k] {
+			t.Fatalf("kind %s missing from %+v", k, batch)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package health
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+)
+
+// verdictValue maps a verdict to its numeric gauge value for the
+// Prometheus rendering: 0 healthy, 1 straggler, 2 degraded.
+func verdictValue(v Verdict) int { return v.rank() }
+
+// Handler serves the engine's rollup. JSON by default;
+// ?format=prom renders Prometheus text exposition (verdict gauges,
+// windowed quantiles, anomaly counts by kind, ring-loss counters) with
+// slow-fetch trace-id exemplars as comments, since the classic text
+// format has no exemplar syntax.
+func Handler(e *Engine) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rep := e.Report()
+		if r.URL.Query().Get("format") == "prom" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			writeProm(w, rep)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep)
+	})
+}
+
+// writeProm renders the rollup in Prometheus text format.
+func writeProm(w http.ResponseWriter, rep Report) {
+	fmt.Fprintf(w, "# HELP seqstream_health_verdict node health verdict (0 healthy, 1 straggler, 2 degraded)\n")
+	fmt.Fprintf(w, "# TYPE seqstream_health_verdict gauge\n")
+	fmt.Fprintf(w, "seqstream_health_verdict %d\n", verdictValue(rep.Verdict))
+
+	fmt.Fprintf(w, "# HELP seqstream_health_disk_verdict per-disk health verdict (0 healthy, 1 straggler, 2 degraded)\n")
+	fmt.Fprintf(w, "# TYPE seqstream_health_disk_verdict gauge\n")
+	for _, d := range rep.Disks {
+		fmt.Fprintf(w, "seqstream_health_disk_verdict{disk=\"%d\",shard=\"%d\"} %d\n", d.Disk, d.Shard, verdictValue(d.Verdict))
+	}
+
+	fmt.Fprintf(w, "# HELP seqstream_health_shard_verdict per-shard health verdict (0 healthy, 1 straggler, 2 degraded)\n")
+	fmt.Fprintf(w, "# TYPE seqstream_health_shard_verdict gauge\n")
+	for _, s := range rep.Shards {
+		fmt.Fprintf(w, "seqstream_health_shard_verdict{shard=\"%d\"} %d\n", s.Shard, verdictValue(s.Verdict))
+	}
+
+	fmt.Fprintf(w, "# HELP seqstream_health_window_latency_seconds windowed latency quantiles by path\n")
+	fmt.Fprintf(w, "# TYPE seqstream_health_window_latency_seconds gauge\n")
+	for _, p := range []struct {
+		path string
+		s    WindowStats
+	}{{"request", rep.Request}, {"fetch", rep.Fetch}} {
+		fmt.Fprintf(w, "seqstream_health_window_latency_seconds{path=%q,quantile=\"0.5\"} %g\n", p.path, p.s.P50.Seconds())
+		fmt.Fprintf(w, "seqstream_health_window_latency_seconds{path=%q,quantile=\"0.99\"} %g\n", p.path, p.s.P99.Seconds())
+	}
+	fmt.Fprintf(w, "# HELP seqstream_health_disk_fetch_latency_seconds windowed per-disk fetch latency quantiles\n")
+	fmt.Fprintf(w, "# TYPE seqstream_health_disk_fetch_latency_seconds gauge\n")
+	for _, d := range rep.Disks {
+		fmt.Fprintf(w, "seqstream_health_disk_fetch_latency_seconds{disk=\"%d\",quantile=\"0.5\"} %g\n", d.Disk, d.Fetch.P50.Seconds())
+		fmt.Fprintf(w, "seqstream_health_disk_fetch_latency_seconds{disk=\"%d\",quantile=\"0.99\"} %g\n", d.Disk, d.Fetch.P99.Seconds())
+		fmt.Fprintf(w, "seqstream_health_disk_fetch_ewma_seconds{disk=\"%d\"} %g\n", d.Disk, d.EWMA.Seconds())
+		if d.SlowTrace != 0 {
+			// Exemplar: link the slow bucket to a flight trace id.
+			fmt.Fprintf(w, "# exemplar disk=%d trace=%016x dur=%v\n", d.Disk, d.SlowTrace, d.SlowDur)
+		}
+	}
+
+	counts := map[string]int{}
+	for _, a := range rep.Anomalies {
+		counts[a.Kind]++
+	}
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	fmt.Fprintf(w, "# HELP seqstream_health_anomalies active anomalies by kind\n")
+	fmt.Fprintf(w, "# TYPE seqstream_health_anomalies gauge\n")
+	for _, k := range kinds {
+		fmt.Fprintf(w, "seqstream_health_anomalies{kind=%q} %d\n", k, counts[k])
+	}
+
+	fmt.Fprintf(w, "# HELP seqstream_health_events_seen_total flight events consumed by the health engine\n")
+	fmt.Fprintf(w, "# TYPE seqstream_health_events_seen_total counter\n")
+	fmt.Fprintf(w, "seqstream_health_events_seen_total %d\n", rep.EventsSeen)
+	fmt.Fprintf(w, "# HELP seqstream_health_events_lost_total flight events overwritten before the engine read them\n")
+	fmt.Fprintf(w, "# TYPE seqstream_health_events_lost_total counter\n")
+	fmt.Fprintf(w, "seqstream_health_events_lost_total %d\n", rep.EventsLost)
+}

@@ -9,6 +9,7 @@ import (
 	"seqstream/internal/disk"
 	"seqstream/internal/flight"
 	"seqstream/internal/geom"
+	"seqstream/internal/health"
 	"seqstream/internal/iostack"
 	"seqstream/internal/metrics"
 	"seqstream/internal/netserve"
@@ -420,7 +421,7 @@ func TestFlightLifecycleAcceptance(t *testing.T) {
 		t.Fatalf("%d/512 streams lack a complete lifecycle", incomplete)
 	}
 	// A healthy, fair run must not trip the anomaly detectors.
-	if anoms := tl.Detect(flight.DetectorConfig{}); len(anoms) != 0 {
+	if anoms := health.Detect(tl.Events, health.DetectorConfig{}); len(anoms) != 0 {
 		for _, a := range anoms {
 			t.Errorf("unexpected anomaly: %s: %s", a.Kind, a.Detail)
 		}

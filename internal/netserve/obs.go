@@ -1,6 +1,10 @@
 package netserve
 
-import "seqstream/internal/obs"
+import (
+	"time"
+
+	"seqstream/internal/obs"
+)
 
 // Obs mirrors ServerStats into a metric registry and adds what the
 // aggregate counters cannot express: a gauge of open connections and a
@@ -18,6 +22,12 @@ type Obs struct {
 	openConns *obs.Gauge
 
 	requestLatency *obs.Histogram
+
+	// window, when attached, mirrors requestLatency over a sliding
+	// window for the health rollup. Written before serving starts,
+	// read by connection goroutines; Observe is nil-safe so the
+	// unattached case costs one nil check.
+	window *obs.WindowedHistogram
 }
 
 // NewObs registers the netserve metric families on reg. Registration
@@ -34,6 +44,22 @@ func NewObs(reg *obs.Registry) *Obs {
 
 		requestLatency: reg.Histogram("seqstream_netserve_request_latency_seconds", "storage-node service time per wire request"),
 	}
+}
+
+// AttachWindow adds a sliding-window view of the per-request service
+// time, registered on reg as
+// seqstream_netserve_request_latency_window_seconds. Call it before
+// the server starts accepting connections (like SetObs, the field is
+// not synchronized against in-flight requests).
+func (o *Obs) AttachWindow(reg *obs.Registry, now func() time.Duration, span time.Duration) error {
+	w, err := obs.NewWindowedHistogram(now, span, 0)
+	if err != nil {
+		return err
+	}
+	o.window = w
+	reg.Window("seqstream_netserve_request_latency_window_seconds",
+		"storage-node service time per wire request over the sliding window", w)
+	return nil
 }
 
 // SetObs attaches instruments to the server; nil detaches. The

@@ -3,7 +3,9 @@ package netserve
 import (
 	"strings"
 	"testing"
+	"time"
 
+	"seqstream/internal/blockdev"
 	"seqstream/internal/obs"
 )
 
@@ -18,7 +20,11 @@ func TestObsMirrorsServerStats(t *testing.T) {
 	}
 	defer srv.Close()
 	reg := obs.NewRegistry()
-	srv.SetObs(NewObs(reg))
+	no := NewObs(reg)
+	if err := no.AttachWindow(reg, blockdev.NewRealClock().Now, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	srv.SetObs(no)
 
 	client, err := Dial(srv.Addr())
 	if err != nil {
@@ -59,6 +65,13 @@ func TestObsMirrorsServerStats(t *testing.T) {
 	}
 	if hist["count"] != st.Requests {
 		t.Errorf("latency observations = %v, want %d", hist["count"], st.Requests)
+	}
+	win, ok := vars["seqstream_netserve_request_latency_window_seconds"].(map[string]any)
+	if !ok {
+		t.Fatalf("windowed latency var missing: %v", vars)
+	}
+	if win["count"] != st.Requests {
+		t.Errorf("windowed observations = %v, want %d", win["count"], st.Requests)
 	}
 }
 

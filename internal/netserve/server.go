@@ -322,6 +322,7 @@ func (s *Server) handle(conn net.Conn, o *Obs) {
 					if o != nil {
 						o.readBytes.Add(req.Length)
 						o.requestLatency.Observe(r.End - r.Start)
+						o.window.Observe(r.End - r.Start)
 					}
 					if wantData && r.Data != nil {
 						// The frame borrows the storage node's (possibly

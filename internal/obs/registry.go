@@ -162,6 +162,7 @@ const (
 	kindGauge
 	kindGaugeFunc
 	kindHistogram
+	kindWindow
 )
 
 func (k metricKind) String() string {
@@ -174,6 +175,8 @@ func (k metricKind) String() string {
 		return "gauge (func)"
 	case kindHistogram:
 		return "histogram"
+	case kindWindow:
+		return "windowed histogram"
 	default:
 		return fmt.Sprintf("metricKind(%d)", int(k))
 	}
@@ -189,6 +192,7 @@ type metric struct {
 	gauge   *Gauge
 	hist    *Histogram
 	fn      func() float64
+	win     *WindowedHistogram
 }
 
 // Registry holds named metric families and renders them for
@@ -287,6 +291,27 @@ func (r *Registry) Histogram(name, help string) *Histogram {
 	return m.hist
 }
 
+// winOf reads a windowed-histogram binding under the registry lock
+// (the instrument can be replaced by a later Window registration).
+func (r *Registry) winOf(m *metric) *WindowedHistogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return m.win
+}
+
+// Window registers a caller-built windowed histogram under name.
+// Unlike Histogram the registry cannot construct the instrument (it
+// needs an injected clock), so the caller supplies it; re-registering
+// an existing name rebinds the family to the new instrument (last
+// writer wins, mirroring GaugeFunc), so sequential server rebuilds
+// expose the live window.
+func (r *Registry) Window(name, help string, w *WindowedHistogram) {
+	m := r.lookup(name, help, kindWindow, func(m *metric) {})
+	r.mu.Lock()
+	m.win = w
+	r.mu.Unlock()
+}
+
 // Names returns the registered family names in sorted order.
 func (r *Registry) Names() []string {
 	r.mu.Lock()
@@ -329,7 +354,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			}
 			err = writeScalar(w, m, "gauge", v)
 		case kindHistogram:
-			err = writeHistogram(w, m)
+			err = writeHistogram(w, m, m.hist.Snapshot())
+		case kindWindow:
+			if win := r.winOf(m); win != nil {
+				err = writeHistogram(w, m, win.Snapshot())
+			}
 		}
 		if err != nil {
 			return fmt.Errorf("obs: %w", err)
@@ -356,11 +385,10 @@ func writeScalar(w io.Writer, m *metric, typ string, v float64) error {
 	return err
 }
 
-func writeHistogram(w io.Writer, m *metric) error {
+func writeHistogram(w io.Writer, m *metric, s HistogramSnapshot) error {
 	if err := writeHeader(w, m, "histogram"); err != nil {
 		return err
 	}
-	s := m.hist.Snapshot()
 	// Emit cumulative buckets up to the highest occupied one; the rest
 	// collapse into +Inf.
 	highest := -1
@@ -415,6 +443,18 @@ func (r *Registry) Vars() map[string]any {
 				"mean_ns": int64(m.hist.Mean()),
 				"p50_ns":  int64(m.hist.Quantile(0.5)),
 				"p99_ns":  int64(m.hist.Quantile(0.99)),
+			}
+		case kindWindow:
+			if win := r.winOf(m); win != nil {
+				s := win.Snapshot()
+				out[m.name] = map[string]any{
+					"count":     s.Count,
+					"sum_ns":    int64(s.Sum),
+					"mean_ns":   int64(s.Mean()),
+					"p50_ns":    int64(s.Quantile(0.5)),
+					"p99_ns":    int64(s.Quantile(0.99)),
+					"window_ns": int64(win.Span()),
+				}
 			}
 		}
 	}
