@@ -53,6 +53,9 @@ func run(args []string) error {
 
 		benchHealth  = fs.String("bench-health", "", "run the health-engine overhead benchmark (windows+engine off vs on, recorder on in both) and write the report to this path")
 		healthBudget = fs.Float64("health-budget", bench.DefaultHealthBudget, "bench-health: acceptable req/s overhead fraction; exceeding it fails the run")
+
+		benchSpec  = fs.String("bench-spec", "", "run the speculation benchmark (replicas+steering+speculation off vs on, healthy and with one straggling disk) and write the report to this path")
+		specBudget = fs.Float64("spec-budget", bench.DefaultSpecBudget, "bench-spec: acceptable healthy req/s overhead fraction; exceeding it fails the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -98,6 +101,26 @@ func run(args []string) error {
 		return nil
 	}
 
+	if *benchSpec != "" {
+		rep, err := bench.RunSpeculationComparison(bench.Config{
+			Disks:    *benchDisks,
+			Streams:  *benchStreams,
+			Requests: *benchRequests,
+		}, *specBudget)
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep.Summary())
+		if err := rep.WriteJSON(*benchSpec); err != nil {
+			return err
+		}
+		if !rep.WithinBudget {
+			return fmt.Errorf("speculation healthy overhead %.2f%% exceeds budget %.1f%%",
+				rep.OverheadFrac*100, rep.Budget*100)
+		}
+		return nil
+	}
+
 	if *benchJSON != "" {
 		rep, err := bench.RunComparison(bench.Config{
 			Disks:    *benchDisks,
@@ -121,6 +144,18 @@ func run(args []string) error {
 		}
 		fmt.Print(h.Summary())
 		rep.Health = &h
+		// Likewise the speculation comparison: overhead on a healthy
+		// fleet plus the tail payoff under one straggling disk.
+		sp, err := bench.RunSpeculationComparison(bench.Config{
+			Disks:    *benchDisks,
+			Streams:  *benchStreams,
+			Requests: *benchRequests,
+		}, *specBudget)
+		if err != nil {
+			return err
+		}
+		fmt.Print(sp.Summary())
+		rep.Speculation = &sp
 		return rep.WriteJSON(*benchJSON)
 	}
 

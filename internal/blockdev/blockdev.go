@@ -42,6 +42,15 @@ type ReaderInto interface {
 	ReadInto(disk int, off, length int64, buf []byte, done func(data []byte, err error)) error
 }
 
+// ReadIntoSupported is optionally implemented alongside ReaderInto by
+// wrapper devices (fault injectors) whose ReadInto only works when the
+// device they wrap implements it too. Consumers that found ReaderInto
+// on a device should check this gate before committing to the pooled
+// path; a device without the gate supports ReadInto unconditionally.
+type ReadIntoSupported interface {
+	SupportsReadInto() bool
+}
+
 // BufferAccounting is optionally implemented by devices whose cost
 // model depends on the number of live host I/O buffers (the simulated
 // host). The core scheduler calls it as buffers come and go.

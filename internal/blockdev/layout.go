@@ -1,0 +1,42 @@
+package blockdev
+
+// ReplicaDisks returns the disks holding a copy of the primary disk's
+// data under the rotated mirror layout: replica k of primary p lives
+// on disk (p + k*stride) mod disks, stride = disks/replicas. The
+// stride spreads a disk's mirrors across the array, so the replica
+// sets of neighboring primaries land on distinct disks and one slow
+// drive is a replica for as few primaries as possible.
+//
+// The first element is always the primary itself. replicas is clamped
+// to the disk count (mirroring a disk onto itself adds nothing), so
+// the result always holds min(replicas, disks) distinct disks;
+// replicas <= 1 or a single-disk device yields just the primary.
+func ReplicaDisks(primary, replicas, disks int) []int {
+	if replicas > disks {
+		replicas = disks
+	}
+	if replicas <= 1 || disks <= 1 {
+		return []int{primary}
+	}
+	stride := disks / replicas
+	if stride < 1 {
+		stride = 1
+	}
+	out := make([]int, 0, replicas)
+	seen := make(map[int]bool, replicas)
+	for k := 0; len(out) < replicas; k++ {
+		d := (primary + k*stride) % disks
+		if seen[d] {
+			// A stride that divides the disk count unevenly can revisit
+			// a disk before covering `replicas` distinct ones; linear
+			// probing from the collision keeps the set distinct.
+			d = (d + 1) % disks
+			for seen[d] {
+				d = (d + 1) % disks
+			}
+		}
+		seen[d] = true
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+package blockdev
+
+import "testing"
+
+func TestReplicaDisks(t *testing.T) {
+	cases := []struct {
+		primary, replicas, disks int
+		want                     []int
+	}{
+		{primary: 3, replicas: 1, disks: 8, want: []int{3}},
+		{primary: 0, replicas: 2, disks: 64, want: []int{0, 32}},
+		{primary: 5, replicas: 2, disks: 64, want: []int{5, 37}},
+		{primary: 63, replicas: 2, disks: 64, want: []int{63, 31}},
+		{primary: 1, replicas: 3, disks: 9, want: []int{1, 4, 7}},
+		{primary: 0, replicas: 2, disks: 3, want: []int{0, 1}},
+		{primary: 0, replicas: 4, disks: 2, want: []int{0, 1}}, // clamped
+		{primary: 0, replicas: 2, disks: 1, want: []int{0}},
+	}
+	for _, c := range cases {
+		got := ReplicaDisks(c.primary, c.replicas, c.disks)
+		if len(got) != len(c.want) {
+			t.Fatalf("ReplicaDisks(%d,%d,%d) = %v, want %v", c.primary, c.replicas, c.disks, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("ReplicaDisks(%d,%d,%d) = %v, want %v", c.primary, c.replicas, c.disks, got, c.want)
+			}
+		}
+	}
+}
+
+// TestReplicaDisksProperties checks the layout invariants over a sweep:
+// the primary leads, members are distinct and in range, and the set
+// size is min(replicas, disks).
+func TestReplicaDisksProperties(t *testing.T) {
+	for _, disks := range []int{1, 2, 3, 5, 8, 17, 64} {
+		for replicas := 1; replicas <= 4; replicas++ {
+			for p := 0; p < disks; p++ {
+				set := ReplicaDisks(p, replicas, disks)
+				wantLen := replicas
+				if wantLen > disks {
+					wantLen = disks
+				}
+				if wantLen < 1 {
+					wantLen = 1
+				}
+				if len(set) != wantLen {
+					t.Fatalf("ReplicaDisks(%d,%d,%d): len %d, want %d", p, replicas, disks, len(set), wantLen)
+				}
+				if set[0] != p {
+					t.Fatalf("ReplicaDisks(%d,%d,%d): first member %d is not the primary", p, replicas, disks, set[0])
+				}
+				seen := make(map[int]bool)
+				for _, d := range set {
+					if d < 0 || d >= disks {
+						t.Fatalf("ReplicaDisks(%d,%d,%d): member %d out of range", p, replicas, disks, d)
+					}
+					if seen[d] {
+						t.Fatalf("ReplicaDisks(%d,%d,%d): duplicate member %d", p, replicas, disks, d)
+					}
+					seen[d] = true
+				}
+			}
+		}
+	}
+}

@@ -154,18 +154,23 @@ type ScriptDevice struct {
 	hung    []hungRead
 }
 
-// hungRead is a read the script refused to complete.
+// hungRead is a read the script refused to complete. buf is non-nil
+// when the read arrived through ReadInto; releasing it re-issues the
+// pooled read.
 type hungRead struct {
 	disk        int
 	off, length int64
+	buf         []byte
 	done        func([]byte, error)
 }
 
 var (
-	_ Device           = (*ScriptDevice)(nil)
-	_ Writer           = (*ScriptDevice)(nil)
-	_ BufferAccounting = (*ScriptDevice)(nil)
-	_ CPUAccounting    = (*ScriptDevice)(nil)
+	_ Device            = (*ScriptDevice)(nil)
+	_ Writer            = (*ScriptDevice)(nil)
+	_ BufferAccounting  = (*ScriptDevice)(nil)
+	_ CPUAccounting     = (*ScriptDevice)(nil)
+	_ ReaderInto        = (*ScriptDevice)(nil)
+	_ ReadIntoSupported = (*ScriptDevice)(nil)
 )
 
 // NewScriptDevice wraps inner with a fault script. clock drives delay
@@ -251,7 +256,7 @@ func (d *ScriptDevice) ReleaseHung(err error) int {
 			}
 			continue
 		}
-		if ierr := d.inner.ReadAt(h.disk, h.off, h.length, h.done); ierr != nil && h.done != nil {
+		if ierr := d.read(h.disk, h.off, h.length, h.buf, h.done); ierr != nil && h.done != nil {
 			h.done(nil, ierr)
 		}
 	}
@@ -269,6 +274,48 @@ func (d *ScriptDevice) ReadAt(disk int, off, length int64, done func([]byte, err
 	if err := CheckRequest(d, disk, off, length); err != nil {
 		return err
 	}
+	return d.apply(disk, off, length, nil, done)
+}
+
+// ReadInto implements ReaderInto by delegation, with the fault script
+// applied the same way as ReadAt. Callers must consult
+// SupportsReadInto first: the forwarding only works when the inner
+// device has a pooled read path of its own.
+func (d *ScriptDevice) ReadInto(disk int, off, length int64, buf []byte, done func([]byte, error)) error {
+	if err := CheckRequest(d, disk, off, length); err != nil {
+		return err
+	}
+	if _, ok := d.inner.(ReaderInto); !ok {
+		return errors.New("blockdev: inner device has no ReadInto")
+	}
+	return d.apply(disk, off, length, buf, done)
+}
+
+// SupportsReadInto implements ReadIntoSupported: the wrapper's pooled
+// path exists exactly when the wrapped device's does (recursing
+// through nested wrappers).
+func (d *ScriptDevice) SupportsReadInto() bool {
+	if _, ok := d.inner.(ReaderInto); !ok {
+		return false
+	}
+	if g, ok := d.inner.(ReadIntoSupported); ok {
+		return g.SupportsReadInto()
+	}
+	return true
+}
+
+// read issues the read to the inner device through whichever path the
+// caller used (buf nil → ReadAt, else ReadInto).
+func (d *ScriptDevice) read(disk int, off, length int64, buf []byte, done func([]byte, error)) error {
+	if buf != nil {
+		return d.inner.(ReaderInto).ReadInto(disk, off, length, buf, done)
+	}
+	return d.inner.ReadAt(disk, off, length, done)
+}
+
+// apply matches the fault script and runs the read's fate: pass
+// through, hang, delay, or injected error.
+func (d *ScriptDevice) apply(disk int, off, length int64, buf []byte, done func([]byte, error)) error {
 	d.mu.Lock()
 	// Every rule whose filter accepts the read advances its index, even
 	// when an earlier rule wins: later windows stay aligned with the
@@ -285,11 +332,11 @@ func (d *ScriptDevice) ReadAt(disk int, off, length int64, done func([]byte, err
 	}
 	if rule == nil {
 		d.mu.Unlock()
-		return d.inner.ReadAt(disk, off, length, done)
+		return d.read(disk, off, length, buf, done)
 	}
 	switch rule.Mode {
 	case FaultHang:
-		d.hung = append(d.hung, hungRead{disk: disk, off: off, length: length, done: done})
+		d.hung = append(d.hung, hungRead{disk: disk, off: off, length: length, buf: buf, done: done})
 		d.mu.Unlock()
 		return nil
 	case FaultDelay:
@@ -297,7 +344,7 @@ func (d *ScriptDevice) ReadAt(disk int, off, length int64, done func([]byte, err
 		delay := rule.Delay
 		d.mu.Unlock()
 		d.clock.Schedule(delay, func() {
-			if err := d.inner.ReadAt(disk, off, length, done); err != nil && done != nil {
+			if err := d.read(disk, off, length, buf, done); err != nil && done != nil {
 				done(nil, err)
 			}
 		})
@@ -312,7 +359,7 @@ func (d *ScriptDevice) ReadAt(disk int, off, length int64, done func([]byte, err
 		// Deliver the failure through the inner device's completion
 		// machinery so timing (sim events, worker goroutines) stays
 		// realistic — the disk did the work, the result is garbage.
-		return d.inner.ReadAt(disk, off, length, func([]byte, error) {
+		return d.read(disk, off, length, buf, func([]byte, error) {
 			if done != nil {
 				done(nil, injected)
 			}

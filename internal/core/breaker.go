@@ -39,6 +39,13 @@ type breaker struct {
 	state    breakerState
 	fails    int           // consecutive device failures
 	reopenAt time.Duration // open until this instant (server clock)
+	// probing marks that a half-open circuit has already admitted its
+	// single probe request; further requests keep failing fast until
+	// the probe's device outcome decides the state. probeAt lets a
+	// probe that never reports (hung device) go stale after one more
+	// cooldown, so the circuit cannot wedge half-open forever.
+	probing bool
+	probeAt time.Duration
 }
 
 // breakerFor returns the disk's circuit, creating it lazily, or nil
@@ -67,14 +74,29 @@ func (sh *shard) breakerAllows(disk int, now time.Duration) bool {
 		return true
 	}
 	b := sh.breakers[disk]
-	if b == nil || b.state == breakerClosed || b.state == breakerHalfOpen {
+	if b == nil || b.state == breakerClosed {
+		return true
+	}
+	if b.state == breakerHalfOpen {
+		// Exactly one probe at a time. The first request admitted after
+		// the cooldown carries the circuit's fate; admitting every
+		// request while half-open (the old behavior) sent a thundering
+		// herd to a disk the instant its cooldown elapsed.
+		if b.probing && now-b.probeAt < sh.srv.cfg.BreakerCooldown {
+			return false
+		}
+		b.probing = true
+		b.probeAt = now
 		return true
 	}
 	if now < b.reopenAt {
 		return false
 	}
 	b.state = breakerHalfOpen
+	b.probing = true
+	b.probeAt = now
 	sh.srv.noteDegradedTransition(-1)
+	sh.publishDiskDown(disk)
 	return true
 }
 
@@ -106,8 +128,10 @@ func (sh *shard) noteDiskFailure(disk int, now time.Duration) {
 		(b.state == breakerClosed && b.fails >= sh.srv.cfg.BreakerThreshold)
 	if trip {
 		b.state = breakerOpen
+		b.probing = false
 		b.reopenAt = now + sh.srv.cfg.BreakerCooldown
 		sh.srv.noteDegradedTransition(1)
+		sh.publishDiskDown(disk)
 		sh.stats.BreakerTrips++
 		if o := sh.srv.cfg.Obs; o != nil {
 			o.breakerTrips.Inc()
@@ -135,15 +159,49 @@ func (sh *shard) noteDiskSuccess(disk int) {
 	if b == nil {
 		return
 	}
-	if b.state == breakerOpen {
-		// A request issued before the trip completed after it: the
-		// disk answered, so the circuit closes without probing.
+	switch b.state {
+	case breakerOpen:
+		// A request issued before the trip completed after it. One
+		// stale success is not proof of recovery: while the cooldown
+		// runs the trip outranks it and the success is ignored; after
+		// the cooldown it promotes the circuit to half-open, so the
+		// next admitted request still probes before traffic resumes.
+		// The circuit never skips straight from open to closed on a
+		// stale completion (that let one late success cancel a fresh
+		// trip and re-admit the full request load instantly).
+		if sh.srv.clock.Now() < b.reopenAt {
+			return
+		}
+		b.state = breakerHalfOpen
+		b.probing = false
 		sh.srv.noteDegradedTransition(-1)
+		sh.publishDiskDown(disk)
+	case breakerHalfOpen:
+		// The probe came back healthy: the circuit closes.
+		b.fails = 0
+		b.state = breakerClosed
+		b.probing = false
+		sh.publishDiskDown(disk)
+		if sh.fr != nil {
+			sh.fr.Record(flight.Event{Op: flight.OpBreakerClose, Disk: uint16(disk),
+				Stream: flight.NoStream, T: sh.srv.clock.Now()})
+		}
+	default:
+		b.fails = 0
 	}
-	if b.state != breakerClosed && sh.fr != nil {
-		sh.fr.Record(flight.Event{Op: flight.OpBreakerClose, Disk: uint16(disk),
-			Stream: flight.NoStream, T: sh.srv.clock.Now()})
+}
+
+// publishDiskDown mirrors the disk's blocked state into the server's
+// lock-free per-disk table after a breaker transition. Replica
+// selection on other shards reads it without taking this shard's lock.
+// Caller holds sh.mu.
+//
+//lint:holds mu
+func (sh *shard) publishDiskDown(disk int) {
+	srv := sh.srv
+	if srv.diskDown == nil {
+		return
 	}
-	b.fails = 0
-	b.state = breakerClosed
+	b := sh.breakers[disk]
+	srv.diskDown[disk].Store(b != nil && b.state == breakerOpen)
 }

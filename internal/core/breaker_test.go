@@ -1,0 +1,330 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"seqstream/internal/blockdev"
+	"seqstream/internal/iostack"
+)
+
+// TestBreakerHalfOpenSingleProbe pins the probe-herd bug: a half-open
+// circuit must admit exactly one request as the probe, failing the
+// rest fast until the probe's outcome decides the state. The old
+// breakerAllows returned true for every request while half-open, so a
+// sick disk took the full request load the instant its cooldown
+// elapsed.
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	cfg := DefaultConfig(64<<20, 1<<20)
+	cfg.BreakerThreshold = 3
+	cfg.BreakerCooldown = 100 * time.Millisecond
+	// Device reads 1..3 fail (tripping the circuit); later reads are
+	// healthy, so the single admitted probe succeeds.
+	n, sd := scriptNode(t, iostack.BaseConfig(iostack.Options{}),
+		[]blockdev.FaultRule{{Disk: 0, Mode: blockdev.FaultError, From: 1, To: 4}}, cfg)
+
+	const spacing = 8 << 20 // widely spaced 4K reads: no stream forms
+	for i := 0; i < 3; i++ {
+		if err := n.do(t, Request{Disk: 0, Offset: int64(i) * spacing, Length: 4096}).Err; !errors.Is(err, blockdev.ErrInjected) {
+			t.Fatalf("read %d: err = %v, want ErrInjected", i, err)
+		}
+	}
+	if st := n.server.Stats(); st.BreakerTrips != 1 || st.DisksDegraded != 1 {
+		t.Fatalf("after 3 failures: trips=%d degraded=%d, want 1/1", st.BreakerTrips, st.DisksDegraded)
+	}
+
+	if err := n.eng.RunFor(150 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hammer: 20 requests submitted together against the cooled-down
+	// circuit, all outstanding before any device outcome. Exactly one
+	// may reach the device.
+	const hammer = 20
+	var okCount, fastFails, other int
+	done := 0
+	for i := 0; i < hammer; i++ {
+		err := n.server.Submit(Request{
+			Disk: 0, Offset: int64(10+i) * spacing, Length: 4096,
+			Done: func(r Response) {
+				switch {
+				case r.Err == nil:
+					okCount++
+				case errors.Is(r.Err, ErrDiskDegraded):
+					fastFails++
+				default:
+					other++
+				}
+				done++
+			},
+		})
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	n.await(t, func() bool { return done == hammer })
+	if okCount != 1 || fastFails != hammer-1 || other != 0 {
+		t.Fatalf("hammer outcomes: ok=%d fastfail=%d other=%d, want 1/%d/0", okCount, fastFails, other, hammer-1)
+	}
+	if got := sd.Faults(); got != 3 {
+		t.Errorf("device faults = %d, want 3 (only the probe reached the device)", got)
+	}
+	// The successful probe closed the circuit.
+	if st := n.server.Stats(); st.DisksDegraded != 0 {
+		t.Errorf("DisksDegraded = %d after successful probe, want 0", st.DisksDegraded)
+	}
+	if err := n.do(t, Request{Disk: 0, Offset: 40 * spacing, Length: 4096}).Err; err != nil {
+		t.Errorf("post-recovery read: %v", err)
+	}
+}
+
+// TestBreakerHalfOpenProbeHammerConcurrent is the real-clock, -race
+// variant: the probe hangs, so the circuit stays half-open while 50
+// goroutines hammer the disk. The device must see exactly one read
+// (the probe); everyone else fails fast.
+func TestBreakerHalfOpenProbeHammerConcurrent(t *testing.T) {
+	mem, err := blockdev.NewMemDevice(1, 1<<30, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := blockdev.NewRealClock()
+	sd, err := blockdev.NewScriptDevice(mem, clock, []blockdev.FaultRule{
+		{Disk: 0, Mode: blockdev.FaultError, From: 1, To: 4},
+		{Disk: 0, Mode: blockdev.FaultHang, From: 4, To: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(64<<20, 1<<20)
+	cfg.BreakerThreshold = 3
+	cfg.BreakerCooldown = 30 * time.Millisecond
+	srv, err := NewServer(sd, clock, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const spacing = 4 << 20
+	read := func(i int) error {
+		ch := make(chan error, 1)
+		if err := srv.Submit(Request{Disk: 0, Offset: int64(i) * spacing, Length: 4096,
+			Done: func(r Response) { ch <- r.Err }}); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		select {
+		case err := <-ch:
+			return err
+		case <-time.After(5 * time.Second):
+			t.Fatalf("read %d timed out", i)
+			return nil
+		}
+	}
+
+	for i := 0; i < 3; i++ {
+		if err := read(i); !errors.Is(err, blockdev.ErrInjected) {
+			t.Fatalf("read %d: err = %v, want ErrInjected", i, err)
+		}
+	}
+	time.Sleep(50 * time.Millisecond) // cooldown elapses
+
+	// One goroutine's request becomes the probe and hangs at the
+	// device; the other 49 must all fail fast while it is out.
+	const hammer = 50
+	var mu sync.Mutex
+	var fastFails int
+	var wg sync.WaitGroup
+	probeErr := make(chan error, hammer)
+	for i := 0; i < hammer; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := srv.Submit(Request{Disk: 0, Offset: int64(100+i) * spacing, Length: 4096,
+				Done: func(r Response) {
+					if errors.Is(r.Err, ErrDiskDegraded) {
+						mu.Lock()
+						fastFails++
+						mu.Unlock()
+						probeErr <- r.Err
+						return
+					}
+					probeErr <- r.Err
+				}}); err != nil {
+				t.Errorf("Submit: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// 49 fast-fail completions arrive; the probe's hangs at the device.
+	for i := 0; i < hammer-1; i++ {
+		select {
+		case err := <-probeErr:
+			if !errors.Is(err, ErrDiskDegraded) {
+				t.Fatalf("hammer completion %d: err = %v, want ErrDiskDegraded", i, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("hammer completion %d never arrived (hung=%d)", i, sd.Hung())
+		}
+	}
+	if got := sd.Hung(); got != 1 {
+		t.Fatalf("device holds %d reads, want exactly 1 probe", got)
+	}
+	mu.Lock()
+	ff := fastFails
+	mu.Unlock()
+	if ff != hammer-1 {
+		t.Fatalf("fast fails = %d, want %d", ff, hammer-1)
+	}
+
+	// Releasing the probe through the device closes the circuit.
+	sd.ReleaseHung(nil)
+	select {
+	case err := <-probeErr:
+		if err != nil {
+			t.Fatalf("probe completion: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("probe completion never arrived")
+	}
+	if err := read(200); err != nil {
+		t.Errorf("post-recovery read: %v", err)
+	}
+	if st := srv.Stats(); st.DisksDegraded != 0 {
+		t.Errorf("DisksDegraded = %d after recovery, want 0", st.DisksDegraded)
+	}
+}
+
+// TestBreakerStaleSuccessIgnoredWhileCooling pins the stale-success
+// bug: a success from a request issued before the trip must not close
+// an open breaker mid-cooldown (the old noteDiskSuccess closed it
+// instantly, re-admitting the full load on one lucky completion).
+func TestBreakerStaleSuccessIgnoredWhileCooling(t *testing.T) {
+	cfg := DefaultConfig(64<<20, 1<<20)
+	cfg.BreakerThreshold = 3
+	cfg.BreakerCooldown = time.Second
+	// Read #1 hangs (the pre-trip straggler); reads #2..4 fail and trip
+	// the circuit; later reads are healthy.
+	n, sd := scriptNode(t, iostack.BaseConfig(iostack.Options{}),
+		[]blockdev.FaultRule{
+			{Disk: 0, Mode: blockdev.FaultHang, From: 1, To: 2},
+			{Disk: 0, Mode: blockdev.FaultError, From: 2, To: 5},
+		}, cfg)
+
+	const spacing = 8 << 20
+	var staleErr error
+	staleDone := false
+	if err := n.server.Submit(Request{Disk: 0, Offset: 0, Length: 4096,
+		Done: func(r Response) { staleErr, staleDone = r.Err, true }}); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if err := n.eng.RunFor(10 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if staleDone {
+		t.Fatal("hung read completed prematurely")
+	}
+
+	for i := 1; i <= 3; i++ {
+		if err := n.do(t, Request{Disk: 0, Offset: int64(i) * spacing, Length: 4096}).Err; !errors.Is(err, blockdev.ErrInjected) {
+			t.Fatalf("read %d: err = %v, want ErrInjected", i, err)
+		}
+	}
+	if st := n.server.Stats(); st.BreakerTrips != 1 || st.DisksDegraded != 1 {
+		t.Fatalf("trips=%d degraded=%d, want 1/1", st.BreakerTrips, st.DisksDegraded)
+	}
+
+	// The pre-trip read completes successfully while the circuit cools.
+	sd.ReleaseHung(nil)
+	n.await(t, func() bool { return staleDone })
+	if staleErr != nil {
+		t.Fatalf("stale read: %v", staleErr)
+	}
+
+	// The circuit must still be open: the stale success is ignored.
+	if st := n.server.Stats(); st.DisksDegraded != 1 {
+		t.Fatalf("DisksDegraded = %d after stale success, want 1 (still cooling)", st.DisksDegraded)
+	}
+	if err := n.do(t, Request{Disk: 0, Offset: 10 * spacing, Length: 4096}).Err; !errors.Is(err, ErrDiskDegraded) {
+		t.Fatalf("read while cooling: err = %v, want ErrDiskDegraded", err)
+	}
+
+	// After the cooldown the normal probe path still runs: one probe,
+	// healthy device, circuit closes.
+	if err := n.eng.RunFor(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.do(t, Request{Disk: 0, Offset: 11 * spacing, Length: 4096}).Err; err != nil {
+		t.Fatalf("probe read: %v", err)
+	}
+	if st := n.server.Stats(); st.DisksDegraded != 0 {
+		t.Errorf("DisksDegraded = %d after probe, want 0", st.DisksDegraded)
+	}
+}
+
+// TestBreakerStaleSuccessPromotesHalfOpen covers the post-cooldown
+// side of the stale-success fix: a stale success arriving after the
+// cooldown promotes the circuit to half-open (the next request still
+// probes) rather than closing it outright.
+func TestBreakerStaleSuccessPromotesHalfOpen(t *testing.T) {
+	cfg := DefaultConfig(64<<20, 1<<20)
+	cfg.BreakerThreshold = 3
+	cfg.BreakerCooldown = 100 * time.Millisecond
+	n, sd := scriptNode(t, iostack.BaseConfig(iostack.Options{}),
+		[]blockdev.FaultRule{
+			{Disk: 0, Mode: blockdev.FaultHang, From: 1, To: 2},
+			{Disk: 0, Mode: blockdev.FaultError, From: 2, To: 5},
+		}, cfg)
+
+	const spacing = 8 << 20
+	staleDone := false
+	if err := n.server.Submit(Request{Disk: 0, Offset: 0, Length: 4096,
+		Done: func(r Response) { staleDone = true }}); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if err := n.eng.RunFor(10 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := n.do(t, Request{Disk: 0, Offset: int64(i) * spacing, Length: 4096}).Err; !errors.Is(err, blockdev.ErrInjected) {
+			t.Fatalf("read %d: err = %v, want ErrInjected", i, err)
+		}
+	}
+
+	// Cooldown elapses with no traffic, then the stale success lands.
+	if err := n.eng.RunFor(200 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	sd.ReleaseHung(nil)
+	n.await(t, func() bool { return staleDone })
+
+	infos := n.server.BreakerInfos()
+	if len(infos) != 1 || infos[0].State != "half-open" {
+		t.Fatalf("breaker state after post-cooldown stale success = %+v, want half-open", infos)
+	}
+	if st := n.server.Stats(); st.DisksDegraded != 0 {
+		t.Fatalf("DisksDegraded = %d in half-open, want 0", st.DisksDegraded)
+	}
+
+	// Two requests submitted together: the first is the probe, the
+	// second must still fail fast (the circuit did not skip to closed).
+	var errA, errB error
+	doneCount := 0
+	for i, ep := range []*error{&errA, &errB} {
+		if err := n.server.Submit(Request{Disk: 0, Offset: int64(20+i) * spacing, Length: 4096,
+			Done: func(r Response) { *ep = r.Err; doneCount++ }}); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	n.await(t, func() bool { return doneCount == 2 })
+	if errA != nil {
+		t.Fatalf("probe request: %v", errA)
+	}
+	if !errors.Is(errB, ErrDiskDegraded) {
+		t.Fatalf("second half-open request: err = %v, want ErrDiskDegraded", errB)
+	}
+	if st := n.server.Stats(); st.DisksDegraded != 0 {
+		t.Errorf("DisksDegraded = %d after probe closed the circuit, want 0", st.DisksDegraded)
+	}
+}

@@ -126,6 +126,52 @@ type Config struct {
 	// allocation-free; see package flight.
 	Flight *flight.Recorder
 
+	// Replicas is the replication factor of the data layout: every
+	// disk's data is also readable from Replicas-1 mirror disks, chosen
+	// at placement time by blockdev.ReplicaDisks. Refcounted bufpool
+	// staging is unchanged — a fetch reads from exactly one replica at
+	// a time (plus at most one speculative duplicate). 0 and 1 both
+	// mean no replication; values above the disk count are rejected at
+	// NewServer. Replication is what straggler steering and speculative
+	// reads route across, so both require Replicas >= 2.
+	Replicas int
+
+	// SteerFactor, when positive, turns on straggler-aware dispatch: a
+	// stream's next fetch is routed to its fastest healthy replica when
+	// the primary's fetch EWMA exceeds SteerFactor times that replica's
+	// (a soft analog of diskBlocked for slow-but-alive disks), and the
+	// dispatch rotation deprioritizes candidates on such disks when
+	// faster candidates are waiting. Disks with no samples yet are
+	// never ranked (an unseeded EWMA reads zero). Requires Replicas >=
+	// 2 and WindowSpan > 0; zero disables steering.
+	SteerFactor float64
+	// SteerMinEwma floors the disk EWMA at which steering (and the
+	// rotation's deprioritization, and speculation timer arming)
+	// engages, default 1ms: a disk whose fetches complete below it is
+	// healthy no matter how its EWMA compares to an even faster
+	// peer's, so microsecond-scale jitter on fast devices cannot
+	// masquerade as a straggler — and no per-fetch speculation timer
+	// is armed for reads that will complete in microseconds.
+	SteerMinEwma time.Duration
+
+	// SpecQuantile, when positive, turns on speculative re-issue: an
+	// in-flight fetch that has been outstanding longer than this
+	// quantile of its disk's windowed fetch latency (not a fixed
+	// deadline) is duplicated on a replica; the first completion wins
+	// and the loser's buffer is released through the timeout-safe
+	// checkout path. Typical values are 0.9..0.99. Requires Replicas >=
+	// 2 and WindowSpan > 0; zero disables speculation.
+	SpecQuantile float64
+	// SpecMinSamples is how many samples the disk's fetch window must
+	// hold before its quantile is trusted as a speculation trigger
+	// (default 8); below it fetches run unduplicated.
+	SpecMinSamples int
+	// SpecMinDelay floors the speculation trigger delay (default 1ms),
+	// so sub-millisecond latency quantiles on fast devices do not arm
+	// a timer per fetch that fires before the read has a chance to
+	// complete.
+	SpecMinDelay time.Duration
+
 	// WindowSpan, when positive, attaches sliding-window latency
 	// telemetry (see LatencyWindows): request latency node-wide and
 	// fetch latency node-wide plus per disk, observed beside the
@@ -190,6 +236,17 @@ func (c *Config) ApplyDefaults() {
 	if c.Policy == nil {
 		c.Policy = RoundRobin{}
 	}
+	if c.SpecQuantile > 0 {
+		if c.SpecMinSamples == 0 {
+			c.SpecMinSamples = 8
+		}
+		if c.SpecMinDelay == 0 {
+			c.SpecMinDelay = time.Millisecond
+		}
+	}
+	if (c.SteerFactor > 0 || c.SpecQuantile > 0) && c.SteerMinEwma == 0 {
+		c.SteerMinEwma = time.Millisecond
+	}
 }
 
 // DeriveDispatch returns the largest D satisfying M >= D*R*N, at least 1.
@@ -250,6 +307,26 @@ func (c Config) Validate() error {
 		return errors.New("core: window span must be >= 0")
 	case c.WindowBuckets < 0:
 		return errors.New("core: window buckets must be >= 0")
+	case c.Replicas < 0:
+		return errors.New("core: replicas must be >= 0")
+	case c.SteerFactor < 0:
+		return errors.New("core: steer factor must be >= 0")
+	case c.SteerFactor > 0 && c.Replicas < 2:
+		return errors.New("core: steering requires Replicas >= 2")
+	case c.SteerFactor > 0 && c.WindowSpan <= 0:
+		return errors.New("core: steering requires WindowSpan > 0 (EWMA/window telemetry)")
+	case c.SteerMinEwma < 0:
+		return errors.New("core: steer EWMA floor must be >= 0")
+	case c.SpecQuantile < 0 || c.SpecQuantile >= 1:
+		return errors.New("core: speculation quantile must be in [0, 1)")
+	case c.SpecQuantile > 0 && c.Replicas < 2:
+		return errors.New("core: speculation requires Replicas >= 2")
+	case c.SpecQuantile > 0 && c.WindowSpan <= 0:
+		return errors.New("core: speculation requires WindowSpan > 0 (windowed quantiles)")
+	case c.SpecMinSamples < 0:
+		return errors.New("core: speculation min samples must be >= 0")
+	case c.SpecMinDelay < 0:
+		return errors.New("core: speculation min delay must be >= 0")
 	}
 	return nil
 }

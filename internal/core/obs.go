@@ -31,6 +31,9 @@ type Obs struct {
 	fetchTimeouts    *obs.Counter
 	breakerTrips     *obs.Counter
 	breakerFastFails *obs.Counter
+	steeredFetches   *obs.Counter
+	speculations     *obs.Counter
+	specWins         *obs.Counter
 
 	memoryInUse       *obs.Gauge
 	peakMemory        *obs.Gauge
@@ -76,6 +79,9 @@ func NewObs(reg *obs.Registry, spans *obs.SpanLog) *Obs {
 		fetchTimeouts:    reg.Counter("seqstream_core_fetch_timeouts_total", "fetches failed by the fetch deadline"),
 		breakerTrips:     reg.Counter("seqstream_core_breaker_trips_total", "per-disk circuits opened"),
 		breakerFastFails: reg.Counter("seqstream_core_breaker_fast_fails_total", "requests failed fast by an open circuit"),
+		steeredFetches:   reg.Counter("seqstream_core_steered_fetches_total", "fetches routed to a replica instead of the primary"),
+		speculations:     reg.Counter("seqstream_core_speculations_total", "duplicate fetches issued on a replica for a slow leg"),
+		specWins:         reg.Counter("seqstream_core_spec_wins_total", "speculative legs that completed first and delivered"),
 
 		memoryInUse:       reg.Gauge("seqstream_core_memory_in_use_bytes", "bytes held in staging buffers"),
 		peakMemory:        reg.Gauge("seqstream_core_peak_memory_bytes", "high-water mark of staged bytes"),

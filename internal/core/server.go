@@ -80,6 +80,9 @@ type Stats struct {
 	FetchTimeouts    int64 // fetches failed by the FetchTimeout deadline
 	BreakerTrips     int64 // per-disk circuits opened
 	BreakerFastFails int64 // requests failed fast by an open circuit
+	SteeredFetches   int64 // fetches routed to a replica instead of the primary
+	Speculations     int64 // duplicate fetches issued on a replica for a slow leg
+	SpecWins         int64 // speculative legs that completed first and delivered
 	MemoryInUse      int64
 	PeakMemory       int64
 	LiveBuffers      int64
@@ -109,6 +112,9 @@ func (st *Stats) add(o *Stats) {
 	st.FetchTimeouts += o.FetchTimeouts
 	st.BreakerTrips += o.BreakerTrips
 	st.BreakerFastFails += o.BreakerFastFails
+	st.SteeredFetches += o.SteeredFetches
+	st.Speculations += o.Speculations
+	st.SpecWins += o.SpecWins
 }
 
 type offKey struct {
@@ -141,6 +147,19 @@ type Server struct {
 	// win holds the sliding-window latency telemetry when
 	// Config.WindowSpan is positive; nil-checked on every hot path.
 	win *LatencyWindows
+
+	// replicas holds the replica set of every primary disk when
+	// Config.Replicas > 1 (nil otherwise): replicas[d][0] == d, the
+	// rest are the mirrors blockdev.ReplicaDisks chose at placement
+	// time. Immutable after NewServer.
+	replicas [][]int
+
+	// diskDown mirrors each disk's breaker-blocked state as lock-free
+	// booleans (written by the owning shard on breaker transitions, via
+	// publishDiskDown). Replica selection consults it for disks owned
+	// by other shards without touching their locks. Nil unless
+	// replication is on.
+	diskDown []atomic.Bool
 
 	// Global accounting (atomic; see DESIGN.md §10 for the protocol).
 	memUsed     atomic.Int64 // staged bytes across shards; never exceeds cfg.Memory
@@ -185,10 +204,25 @@ func NewServer(dev blockdev.Device, clock blockdev.Clock, cfg Config) (*Server, 
 		s.cpu = cpu
 	}
 	if ri, ok := dev.(blockdev.ReaderInto); ok {
-		s.rinto = ri
-		if s.pool == nil {
-			s.pool = bufpool.New()
+		// Wrapper devices (fault injectors) expose ReadInto but can only
+		// honor it when their inner device does; the gate keeps the
+		// pooled path off rather than failing every fetch.
+		if g, gated := dev.(blockdev.ReadIntoSupported); !gated || g.SupportsReadInto() {
+			s.rinto = ri
+			if s.pool == nil {
+				s.pool = bufpool.New()
+			}
 		}
+	}
+	if cfg.Replicas > 1 {
+		if cfg.Replicas > dev.Disks() {
+			return nil, fmt.Errorf("core: %d replicas exceed the device's %d disks", cfg.Replicas, dev.Disks())
+		}
+		s.replicas = make([][]int, dev.Disks())
+		for d := range s.replicas {
+			s.replicas[d] = blockdev.ReplicaDisks(d, cfg.Replicas, dev.Disks())
+		}
+		s.diskDown = make([]atomic.Bool, dev.Disks())
 	}
 	n := cfg.Shards
 	if n <= 0 || n > dev.Disks() {

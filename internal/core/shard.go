@@ -60,6 +60,7 @@ type shard struct {
 	gcCancel   func()             //lint:guardedby mu
 	gcArmed    bool               //lint:guardedby mu
 	closed     bool               //lint:guardedby mu
+	steerTick  int                //lint:guardedby mu — steering pick counter (every 16th probes the primary)
 
 	// pendingIO collects device calls generated under the lock; they
 	// run after the lock is released (flush), because real devices may
@@ -695,18 +696,35 @@ func (sh *shard) pump() {
 			ndisks = 1
 		}
 		maxPerDisk := (srv.cfg.DispatchSize + ndisks - 1) / ndisks
+		// Soft deprioritization (the straggler-aware analog of the hard
+		// diskBlocked exclusion): candidates on a disk whose windowed
+		// fetch EWMA exceeds SteerFactor times the fastest seeded
+		// candidate disk yield to healthy candidates first. Unlike an
+		// open circuit this never starves the slow disk — when every
+		// admissible candidate is slow the filter drops away.
+		baseline := sh.steerBaseline()
+		skipSlow := baseline > 0
 		minLoad := -1
-		for _, c := range sh.candidates {
-			if sh.diskBlocked(c.disk, now) {
-				continue
+		for {
+			for _, c := range sh.candidates {
+				if sh.diskBlocked(c.disk, now) {
+					continue
+				}
+				if skipSlow && sh.diskSlow(c.disk, baseline) {
+					continue
+				}
+				load := sh.perDisk[c.disk]
+				if load >= maxPerDisk {
+					continue
+				}
+				if minLoad < 0 || load < minLoad {
+					minLoad = load
+				}
 			}
-			load := sh.perDisk[c.disk]
-			if load >= maxPerDisk {
-				continue
+			if minLoad >= 0 || !skipSlow {
+				break
 			}
-			if minLoad < 0 || load < minLoad {
-				minLoad = load
-			}
+			skipSlow = false
 		}
 		if minLoad < 0 {
 			return // every candidate's disk is at its fair share (or blocked)
@@ -719,7 +737,8 @@ func (sh *shard) pump() {
 		eligibleIdx := make([]int, 0, len(sh.candidates))
 		filtered := make([]*stream, 0, len(sh.candidates))
 		for i, c := range sh.candidates {
-			if sh.perDisk[c.disk] == minLoad && !sh.diskBlocked(c.disk, now) {
+			if sh.perDisk[c.disk] == minLoad && !sh.diskBlocked(c.disk, now) &&
+				!(skipSlow && sh.diskSlow(c.disk, baseline)) {
 				eligibleIdx = append(eligibleIdx, i)
 				filtered = append(filtered, c)
 			}
@@ -907,6 +926,7 @@ func (sh *shard) issueFetch(st *stream) {
 	}
 	b := &buffer{
 		disk:       st.disk,
+		readDisk:   sh.pickFetchDisk(st.disk),
 		start:      st.nextFetch,
 		end:        st.nextFetch + flen,
 		lastActive: srv.clock.Now(),
@@ -915,7 +935,13 @@ func (sh *shard) issueFetch(st *stream) {
 	}
 	if srv.rinto != nil {
 		b.pbuf = srv.pool.Get(flen)
-		b.inDevice = true
+	}
+	b.inDevice = true
+	if b.readDisk != st.disk {
+		sh.stats.SteeredFetches++
+		if o := srv.cfg.Obs; o != nil {
+			o.steeredFetches.Inc()
+		}
 	}
 	st.buffers = append(st.buffers, b)
 	st.nextFetch = b.end
@@ -932,8 +958,11 @@ func (sh *shard) issueFetch(st *stream) {
 		o.bytesFetched.Add(flen)
 		o.span(st.id, st.disk, obs.StageFetch, b.start, flen)
 	}
+	// Device-level events carry the disk the read actually lands on
+	// (readDisk), so per-disk latency attribution stays truthful when
+	// steering routes around the primary.
 	if sh.fr != nil {
-		sh.fr.Record(flight.Event{Op: flight.OpFetch, Disk: uint16(st.disk),
+		sh.fr.Record(flight.Event{Op: flight.OpFetch, Disk: uint16(b.readDisk),
 			Stream: int32(st.id), Offset: b.start, Length: flen, T: b.issuedAt})
 	}
 
@@ -941,6 +970,7 @@ func (sh *shard) issueFetch(st *stream) {
 	// a second fetch meanwhile: fetchInFlight stays set until the
 	// completion path clears it.
 	sh.armFetchDeadline(st, b)
+	sh.armSpeculation(st, b)
 	sh.pendingIO = append(sh.pendingIO, sh.fetchCall(st, b))
 }
 
@@ -954,11 +984,11 @@ func (sh *shard) fetchCall(st *stream, b *buffer) func() {
 	return func() {
 		var err error
 		if b.pbuf != nil {
-			err = srv.rinto.ReadInto(st.disk, b.start, b.size(), b.pbuf.Data, func(data []byte, derr error) {
+			err = srv.rinto.ReadInto(b.readDisk, b.start, b.size(), b.pbuf.Data, func(data []byte, derr error) {
 				sh.onFetchDone(st, b, data, derr)
 			})
 		} else {
-			err = srv.dev.ReadAt(st.disk, b.start, b.size(), func(data []byte, derr error) {
+			err = srv.dev.ReadAt(b.readDisk, b.start, b.size(), func(data []byte, derr error) {
 				sh.onFetchDone(st, b, data, derr)
 			})
 		}
@@ -1004,6 +1034,10 @@ func (sh *shard) onFetchTimeout(st *stream, b *buffer) {
 	}
 	b.abandoned = true
 	b.cancelTimeout = nil
+	if b.specCancel != nil {
+		b.specCancel()
+		b.specCancel = nil
+	}
 	st.fetchInFlight = false
 	now := srv.clock.Now()
 	sh.stats.FetchTimeouts++
@@ -1016,7 +1050,7 @@ func (sh *shard) onFetchTimeout(st *stream, b *buffer) {
 		sh.fr.Record(flight.Event{Op: flight.OpTimeout, Err: flight.ErrTimeout, Disk: uint16(st.disk),
 			Stream: int32(st.id), Offset: b.start, Length: b.size(), T: now, Dur: now - b.issuedAt})
 	}
-	sh.noteDiskFailure(st.disk, now)
+	sh.noteReadOutcome(b.readDisk, false, now)
 	var failed []pendingReq
 	st.queue, failed = splitCovered(st.queue, b)
 	sh.freeBuffer(st, b, false)
@@ -1055,13 +1089,14 @@ func (sh *shard) scheduleRetry(st *stream, b *buffer) {
 	backoff := sh.srv.cfg.RetryBackoff << (b.attempts - 1)
 	sh.srv.clock.Schedule(backoff, func() {
 		sh.mu.Lock()
-		if b.abandoned {
+		if b.abandoned || b.ready {
+			// Timed out while backing off (pooled bytes already freed), or
+			// a speculative leg won meanwhile (its win recycled this leg's
+			// bytes); either way the re-issue is dead.
 			sh.mu.Unlock()
-			return // timed out while backing off; pooled bytes already freed
+			return
 		}
-		if b.pbuf != nil {
-			b.inDevice = true
-		}
+		b.inDevice = true
 		sh.pendingIO = append(sh.pendingIO, sh.fetchCall(st, b))
 		sh.mu.Unlock()
 		sh.flush()
@@ -1077,6 +1112,19 @@ func (sh *shard) onFetchDone(st *stream, b *buffer, data []byte, derr error) {
 	sh.mu.Lock()
 	now := srv.clock.Now()
 	b.inDevice = false
+	if sp := b.spec; sp != nil && sp.won {
+		// A speculative leg already delivered this buffer. The late
+		// primary completion only recycles the pooled bytes the device
+		// was writing into, stashed in the spec record at win time, and
+		// books its outcome with the slow disk's breaker.
+		sp.pbuf.Release()
+		sp.pbuf = nil
+		b.spec = nil
+		sh.noteReadOutcome(b.readDisk, derr == nil, now)
+		sh.mu.Unlock()
+		sh.flush()
+		return
+	}
 	if b.abandoned {
 		// The fetch already hit FetchTimeout: memory reclaimed, waiters
 		// failed, stream parked. Drop the late completion; the pooled
@@ -1096,9 +1144,34 @@ func (sh *shard) onFetchDone(st *stream, b *buffer, data []byte, derr error) {
 		sh.mu.Unlock()
 		return
 	}
+	if derr != nil && b.spec != nil && !b.spec.done {
+		// Terminal primary error while a speculative leg is still in
+		// flight: park the buffer on the replica instead of failing its
+		// waiters — the duplicate may still deliver the data. The
+		// primary's pooled bytes are safe to recycle (its completion
+		// just arrived); the fetch deadline stays armed to bound the
+		// spec leg. onSpecDone settles the buffer either way.
+		b.primaryFailed = true
+		if b.pbuf != nil {
+			b.pbuf.Release()
+			b.pbuf = nil
+		}
+		sh.noteReadOutcome(b.readDisk, false, now)
+		if sh.fr != nil {
+			sh.fr.Record(flight.Event{Op: flight.OpFetchErr, Err: flight.ErrIO, Disk: uint16(b.readDisk),
+				Stream: int32(st.id), Offset: b.start, Length: b.size(), T: now, Dur: now - b.issuedAt})
+		}
+		sh.mu.Unlock()
+		sh.flush()
+		return
+	}
 	if b.cancelTimeout != nil {
 		b.cancelTimeout()
 		b.cancelTimeout = nil
+	}
+	if b.specCancel != nil {
+		b.specCancel()
+		b.specCancel = nil
 	}
 	b.ready = true
 	b.data = data
@@ -1118,16 +1191,16 @@ func (sh *shard) onFetchDone(st *stream, b *buffer, data []byte, derr error) {
 		o.span(st.id, st.disk, obs.StageStaged, b.start, b.size())
 	}
 	if w := srv.win; w != nil {
-		w.observeFetch(st.disk, now-b.issuedAt)
+		w.observeFetch(b.readDisk, now-b.issuedAt)
 	}
-	srv.traceEvent(trace.Event{Kind: trace.KindFetch, Stream: st.id, Disk: st.disk, Offset: b.start,
+	srv.traceEvent(trace.Event{Kind: trace.KindFetch, Stream: st.id, Disk: b.readDisk, Offset: b.start,
 		Length: b.size(), Start: b.issuedAt, End: now, Err: fetchErr})
 	if sh.fr != nil {
 		op, code := flight.OpStaged, flight.ErrNone
 		if derr != nil {
 			op, code = flight.OpFetchErr, flight.ErrIO
 		}
-		sh.fr.Record(flight.Event{Op: op, Err: code, Disk: uint16(st.disk),
+		sh.fr.Record(flight.Event{Op: op, Err: code, Disk: uint16(b.readDisk),
 			Stream: int32(st.id), Offset: b.start, Length: b.size(), T: now, Dur: now - b.issuedAt})
 	}
 	st.fetchInFlight = false
@@ -1136,7 +1209,7 @@ func (sh *shard) onFetchDone(st *stream, b *buffer, data []byte, derr error) {
 
 	if derr != nil {
 		// Fail everything waiting on this buffer and drop it.
-		sh.noteDiskFailure(st.disk, now)
+		sh.noteReadOutcome(b.readDisk, false, now)
 		var failed []pendingReq
 		st.queue, failed = splitCovered(st.queue, b)
 		sh.freeBuffer(st, b, false)
@@ -1151,7 +1224,7 @@ func (sh *shard) onFetchDone(st *stream, b *buffer, data []byte, derr error) {
 		return
 	}
 
-	sh.noteDiskSuccess(st.disk)
+	sh.noteReadOutcome(b.readDisk, true, now)
 
 	// Issue path first.
 	if st.dispatched {
@@ -1289,6 +1362,10 @@ func (sh *shard) freeBuffer(st *stream, b *buffer, gc bool) {
 	sh.bufCount--
 	sh.srv.bufCount.Add(-1)
 	sh.srv.memRelease(b.size())
+	if b.specCancel != nil {
+		b.specCancel()
+		b.specCancel = nil
+	}
 	b.data = nil
 	if !b.abandoned && b.pbuf != nil {
 		b.pbuf.Release()

@@ -151,12 +151,21 @@ func TestBufferHitZeroAllocWithWindows(t *testing.T) {
 	bufferHitZeroAlloc(t, false, true)
 }
 
-func bufferHitZeroAlloc(t *testing.T, withFlight, withWindows bool) {
+// TestBufferHitZeroAllocWithSpeculation repeats the guard with the
+// full replica stack enabled — mirroring, steering, and speculative
+// re-issue. Their cost lives on the fetch path (disk picks, trigger
+// timers); the buffer-hit path must not pay a single allocation for
+// them.
+func TestBufferHitZeroAllocWithSpeculation(t *testing.T) {
+	bufferHitZeroAlloc(t, false, true, func(c *Config) {
+		c.Replicas = 2
+		c.SteerFactor = 2
+		c.SpecQuantile = 0.9
+	})
+}
+
+func bufferHitZeroAlloc(t *testing.T, withFlight, withWindows bool, mutate ...func(*Config)) {
 	t.Helper()
-	dev, err := blockdev.NewMemDevice(1, 1<<30, 0, true)
-	if err != nil {
-		t.Fatal(err)
-	}
 	cfg := DefaultConfig(64<<20, 1<<20)
 	cfg.NearSeqWindow = 1 << 20
 	// Park the background sweeps so their timer re-arms cannot be
@@ -166,6 +175,17 @@ func bufferHitZeroAlloc(t *testing.T, withFlight, withWindows bool) {
 	clock := blockdev.NewRealClock()
 	if withWindows {
 		cfg.WindowSpan = time.Minute
+	}
+	for _, m := range mutate {
+		m(&cfg)
+	}
+	disks := 1
+	if cfg.Replicas > disks {
+		disks = cfg.Replicas
+	}
+	dev, err := blockdev.NewMemDevice(disks, 1<<30, 0, true)
+	if err != nil {
+		t.Fatal(err)
 	}
 	if withFlight {
 		rec, err := flight.New(clock.Now, 1, 0)

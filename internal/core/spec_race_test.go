@@ -1,0 +1,100 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"seqstream/internal/blockdev"
+)
+
+// TestSpeculationConcurrencyNoLeak drives speculative re-issue on a
+// real clock with a materializing device, so winning legs swap pooled
+// buffers while the losing leg's read is still writing into its own.
+// It exists to run under -race: the win/lose protocol must neither
+// race the in-flight device write, double-release a buffer, nor leak
+// one. From read 4 onward disk 0 delays every fetch 10ms, far past the
+// speculation trigger, so replica legs win constantly while concurrent
+// streams on both disks keep the shards, the breaker notes, and the
+// buffer pool hot.
+func TestSpeculationConcurrencyNoLeak(t *testing.T) {
+	mem, err := blockdev.NewMemDevice(2, 1<<30, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := blockdev.NewRealClock()
+	dev, err := blockdev.NewScriptDevice(mem, clock, []blockdev.FaultRule{
+		{Disk: 0, Mode: blockdev.FaultDelay, MinLen: 1 << 20, Delay: 10 * time.Millisecond, From: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(256<<20, 1<<20)
+	cfg.Replicas = 2
+	cfg.WindowSpan = time.Minute
+	cfg.SteerFactor = 4
+	cfg.SpecQuantile = 0.5
+	cfg.SpecMinSamples = 2
+	srv, err := NewServer(dev, clock, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const (
+		streams  = 8
+		requests = 120
+		req      = 64 << 10
+	)
+	var wg sync.WaitGroup
+	for s := 0; s < streams; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			base := int64(s/2) * (64 << 20)
+			ch := make(chan error, 1)
+			for i := 0; i < requests; i++ {
+				err := srv.Submit(Request{
+					Disk: s % 2, Offset: base + int64(i)*req, Length: req,
+					Done: func(r Response) {
+						r.Release()
+						ch <- r.Err
+					},
+				})
+				if err != nil {
+					t.Errorf("Submit: %v", err)
+					return
+				}
+				if err := <-ch; err != nil {
+					t.Errorf("stream %d read %d: %v", s, i, err)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	st := srv.Stats()
+	if st.Speculations == 0 {
+		t.Error("no speculative legs armed — the race path was not exercised")
+	}
+	if st.SpecWins == 0 {
+		t.Error("no speculative wins — the buffer-swap path was not exercised")
+	}
+
+	// Every losing primary leg completes within its injected 10ms
+	// delay; after that, outstanding pool checkouts must equal the
+	// buffers still staged (no stashed loser may linger unreleased).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		out := srv.Pool().Stats().CheckedOut
+		live := srv.Stats().LiveBuffers
+		if out == live {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pool CheckedOut = %d but LiveBuffers = %d: speculative legs leaked buffers", out, live)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

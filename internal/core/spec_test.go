@@ -1,0 +1,268 @@
+package core
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"seqstream/internal/blockdev"
+	"seqstream/internal/iostack"
+)
+
+// specConfig is the common replica-enabled scheduler config for the
+// speculation tests: two-way mirroring with sliding windows attached.
+// Steering and speculation are toggled per test.
+func specConfig() Config {
+	cfg := DefaultConfig(64<<20, 1<<20)
+	cfg.Replicas = 2
+	cfg.WindowSpan = time.Minute
+	return cfg
+}
+
+func TestSpecWinDeliversFromReplica(t *testing.T) {
+	// Disk 0's fetch window is seeded by four fast fetches; from the
+	// fifth fetch on, disk 0 delays every read-ahead by five seconds.
+	// Speculation must re-issue the slow leg on the mirror (disk 1) and
+	// deliver from it long before the primary completes.
+	cfg := specConfig()
+	cfg.SpecQuantile = 0.5
+	cfg.SpecMinSamples = 4
+	rules := []blockdev.FaultRule{
+		{Disk: 0, Mode: blockdev.FaultDelay, MinLen: 1 << 20, Delay: 5 * time.Second, From: 5},
+	}
+	n, _ := scriptNode(t, twoDiskConfig(), rules, cfg)
+
+	// 96 sequential 64K reads cover six 1M fetches: four seed the
+	// window, the remaining two hit the delay.
+	last := driveStream(t, n, 0, 96)
+
+	st := n.server.Stats()
+	if st.Speculations == 0 {
+		t.Fatal("no speculative re-issues armed against the slow disk")
+	}
+	if st.SpecWins == 0 {
+		t.Fatal("no speculative leg won against the 5s primary")
+	}
+	// The client never waited out a 5s primary leg: the whole stream
+	// finishes well inside one injected delay.
+	if last >= 5*time.Second {
+		t.Errorf("stream finished at %v, want < 5s (speculation did not rescue the waiters)", last)
+	}
+
+	// Drain the late primary completions (and the GC ticks between
+	// them): the won-spec path must recycle the stashed buffers and
+	// release all staged memory.
+	if err := n.eng.RunFor(6 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.eng.RunFor(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if st := n.server.Stats(); st.MemoryInUse != 0 {
+		t.Errorf("MemoryInUse = %d after drain, want 0", st.MemoryInUse)
+	}
+}
+
+func TestSteeringRoutesAroundSlowPrimary(t *testing.T) {
+	// Every disk-0 fetch takes two seconds. Once disk 0's EWMA is
+	// seeded by the first slow fetch, dispatch must steer the stream's
+	// remaining fetches to the fast mirror (disk 1).
+	cfg := specConfig()
+	cfg.SteerFactor = 2
+	rules := []blockdev.FaultRule{
+		{Disk: 0, Mode: blockdev.FaultDelay, MinLen: 1 << 20, Delay: 2 * time.Second},
+	}
+	n, _ := scriptNode(t, twoDiskConfig(), rules, cfg)
+
+	// Seed disk 1's EWMA with its own healthy stream first: unseeded
+	// replicas are never steering targets.
+	seeded := driveStream(t, n, 1, 48)
+
+	// 80 reads cover five fetches. Only the first (the EWMA-seeding
+	// one) should pay the 2s delay; the rest steer to disk 1.
+	last := driveStream(t, n, 0, 80)
+
+	st := n.server.Stats()
+	if st.SteeredFetches < 3 {
+		t.Errorf("SteeredFetches = %d, want >= 3", st.SteeredFetches)
+	}
+	if elapsed := last - seeded; elapsed >= 4*time.Second {
+		t.Errorf("slow-primary stream took %v, want < 4s (one 2s seeding fetch plus steered remainder)", elapsed)
+	}
+}
+
+func TestUnseededReplicaNotSteeredTo(t *testing.T) {
+	// Satellite (d): an unseeded EWMA reads zero, which would make an
+	// untouched replica look infinitely fast. Steering must skip
+	// unseeded disks entirely, even when the primary is much slower.
+	cfg := specConfig()
+	cfg.SteerFactor = 2
+	rules := []blockdev.FaultRule{
+		{Disk: 0, Mode: blockdev.FaultDelay, MinLen: 1 << 20, Delay: 2 * time.Second},
+	}
+	n, _ := scriptNode(t, twoDiskConfig(), rules, cfg)
+
+	// Disk 1 is never touched, so its EWMA stays unseeded.
+	driveStream(t, n, 0, 48)
+
+	st := n.server.Stats()
+	if st.Fetches < 2 {
+		t.Fatalf("Fetches = %d, want >= 2 (stream never formed)", st.Fetches)
+	}
+	if st.SteeredFetches != 0 {
+		t.Errorf("SteeredFetches = %d onto an unseeded replica, want 0", st.SteeredFetches)
+	}
+}
+
+func TestLosingSpeculationHarmless(t *testing.T) {
+	// Satellite (e), fairness half: disk 1's fetches turn mildly slow
+	// (200ms) after seeding, so speculation re-issues them on the
+	// mirror — but the mirror (disk 0) is far slower (2s), so every
+	// speculative leg loses. The client must ride the primary
+	// untouched: losing legs cost nothing and leak nothing.
+	cfg := specConfig()
+	cfg.SpecQuantile = 0.5
+	cfg.SpecMinSamples = 2
+	rules := []blockdev.FaultRule{
+		{Disk: 1, Mode: blockdev.FaultDelay, MinLen: 1 << 20, Delay: 200 * time.Millisecond, From: 4},
+		{Disk: 0, Mode: blockdev.FaultDelay, MinLen: 1 << 20, Delay: 2 * time.Second},
+	}
+	n, _ := scriptNode(t, twoDiskConfig(), rules, cfg)
+
+	last := driveStream(t, n, 1, 96)
+
+	st := n.server.Stats()
+	if st.Speculations == 0 {
+		t.Fatal("no speculative legs armed against the 200ms fetches")
+	}
+	if st.SpecWins != 0 {
+		t.Errorf("SpecWins = %d via the 2s mirror, want 0", st.SpecWins)
+	}
+	// Six fetches, three of them delayed 200ms: nowhere near the 2s a
+	// client would see if it ever waited on a losing leg.
+	if last >= 2*time.Second {
+		t.Errorf("stream finished at %v, want < 2s (client waited on a losing speculative leg)", last)
+	}
+
+	// Drain the losing legs and the GC: no staged memory, no pool
+	// checkout, and no breaker confusion may remain.
+	if err := n.eng.RunFor(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.eng.RunFor(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	st = n.server.Stats()
+	if st.MemoryInUse != 0 {
+		t.Errorf("MemoryInUse = %d after drain, want 0", st.MemoryInUse)
+	}
+	if st.DisksDegraded != 0 {
+		t.Errorf("DisksDegraded = %d after successful (if slow) legs, want 0", st.DisksDegraded)
+	}
+}
+
+// driveConcurrentStreams runs one chained sequential stream per spec
+// concurrently and returns every request's service latency.
+func driveConcurrentStreams(t *testing.T, n *testNode, specs []struct {
+	disk  int
+	base  int64
+	count int
+}) []time.Duration {
+	t.Helper()
+	var latencies []time.Duration
+	completed, total := 0, 0
+	for _, sp := range specs {
+		total += sp.count
+	}
+	for _, sp := range specs {
+		sp := sp
+		var issue func(i int)
+		issue = func(i int) {
+			if i >= sp.count {
+				return
+			}
+			err := n.server.Submit(Request{
+				Disk: sp.disk, Offset: sp.base + int64(i)*failReq, Length: failReq,
+				Done: func(r Response) {
+					if r.Err != nil {
+						t.Errorf("disk %d read %d: %v", sp.disk, i, r.Err)
+					}
+					latencies = append(latencies, r.End-r.Start)
+					completed++
+					issue(i + 1)
+				},
+			})
+			if err != nil {
+				t.Fatalf("Submit: %v", err)
+			}
+		}
+		issue(0)
+	}
+	n.await(t, func() bool { return completed >= total })
+	return latencies
+}
+
+func durQuantile(lat []time.Duration, q float64) time.Duration {
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func TestSpeculationTailLatency64Disks(t *testing.T) {
+	// The ISSUE acceptance scenario: a 64-disk sim with one disk at
+	// ~10x fetch latency. With straggler-aware dispatch and
+	// speculation on, p99 over all request latencies must improve at
+	// least 2x versus the same workload with them off.
+	rules := []blockdev.FaultRule{
+		{Disk: 0, Mode: blockdev.FaultDelay, MinLen: 256 << 10, Delay: 250 * time.Millisecond},
+	}
+
+	run := func(on bool) []time.Duration {
+		cfg := DefaultConfig(256<<20, 256<<10)
+		cfg.WindowSpan = time.Minute
+		if on {
+			cfg.Replicas = 2
+			cfg.SteerFactor = 2
+			cfg.SpecQuantile = 0.9
+			cfg.SpecMinSamples = 4
+		}
+		n, _ := scriptNode(t, iostack.LargeConfig(iostack.Options{}), rules, cfg)
+
+		// Four streams share the straggling disk 0 (widely spaced so
+		// they stay distinct streams); every other disk carries one.
+		var specs []struct {
+			disk  int
+			base  int64
+			count int
+		}
+		for s := 0; s < 4; s++ {
+			specs = append(specs, struct {
+				disk  int
+				base  int64
+				count int
+			}{disk: 0, base: int64(s) * (64 << 20), count: 64})
+		}
+		for d := 1; d < 64; d++ {
+			specs = append(specs, struct {
+				disk  int
+				base  int64
+				count int
+			}{disk: d, base: 0, count: 64})
+		}
+		return driveConcurrentStreams(t, n, specs)
+	}
+
+	p99Off := durQuantile(run(false), 0.99)
+	p99On := durQuantile(run(true), 0.99)
+	if p99On <= 0 {
+		t.Fatalf("p99 with speculation = %v, want > 0", p99On)
+	}
+	if p99Off < 2*p99On {
+		t.Errorf("p99 off = %v, on = %v: improvement %.2fx, want >= 2x",
+			p99Off, p99On, float64(p99Off)/float64(p99On))
+	}
+}

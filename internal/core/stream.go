@@ -63,9 +63,13 @@ type buffer struct {
 	// only when the late device completion arrives, because the device
 	// may still be writing into it (see shard.onFetchTimeout).
 	pbuf *bufpool.Buf
-	// inDevice marks a window in which a device call may touch pbuf:
-	// set when a fetch is (re-)issued, cleared when its completion
-	// arrives. While set, pbuf must not be recycled.
+	// inDevice marks a window in which the primary device call is
+	// outstanding: set when a fetch is (re-)issued, cleared when its
+	// completion arrives. While set, pbuf (when the device reads into
+	// pooled memory) must not be recycled — and a winning speculative
+	// leg must keep the spec record parked on the buffer so the late
+	// primary completion is recognized and recycled instead of
+	// replaying a full completion on a buffer that already delivered.
 	inDevice bool
 	// ready marks fetch completion.
 	ready bool
@@ -87,6 +91,23 @@ type buffer struct {
 	abandoned bool
 	// cancelTimeout stops the pending fetch-deadline timer.
 	cancelTimeout func()
+
+	// readDisk is the disk the fetch was actually issued to: the
+	// stream's primary unless steering routed it to a replica. Device
+	// calls, latency observation, and breaker noting use readDisk;
+	// dispatch accounting (perDisk, the fair share) stays on the
+	// stream's logical disk.
+	readDisk int
+	// spec is the in-flight (or won) speculative duplicate of this
+	// buffer's fetch on a replica, nil when none was armed. See
+	// shard.onSpecTimer for the lifecycle.
+	spec *specFetch
+	// specCancel stops the pending speculation-trigger timer.
+	specCancel func()
+	// primaryFailed marks a terminal primary-leg error parked while a
+	// speculative leg is still in flight; the spec completion decides
+	// the buffer's fate (spec.go).
+	primaryFailed bool
 }
 
 func (b *buffer) size() int64 { return b.end - b.start }

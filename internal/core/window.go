@@ -100,6 +100,17 @@ func (w *LatencyWindows) DiskEWMA(disk int) time.Duration {
 	return w.disks[disk].ewma.Value()
 }
 
+// DiskEWMASeeded reports whether disk's EWMA has absorbed at least one
+// fetch sample. Steering and speculation consult it before ranking:
+// an unseeded EWMA reads zero, which would make an idle (never
+// measured) disk look like the fastest replica.
+func (w *LatencyWindows) DiskEWMASeeded(disk int) bool {
+	if w == nil || disk < 0 || disk >= len(w.disks) {
+		return false
+	}
+	return w.disks[disk].ewma.Seeded()
+}
+
 // observeRequest records one served client request (buffer hit or
 // direct read) into the request window.
 func (w *LatencyWindows) observeRequest(d time.Duration) {

@@ -90,6 +90,15 @@ const (
 	OpCtrlDone
 	// OpDevRead: a device read completed (blockdev layer).
 	OpDevRead
+	// OpSpeculate: an in-flight fetch outlived its disk's latency
+	// quantile and was re-issued on a replica. Disk is the slow disk
+	// the original leg was reading; Dur is how long that leg had been
+	// outstanding when the duplicate was armed.
+	OpSpeculate
+	// OpSpecWin: the speculative leg completed first and delivered the
+	// fetch. Disk is the winning replica; Dur is the speculative leg's
+	// latency.
+	OpSpecWin
 
 	opSentinel // keep last
 )
@@ -144,6 +153,10 @@ func (o Op) String() string {
 		return "ctrl_done"
 	case OpDevRead:
 		return "dev_read"
+	case OpSpeculate:
+		return "speculate"
+	case OpSpecWin:
+		return "spec_win"
 	default:
 		return "unknown"
 	}

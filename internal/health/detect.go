@@ -126,6 +126,13 @@ type Detectors struct {
 	diskLat  map[uint16]*obs.Histogram
 	shardLat map[uint16]*obs.Histogram
 	shardOf  map[uint16]uint16
+
+	// speculation: duplicates armed against a disk's slow legs, and
+	// wins delivered by each replica. A straggling disk with armed
+	// speculations is a disk the scheduler is already routing around,
+	// which the straggler detail notes.
+	specs    map[uint16]int
+	specWins map[uint16]int
 }
 
 // NewDetectors returns an empty detector set with cfg (defaults
@@ -139,6 +146,8 @@ func NewDetectors(cfg DetectorConfig) *Detectors {
 		diskLat:  make(map[uint16]*obs.Histogram),
 		shardLat: make(map[uint16]*obs.Histogram),
 		shardOf:  make(map[uint16]uint16),
+		specs:    make(map[uint16]int),
+		specWins: make(map[uint16]int),
 	}
 }
 
@@ -160,6 +169,10 @@ func (d *Detectors) Observe(e flight.Event) {
 		d.evicts++
 	case flight.OpBreakerOpen:
 		d.opens[e.Disk]++
+	case flight.OpSpeculate:
+		d.specs[e.Disk]++
+	case flight.OpSpecWin:
+		d.specWins[e.Disk]++
 	case flight.OpStaged:
 		if e.Dur > 0 {
 			if d.diskLat[e.Disk] == nil {
@@ -315,17 +328,29 @@ func (d *Detectors) findStragglers() []Anomaly {
 		}
 		m := h.Quantile(0.5)
 		if float64(m) >= d.cfg.StragglerFactor*float64(base) {
+			detail := fmt.Sprintf("disk %d's median fetch latency %v is %.1fx shard %d's median %v (threshold %.1fx, %d fetches)",
+				disk, m, float64(m)/float64(base), shard, base, d.cfg.StragglerFactor, n)
+			if s := d.specs[disk]; s > 0 {
+				detail += fmt.Sprintf("; %d speculative re-issues armed against it", s)
+			}
 			out = append(out, Anomaly{
 				Kind:   KindStragglerFetch,
 				Stream: flight.NoStream,
 				Disk:   int(disk),
-				Detail: fmt.Sprintf("disk %d's median fetch latency %v is %.1fx shard %d's median %v (threshold %.1fx, %d fetches)",
-					disk, m, float64(m)/float64(base), shard, base, d.cfg.StragglerFactor, n),
+				Detail: detail,
 			})
 		}
 	}
 	return out
 }
+
+// DiskSpeculations returns how many speculative duplicates were armed
+// against disk's slow fetch legs.
+func (d *Detectors) DiskSpeculations(disk uint16) int { return d.specs[disk] }
+
+// DiskSpecWins returns how many speculative legs disk delivered first
+// as a replica.
+func (d *Detectors) DiskSpecWins(disk uint16) int { return d.specWins[disk] }
 
 // DiskFetchMedian returns the bucketed median fetch latency the
 // straggler detector holds for disk, zero with no samples. The rollup

@@ -323,6 +323,13 @@ type DiskReport struct {
 	// windows) — the dispatch signal the straggler-aware scheduler
 	// work consumes.
 	EWMA time.Duration `json:"fetch_ewma_ns"`
+	// Speculations counts speculative duplicates armed against this
+	// disk's slow fetch legs; SpecWins counts speculative legs this
+	// disk delivered first as a replica. A straggler verdict with
+	// nonzero Speculations is a disk the scheduler is already routing
+	// around.
+	Speculations int `json:"speculations,omitempty"`
+	SpecWins     int `json:"spec_wins,omitempty"`
 	// Anomalies lists the kinds of active anomalies attributed to this
 	// disk.
 	Anomalies []string `json:"anomalies,omitempty"`
@@ -445,6 +452,8 @@ func (e *Engine) Report() Report {
 		}
 		dr.Fetch = windowStats(win.DiskFetch(d))
 		dr.EWMA = win.DiskEWMA(d)
+		dr.Speculations = e.det.DiskSpeculations(uint16(d))
+		dr.SpecWins = e.det.DiskSpecWins(uint16(d))
 		dr.Anomalies = diskAnoms[d]
 		for _, kind := range dr.Anomalies {
 			switch kind {

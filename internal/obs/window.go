@@ -61,10 +61,13 @@ func NewWindowedHistogram(now func() time.Duration, span time.Duration, slots in
 	if slots < 2 {
 		return nil, fmt.Errorf("obs: windowed histogram needs >= 2 slots, got %d", slots)
 	}
-	width := int64(span) / int64(slots)
-	if width <= 0 {
+	if int64(span) < int64(slots) {
 		return nil, fmt.Errorf("obs: window span %v too short for %d slots", span, slots)
 	}
+	// Ceiling division: a truncated width would make len(slots) slices
+	// cover less than the declared span whenever span % slots != 0, so
+	// the oldest samples inside the span would age out early.
+	width := (int64(span) + int64(slots) - 1) / int64(slots)
 	return &WindowedHistogram{
 		now:   now,
 		width: width,
@@ -236,6 +239,14 @@ func (e *EWMA) Observe(d time.Duration) {
 			return
 		}
 	}
+}
+
+// Seeded reports whether the estimate has absorbed at least one
+// sample. Callers ranking disks by EWMA must check this first: an
+// unseeded estimate reads as zero, which would otherwise sort an
+// idle disk as the fastest one.
+func (e *EWMA) Seeded() bool {
+	return e != nil && e.bits.Load() != 0
 }
 
 // Value returns the current estimate, or zero before any sample.

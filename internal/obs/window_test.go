@@ -296,3 +296,54 @@ func TestRegistryWindowFamily(t *testing.T) {
 		t.Fatalf("rebound vars count = %v, want 1", m2["count"])
 	}
 }
+
+// TestWindowedHistogramCoverageAtLeastSpan pins the slot-width rounding
+// bug: truncating span/slots made the ring cover less than the declared
+// span whenever the division had a remainder, so a sample observed at
+// t=0 aged out before span elapsed. Width must round up instead.
+func TestWindowedHistogramCoverageAtLeastSpan(t *testing.T) {
+	const span = 7 * time.Second
+	for _, slots := range []int{3, 5, 7, 9, 11} {
+		clk := &windowClock{}
+		w := newTestWindow(t, clk, span, slots)
+		if got := time.Duration(w.width) * time.Duration(slots); got < span {
+			t.Fatalf("slots=%d: ring covers %v < span %v", slots, got, span)
+		}
+		w.Observe(time.Millisecond)
+		clk.set(span - time.Nanosecond)
+		if s := w.Snapshot(); s.Count != 1 {
+			t.Fatalf("slots=%d: sample aged out %v before the span elapsed", slots, span)
+		}
+	}
+}
+
+// TestEWMASeeded covers the unseeded sentinel: an EWMA with no samples
+// must say so, because Value()'s zero would otherwise rank an idle disk
+// as the fastest replica.
+func TestEWMASeeded(t *testing.T) {
+	var nilE *EWMA
+	if nilE.Seeded() {
+		t.Fatal("nil EWMA reports seeded")
+	}
+	e := NewEWMA(0)
+	if e.Seeded() {
+		t.Fatal("fresh EWMA reports seeded")
+	}
+	if v := e.Value(); v != 0 {
+		t.Fatalf("fresh EWMA value = %v, want 0", v)
+	}
+	// Even an all-zero sample seeds the estimate: "observed something
+	// fast" and "observed nothing" must stay distinguishable.
+	e.Observe(0)
+	if !e.Seeded() {
+		t.Fatal("EWMA unseeded after Observe(0)")
+	}
+	e2 := NewEWMA(0.5)
+	e2.Observe(10 * time.Millisecond)
+	if !e2.Seeded() {
+		t.Fatal("EWMA unseeded after a sample")
+	}
+	if v := e2.Value(); v != 10*time.Millisecond {
+		t.Fatalf("first sample should seed directly: %v", v)
+	}
+}
