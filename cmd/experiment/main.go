@@ -56,6 +56,9 @@ func run(args []string) error {
 
 		benchSpec  = fs.String("bench-spec", "", "run the speculation benchmark (replicas+steering+speculation off vs on, healthy and with one straggling disk) and write the report to this path")
 		specBudget = fs.Float64("spec-budget", bench.DefaultSpecBudget, "bench-spec: acceptable healthy req/s overhead fraction; exceeding it fails the run")
+
+		benchPayload  = fs.String("bench-payload", "", "run the bytes-on-the-wire benchmark (data-less unbatched vs batched reaping vs verified payload delivery over loopback TCP) and write the report to this path")
+		payloadBudget = fs.Float64("payload-budget", bench.DefaultPayloadBudget, "bench-payload: acceptable data-less req/s overhead fraction; exceeding it fails the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -121,6 +124,26 @@ func run(args []string) error {
 		return nil
 	}
 
+	if *benchPayload != "" {
+		rep, err := bench.RunPayloadComparison(bench.Config{
+			Disks:    *benchDisks,
+			Streams:  *benchStreams,
+			Requests: *benchRequests,
+		}, *payloadBudget)
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep.Summary())
+		if err := rep.WriteJSON(*benchPayload); err != nil {
+			return err
+		}
+		if !rep.WithinBudget {
+			return fmt.Errorf("payload path data-less overhead %.2f%% exceeds budget %.1f%%",
+				rep.OverheadFrac*100, rep.Budget*100)
+		}
+		return nil
+	}
+
 	if *benchJSON != "" {
 		rep, err := bench.RunComparison(bench.Config{
 			Disks:    *benchDisks,
@@ -156,6 +179,18 @@ func run(args []string) error {
 		}
 		fmt.Print(sp.Summary())
 		rep.Speculation = &sp
+		// And the bytes-on-the-wire comparison: the data-less overhead
+		// verdict plus real payload MB/s over loopback TCP.
+		pl, err := bench.RunPayloadComparison(bench.Config{
+			Disks:    *benchDisks,
+			Streams:  *benchStreams,
+			Requests: *benchRequests,
+		}, *payloadBudget)
+		if err != nil {
+			return err
+		}
+		fmt.Print(pl.Summary())
+		rep.Payload = &pl
 		return rep.WriteJSON(*benchJSON)
 	}
 

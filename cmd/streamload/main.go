@@ -17,6 +17,7 @@ import (
 	"sort"
 	"time"
 
+	"seqstream/internal/blockdev"
 	"seqstream/internal/health"
 	"seqstream/internal/netserve"
 	"seqstream/internal/units"
@@ -39,6 +40,8 @@ func run(args []string) error {
 		requests = fs.Int("requests", 128, "requests per stream")
 		reqSize  = fs.String("reqsize", "64KiB", "request size")
 		wantData = fs.Bool("data", false, "request payloads (off to mirror the paper's setup)")
+		payload  = fs.Bool("payload", false, "negotiate the v2 payload extension (implies -data); fails if the node does not grant it")
+		verify   = fs.Bool("verify", false, "check every returned byte against the node's deterministic memdisk pattern (needs -payload)")
 		writes   = fs.Bool("write", false, "issue write streams instead of reads (node must run -ingest)")
 		perOut   = fs.Bool("per-stream", false, "print per-stream statistics")
 
@@ -62,27 +65,64 @@ func run(args []string) error {
 		return err
 	}
 
+	if *verify && !*payload {
+		return fmt.Errorf("streamload: -verify needs -payload (the offset echo it checks only exists on v2 payload frames)")
+	}
+
 	client, err := netserve.DialRetry(*addr, netserve.ClientOptions{
 		RequestTimeout: *timeout,
 		Tracing:        *traced,
+		Payload:        *payload,
 	}, *dialRetries, *dialBackoff)
 	if err != nil {
 		return err
 	}
 	defer client.Close()
+	if *payload && !client.Payload() {
+		return fmt.Errorf("streamload: node at %s did not grant the payload extension (run it with -payload)", *addr)
+	}
 
 	var flags uint16
-	if *wantData {
+	if *wantData || *payload {
 		flags = netserve.FlagWantData
 	}
 	if *writes {
 		flags |= netserve.FlagWrite
 	}
+
+	// The verify check catches offset/length framing bugs end to end:
+	// the node's in-memory disks serve a deterministic pattern, and
+	// every v2 payload frame echoes the offset the server staged, so a
+	// mismatch pins the failure to the wire path rather than client
+	// bookkeeping.
+	var check func(stream int, resp *netserve.Response) error
+	if *verify {
+		check = func(stream int, resp *netserve.Response) error {
+			if resp.Flags&netserve.RespPayload == 0 {
+				return fmt.Errorf("streamload: verify: stream %d: response carries no payload framing", stream)
+			}
+			if int64(len(resp.Data)) != rs {
+				return fmt.Errorf("streamload: verify: stream %d offset %d: got %d bytes, want %d",
+					stream, resp.Offset, len(resp.Data), rs)
+			}
+			for i, got := range resp.Data {
+				if want := blockdev.Pattern(*disk, resp.Offset+int64(i)); got != want {
+					return fmt.Errorf("streamload: verify: stream %d offset %d byte %d: got %#x, want %#x",
+						stream, resp.Offset, i, got, want)
+				}
+			}
+			return nil
+		}
+	}
+
 	started := time.Now()
-	if err := client.RunStreams(uint16(*disk), capBytes, *streams, *requests, rs, flags); err != nil {
+	if err := client.RunStreamsFunc(uint16(*disk), capBytes, *streams, *requests, rs, flags, check); err != nil {
 		return err
 	}
 	elapsed := time.Since(started)
+	if *verify {
+		fmt.Printf("verify: all %d responses matched the device pattern\n", *streams**requests)
+	}
 
 	rec := client.Recorder()
 	lat := rec.MergedLatency()

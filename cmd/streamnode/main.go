@@ -104,6 +104,7 @@ func run(args []string) error {
 		brkCooldown  = fs.Duration("breaker-cooldown", 0, "how long an open breaker waits before probing the disk again (0 uses the default)")
 		idleTimeout  = fs.Duration("idle-timeout", 0, "close client connections idle this long (0 disables)")
 		writeTimeout = fs.Duration("write-timeout", 0, "per-response write deadline to clients (0 disables)")
+		payload      = fs.Bool("payload", false, "grant the v2 payload extension: clients that negotiate it get read responses carrying the staged bytes")
 
 		replicas       = fs.Int("replicas", 0, "replication factor of the data layout: each disk's regions are also readable from replicas-1 mirror disks (0/1 disables)")
 		steerFactor    = fs.Float64("steer-factor", 0, "steer a stream's fetches to a replica whose fetch EWMA is this many times faster than the primary's (0 disables; needs -replicas >= 2 and -health-window > 0)")
@@ -124,7 +125,7 @@ func run(args []string) error {
 		fault:        *fault,
 		fetchTimeout: *fetchTimeout, fetchRetries: *fetchRetries, retryBackoff: *retryBackoff,
 		breakerThreshold: *brkThresh, breakerCooldown: *brkCooldown,
-		idleTimeout: *idleTimeout, writeTimeout: *writeTimeout,
+		idleTimeout: *idleTimeout, writeTimeout: *writeTimeout, payload: *payload,
 		replicas: *replicas, steerFactor: *steerFactor, specQuantile: *specQuantile,
 		specMinSamples: *specMinSamples, specMinDelay: *specMinDelay,
 	})
@@ -134,8 +135,8 @@ func run(args []string) error {
 	defer nd.Close()
 
 	cfg := nd.core.Config()
-	fmt.Printf("streamnode listening on %s (D=%d R=%d N=%d M=%d ingest=%v)\n",
-		nd.srv.Addr(), cfg.DispatchSize, cfg.ReadAhead, cfg.RequestsPerStream, cfg.Memory, nd.ingest != nil)
+	fmt.Printf("streamnode listening on %s (D=%d R=%d N=%d M=%d ingest=%v payload=%v)\n",
+		nd.srv.Addr(), cfg.DispatchSize, cfg.ReadAhead, cfg.RequestsPerStream, cfg.Memory, nd.ingest != nil, *payload)
 	if nd.debug != nil {
 		fmt.Printf("debug endpoints on http://%s/ (metrics, vars, pprof)\n", nd.debug.Addr())
 	}
@@ -220,6 +221,7 @@ type buildParams struct {
 	breakerCooldown  time.Duration
 	idleTimeout      time.Duration
 	writeTimeout     time.Duration
+	payload          bool
 
 	// Replica-aware dispatch: mirrored layout, straggler steering, and
 	// speculative re-issue.
@@ -346,6 +348,7 @@ func build(p buildParams) (*node, error) {
 	srv, err := netserve.NewServerOpts(coreSrv, p.listen, netserve.ServerOptions{
 		IdleTimeout:  p.idleTimeout,
 		WriteTimeout: p.writeTimeout,
+		Payload:      p.payload,
 	})
 	if err != nil {
 		coreSrv.Close()

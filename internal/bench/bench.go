@@ -69,6 +69,10 @@ type Config struct {
 	// every read-ahead fetch on disk 0 — the straggling-disk scenario
 	// the speculation comparison measures tail latency under.
 	DegradedDelay time.Duration
+	// CompletionBatch passes through to the scheduler's batched
+	// completion reaping (0 takes the core default; 1 reproduces the
+	// pre-batching one-completion-per-lock discipline for A/B runs).
+	CompletionBatch int
 }
 
 // ApplyDefaults fills zero fields with the defaults described on each
@@ -158,6 +162,7 @@ func Run(name string, cfg Config) (Result, error) {
 	clock := blockdev.NewRealClock()
 	ccfg := core.DefaultConfig(cfg.Memory, cfg.ReadAhead)
 	ccfg.Shards = cfg.Shards
+	ccfg.CompletionBatch = cfg.CompletionBatch
 	shards := cfg.Shards
 	if shards <= 0 || shards > cfg.Disks {
 		shards = cfg.Disks
@@ -730,6 +735,9 @@ type Report struct {
 	// Speculation, when the speculation gate also ran, embeds its
 	// overhead and tail comparison.
 	Speculation *SpeculationReport `json:"speculation,omitempty"`
+	// Payload, when the bytes-on-the-wire gate also ran, embeds its
+	// data-less overhead verdict and measured payload throughput.
+	Payload *PayloadReport `json:"payload,omitempty"`
 }
 
 // RunComparison benches the same workload twice — Shards=1 (the

@@ -41,3 +41,37 @@ func TestRunHealthComparisonShape(t *testing.T) {
 		t.Fatalf("on side misconfigured: %+v", rep.On)
 	}
 }
+
+// TestRunWireLegPayload smoke-tests one payload wire leg: real TCP,
+// negotiated v2 frames, verified first responses, and real bytes in
+// the throughput numbers.
+func TestRunWireLegPayload(t *testing.T) {
+	var verified int64
+	r, err := runWireLeg("payload-smoke", Config{
+		Disks: 2, Streams: 4, Requests: 16,
+	}, 0, true, &verified)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TotalRequests != 64 || r.MBPerSec <= 0 {
+		t.Fatalf("workload not measured: %+v", r)
+	}
+	if verified != 4 {
+		t.Fatalf("verified %d streams, want 4 (one first-response check per stream)", verified)
+	}
+}
+
+// TestRunWireLegDataless checks the data-less leg drives the v1 wire
+// (no payload negotiation, no data) with an explicit completion-batch
+// override.
+func TestRunWireLegDataless(t *testing.T) {
+	r, err := runWireLeg("dataless-smoke", Config{
+		Disks: 2, Streams: 4, Requests: 16,
+	}, 1, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TotalRequests != 64 || r.RequestsPerSec <= 0 {
+		t.Fatalf("workload not measured: %+v", r)
+	}
+}

@@ -1,0 +1,276 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"seqstream/internal/blockdev"
+	"seqstream/internal/core"
+	"seqstream/internal/metrics"
+	"seqstream/internal/netserve"
+)
+
+// This file holds the bytes-on-the-wire benchmark: unlike the
+// host-path runs in bench.go, these legs drive a real netserve server
+// over loopback TCP — headers framed, payloads (when negotiated)
+// handed off zero-copy from staging buffers to writev — so the
+// numbers include the full delivery path the paper's clients see.
+
+// DefaultPayloadBudget is the acceptable data-less request-throughput
+// regression from the payload-capable delivery path: 5%. The gate
+// compares batched completion reaping (the default) against
+// CompletionBatch=1 (the pre-batching completion discipline) on the
+// identical data-less wire workload — the closest expressible
+// in-binary baseline for "the delivery-path rework must not slow the
+// paper's data-less mode down".
+const DefaultPayloadBudget = 0.05
+
+// payloadTrials is best-of-N for the wire legs; loopback TCP adds
+// scheduler noise on top of the usual bench jitter.
+const payloadTrials = 3
+
+// PayloadReport is the bytes-on-the-wire document: two data-less legs
+// (unbatched baseline vs batched reaping) deciding the overhead gate,
+// plus the payload leg measuring real delivered MB/s with per-stream
+// pattern verification.
+type PayloadReport struct {
+	// GOMAXPROCS records the parallelism the run had available.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Trials is how many runs per configuration fed the best-of pick.
+	Trials int `json:"trials"`
+	// Baseline is the best data-less run with CompletionBatch=1 (the
+	// pre-batching completion discipline).
+	Baseline Result `json:"dataless_unbatched"`
+	// Batched is the best data-less run with default batched reaping.
+	Batched Result `json:"dataless_batched"`
+	// Payload is the best payload-mode run: v2-negotiated clients,
+	// FlagWantData on every request, bytes verified per stream. Its
+	// MBPerSec is real payload bytes moved over loopback TCP.
+	Payload Result `json:"payload"`
+	// VerifiedStreams counts streams whose first response's bytes were
+	// checked against the device pattern during the payload leg (one
+	// check per stream, so verification cost stays out of the
+	// steady-state measurement).
+	VerifiedStreams int64 `json:"verified_streams"`
+	// OverheadFrac is 1 - batched req/s ÷ baseline req/s: what batched
+	// reaping (and the payload-capable write path both legs share)
+	// costs data-less mode.
+	OverheadFrac float64 `json:"overhead_frac"`
+	// Budget is the overhead fraction the report was judged against.
+	Budget float64 `json:"budget"`
+	// WithinBudget is OverheadFrac <= Budget.
+	WithinBudget bool `json:"within_budget"`
+}
+
+// runWireLeg runs one wire-path configuration: a netserve server over
+// an in-memory device, one client connection per disk, each driving
+// its share of the streams with synchronous sequential reads.
+// completionBatch passes through to core.Config.CompletionBatch (0
+// takes the default); payload negotiates v2 frames, requests data on
+// every read, and pattern-checks each stream's first response.
+func runWireLeg(name string, cfg Config, completionBatch int, payload bool, verified *int64) (Result, error) {
+	cfg.ApplyDefaults()
+	const diskCap = int64(1) << 30
+	perDisk := cfg.Streams / cfg.Disks
+	if perDisk == 0 {
+		return Result{}, fmt.Errorf("bench: %d streams over %d disks leaves some disks idle", cfg.Streams, cfg.Disks)
+	}
+	streams := perDisk * cfg.Disks
+	if span := int64(cfg.Requests) * cfg.RequestSize; span*int64(perDisk) > diskCap {
+		return Result{}, fmt.Errorf("bench: workload does not fit: %d streams/disk × %d bytes > %d", perDisk, span, diskCap)
+	}
+	dev, err := blockdev.NewMemDevice(cfg.Disks, diskCap, 0, payload)
+	if err != nil {
+		return Result{}, err
+	}
+	ccfg := core.DefaultConfig(cfg.Memory, cfg.ReadAhead)
+	ccfg.CompletionBatch = completionBatch
+	node, err := core.NewServer(dev, blockdev.NewRealClock(), ccfg)
+	if err != nil {
+		return Result{}, err
+	}
+	defer node.Close()
+	srv, err := netserve.NewServerOpts(node, "127.0.0.1:0", netserve.ServerOptions{Payload: payload})
+	if err != nil {
+		return Result{}, err
+	}
+	defer srv.Close()
+
+	clients := make([]*netserve.Client, cfg.Disks)
+	for d := range clients {
+		c, err := netserve.DialOpts(srv.Addr(), netserve.ClientOptions{Payload: payload})
+		if err != nil {
+			return Result{}, err
+		}
+		defer c.Close()
+		if payload && !c.Payload() {
+			return Result{}, fmt.Errorf("bench: payload extension not granted")
+		}
+		clients[d] = c
+	}
+
+	var flags uint16
+	if payload {
+		flags = netserve.FlagWantData
+	}
+	// Pattern-check each stream's first response only: a framing or
+	// hand-off bug corrupts every frame alike, and one check per
+	// stream keeps the byte loop out of the steady state.
+	checked := make([]atomic.Bool, streams)
+	makeCheck := func(disk int) func(int, *netserve.Response) error {
+		if !payload {
+			return nil
+		}
+		return func(stream int, resp *netserve.Response) error {
+			if checked[disk*perDisk+stream].Swap(true) {
+				return nil
+			}
+			if resp.Flags&netserve.RespPayload == 0 || int64(len(resp.Data)) != cfg.RequestSize {
+				return fmt.Errorf("bench: disk %d stream %d: bad payload frame (flags %#x, %d bytes)",
+					disk, stream, resp.Flags, len(resp.Data))
+			}
+			for i, got := range resp.Data {
+				if want := blockdev.Pattern(disk, resp.Offset+int64(i)); got != want {
+					return fmt.Errorf("bench: disk %d stream %d offset %d byte %d: got %#x want %#x",
+						disk, stream, resp.Offset, i, got, want)
+				}
+			}
+			if verified != nil {
+				atomic.AddInt64(verified, 1)
+			}
+			return nil
+		}
+	}
+
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.Disks)
+	for d, c := range clients {
+		wg.Add(1)
+		go func(d int, c *netserve.Client) {
+			defer wg.Done()
+			err := c.RunStreamsFunc(uint16(d), diskCap, perDisk, cfg.Requests,
+				cfg.RequestSize, flags, makeCheck(d))
+			if err != nil {
+				errs <- err
+			}
+		}(d, c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	select {
+	case err := <-errs:
+		return Result{}, err
+	default:
+	}
+
+	var lat metrics.LatencySummary
+	for _, c := range clients {
+		merged := c.Recorder().MergedLatency()
+		lat.Merge(&merged)
+	}
+	st := node.Stats()
+	total := int64(streams) * int64(cfg.Requests)
+	return Result{
+		Name:           name,
+		Shards:         cfg.Disks,
+		Disks:          cfg.Disks,
+		Streams:        streams,
+		Requests:       cfg.Requests,
+		TotalRequests:  total,
+		ElapsedSec:     elapsed.Seconds(),
+		RequestsPerSec: float64(total) / elapsed.Seconds(),
+		MBPerSec:       float64(total*cfg.RequestSize) / elapsed.Seconds() / 1e6,
+		AllocsPerOp:    float64(ms1.Mallocs-ms0.Mallocs) / float64(total),
+		BytesPerOp:     float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(total),
+		P50Micros:      float64(lat.Quantile(0.50)) / float64(time.Microsecond),
+		P99Micros:      float64(lat.Quantile(0.99)) / float64(time.Microsecond),
+		BufferHitRate:  float64(st.BufferHits+st.QueuedServed) / float64(st.Requests),
+	}, nil
+}
+
+// RunPayloadComparison benches the wire path three ways — data-less
+// with unbatched completions, data-less with batched reaping, and
+// payload mode with verified bytes — and judges the data-less
+// overhead against budget (<=0 uses DefaultPayloadBudget).
+func RunPayloadComparison(cfg Config, budget float64) (PayloadReport, error) {
+	if budget <= 0 {
+		budget = DefaultPayloadBudget
+	}
+	best := func(name string, batch int, payload bool, verified *int64, better func(a, b Result) bool) (Result, error) {
+		var b Result
+		for i := 0; i < payloadTrials; i++ {
+			r, err := runWireLeg(name, cfg, batch, payload, verified)
+			if err != nil {
+				return Result{}, err
+			}
+			if i == 0 || better(r, b) {
+				b = r
+			}
+		}
+		return b, nil
+	}
+	byReqs := func(a, b Result) bool { return a.RequestsPerSec > b.RequestsPerSec }
+
+	baseline, err := best("dataless-batch1", 1, false, nil, byReqs)
+	if err != nil {
+		return PayloadReport{}, err
+	}
+	batched, err := best("dataless", 0, false, nil, byReqs)
+	if err != nil {
+		return PayloadReport{}, err
+	}
+	var verified int64
+	payload, err := best("payload", 0, true, &verified, func(a, b Result) bool { return a.MBPerSec > b.MBPerSec })
+	if err != nil {
+		return PayloadReport{}, err
+	}
+	overhead := 1 - batched.RequestsPerSec/baseline.RequestsPerSec
+	return PayloadReport{
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Trials:          payloadTrials,
+		Baseline:        baseline,
+		Batched:         batched,
+		Payload:         payload,
+		VerifiedStreams: verified / payloadTrials,
+		OverheadFrac:    overhead,
+		Budget:          budget,
+		WithinBudget:    overhead <= budget,
+	}, nil
+}
+
+// WriteJSON writes the payload report to path, indented.
+func (r PayloadReport) WriteJSON(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	return os.WriteFile(path, b, 0o644)
+}
+
+// Summary renders the payload report as a short human-readable table.
+func (r PayloadReport) Summary() string {
+	out := fmt.Sprintf("bytes-on-the-wire bench (GOMAXPROCS=%d)\n", r.GOMAXPROCS)
+	out += fmt.Sprintf("%-16s %12s %10s %10s %10s\n", "config", "req/s", "MB/s", "allocs/op", "p99(µs)")
+	for _, res := range []Result{r.Baseline, r.Batched, r.Payload} {
+		out += fmt.Sprintf("%-16s %12.0f %10.1f %10.2f %10.1f\n",
+			res.Name, res.RequestsPerSec, res.MBPerSec, res.AllocsPerOp, res.P99Micros)
+	}
+	out += fmt.Sprintf("verified streams (payload leg): %d\n", r.VerifiedStreams)
+	verdict := "within"
+	if !r.WithinBudget {
+		verdict = "OVER"
+	}
+	out += fmt.Sprintf("data-less overhead: %.2f%% (%s budget %.1f%%)\n", r.OverheadFrac*100, verdict, r.Budget*100)
+	return out
+}

@@ -11,6 +11,16 @@
 // pool degrades to plain allocation under misuse rather than handing
 // out aliased memory.
 //
+// A reference may also be handed off wholesale instead of
+// retained/released in pairs: the storage node's payload delivery
+// path detaches the staged buffer from a core.Response
+// (Response.TakeBuf) and parks it on the wire frame, and the
+// connection writer performs the single Release only after the
+// vectored write has drained the bytes onto the socket
+// (drain-then-release). At no point does the payload get copied; the
+// reference count is what keeps the staging logic free to recycle or
+// evict the buffer independently of how long the network takes.
+//
 // Under the `invariants` build tag, buffers are poisoned on their way
 // back into the pool and verified on the way out, so double-releases
 // and writes after release panic at the pool boundary instead of
@@ -49,6 +59,11 @@ type Stats struct {
 	CheckedOut int64
 	// BytesOut is the backing capacity of the checked-out buffers.
 	BytesOut int64
+	// PeakBytesOut is the high-water mark of BytesOut over the pool's
+	// lifetime. Backpressure tests use it to prove a slow consumer
+	// never pinned more than its budget of staged memory, even
+	// transiently.
+	PeakBytesOut int64
 }
 
 // Pool hands out reference-counted byte buffers in power-of-two size
@@ -62,6 +77,7 @@ type Pool struct {
 	misses atomic.Int64
 	out    atomic.Int64
 	bytes  atomic.Int64
+	peak   atomic.Int64
 }
 
 // Buf is one checked-out buffer. Data is sized to the Get request;
@@ -128,7 +144,13 @@ func (p *Pool) Get(n int64) *Buf {
 	b.refs.Store(1)
 	b.Data = b.backing[:n]
 	p.out.Add(1)
-	p.bytes.Add(int64(cap(b.backing)))
+	now := p.bytes.Add(int64(cap(b.backing)))
+	for {
+		peak := p.peak.Load()
+		if now <= peak || p.peak.CompareAndSwap(peak, now) {
+			break
+		}
+	}
 	return b
 }
 
@@ -183,11 +205,12 @@ func (b *Buf) Refs() int32 { return b.refs.Load() }
 // Stats returns the pool's accounting counters.
 func (p *Pool) Stats() Stats {
 	return Stats{
-		Gets:       p.gets.Load(),
-		Puts:       p.puts.Load(),
-		Misses:     p.misses.Load(),
-		CheckedOut: p.out.Load(),
-		BytesOut:   p.bytes.Load(),
+		Gets:         p.gets.Load(),
+		Puts:         p.puts.Load(),
+		Misses:       p.misses.Load(),
+		CheckedOut:   p.out.Load(),
+		BytesOut:     p.bytes.Load(),
+		PeakBytesOut: p.peak.Load(),
 	}
 }
 

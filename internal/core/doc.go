@@ -43,6 +43,16 @@
 // pool are never invoked with a shard lock held — completions are
 // batched under the lock and delivered after it is dropped.
 //
+// Device completions reach the shard through a second, smaller batch
+// layer: each completion enqueues onto a per-shard queue guarded by
+// its own leaf mutex (never held together with the shard lock), and a
+// CAS-elected reaper drains up to Config.CompletionBatch completions
+// per shard-lock acquisition, running the delivery flush once per
+// batch. CompletionBatch = 1 reproduces the one-lock-per-completion
+// discipline for A/B comparison; under the simulator the engine
+// thread reaps inline in FIFO order, so event sequences are
+// unchanged.
+//
 // # Staging buffers
 //
 // When the device implements blockdev.ReaderInto, staging buffers
@@ -51,4 +61,12 @@
 // them via Response.Release. A fetch abandoned by timeout keeps its
 // buffer checked out until the device's late completion, since the
 // device may still be writing into it.
+//
+// A consumer that needs the bytes to outlive its done callback — the
+// payload wire path — takes over the reference wholesale with
+// Response.TakeBuf instead of copying: the response's Data keeps
+// aliasing the buffer, the scheduler's reference is detached, and the
+// taker owes the pool exactly one Release after its last use (for the
+// wire, after the vectored write drains). TakeBuf plus Release-on-nil
+// make the hand-off exactly-once on every path, including errors.
 package core

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSpecLoserPayloadNoDoubleRelease is the payload-mode companion to
+// TestSpeculationConcurrencyNoLeak: consumers detach the pooled buffer
+// with TakeBuf — the hand-off the wire path performs when it parks a
+// response on a v2 frame — and release it from a separate goroutine,
+// the way a connection writer does after the vectored write drains.
+// Speculative losers drain concurrently with those deferred releases,
+// so a leg that released a drained buffer a second time would drive
+// pool checkouts below the scheduler's staged-buffer count (or trip
+// the pool's poisoning under the invariants tag). It runs under -race
+// in CI.
+//
+// Unlike the steering test, the config here is tuned so losing legs
+// arm densely rather than racing steering for a warm-up window:
+// steering stays off (with SteerFactor set, fetches migrate away from
+// the slow disk as soon as its EWMA is learned and speculation stops
+// arming), pinning every post-warmup fetch to the slow disk; the 5th-
+// percentile trigger keeps the arm delay at the fast warm-up bucket
+// (floored to SpecMinDelay) for the whole run instead of climbing to
+// the injected delay as losers accumulate in the window; and the
+// 100ms injected delay dwarfs trigger jitter so armed duplicates win.
+func TestSpecLoserPayloadNoDoubleRelease(t *testing.T) {
+	for attempt := 1; ; attempt++ {
+		st := runSpecWorkload(t, 100*time.Millisecond, func(cfg *Config) {
+			cfg.SpecQuantile = 0.05
+		}, true)
+		if st.Speculations > 0 && st.SpecWins > 0 {
+			break
+		}
+		if attempt == specAttempts {
+			t.Fatalf("no speculative win in %d attempts (last: %d speculations, %d wins) — the loser-drain path was not exercised",
+				specAttempts, st.Speculations, st.SpecWins)
+		}
+		t.Logf("attempt %d: %d speculations, %d wins — timing missed the race, retrying",
+			attempt, st.Speculations, st.SpecWins)
+	}
+}

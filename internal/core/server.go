@@ -57,6 +57,20 @@ func (r *Response) Release() {
 	r.Data = nil
 }
 
+// TakeBuf detaches the pooled buffer backing Data and hands its
+// reference to the caller, who becomes responsible for the single
+// Release (Data itself stays valid — it aliases the returned
+// buffer). It returns nil when the data is not pooled, in which case
+// nothing needs releasing. The payload wire path uses it to park the
+// staged bytes on a response frame without allocating a closure:
+// the connection writer releases the buffer only after the vectored
+// write has drained it onto the socket.
+func (r *Response) TakeBuf() *bufpool.Buf {
+	b := r.pbuf
+	r.pbuf = nil
+	return b
+}
+
 // Stats accumulates server counters. MemoryInUse and LiveBuffers are
 // gauges; the rest are monotonic.
 type Stats struct {

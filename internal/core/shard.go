@@ -76,6 +76,22 @@ type shard struct {
 	spareIO   []func()    //lint:guardedby mu
 	spareDone []doneEntry //lint:guardedby mu
 
+	// compMu guards the device-completion queue. It is a leaf lock:
+	// enqueueCompletion takes it from device-callback goroutines with
+	// no other lock held, and the reaper takes it only between shard-
+	// lock holds, so it never nests inside (or outside) mu.
+	compMu sync.Mutex
+	// compQ holds device completions awaiting the reaper, in arrival
+	// order.
+	compQ []completion //lint:guardedby compMu
+	// compSpare recycles the drained batch slice so steady-state
+	// reaping allocates nothing.
+	compSpare []completion //lint:guardedby compMu
+	// reaping marks that some goroutine is draining compQ; others just
+	// enqueue and leave, which is what amortizes lock handoffs when
+	// many device goroutines complete at once.
+	reaping atomic.Bool
+
 	// wantPump flags that this shard gave up on admission because a
 	// global budget (D or M) was exhausted; Server.repumpPass clears
 	// it. Atomic so releases on other shards can read it locklessly.
@@ -553,13 +569,21 @@ func (sh *shard) directRead(req Request, now time.Duration) {
 	})
 }
 
-// onDirectDone is the direct-path completion: it books the delivery
-// under the shard lock, then completes off-lock, handing the pooled
-// buffer to the consumer (or back to the pool when the device did not
-// materialize data into it).
+// onDirectDone routes the direct-path device completion through the
+// shard's completion reaper, which books it (in a batch, when other
+// completions are queued behind it) under the shard lock.
 func (sh *shard) onDirectDone(req Request, start time.Duration, pb *bufpool.Buf, data []byte, derr error) {
+	sh.enqueueCompletion(completion{kind: compDirect, req: req, start: start, pb: pb, data: data, err: derr})
+}
+
+// onDirectDoneLocked books one direct-path delivery and completes it.
+// The completion itself is safe under the lock: Server.complete only
+// schedules through the clock, never runs the client callback inline.
+// Caller holds sh.mu.
+//
+//lint:holds mu
+func (sh *shard) onDirectDoneLocked(req Request, start time.Duration, pb *bufpool.Buf, data []byte, derr error) {
 	srv := sh.srv
-	sh.mu.Lock()
 	sh.stats.BytesDelivered += req.Length
 	end := srv.clock.Now()
 	if derr != nil {
@@ -590,7 +614,6 @@ func (sh *shard) onDirectDone(req Request, start time.Duration, pb *bufpool.Buf,
 		sh.fr.Record(flight.Event{Trace: req.Trace, Op: flight.OpDirect, Err: code, Disk: uint16(req.Disk),
 			Stream: flight.NoStream, Offset: req.Offset, Length: req.Length, T: end, Dur: end - start})
 	}
-	sh.mu.Unlock()
 	resp := Response{Start: start, Data: data, Direct: true, Err: derr}
 	if derr != nil || data == nil {
 		pb.Release()
@@ -976,15 +999,24 @@ func (sh *shard) issueFetch(st *stream) {
 
 // fetchCall builds the off-lock device call for a buffer's fetch (and
 // its retries): into the buffer's pooled memory when it has any,
-// through the allocating path otherwise. Caller holds sh.mu.
+// through the allocating path otherwise. The pooled buffer is
+// captured here, under the lock — NOT read from b.pbuf when the call
+// runs: a speculative leg can win between the closure being queued
+// and flush executing it (the trigger delay floors at SpecMinDelay,
+// which a descheduled flush can overshoot), and the win swaps b.pbuf
+// to the winner's bytes while stashing these in the spec record. The
+// late primary write must land in its own (stashed) memory, never in
+// the winner's live — or worse, already recycled — buffer. Caller
+// holds sh.mu.
 //
 //lint:holds mu
 func (sh *shard) fetchCall(st *stream, b *buffer) func() {
 	srv := sh.srv
+	pb := b.pbuf
 	return func() {
 		var err error
-		if b.pbuf != nil {
-			err = srv.rinto.ReadInto(b.readDisk, b.start, b.size(), b.pbuf.Data, func(data []byte, derr error) {
+		if pb != nil {
+			err = srv.rinto.ReadInto(b.readDisk, b.start, b.size(), pb.Data, func(data []byte, derr error) {
 				sh.onFetchDone(st, b, data, derr)
 			})
 		} else {
@@ -1103,13 +1135,24 @@ func (sh *shard) scheduleRetry(st *stream, b *buffer) {
 	})
 }
 
-// onFetchDone is the completion path (§4.2). It gives priority to the
-// issue path — the next fetch (or the next candidate stream) is issued
-// before any pending client requests are completed — so the disks
-// never idle behind client completions.
+// onFetchDone routes the fetch's device completion through the
+// shard's completion reaper, which batches concurrent completions
+// under one lock hold.
 func (sh *shard) onFetchDone(st *stream, b *buffer, data []byte, derr error) {
+	sh.enqueueCompletion(completion{kind: compFetch, st: st, b: b, data: data, err: derr})
+}
+
+// onFetchDoneLocked is the completion path (§4.2). It gives priority
+// to the issue path — the next fetch (or the next candidate stream)
+// is issued before any pending client requests are completed — so the
+// disks never idle behind client completions. Failure completions run
+// through Server.complete, which is safe under the lock (it only
+// schedules through the clock); queued work is drained by the
+// reaper's flush after the lock is released. Caller holds sh.mu.
+//
+//lint:holds mu
+func (sh *shard) onFetchDoneLocked(st *stream, b *buffer, data []byte, derr error) {
 	srv := sh.srv
-	sh.mu.Lock()
 	now := srv.clock.Now()
 	b.inDevice = false
 	if sp := b.spec; sp != nil && sp.won {
@@ -1121,8 +1164,6 @@ func (sh *shard) onFetchDone(st *stream, b *buffer, data []byte, derr error) {
 		sp.pbuf = nil
 		b.spec = nil
 		sh.noteReadOutcome(b.readDisk, derr == nil, now)
-		sh.mu.Unlock()
-		sh.flush()
 		return
 	}
 	if b.abandoned {
@@ -1132,7 +1173,6 @@ func (sh *shard) onFetchDone(st *stream, b *buffer, data []byte, derr error) {
 		// only now.
 		b.pbuf.Release()
 		b.pbuf = nil
-		sh.mu.Unlock()
 		return
 	}
 	if derr != nil && b.attempts < srv.cfg.FetchRetries && blockdev.IsTransient(derr) {
@@ -1141,7 +1181,6 @@ func (sh *shard) onFetchDone(st *stream, b *buffer, data []byte, derr error) {
 		// deadline timer stays armed across attempts.
 		b.attempts++
 		sh.scheduleRetry(st, b)
-		sh.mu.Unlock()
 		return
 	}
 	if derr != nil && b.spec != nil && !b.spec.done {
@@ -1161,8 +1200,6 @@ func (sh *shard) onFetchDone(st *stream, b *buffer, data []byte, derr error) {
 			sh.fr.Record(flight.Event{Op: flight.OpFetchErr, Err: flight.ErrIO, Disk: uint16(b.readDisk),
 				Stream: int32(st.id), Offset: b.start, Length: b.size(), T: now, Dur: now - b.issuedAt})
 		}
-		sh.mu.Unlock()
-		sh.flush()
 		return
 	}
 	if b.cancelTimeout != nil {
@@ -1216,11 +1253,9 @@ func (sh *shard) onFetchDone(st *stream, b *buffer, data []byte, derr error) {
 		sh.parkStream(st)
 		sh.checkInvariants()
 		sh.syncGauges()
-		sh.mu.Unlock()
 		for _, p := range failed {
 			srv.complete(p.done, Response{Start: p.start, Err: derr})
 		}
-		sh.flush()
 		return
 	}
 
@@ -1242,8 +1277,6 @@ func (sh *shard) onFetchDone(st *stream, b *buffer, data []byte, derr error) {
 	sh.drainQueue(st, now)
 	sh.checkInvariants()
 	sh.syncGauges()
-	sh.mu.Unlock()
-	sh.flush()
 }
 
 // drainQueue serves the head of the stream queue while ready buffers

@@ -292,10 +292,14 @@ func (sh *shard) pickSpecDisk(b *buffer) int {
 //lint:holds mu
 func (sh *shard) specCall(st *stream, b *buffer, sp *specFetch) func() {
 	srv := sh.srv
+	// Captured under the lock, like fetchCall's: sp.pbuf is repointed
+	// at the primary's stashed bytes when this leg wins, and the
+	// device write must keep targeting the duplicate's own memory.
+	pb := sp.pbuf
 	return func() {
 		var err error
-		if sp.pbuf != nil {
-			err = srv.rinto.ReadInto(sp.disk, b.start, b.size(), sp.pbuf.Data, func(data []byte, derr error) {
+		if pb != nil {
+			err = srv.rinto.ReadInto(sp.disk, b.start, b.size(), pb.Data, func(data []byte, derr error) {
 				sh.onSpecDone(st, b, sp, data, derr)
 			})
 		} else {

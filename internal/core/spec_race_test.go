@@ -6,25 +6,42 @@ import (
 	"time"
 
 	"seqstream/internal/blockdev"
+	"seqstream/internal/bufpool"
 )
 
-// TestSpeculationConcurrencyNoLeak drives speculative re-issue on a
-// real clock with a materializing device, so winning legs swap pooled
-// buffers while the losing leg's read is still writing into its own.
-// It exists to run under -race: the win/lose protocol must neither
-// race the in-flight device write, double-release a buffer, nor leak
-// one. From read 4 onward disk 0 delays every fetch 10ms, far past the
-// speculation trigger, so replica legs win constantly while concurrent
-// streams on both disks keep the shards, the breaker notes, and the
-// buffer pool hot.
-func TestSpeculationConcurrencyNoLeak(t *testing.T) {
+// specAttempts bounds the workload retries in the speculation race
+// tests. Their exercise guard — "at least one speculative leg armed
+// and won" — rides a real-clock race between an injected device delay
+// and the speculation trigger timer, and on a loaded single-CPU host
+// (doubly so under the invariants tag's assertion overhead) one pass
+// can demonstrably miss the window: every timer fires after its fetch
+// completed, or every duplicate loses. The safety assertions the
+// tests exist for — no leak, no double release, race-detector
+// cleanliness — run on every attempt regardless; only the exercise
+// guard retries.
+const specAttempts = 4
+
+// runSpecWorkload builds a two-disk replicated server whose disk 0
+// delays every large fetch from the 4th onward, drives 8 concurrent
+// streams × 120 sequential reads across both disks, and returns the
+// run's stats. When takeBufs is set, consumers detach each response's
+// pooled buffer with TakeBuf and hand it to a separate goroutine that
+// releases it later — the hand-off shape the wire path performs when
+// it parks a response on a v2 frame and releases after writev drains.
+// Before returning, the pool-accounting safety check runs: once the
+// losing legs' injected delays elapse, outstanding pool checkouts
+// must equal the buffers still staged. A leg that double-released a
+// drained buffer drives checkouts below that; one that skipped its
+// release holds them above.
+func runSpecWorkload(t *testing.T, delay time.Duration, tune func(*Config), takeBufs bool) Stats {
+	t.Helper()
 	mem, err := blockdev.NewMemDevice(2, 1<<30, 0, true)
 	if err != nil {
 		t.Fatal(err)
 	}
 	clock := blockdev.NewRealClock()
 	dev, err := blockdev.NewScriptDevice(mem, clock, []blockdev.FaultRule{
-		{Disk: 0, Mode: blockdev.FaultDelay, MinLen: 1 << 20, Delay: 10 * time.Millisecond, From: 4},
+		{Disk: 0, Mode: blockdev.FaultDelay, MinLen: 1 << 20, Delay: delay, From: 4},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -32,14 +49,29 @@ func TestSpeculationConcurrencyNoLeak(t *testing.T) {
 	cfg := DefaultConfig(256<<20, 1<<20)
 	cfg.Replicas = 2
 	cfg.WindowSpan = time.Minute
-	cfg.SteerFactor = 4
-	cfg.SpecQuantile = 0.5
 	cfg.SpecMinSamples = 2
+	tune(&cfg)
 	srv, err := NewServer(dev, clock, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Close()
+
+	// The "writer": buffers detached from responses are released here,
+	// off the completion path, after a scheduling delay — mirroring a
+	// connection writer releasing frames once writev drains them.
+	var bufCh chan *bufpool.Buf
+	var writerWG sync.WaitGroup
+	if takeBufs {
+		bufCh = make(chan *bufpool.Buf, 512)
+		writerWG.Add(1)
+		go func() {
+			defer writerWG.Done()
+			for b := range bufCh {
+				b.Release()
+			}
+		}()
+	}
 
 	const (
 		streams  = 8
@@ -57,7 +89,12 @@ func TestSpeculationConcurrencyNoLeak(t *testing.T) {
 				err := srv.Submit(Request{
 					Disk: s % 2, Offset: base + int64(i)*req, Length: req,
 					Done: func(r Response) {
-						r.Release()
+						if takeBufs {
+							if pb := r.TakeBuf(); pb != nil {
+								bufCh <- pb
+							}
+						}
+						r.Release() // with takeBufs: no-op for the buffer, ownership moved
 						ch <- r.Err
 					},
 				})
@@ -73,18 +110,12 @@ func TestSpeculationConcurrencyNoLeak(t *testing.T) {
 		}(s)
 	}
 	wg.Wait()
+	if takeBufs {
+		close(bufCh)
+		writerWG.Wait()
+	}
 
 	st := srv.Stats()
-	if st.Speculations == 0 {
-		t.Error("no speculative legs armed — the race path was not exercised")
-	}
-	if st.SpecWins == 0 {
-		t.Error("no speculative wins — the buffer-swap path was not exercised")
-	}
-
-	// Every losing primary leg completes within its injected 10ms
-	// delay; after that, outstanding pool checkouts must equal the
-	// buffers still staged (no stashed loser may linger unreleased).
 	deadline := time.Now().Add(5 * time.Second)
 	for {
 		out := srv.Pool().Stats().CheckedOut
@@ -93,8 +124,36 @@ func TestSpeculationConcurrencyNoLeak(t *testing.T) {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("pool CheckedOut = %d but LiveBuffers = %d: speculative legs leaked buffers", out, live)
+			t.Fatalf("pool CheckedOut = %d but LiveBuffers = %d: speculative legs leaked or double-released buffers", out, live)
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+	return st
+}
+
+// TestSpeculationConcurrencyNoLeak drives speculative re-issue on a
+// real clock with a materializing device, so winning legs swap pooled
+// buffers while the losing leg's read is still writing into its own.
+// It exists to run under -race: the win/lose protocol must neither
+// race the in-flight device write, double-release a buffer, nor leak
+// one. From read 4 onward disk 0 delays every fetch 10ms, far past the
+// speculation trigger, so replica legs win constantly while concurrent
+// streams on both disks keep the shards, the breaker notes, and the
+// buffer pool hot.
+func TestSpeculationConcurrencyNoLeak(t *testing.T) {
+	for attempt := 1; ; attempt++ {
+		st := runSpecWorkload(t, 10*time.Millisecond, func(cfg *Config) {
+			cfg.SteerFactor = 4
+			cfg.SpecQuantile = 0.5
+		}, false)
+		if st.Speculations > 0 && st.SpecWins > 0 {
+			break
+		}
+		if attempt == specAttempts {
+			t.Fatalf("no speculative win in %d attempts (last: %d speculations, %d wins) — the buffer-swap path was not exercised",
+				specAttempts, st.Speculations, st.SpecWins)
+		}
+		t.Logf("attempt %d: %d speculations, %d wins — timing missed the race, retrying",
+			attempt, st.Speculations, st.SpecWins)
 	}
 }

@@ -99,6 +99,12 @@ const (
 	// fetch. Disk is the winning replica; Dur is the speculative leg's
 	// latency.
 	OpSpecWin
+	// OpReap: a shard's completion reaper drained a batch of device
+	// completions under one lock hold. Length is the batch size; only
+	// batches of two or more are recorded — the event exists to show
+	// amortization actually happening, and a per-completion record
+	// would double the ring traffic for no information.
+	OpReap
 
 	opSentinel // keep last
 )
@@ -157,6 +163,8 @@ func (o Op) String() string {
 		return "speculate"
 	case OpSpecWin:
 		return "spec_win"
+	case OpReap:
+		return "reap"
 	default:
 		return "unknown"
 	}

@@ -1,6 +1,7 @@
 package netserve
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"net"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"seqstream/internal/blockdev"
+	"seqstream/internal/bufpool"
 	"seqstream/internal/metrics"
 )
 
@@ -20,10 +22,19 @@ import (
 // keeping a handle for each pending request.
 type Client struct {
 	conn net.Conn
+	// br buffers the read side; only the read loop touches it (the
+	// handshake reply is read before the loop starts).
+	br   *bufio.Reader
 	rec  *metrics.Recorder
 	opts ClientOptions
 	// traceBase seeds the per-request trace ids when Tracing is on.
 	traceBase uint64
+	// payload records that the server granted FeatPayload: responses
+	// arrive in v2 frames and payloads land in pooled receive memory
+	// the consumer must Release.
+	payload bool
+	// pool recycles receive buffers in payload mode (nil otherwise).
+	pool *bufpool.Pool
 
 	mu           sync.Mutex
 	nextID       uint64
@@ -65,6 +76,14 @@ type ClientOptions struct {
 	// recordings can be correlated with this client's requests. Off by
 	// default: untraced requests still get a server-allocated id.
 	Tracing bool
+	// Payload sends a hello at dial time asking for the v2 payload
+	// extension. If the server grants it (ServerOptions.Payload),
+	// read responses carry the data in v2 frames and land in pooled
+	// receive memory — consumers must Release each response after its
+	// last use of Data (RunStreams does this itself). If the server
+	// declines, the client falls back to data-less v1 silently; check
+	// Payload() for the negotiated outcome.
+	Payload bool
 }
 
 // ErrDisconnected is the terminal error pending requests are failed
@@ -96,6 +115,7 @@ func DialOpts(addr string, opts ClientOptions) (*Client, error) {
 	}
 	c := &Client{
 		conn:       conn,
+		br:         bufio.NewReaderSize(conn, 64<<10),
 		rec:        metrics.NewRecorder(),
 		opts:       opts,
 		pending:    make(map[uint64]pendingHandle),
@@ -104,9 +124,34 @@ func DialOpts(addr string, opts ClientOptions) (*Client, error) {
 	if opts.Tracing {
 		c.traceBase = splitmix64(uint64(time.Now().UnixNano()))
 	}
+	if opts.Payload {
+		// Negotiate before the read loop starts, synchronously on the
+		// dialing goroutine: hello out, hello back, nothing else is on
+		// the wire yet.
+		if opts.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(opts.WriteTimeout))
+		}
+		if err := WriteHello(conn, Hello{Version: ProtoV2, Feats: FeatPayload}); err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("netserve: handshake: %w", err)
+		}
+		hello, err := ReadHello(c.br)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("netserve: handshake: %w", err)
+		}
+		if hello.Version >= ProtoV2 && hello.Feats&FeatPayload != 0 {
+			c.payload = true
+			c.pool = bufpool.New()
+		}
+	}
 	go c.readLoop()
 	return c, nil
 }
+
+// Payload reports whether the server granted the payload extension at
+// dial time (always false unless ClientOptions.Payload asked for it).
+func (c *Client) Payload() bool { return c.payload }
 
 // DialRetry dials with up to attempts tries, sleeping between failures
 // with doubling, jittered, capped backoff. It returns the last dial
@@ -172,7 +217,10 @@ func (c *Client) Close() error {
 }
 
 // Go issues one read on behalf of a stream. done (optional) receives
-// the response and its measured latency.
+// the response and its measured latency. In payload mode the response
+// may hold pooled receive memory: done owns it and must call
+// resp.Release after its last use of Data (a nil done releases
+// automatically).
 func (c *Client) Go(stream int, disk uint16, off, length int64, flags uint16,
 	done func(Response, time.Duration)) error {
 	c.mu.Lock()
@@ -278,7 +326,13 @@ func (c *Client) Err() error {
 func (c *Client) readLoop() {
 	defer close(c.readerDone)
 	for {
-		resp, err := ReadResponse(c.conn)
+		var resp Response
+		var err error
+		if c.payload {
+			resp, err = readResponseV2(c.br, c.pool)
+		} else {
+			resp, err = ReadResponse(c.br)
+		}
 		if err != nil {
 			c.failPending(err)
 			return
@@ -293,13 +347,19 @@ func (c *Client) readLoop() {
 			}
 		}
 		c.mu.Unlock()
-		if ok {
-			if h.cancelTimeout != nil {
-				h.cancelTimeout()
-			}
-			if h.done != nil {
-				h.done(resp, now-h.sent)
-			}
+		if !ok {
+			// Expired or disconnect-drained before the response landed:
+			// nobody will see it, so recycle the receive buffer here.
+			resp.Release()
+			continue
+		}
+		if h.cancelTimeout != nil {
+			h.cancelTimeout()
+		}
+		if h.done != nil {
+			h.done(resp, now-h.sent)
+		} else {
+			resp.Release()
 		}
 	}
 }
@@ -334,6 +394,16 @@ func (c *Client) failPending(err error) {
 // uniformly across the given disk capacity.
 func (c *Client) RunStreams(disk uint16, capacity int64, streams, requests int,
 	reqSize int64, flags uint16) error {
+	return c.RunStreamsFunc(disk, capacity, streams, requests, reqSize, flags, nil)
+}
+
+// RunStreamsFunc is RunStreams with a per-response check: when
+// non-nil, check runs on every successful response — while its
+// payload (if any) is still valid — and a non-nil error stops that
+// stream and is reported. RunStreamsFunc releases each response's
+// pooled receive memory itself, after the check.
+func (c *Client) RunStreamsFunc(disk uint16, capacity int64, streams, requests int,
+	reqSize int64, flags uint16, check func(stream int, resp *Response) error) error {
 	if streams <= 0 || requests <= 0 || reqSize <= 0 {
 		return errors.New("netserve: bad stream parameters")
 	}
@@ -362,10 +432,20 @@ func (c *Client) RunStreams(disk uint16, capacity int64, streams, requests int,
 			err := c.Go(s, disk, base+int64(i)*reqSize, reqSize, flags,
 				func(resp Response, _ time.Duration) {
 					if resp.Status != StatusOK {
+						resp.Release()
 						errs <- fmt.Errorf("netserve: stream %d status %d", s, resp.Status)
 						wg.Done()
 						return
 					}
+					if check != nil {
+						if cerr := check(s, &resp); cerr != nil {
+							resp.Release()
+							errs <- cerr
+							wg.Done()
+							return
+						}
+					}
+					resp.Release()
 					issue(i + 1)
 				})
 			if err != nil {

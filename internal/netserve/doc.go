@@ -1,19 +1,47 @@
 // Package netserve implements the storage-node wire protocol of §5:
 // clients emulate many sequential streams over TCP against a storage
 // node; read responses carry no payload by default (as in the paper,
-// so the network does not bottleneck the I/O measurement), unless the
-// client asks for data.
+// so the network does not bottleneck the I/O measurement).
+//
+// # Protocol versions
+//
+// Two wire modes coexist on one listening port (DESIGN.md §11). A v1
+// client's first bytes are a request frame and everything proceeds as
+// data-less fixed-size headers. A v2-capable client opens with an
+// 8-byte hello naming the feature bits it wants; the server answers
+// with what it grants — nothing, unless it runs with
+// ServerOptions.Payload — and a declined client silently falls back
+// to v1 (Client.Payload reports the outcome). On a negotiated
+// connection every response uses the v2 header, and responses to
+// FlagWantData reads carry the staged bytes plus an offset echo that
+// lets clients verify the payload against the device pattern.
 //
 // # Ownership and payload lifetime
 //
 // Each server connection runs one reader loop and one writer
 // goroutine; the writer owns all socket writes, and completion
 // callbacks (which arrive on arbitrary scheduler goroutines) only
-// enqueue responses. Payload bytes are borrowed from the storage
-// node's staging pool: whoever disposes of a Response — the writer
-// after the frame is on the wire, or the dead-writer drop path —
-// must call Response.Release to recycle them. Responses still
-// buffered in the channel when a connection dies fall to the garbage
-// collector instead, which pooled memory tolerates (a missed recycle,
-// not a leak).
+// enqueue responses. Payload bytes are handed off from the storage
+// node's staging pool, not copied: the done callback detaches the
+// pooled reference with core.Response.TakeBuf, parks it on the wire
+// Response, and the writer sends header and payload in one vectored
+// write (net.Buffers), calling Response.Release only after the write
+// drains. Release is the single disposal point and is exactly-once by
+// construction: TakeBuf nils the scheduler's reference, Release nils
+// the wire's.
+//
+// When a connection dies mid-stream, the writer marks itself broken,
+// closes the socket, and keeps consuming the response channel —
+// releasing every queued response and counting it in
+// ServerStats.DroppedResponses — until the reader closes the channel.
+// No response is ever abandoned to the garbage collector with its
+// pool accounting open. A reader that stops draining exerts
+// backpressure instead of growing memory: the bounded response
+// channel caps how many staged buffers the wire can pin, and past
+// that completions block until the socket moves or dies.
+//
+// On the client side, payload responses borrow pooled receive memory;
+// a done callback owns its Response and must call Release after its
+// last use of Data (RunStreams/RunStreamsFunc release internally,
+// after the optional per-response check).
 package netserve

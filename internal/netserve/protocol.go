@@ -5,14 +5,48 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
+
+	"seqstream/internal/bufpool"
 )
 
 // Protocol constants.
 const (
 	// Magic guards both frame directions.
 	Magic = 0x53455153 // "SQES"
+	// HelloMagic guards the optional handshake frame a v2 client leads
+	// with. It is distinct from Magic so a server can tell a hello
+	// from a v1 request by peeking the first four bytes.
+	HelloMagic = 0x32455153 // "SQE2"
 	// MaxLength bounds a single read (16 MB).
 	MaxLength = 16 << 20
+)
+
+// Protocol versions carried in the hello frame.
+const (
+	// ProtoV1 is the original framing: data-less v1 response frames
+	// (payload only when the client begged with FlagWantData, and even
+	// then with no negotiated guarantees).
+	ProtoV1 uint16 = 1
+	// ProtoV2 adds the negotiated feature set and the extended
+	// response framing (flags word + offset echo on payload frames).
+	ProtoV2 uint16 = 2
+)
+
+// Negotiable feature bits (hello frames).
+const (
+	// FeatPayload asks for payload-bearing read responses: v2 frames
+	// whose payload is written straight from the staged buffer via
+	// vectored I/O, with an offset echo the client can verify framing
+	// against.
+	FeatPayload uint16 = 1 << 0
+)
+
+// Response flags (v2 frames only).
+const (
+	// RespPayload marks a v2 response frame carrying payload framing:
+	// an 8-byte offset echo after the fixed header, then the data.
+	RespPayload uint32 = 1 << 0
 )
 
 // Request flags.
@@ -48,11 +82,51 @@ const (
 	StatusDisconnected
 )
 
-// reqHeaderSize and respHeaderSize are the wire sizes.
+// Fixed wire sizes. Request frames are identical in both versions;
+// v2 response frames add a 4-byte flags word to the v1 header, plus
+// an 8-byte offset echo when RespPayload is set.
 const (
-	reqHeaderSize  = 4 + 8 + 2 + 2 + 8 + 4
-	respHeaderSize = 4 + 8 + 4 + 4
+	reqHeaderSize    = 4 + 8 + 2 + 2 + 8 + 4
+	respHeaderSize   = 4 + 8 + 4 + 4
+	respV2HeaderSize = 4 + 8 + 4 + 4 + 4
+	helloSize        = 4 + 2 + 2
 )
+
+// Hello is the handshake frame, sent by a v2 client immediately after
+// connecting and answered by the server before any responses. Version
+// is the highest protocol version the sender speaks; Feats is the
+// feature set requested (client) or granted (server). A v1 client
+// sends no hello at all — the server detects the absence by peeking
+// the first frame's magic — so old clients keep working unchanged.
+type Hello struct {
+	Version uint16
+	Feats   uint16
+}
+
+// WriteHello encodes a handshake frame.
+func WriteHello(w io.Writer, h Hello) error {
+	var buf [helloSize]byte
+	binary.LittleEndian.PutUint32(buf[0:], HelloMagic)
+	binary.LittleEndian.PutUint16(buf[4:], h.Version)
+	binary.LittleEndian.PutUint16(buf[6:], h.Feats)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// ReadHello decodes a handshake frame.
+func ReadHello(r io.Reader) (Hello, error) {
+	var buf [helloSize]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return Hello{}, err
+	}
+	if binary.LittleEndian.Uint32(buf[0:]) != HelloMagic {
+		return Hello{}, ErrBadMagic
+	}
+	return Hello{
+		Version: binary.LittleEndian.Uint16(buf[4:]),
+		Feats:   binary.LittleEndian.Uint16(buf[6:]),
+	}, nil
+}
 
 // Request is one client read.
 type Request struct {
@@ -70,17 +144,32 @@ type Request struct {
 type Response struct {
 	ID     uint64
 	Status uint32
+	// Flags carries the v2 response flags (RespPayload). Always zero
+	// on v1 frames.
+	Flags uint32
+	// Offset echoes the request offset on v2 payload frames, so a
+	// client can verify framing independently of its own bookkeeping.
+	Offset int64
 	Data   []byte // nil unless FlagWantData was set and the read succeeded
 
-	// release recycles the pooled memory backing Data (server side
-	// only; nil on decoded responses and non-pooled payloads).
+	// buf is the pooled memory backing Data: on the server the staged
+	// buffer detached from the core response (core.Response.TakeBuf),
+	// on a payload-mode client the receive buffer. Release drops the
+	// single reference this response owns.
+	buf *bufpool.Buf
+	// release recycles non-pooled backing memory (nil otherwise);
+	// retained so custom backends that hand out closures keep working.
 	release func()
 }
 
-// Release returns the pooled memory backing Data to its pool, if any.
-// The server's writer calls it after the payload is on the wire; it is
-// safe to call more than once and on responses with no pooled payload.
+// Release returns the memory backing Data to its pool, if any. The
+// server's writer calls it after the vectored write has drained the
+// payload onto the wire; payload-mode clients call it after their
+// last use of Data. It is safe to call more than once and on
+// responses with no pooled payload.
 func (r *Response) Release() {
+	r.buf.Release()
+	r.buf = nil
 	if r.release != nil {
 		r.release()
 		r.release = nil
@@ -168,6 +257,63 @@ func WriteResponse(w io.Writer, resp Response) error {
 	return nil
 }
 
+// ResponseWriter serializes response frames for one connection. The
+// header (and, on v2 payload frames, the offset echo) and the payload
+// reach the socket in a single vectored write (net.Buffers writev)
+// straight from the staged buffer — the payload bytes are never
+// copied. The scratch header and gather list live on the writer so
+// the steady state allocates nothing. Not safe for concurrent use:
+// each connection's writer goroutine owns exactly one.
+type ResponseWriter struct {
+	w       io.Writer
+	payload bool // v2 framing negotiated on this connection
+	hdr     [respV2HeaderSize + 8]byte
+	scratch [2][]byte
+	bufs    net.Buffers
+}
+
+// NewResponseWriter builds a writer for one connection. payload
+// selects v2 framing (negotiated connections); false emits
+// byte-identical v1 frames, just gathered into one writev.
+func NewResponseWriter(w io.Writer, payload bool) *ResponseWriter {
+	return &ResponseWriter{w: w, payload: payload}
+}
+
+// WriteResponse encodes and writes one response frame. The caller
+// still owns resp's buffer and must Release it afterwards — by then
+// the write has drained (or failed), so the pooled bytes are free to
+// recycle either way.
+func (fw *ResponseWriter) WriteResponse(resp *Response) error {
+	if int64(len(resp.Data)) > MaxLength {
+		return ErrTooLarge
+	}
+	binary.LittleEndian.PutUint32(fw.hdr[0:], Magic)
+	binary.LittleEndian.PutUint64(fw.hdr[4:], resp.ID)
+	binary.LittleEndian.PutUint32(fw.hdr[12:], resp.Status)
+	var n int
+	if fw.payload {
+		binary.LittleEndian.PutUint32(fw.hdr[16:], resp.Flags)
+		binary.LittleEndian.PutUint32(fw.hdr[20:], uint32(len(resp.Data)))
+		n = respV2HeaderSize
+		if resp.Flags&RespPayload != 0 {
+			binary.LittleEndian.PutUint64(fw.hdr[n:], uint64(resp.Offset))
+			n += 8
+		}
+	} else {
+		binary.LittleEndian.PutUint32(fw.hdr[16:], uint32(len(resp.Data)))
+		n = respHeaderSize
+	}
+	// The gather list is rebuilt from the scratch array every call:
+	// WriteTo consumes a net.Buffers as it drains, so yesterday's
+	// slice header is spent.
+	fw.bufs = net.Buffers(append(fw.scratch[:0], fw.hdr[:n]))
+	if len(resp.Data) > 0 {
+		fw.bufs = append(fw.bufs, resp.Data)
+	}
+	_, err := fw.bufs.WriteTo(fw.w)
+	return err
+}
+
 // ReadResponse decodes a response frame.
 func ReadResponse(r io.Reader) (Response, error) {
 	var buf [respHeaderSize]byte
@@ -189,6 +335,53 @@ func ReadResponse(r io.Reader) (Response, error) {
 		resp.Data = make([]byte, n)
 		if _, err := io.ReadFull(r, resp.Data); err != nil {
 			return Response{}, fmt.Errorf("netserve: payload: %w", err)
+		}
+	}
+	return resp, nil
+}
+
+// readResponseV2 decodes one v2 response frame. When a pool is
+// supplied the payload lands in pooled receive memory that the
+// consumer owns via Response.Release; nil falls back to plain
+// allocation.
+func readResponseV2(r io.Reader, pool *bufpool.Pool) (Response, error) {
+	var buf [respV2HeaderSize]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return Response{}, err
+	}
+	if binary.LittleEndian.Uint32(buf[0:]) != Magic {
+		return Response{}, ErrBadMagic
+	}
+	resp := Response{
+		ID:     binary.LittleEndian.Uint64(buf[4:]),
+		Status: binary.LittleEndian.Uint32(buf[12:]),
+		Flags:  binary.LittleEndian.Uint32(buf[16:]),
+	}
+	n := binary.LittleEndian.Uint32(buf[20:])
+	if int64(n) > MaxLength {
+		return Response{}, ErrTooLarge
+	}
+	if resp.Flags&RespPayload != 0 {
+		var ext [8]byte
+		if _, err := io.ReadFull(r, ext[:]); err != nil {
+			return Response{}, fmt.Errorf("netserve: offset echo: %w", err)
+		}
+		resp.Offset = int64(binary.LittleEndian.Uint64(ext[:]))
+	}
+	if n > 0 {
+		if pool != nil {
+			pb := pool.Get(int64(n))
+			if _, err := io.ReadFull(r, pb.Data); err != nil {
+				pb.Release()
+				return Response{}, fmt.Errorf("netserve: payload: %w", err)
+			}
+			resp.Data = pb.Data
+			resp.buf = pb
+		} else {
+			resp.Data = make([]byte, n)
+			if _, err := io.ReadFull(r, resp.Data); err != nil {
+				return Response{}, fmt.Errorf("netserve: payload: %w", err)
+			}
 		}
 	}
 	return resp, nil

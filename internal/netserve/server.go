@@ -1,6 +1,8 @@
 package netserve
 
 import (
+	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -59,6 +61,13 @@ type ServerOptions struct {
 	// reading exhausts the response channel's slack and would
 	// otherwise wedge the writer permanently. Zero means no deadline.
 	WriteTimeout time.Duration
+	// Payload enables the v2 payload extension: a client whose hello
+	// requests FeatPayload gets read responses carrying the staged
+	// bytes in v2 frames, written straight from the refcounted staging
+	// buffers via vectored I/O. Off (the default), hellos are still
+	// answered — granting nothing — so payload-capable clients fall
+	// back to data-less v1 cleanly.
+	Payload bool
 }
 
 // NewServer wraps a storage node and starts listening on addr
@@ -166,34 +175,76 @@ func (s *Server) handle(conn net.Conn, o *Obs) {
 		}
 	}()
 
+	// Handshake probe: a v2 client leads with a hello frame, a v1
+	// client's first bytes are a request frame. Peek the magic without
+	// consuming, so the v1 path sees its frame intact. The reply is
+	// written inline, before the writer goroutine exists, so nothing
+	// races the socket.
+	br := bufio.NewReaderSize(conn, 32<<10)
+	payload := false
+	if s.opts.IdleTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+	}
+	if first, err := br.Peek(4); err == nil && binary.LittleEndian.Uint32(first) == HelloMagic {
+		hello, err := ReadHello(br)
+		if err != nil {
+			return
+		}
+		reply := Hello{Version: ProtoV1}
+		if s.opts.Payload && hello.Version >= ProtoV2 {
+			reply.Version = ProtoV2
+			reply.Feats = hello.Feats & FeatPayload
+		}
+		if err := WriteHello(conn, reply); err != nil {
+			return
+		}
+		payload = reply.Feats&FeatPayload != 0
+	}
+
 	// Responses are produced by storage-node callbacks on arbitrary
-	// goroutines; a single writer serializes them onto the socket.
+	// goroutines; a single writer serializes them onto the socket with
+	// vectored writes and releases each staged buffer only after its
+	// frame has drained. Once a write fails the writer keeps consuming
+	// — releasing and counting every remaining response as dropped —
+	// so each pooled buffer is released exactly once no matter where
+	// in the pipeline the disconnect caught it.
 	responses := make(chan Response, 128)
 	writerDone := make(chan struct{})
+	fw := NewResponseWriter(conn, payload)
 	go func() {
 		defer close(writerDone)
+		broken := false
 		for resp := range responses {
+			if broken {
+				resp.Release()
+				s.mu.Lock()
+				s.stats.DroppedResponses++
+				s.mu.Unlock()
+				if o != nil {
+					o.dropped.Inc()
+				}
+				continue
+			}
 			if s.opts.WriteTimeout > 0 {
 				conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
 			}
-			err := WriteResponse(conn, resp)
+			err := fw.WriteResponse(&resp)
 			// The payload is on the wire (or lost with the connection);
 			// either way its pooled memory can be recycled.
 			resp.Release()
 			if err != nil {
 				// Unblock the reader too: the connection is dead in one
 				// direction, so stop consuming requests that can never
-				// be answered. Responses still buffered in the channel
-				// are dropped to the garbage collector, which pooled
-				// payloads tolerate (a missed recycle, not a leak).
+				// be answered.
 				conn.Close()
-				return
+				broken = true
 			}
 		}
 	}()
-	// send delivers a response to the writer, or drops it if the writer
-	// has already exited — a completion callback must never block
-	// forever on a channel nobody drains.
+	// send delivers a response to the writer. The writer drains the
+	// channel until the reader closes it, so the send always lands;
+	// the writerDone arm is a safety net that keeps a completion
+	// callback from ever blocking on a channel nobody drains.
 	send := func(resp Response) {
 		select {
 		case responses <- resp:
@@ -215,7 +266,7 @@ func (s *Server) handle(conn net.Conn, o *Obs) {
 		if s.opts.IdleTimeout > 0 {
 			conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
 		}
-		req, err := ReadRequest(conn)
+		req, err := ReadRequest(br)
 		if err != nil {
 			break
 		}
@@ -325,11 +376,15 @@ func (s *Server) handle(conn net.Conn, o *Obs) {
 						o.window.Observe(r.End - r.Start)
 					}
 					if wantData && r.Data != nil {
-						// The frame borrows the storage node's (possibly
-						// pooled) bytes; the writer releases them once
-						// they are on the wire.
+						// The frame takes over the storage node's staged
+						// buffer (no copy, no closure); the writer
+						// releases it once the vectored write drains.
 						resp.Data = r.Data
-						resp.release = r.Release
+						resp.buf = r.TakeBuf()
+						if payload {
+							resp.Flags = RespPayload
+							resp.Offset = req.Offset
+						}
 					} else {
 						r.Release()
 					}
