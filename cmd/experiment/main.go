@@ -59,6 +59,9 @@ func run(args []string) error {
 
 		benchPayload  = fs.String("bench-payload", "", "run the bytes-on-the-wire benchmark (data-less unbatched vs batched reaping vs verified payload delivery over loopback TCP) and write the report to this path")
 		payloadBudget = fs.Float64("payload-budget", bench.DefaultPayloadBudget, "bench-payload: acceptable data-less req/s overhead fraction; exceeding it fails the run")
+
+		benchSLO  = fs.String("bench-slo", "", "run the SLO-engine overhead benchmark (deadline scoring + burn windows off vs on, flight + health on in both) and write the report to this path")
+		sloBudget = fs.Float64("slo-budget", bench.DefaultSLOBudget, "bench-slo: acceptable req/s overhead fraction; exceeding it fails the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -144,6 +147,26 @@ func run(args []string) error {
 		return nil
 	}
 
+	if *benchSLO != "" {
+		rep, err := bench.RunSLOComparison(bench.Config{
+			Disks:    *benchDisks,
+			Streams:  *benchStreams,
+			Requests: *benchRequests,
+		}, *sloBudget)
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep.Summary())
+		if err := rep.WriteJSON(*benchSLO); err != nil {
+			return err
+		}
+		if !rep.WithinBudget {
+			return fmt.Errorf("slo engine overhead %.2f%% exceeds budget %.1f%%",
+				rep.OverheadFrac*100, rep.Budget*100)
+		}
+		return nil
+	}
+
 	if *benchJSON != "" {
 		rep, err := bench.RunComparison(bench.Config{
 			Disks:    *benchDisks,
@@ -191,6 +214,18 @@ func run(args []string) error {
 		}
 		fmt.Print(pl.Summary())
 		rep.Payload = &pl
+		// And the SLO comparison: the full observability stack's
+		// deadline-scoring overhead verdict.
+		so, err := bench.RunSLOComparison(bench.Config{
+			Disks:    *benchDisks,
+			Streams:  *benchStreams,
+			Requests: *benchRequests,
+		}, *sloBudget)
+		if err != nil {
+			return err
+		}
+		fmt.Print(so.Summary())
+		rep.SLO = &so
 		return rep.WriteJSON(*benchJSON)
 	}
 

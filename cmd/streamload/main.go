@@ -47,6 +47,9 @@ func run(args []string) error {
 
 		healthAddr = fs.String("health-addr", "", "storage node debug address (host:port); after the run, fetch /debug/health and print windowed per-disk latency plus anomaly counts (empty disables)")
 
+		sloRatio  = fs.Float64("slo", 0, "fail the run (exit 1) unless at least this fraction of requests finished within -slo-target, e.g. 0.99 (0 disables)")
+		sloTarget = fs.Duration("slo-target", 50*time.Millisecond, "client-side response-time deadline the -slo ratio is scored against")
+
 		traced      = fs.Bool("trace", false, "stamp every request with a client-generated trace id (follow them in the node's /debug/flight)")
 		timeout     = fs.Duration("timeout", 0, "per-request deadline; timed-out requests fail the run (0 waits forever)")
 		dialRetries = fs.Int("dial-retries", 1, "dial attempts before giving up")
@@ -142,6 +145,18 @@ func run(args []string) error {
 	if *healthAddr != "" {
 		if err := printHealth(os.Stdout, *healthAddr); err != nil {
 			return fmt.Errorf("health summary: %w", err)
+		}
+	}
+	if *sloRatio > 0 {
+		if *sloRatio > 1 {
+			return fmt.Errorf("streamload: -slo %g is not a ratio in (0, 1]", *sloRatio)
+		}
+		onTime := lat.FractionUnder(*sloTarget)
+		fmt.Printf("slo: on-time=%.4f objective=%.4f target=%v samples=%d\n",
+			onTime, *sloRatio, *sloTarget, lat.Count())
+		if onTime < *sloRatio {
+			return fmt.Errorf("streamload: SLO violated: on-time ratio %.4f below objective %.4f (deadline %v)",
+				onTime, *sloRatio, *sloTarget)
 		}
 	}
 	return nil

@@ -20,6 +20,7 @@ import (
 	"syscall"
 	"time"
 
+	"seqstream/internal/blackbox"
 	"seqstream/internal/blockdev"
 	"seqstream/internal/controller"
 	"seqstream/internal/core"
@@ -39,15 +40,16 @@ func main() {
 
 // node bundles the built server stack for run and for tests.
 type node struct {
-	srv     *netserve.Server
-	core    *core.Server
-	ingest  *core.Ingest
-	reg     *obs.Registry
-	spans   *obs.SpanLog
-	flight  *flight.Recorder
-	health  *health.Engine
-	debug   *obs.DebugServer
-	closers []func()
+	srv      *netserve.Server
+	core     *core.Server
+	ingest   *core.Ingest
+	reg      *obs.Registry
+	spans    *obs.SpanLog
+	flight   *flight.Recorder
+	health   *health.Engine
+	blackbox *blackbox.Capturer
+	debug    *obs.DebugServer
+	closers  []func()
 }
 
 func (n *node) Close() {
@@ -96,6 +98,15 @@ func run(args []string) error {
 		healthWin    = fs.Duration("health-window", time.Minute, "sliding-window span for the latency telemetry behind /debug/health (0 disables windows and the engine)")
 		spanLogPath  = fs.String("span-log", "", "append lifecycle span JSON lines to this file (flushed on shutdown)")
 
+		sloTarget     = fs.Duration("slo-target", 0, "per-delivery deadline base for the stream SLO engine (0 disables SLO scoring)")
+		sloLateFactor = fs.Float64("slo-late-factor", 0, "lateness multiple of the deadline that escalates late to missed (0 uses the default, 4)")
+		sloObjective  = fs.Float64("slo-objective", 0, "on-time delivery objective the burn-rate alerts budget against, e.g. 0.999 (0 uses the default)")
+		sloFastWin    = fs.Duration("slo-fast-window", 0, "fast burn-rate window (0 uses the default, 5m)")
+		sloMidWin     = fs.Duration("slo-mid-window", 0, "mid burn-rate window confirming the fast one (0 uses the default, 1h)")
+		sloSlowWin    = fs.Duration("slo-slow-window", 0, "slow burn-rate window (0 uses the default, 6h)")
+		sloMinSamples = fs.Int64("slo-min-samples", 0, "deliveries a window needs before its burn rate can alert (0 uses the default, 32)")
+		blackboxDir   = fs.String("blackbox-dir", "", "persist anomaly-triggered diagnostic bundles to this directory (empty keeps them in memory only, served at /debug/bundle)")
+
 		fault        = fs.String("fault", "", "fault-injection script, rules separated by ';' (e.g. 'disk=0,mode=err,every=5;mode=delay,delay=50ms')")
 		fetchTimeout = fs.Duration("fetch-timeout", 0, "fail a stream fetch stuck on the device this long (0 disables)")
 		fetchRetries = fs.Int("fetch-retries", 0, "retries for transiently failed fetches (0 disables)")
@@ -122,6 +133,9 @@ func run(args []string) error {
 		ingest: *ingest, chunk: *chunk, debugAddr: *debugAddr,
 		flightEvents: *flightEvents, spanLogPath: *spanLogPath,
 		healthInterval: *healthIvl, healthWindow: *healthWin,
+		sloTarget: *sloTarget, sloLateFactor: *sloLateFactor, sloObjective: *sloObjective,
+		sloFastWindow: *sloFastWin, sloMidWindow: *sloMidWin, sloSlowWindow: *sloSlowWin,
+		sloMinSamples: *sloMinSamples, blackboxDir: *blackboxDir,
 		fault:        *fault,
 		fetchTimeout: *fetchTimeout, fetchRetries: *fetchRetries, retryBackoff: *retryBackoff,
 		breakerThreshold: *brkThresh, breakerCooldown: *brkCooldown,
@@ -176,16 +190,27 @@ func statsLine(nd *node) string {
 }
 
 // extraHandlers mounts the flight snapshot dump and, when the engine
-// runs, the /debug/health rollup on the debug mux.
-func extraHandlers(rec *flight.Recorder, eng *health.Engine) map[string]http.Handler {
+// runs, the /debug/health rollup and /debug/bundle blackbox ring on
+// the debug mux.
+func extraHandlers(rec *flight.Recorder, eng *health.Engine, capt *blackbox.Capturer) map[string]http.Handler {
 	m := map[string]http.Handler{
 		"/debug/flight": flight.Handler(rec),
 	}
 	if eng != nil {
 		m["/debug/health"] = health.Handler(eng)
 	}
+	if capt != nil {
+		m["/debug/bundle"] = blackbox.Handler(capt)
+	}
 	return m
 }
+
+// captureTrigger adapts the blackbox capturer to health.Capturer,
+// dropping the returned bundle (the engine only fires triggers; the
+// ring and /debug/bundle are where bundles are read).
+type captureTrigger struct{ c *blackbox.Capturer }
+
+func (t captureTrigger) Capture(reason string) { t.c.Capture(reason) }
 
 // buildParams carries the parsed flags.
 type buildParams struct {
@@ -210,6 +235,16 @@ type buildParams struct {
 	// Online health engine: poll period and sliding-window span.
 	healthInterval time.Duration
 	healthWindow   time.Duration
+
+	// Stream SLO engine and the anomaly-triggered blackbox capturer.
+	sloTarget     time.Duration
+	sloLateFactor float64
+	sloObjective  float64
+	sloFastWindow time.Duration
+	sloMidWindow  time.Duration
+	sloSlowWindow time.Duration
+	sloMinSamples int64
+	blackboxDir   string
 
 	// Failure handling: fault-injection script plus the fetch-timeout,
 	// retry, breaker, and connection-deadline knobs.
@@ -311,6 +346,13 @@ func build(p buildParams) (*node, error) {
 		BreakerThreshold:  p.breakerThreshold,
 		BreakerCooldown:   p.breakerCooldown,
 		WindowSpan:        p.healthWindow,
+		SLOTarget:         p.sloTarget,
+		SLOLateFactor:     p.sloLateFactor,
+		SLOObjective:      p.sloObjective,
+		SLOFastWindow:     p.sloFastWindow,
+		SLOMidWindow:      p.sloMidWindow,
+		SLOSlowWindow:     p.sloSlowWindow,
+		SLOMinSamples:     p.sloMinSamples,
 		Replicas:          p.replicas,
 		SteerFactor:       p.steerFactor,
 		SpecQuantile:      p.specQuantile,
@@ -362,6 +404,11 @@ func build(p buildParams) (*node, error) {
 			return nil, err
 		}
 	}
+	if ledger := coreSrv.SLO(); ledger != nil {
+		// Score the wire too: the client-observed counters should track
+		// the scheduler-side ledger; divergence localizes lost time.
+		nsObs.AttachSLO(out.reg, ledger.Deadline)
+	}
 	srv.SetObs(nsObs)
 	srv.SetFlight(rec)
 	out.srv = srv
@@ -378,6 +425,33 @@ func build(p buildParams) (*node, error) {
 			out.Close()
 			return nil, err
 		}
+		if ledger := coreSrv.SLO(); ledger != nil {
+			eng.SetSLO(ledger)
+		}
+		// The blackbox capturer rides the engine: every anomaly raise or
+		// burn-rate trip snapshots the node's diagnostic state into a
+		// bundle (in memory, and on disk with -blackbox-dir). Wall time
+		// comes from the real clock — this binary has one; simulations
+		// leave Wall nil.
+		capt, err := blackbox.New(blackbox.Config{
+			Dir:      p.blackboxDir,
+			Profiles: true,
+		}, clock.Now, blackbox.Sources{
+			Flight:   rec,
+			Spans:    spans,
+			SLO:      coreSrv.SLO(),
+			Health:   func() any { return eng.Report() },
+			Breakers: func() any { return coreSrv.BreakerInfos() },
+			Stats:    func() any { return coreSrv.Snapshot() },
+			Config:   cfg,
+			Wall:     func() string { return time.Now().UTC().Format(time.RFC3339Nano) },
+		})
+		if err != nil {
+			out.Close()
+			return nil, err
+		}
+		eng.SetCapturer(captureTrigger{capt})
+		out.blackbox = capt
 		eng.Start()
 		out.health = eng
 	}
@@ -409,7 +483,7 @@ func build(p buildParams) (*node, error) {
 			"netserve": func() any { return out.srv.Stats() },
 			"config":   func() any { return out.core.Config() },
 			"spans":    func() any { return spans.Snapshot() },
-		}, extraHandlers(rec, out.health))
+		}, extraHandlers(rec, out.health, out.blackbox))
 		dbg, err := obs.Serve(p.debugAddr, handler)
 		if err != nil {
 			out.Close()

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"seqstream/internal/blackbox"
+	"seqstream/internal/blockdev"
+	"seqstream/internal/core"
+	"seqstream/internal/flight"
+	"seqstream/internal/health"
+	"seqstream/internal/iostack"
+	"seqstream/internal/sim"
+)
+
+// trigger adapts the blackbox capturer to health.Capturer (the same
+// adapter streamnode uses).
+type trigger struct{ c *blackbox.Capturer }
+
+func (t trigger) Capture(reason string) { t.c.Capture(reason) }
+
+// TestSlowDiskBurnRateBundleE2E is the ISSUE acceptance scenario run
+// end to end in simulation: a 64-disk node with one disk ~10x slower,
+// the SLO ledger scoring every delivery, the health engine evaluating
+// burn rates each tick. The slow disk's late deliveries must trip the
+// fast burn-rate alert, the trip must auto-capture a blackbox bundle,
+// and replaying that bundle through tracetool must attribute the
+// violations to the slow disk with a non-zero exemplar trace id.
+func TestSlowDiskBurnRateBundleE2E(t *testing.T) {
+	const (
+		shards  = 8
+		reqSize = 64 << 10
+		ra      = 256 << 10
+	)
+	eng := sim.NewEngine()
+	host, err := iostack.New(eng, iostack.LargeConfig(iostack.Options{})) // 16x4 = 64 disks
+	if err != nil {
+		t.Fatal(err)
+	}
+	simDev, err := blockdev.NewSimDevice(host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := blockdev.NewSimClock(eng)
+	// Disk 0 stalls every read-ahead fetch for 250ms — roughly 10x a
+	// healthy fetch — while its small direct reads stay fast, so the
+	// lateness lands on buffered deliveries the way a degraded spindle
+	// would show up in production.
+	sd, err := blockdev.NewScriptDevice(simDev, clock, []blockdev.FaultRule{
+		{Disk: 0, Mode: blockdev.FaultDelay, MinLen: ra, Delay: 250 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := core.DefaultConfig(256<<20, ra)
+	cfg.Shards = shards
+	cfg.WindowSpan = time.Minute
+	cfg.SLOTarget = 50 * time.Millisecond
+	rec, err := flight.New(clock.Now, shards, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Flight = rec
+	srv, err := core.NewServer(sd, clock, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	heng, err := health.NewEngine(rec, srv, clock, health.Config{Interval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer heng.Close()
+	heng.SetSLO(srv.SLO())
+	dir := t.TempDir()
+	capt, err := blackbox.New(blackbox.Config{Dir: dir, MinInterval: -1}, clock.Now, blackbox.Sources{
+		Flight: rec,
+		SLO:    srv.SLO(),
+		Health: func() any { return heng.Report() },
+		Stats:  func() any { return srv.Snapshot() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heng.SetCapturer(trigger{capt})
+	heng.Start()
+
+	// Two streams share the slow disk; every healthy disk carries one.
+	// Each request is traced so violation events carry exemplar ids.
+	type spec struct {
+		disk  int
+		base  int64
+		count int
+	}
+	specs := []spec{
+		{disk: 0, base: 0, count: 32},
+		{disk: 0, base: 64 << 20, count: 32},
+	}
+	for d := 1; d < 64; d++ {
+		specs = append(specs, spec{disk: d, base: 0, count: 16})
+	}
+	completed, total := 0, 0
+	for _, sp := range specs {
+		total += sp.count
+	}
+	for _, sp := range specs {
+		sp := sp
+		var issue func(i int)
+		issue = func(i int) {
+			if i >= sp.count {
+				return
+			}
+			err := srv.Submit(core.Request{
+				Disk: sp.disk, Offset: sp.base + int64(i)*reqSize, Length: reqSize,
+				Trace: rec.NextTrace(),
+				Done: func(r core.Response) {
+					if r.Err != nil {
+						t.Errorf("disk %d read %d: %v", sp.disk, i, r.Err)
+					}
+					completed++
+					issue(i + 1)
+				},
+			})
+			if err != nil {
+				t.Fatalf("Submit: %v", err)
+			}
+		}
+		issue(0)
+	}
+	if err := eng.RunWhile(func() bool { return completed < total }); err != nil {
+		t.Fatalf("RunWhile: %v", err)
+	}
+	if completed < total {
+		t.Fatalf("completed %d of %d requests", completed, total)
+	}
+
+	// The slow disk's deliveries blew the 50ms deadline, so the fast
+	// burn window must have tripped mid-run and captured a bundle.
+	rep := srv.SLO().Report()
+	if rep.Node.Late+rep.Node.Missed == 0 {
+		t.Fatal("no SLO violations recorded with a 250ms-stalled disk")
+	}
+	var burn *blackbox.Bundle
+	for _, b := range capt.Bundles() {
+		if strings.Contains(b.Reason, "fast burn-rate alert") {
+			burn = b
+			break
+		}
+	}
+	if burn == nil {
+		var reasons []string
+		for _, b := range capt.Bundles() {
+			reasons = append(reasons, b.Reason)
+		}
+		t.Fatalf("no bundle captured for the fast burn-rate trip; captured: %q", reasons)
+	}
+	if err := capt.DiskErr(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay the persisted bundle offline: tracetool must attribute
+	// the incident to disk 0 with a concrete trace id to chase.
+	path := filepath.Join(dir, "bundle-"+strconv.Itoa(burn.Seq)+".json")
+	var out bytes.Buffer
+	if err := run([]string{"-bundle", path}, &out); err != nil {
+		t.Fatalf("tracetool -bundle: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "reason: fast burn-rate alert") {
+		t.Errorf("replay missing trip reason:\n%s", text)
+	}
+	var diskLine string
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "violations disk ") {
+			diskLine = line
+			break
+		}
+	}
+	if !strings.HasPrefix(diskLine, "violations disk 0:") {
+		t.Fatalf("violations not attributed to disk 0 (line %q):\n%s", diskLine, text)
+	}
+	if strings.Contains(diskLine, "trace=0000000000000000") || !strings.Contains(diskLine, "trace=") {
+		t.Errorf("no exemplar trace id on the slow disk's violations: %q", diskLine)
+	}
+}

@@ -10,13 +10,18 @@
 //	tracetool -addr 127.0.0.1:7071 -streams -anomalies
 //	tracetool -in flight.bin -chrome trace.json
 //	tracetool -in flight.bin -anomalies -fail-on-anomaly   # CI gate
+//	tracetool -bundle bundle-1.json                        # incident replay
 //
 // -in reads a snapshot file in either the binary /debug/flight format
 // or its ?format=json form (sniffed); -addr scrapes a live node's
-// debug listener.
+// debug listener; -bundle loads a blackbox diagnostic bundle and
+// reconstructs the incident it captured (reason, SLO burn state,
+// anomalies, and the late/missed deliveries attributed per disk and
+// stream with exemplar trace ids).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -24,10 +29,17 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
+	"seqstream/internal/blackbox"
 	"seqstream/internal/flight"
 	"seqstream/internal/health"
+	"seqstream/internal/slo"
 )
+
+// reportSchemaVersion stamps tracetool's -json output so downstream
+// consumers can detect format drift, mirroring the bundle convention.
+const reportSchemaVersion = 1
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -46,14 +58,16 @@ func (e errAnomalies) Error() string {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("tracetool", flag.ContinueOnError)
 	var (
-		in   = fs.String("in", "", "snapshot file (binary or JSON /debug/flight output)")
-		addr = fs.String("addr", "", "scrape a live node's debug address (host:port) instead of -in")
+		in     = fs.String("in", "", "snapshot file (binary or JSON /debug/flight output)")
+		addr   = fs.String("addr", "", "scrape a live node's debug address (host:port) instead of -in")
+		bundle = fs.String("bundle", "", "blackbox diagnostic bundle file; reconstructs the captured incident instead of -in/-addr")
 
 		summary   = fs.Bool("summary", false, "print event and lifecycle counts")
 		streams   = fs.Bool("streams", false, "print each stream's lifecycle")
 		anomalies = fs.Bool("anomalies", false, "run the anomaly detectors and print findings")
 		failOn    = fs.Bool("fail-on-anomaly", false, "exit nonzero when -anomalies finds anything")
 		chrome    = fs.String("chrome", "", "write a Chrome trace_event JSON file to this path")
+		jsonOut   = fs.Bool("json", false, "emit the analysis as one JSON report (schema_version stamped) instead of prose")
 
 		starve      = fs.Int("starve-rotations", 0, "rotation-starvation threshold (0 uses the default)")
 		stragFactor = fs.Float64("straggler-factor", 0, "straggler median-latency multiple (0 uses the default)")
@@ -64,19 +78,66 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if (*in == "") == (*addr == "") {
-		return fmt.Errorf("tracetool: need exactly one of -in or -addr")
+	sources := 0
+	for _, s := range []string{*in, *addr, *bundle} {
+		if s != "" {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return fmt.Errorf("tracetool: need exactly one of -in, -addr, or -bundle")
 	}
 	if !*summary && !*streams && !*anomalies && *chrome == "" {
-		*summary = true // bare invocations get the overview
+		// Bare invocations get the overview; bare bundle replays also
+		// run the detectors, since a bundle exists because something
+		// went wrong.
+		*summary = true
+		if *bundle != "" {
+			*anomalies = true
+		}
 	}
 
-	snap, err := load(*in, *addr)
-	if err != nil {
+	var (
+		snap *flight.Snapshot
+		bdl  *blackbox.Bundle
+		err  error
+	)
+	if *bundle != "" {
+		if bdl, err = blackbox.ReadFile(*bundle); err != nil {
+			return fmt.Errorf("tracetool: %w", err)
+		}
+		if snap = bdl.Flight; snap == nil {
+			snap = &flight.Snapshot{}
+		}
+	} else if snap, err = load(*in, *addr); err != nil {
 		return err
 	}
 	tl := flight.Analyze(snap.Merged())
 
+	var found []health.Anomaly
+	if *anomalies {
+		found = health.Detect(tl.Events, health.DetectorConfig{
+			StarveRotations:     *starve,
+			StragglerFactor:     *stragFactor,
+			StragglerMinFetches: *stragMin,
+			EvictChurnRatio:     *churn,
+			FlapOpens:           *flaps,
+		})
+	}
+
+	if *jsonOut {
+		if err := writeJSONReport(out, bdl, tl, found, *anomalies); err != nil {
+			return fmt.Errorf("tracetool: %w", err)
+		}
+		if *failOn && len(found) > 0 {
+			return errAnomalies(len(found))
+		}
+		return nil
+	}
+
+	if bdl != nil {
+		printBundle(out, bdl, tl)
+	}
 	if *summary {
 		printSummary(out, snap, tl)
 	}
@@ -98,13 +159,6 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "chrome trace: %d events -> %s\n", len(tl.Events), *chrome)
 	}
 	if *anomalies {
-		found := health.Detect(tl.Events, health.DetectorConfig{
-			StarveRotations:     *starve,
-			StragglerFactor:     *stragFactor,
-			StragglerMinFetches: *stragMin,
-			EvictChurnRatio:     *churn,
-			FlapOpens:           *flaps,
-		})
 		if len(found) == 0 {
 			fmt.Fprintln(out, "anomalies: none")
 		}
@@ -116,6 +170,154 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// sloEventStats aggregates the OpSLOLate/OpSLOMiss events one disk or
+// stream accumulated, with an exemplar trace id pointing at the worst
+// delivery.
+type sloEventStats struct {
+	Late       int           `json:"late"`
+	Missed     int           `json:"missed"`
+	WorstLate  time.Duration `json:"worst_lateness_ns"`
+	WorstTrace uint64        `json:"worst_trace,omitempty"`
+}
+
+func (s *sloEventStats) fold(e flight.Event) {
+	if e.Op == flight.OpSLOMiss {
+		s.Missed++
+	} else {
+		s.Late++
+	}
+	if e.Dur >= s.WorstLate {
+		s.WorstLate = e.Dur
+		s.WorstTrace = e.Trace
+	}
+}
+
+// collectSLOEvents splits the timeline's SLO violation events into
+// per-disk and per-stream aggregates.
+func collectSLOEvents(events []flight.Event) (byDisk map[int]*sloEventStats, byStream map[int32]*sloEventStats) {
+	byDisk = make(map[int]*sloEventStats)
+	byStream = make(map[int32]*sloEventStats)
+	for _, e := range events {
+		if e.Op != flight.OpSLOLate && e.Op != flight.OpSLOMiss {
+			continue
+		}
+		d := byDisk[int(e.Disk)]
+		if d == nil {
+			d = &sloEventStats{}
+			byDisk[int(e.Disk)] = d
+		}
+		d.fold(e)
+		if e.Stream != flight.NoStream {
+			st := byStream[e.Stream]
+			if st == nil {
+				st = &sloEventStats{}
+				byStream[e.Stream] = st
+			}
+			st.fold(e)
+		}
+	}
+	return byDisk, byStream
+}
+
+// printBundle renders the incident a blackbox bundle captured: the
+// trigger, the SLO burn state at capture, and the late/missed
+// deliveries attributed per disk and stream with exemplar trace ids.
+func printBundle(out io.Writer, b *blackbox.Bundle, tl *flight.Timeline) {
+	fmt.Fprintf(out, "bundle %d (schema %d) captured at %v", b.Seq, b.SchemaVersion, b.CapturedAt)
+	if b.WallTime != "" {
+		fmt.Fprintf(out, " (%s)", b.WallTime)
+	}
+	fmt.Fprintln(out)
+	fmt.Fprintf(out, "reason: %s\n", b.Reason)
+	if s := b.SLO; s != nil {
+		fmt.Fprintf(out, "slo: objective=%.4f on-time=%.4f (on_time=%d late=%d missed=%d)\n",
+			s.Objective, s.Node.OnTimeRatio, s.Node.OnTime, s.Node.Late, s.Node.Missed)
+		fmt.Fprintf(out, "  burn: fast=%.2f mid=%.2f slow=%.2f fast_active=%v slow_active=%v\n",
+			s.Burn.Fast.Burn, s.Burn.Mid.Burn, s.Burn.Slow.Burn, s.Burn.FastActive, s.Burn.SlowActive)
+		if s.Burn.WorstDisk >= 0 {
+			fmt.Fprintf(out, "  worst disk: %d (window bad ratio %.4f)\n",
+				s.Burn.WorstDisk, s.Burn.WorstDiskBadRatio)
+		}
+		for _, st := range s.Streams {
+			fmt.Fprintf(out, "  stream %d disk %d: on-time=%.4f late=%d missed=%d worst=%v\n",
+				st.Stream, st.Disk, st.OnTimeRatio, st.Late, st.Missed, st.WorstLateness)
+		}
+	}
+	byDisk, byStream := collectSLOEvents(tl.Events)
+	disks := make([]int, 0, len(byDisk))
+	for d := range byDisk {
+		disks = append(disks, d)
+	}
+	sort.Ints(disks)
+	for _, d := range disks {
+		s := byDisk[d]
+		fmt.Fprintf(out, "violations disk %d: late=%d missed=%d worst=%v trace=%016x\n",
+			d, s.Late, s.Missed, s.WorstLate, s.WorstTrace)
+	}
+	streams := make([]int32, 0, len(byStream))
+	for id := range byStream {
+		streams = append(streams, id)
+	}
+	sort.Slice(streams, func(i, j int) bool { return streams[i] < streams[j] })
+	for _, id := range streams {
+		s := byStream[id]
+		fmt.Fprintf(out, "violations stream %d: late=%d missed=%d worst=%v trace=%016x\n",
+			id, s.Late, s.Missed, s.WorstLate, s.WorstTrace)
+	}
+}
+
+// jsonReport is tracetool's machine-readable output (-json).
+type jsonReport struct {
+	SchemaVersion int              `json:"schema_version"`
+	Events        int              `json:"events"`
+	Streams       int              `json:"streams"`
+	Bundle        *jsonBundleMeta  `json:"bundle,omitempty"`
+	Anomalies     []health.Anomaly `json:"anomalies,omitempty"`
+	AnomaliesRun  bool             `json:"anomalies_run"`
+
+	ViolationsByDisk   map[int]*sloEventStats   `json:"violations_by_disk,omitempty"`
+	ViolationsByStream map[int32]*sloEventStats `json:"violations_by_stream,omitempty"`
+}
+
+// jsonBundleMeta is the bundle header echoed into the JSON report.
+type jsonBundleMeta struct {
+	Seq        int           `json:"seq"`
+	Reason     string        `json:"reason"`
+	CapturedAt time.Duration `json:"captured_at_ns"`
+	WallTime   string        `json:"wall_time,omitempty"`
+	SLO        *slo.Report   `json:"slo,omitempty"`
+}
+
+// writeJSONReport emits the whole analysis as one JSON document.
+func writeJSONReport(out io.Writer, bdl *blackbox.Bundle, tl *flight.Timeline, found []health.Anomaly, ran bool) error {
+	rep := jsonReport{
+		SchemaVersion: reportSchemaVersion,
+		Events:        len(tl.Events),
+		Streams:       len(tl.Streams),
+		Anomalies:     found,
+		AnomaliesRun:  ran,
+	}
+	byDisk, byStream := collectSLOEvents(tl.Events)
+	if len(byDisk) > 0 {
+		rep.ViolationsByDisk = byDisk
+	}
+	if len(byStream) > 0 {
+		rep.ViolationsByStream = byStream
+	}
+	if bdl != nil {
+		rep.Bundle = &jsonBundleMeta{
+			Seq:        bdl.Seq,
+			Reason:     bdl.Reason,
+			CapturedAt: bdl.CapturedAt,
+			WallTime:   bdl.WallTime,
+			SLO:        bdl.SLO,
+		}
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
 }
 
 // load reads the snapshot from a file or scrapes it from a node.

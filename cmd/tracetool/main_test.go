@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"seqstream/internal/blackbox"
 	"seqstream/internal/flight"
 )
 
@@ -147,6 +148,75 @@ func TestScrapeAddr(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "streams: 3 seen") {
 		t.Fatalf("scraped summary:\n%s", out.String())
+	}
+}
+
+// writeBundle persists a blackbox bundle wrapping the recorder's
+// flight snapshot, with SLO violation events on a slow disk.
+func writeBundle(t *testing.T) string {
+	t.Helper()
+	rec := buildRecorder(t)
+	// Disk 1 misses its deadlines: tag the late deliveries.
+	r1 := rec.Ring(1)
+	r1.Record(flight.Event{Op: flight.OpSLOLate, Stream: 2, Disk: 1, T: rec.Now(), Dur: 3 * time.Millisecond, Trace: 0xabc})
+	r1.Record(flight.Event{Op: flight.OpSLOMiss, Stream: 2, Disk: 1, T: rec.Now(), Dur: 9 * time.Millisecond, Trace: 0xdef})
+
+	dir := t.TempDir()
+	clk := func() time.Duration { return time.Second }
+	capt, err := blackbox.New(blackbox.Config{Dir: dir, MinInterval: -1}, clk, blackbox.Sources{Flight: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capt.Capture("burn-rate fast alert") == nil {
+		t.Fatal("capture failed")
+	}
+	if err := capt.DiskErr(); err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(dir, "bundle-1.json")
+}
+
+func TestBundleReplay(t *testing.T) {
+	path := writeBundle(t)
+	var out bytes.Buffer
+	// Bare -bundle invocation replays the incident: header, summary,
+	// detectors, and per-disk/per-stream violation attribution.
+	if err := run([]string{"-bundle", path, "-starve-rotations", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"bundle 1 (schema 1)",
+		"reason: burn-rate fast alert",
+		"anomaly[rotation-starvation]",
+		"violations disk 1: late=1 missed=1 worst=9ms trace=0000000000000def",
+		"violations stream 2: late=1 missed=1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("bundle replay missing %q:\n%s", want, text)
+		}
+	}
+	// A bundle is one source too many next to -in.
+	if err := run([]string{"-bundle", path, "-in", "x"}, &out); err == nil {
+		t.Fatal("bundle+in accepted")
+	}
+}
+
+func TestJSONReport(t *testing.T) {
+	path := writeBundle(t)
+	var out bytes.Buffer
+	if err := run([]string{"-bundle", path, "-json", "-anomalies", "-starve-rotations", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep map[string]any
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("-json output not JSON: %v\n%s", err, out.String())
+	}
+	if v, ok := rep["schema_version"].(float64); !ok || int(v) != reportSchemaVersion {
+		t.Fatalf("schema_version = %v", rep["schema_version"])
+	}
+	if rep["bundle"] == nil || rep["anomalies"] == nil || rep["violations_by_disk"] == nil {
+		t.Fatalf("report sections missing:\n%s", out.String())
 	}
 }
 

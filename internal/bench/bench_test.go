@@ -42,6 +42,28 @@ func TestRunHealthComparisonShape(t *testing.T) {
 	}
 }
 
+// TestRunSLOComparisonShape checks the SLO comparison pairs the right
+// configurations: flight + health on in both, the SLO engine only in
+// the second, and the scored-delivery count covering the workload.
+func TestRunSLOComparisonShape(t *testing.T) {
+	rep, err := RunSLOComparison(Config{Disks: 2, Streams: 4, Requests: 8}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Budget != DefaultSLOBudget || rep.Trials != sloRounds {
+		t.Fatalf("report defaults: %+v", rep)
+	}
+	if !rep.Off.FlightOn || !rep.Off.HealthOn || rep.Off.SLOOn || rep.Off.SLOScored != 0 {
+		t.Fatalf("off side misconfigured: %+v", rep.Off)
+	}
+	if !rep.On.FlightOn || !rep.On.HealthOn || !rep.On.SLOOn {
+		t.Fatalf("on side misconfigured: %+v", rep.On)
+	}
+	if rep.On.SLOScored != rep.On.TotalRequests {
+		t.Fatalf("scored %d deliveries, want every one of %d", rep.On.SLOScored, rep.On.TotalRequests)
+	}
+}
+
 // TestRunWireLegPayload smoke-tests one payload wire leg: real TCP,
 // negotiated v2 frames, verified first responses, and real bytes in
 // the throughput numbers.

@@ -1,0 +1,382 @@
+// Package blackbox is the node's flight-data recorder for incidents:
+// when a burn-rate alert trips or the health engine raises an anomaly,
+// the capturer atomically snapshots everything a postmortem needs —
+// flight rings, SLO ledgers, breaker/steering state, health verdicts,
+// scheduler counters, goroutine and heap profiles, and the span-log
+// tail — into one versioned bundle. The evidence the anomaly detectors
+// run on rotates out of the live rings within seconds; the bundle
+// freezes it at the moment of the trip.
+//
+// Bundles live in a bounded in-memory ring served at /debug/bundle and
+// are optionally written to disk, so a crash loses at most the bundle
+// being written. Capture is throttled (one per MinInterval) because an
+// incident that trips several detectors in one tick should produce one
+// bundle, not a bundle per detector.
+package blackbox
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"seqstream/internal/flight"
+	"seqstream/internal/obs"
+	"seqstream/internal/slo"
+)
+
+// SchemaVersion stamps the bundle JSON format for offline tooling.
+const SchemaVersion = 1
+
+// Defaults for Config zero fields.
+const (
+	// DefaultKeep is how many bundles the in-memory ring retains.
+	DefaultKeep = 8
+	// DefaultMinInterval throttles captures: triggers arriving within
+	// it of the previous capture are folded into that bundle.
+	DefaultMinInterval = 30 * time.Second
+)
+
+// Sources are the node subsystems a bundle snapshots. Every field is
+// optional — a nil source simply leaves its section empty — and the
+// closure-valued ones decouple the capturer from the packages that own
+// the state (core stays free of a blackbox dependency).
+type Sources struct {
+	// Flight is the flight recorder whose rings are snapshotted.
+	Flight *flight.Recorder
+	// Spans is the lifecycle span log whose retained tail is captured.
+	Spans *obs.SpanLog
+	// SLO is the SLO ledger whose full report is embedded.
+	SLO *slo.Ledger
+	// Health returns the health engine's current report (any
+	// JSON-marshalable value).
+	Health func() any
+	// Breakers returns the per-disk circuit-breaker states.
+	Breakers func() any
+	// Stats returns the scheduler's counter snapshot.
+	Stats func() any
+	// Config is the node's effective configuration, embedded verbatim.
+	Config any
+	// Wall returns the wall-clock time as a string. The capturer's own
+	// clock is the injected monotonic one (simulation-safe); wall time
+	// is only for humans reading bundles and must be supplied by the
+	// binary, which knows whether a wall clock exists.
+	Wall func() string
+}
+
+// Config parameterizes a Capturer.
+type Config struct {
+	// Keep bounds the in-memory bundle ring (default DefaultKeep).
+	Keep int
+	// MinInterval throttles captures (default DefaultMinInterval;
+	// negative disables throttling, for tests).
+	MinInterval time.Duration
+	// Dir, when non-empty, persists each bundle to
+	// Dir/bundle-<seq>.json as it is captured.
+	Dir string
+	// Profiles enables goroutine and heap profile capture. Profile
+	// text is the one part of a bundle that is expensive to render
+	// (milliseconds, allocations), so simulations keep it off.
+	Profiles bool
+}
+
+// Bundle is one captured incident snapshot.
+type Bundle struct {
+	SchemaVersion int `json:"schema_version"`
+	// Seq numbers bundles monotonically within one capturer.
+	Seq int `json:"seq"`
+	// CapturedAt is the node's monotonic clock at capture.
+	CapturedAt time.Duration `json:"captured_at_ns"`
+	// WallTime is human-readable wall time, empty when the node has no
+	// wall clock (simulations).
+	WallTime string `json:"wall_time,omitempty"`
+	// Reason is what tripped the capture ("burn-rate fast alert",
+	// "anomaly: straggler-fetch disk 3", ...). Folded triggers arriving
+	// within MinInterval append to the previous bundle's reason.
+	Reason string `json:"reason"`
+
+	Flight   *flight.Snapshot `json:"flight,omitempty"`
+	Spans    []obs.SpanEvent  `json:"spans,omitempty"`
+	SLO      *slo.Report      `json:"slo,omitempty"`
+	Health   any              `json:"health,omitempty"`
+	Breakers any              `json:"breakers,omitempty"`
+	Stats    any              `json:"stats,omitempty"`
+	Config   any              `json:"config,omitempty"`
+
+	// GoroutineProfile and HeapProfile hold pprof debug-text dumps.
+	GoroutineProfile string `json:"goroutine_profile,omitempty"`
+	HeapProfile      string `json:"heap_profile,omitempty"`
+}
+
+// Capturer owns the bundle ring. Build one with New; Capture is safe
+// for concurrent use and from any goroutine (it never runs under a
+// shard or engine lock — callers snapshot their trigger state first).
+type Capturer struct {
+	cfg Config
+	now func() time.Duration
+	src Sources
+
+	mu      sync.Mutex
+	bundles []*Bundle     //lint:guardedby mu
+	seq     int           //lint:guardedby mu
+	lastAt  time.Duration //lint:guardedby mu
+	ever    bool          //lint:guardedby mu
+	diskErr error         //lint:guardedby mu
+}
+
+// New builds a capturer. now must be the node's monotonic clock.
+func New(cfg Config, now func() time.Duration, src Sources) (*Capturer, error) {
+	if now == nil {
+		return nil, fmt.Errorf("blackbox: nil clock")
+	}
+	if cfg.Keep == 0 {
+		cfg.Keep = DefaultKeep
+	}
+	if cfg.Keep < 1 {
+		return nil, fmt.Errorf("blackbox: keep must be >= 1, got %d", cfg.Keep)
+	}
+	if cfg.MinInterval == 0 {
+		cfg.MinInterval = DefaultMinInterval
+	}
+	if cfg.Dir != "" {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("blackbox: %w", err)
+		}
+	}
+	return &Capturer{cfg: cfg, now: now, src: src}, nil
+}
+
+// Capture snapshots every source into a new bundle, unless a bundle
+// was captured within MinInterval — then the trigger is folded into
+// that bundle's reason instead (one incident, one bundle). It returns
+// the bundle the reason landed in. Safe on a nil capturer.
+func (c *Capturer) Capture(reason string) *Bundle {
+	if c == nil {
+		return nil
+	}
+	now := c.now()
+	c.mu.Lock()
+	if c.ever && c.cfg.MinInterval >= 0 && now-c.lastAt < c.cfg.MinInterval && len(c.bundles) > 0 {
+		b := c.bundles[len(c.bundles)-1]
+		if !strings.Contains(b.Reason, reason) {
+			b.Reason += "; " + reason
+		}
+		c.mu.Unlock()
+		return b
+	}
+	c.seq++
+	seq := c.seq
+	c.lastAt = now
+	c.ever = true
+	c.mu.Unlock()
+
+	// Snapshot the sources outside the capturer lock: each source does
+	// its own (brief) locking, and a concurrent Capture racing here
+	// only costs a duplicate snapshot.
+	b := &Bundle{
+		SchemaVersion: SchemaVersion,
+		Seq:           seq,
+		CapturedAt:    now,
+		Reason:        reason,
+	}
+	if c.src.Wall != nil {
+		b.WallTime = c.src.Wall()
+	}
+	if c.src.Flight != nil {
+		b.Flight = c.src.Flight.Snapshot()
+	}
+	if c.src.Spans != nil {
+		b.Spans = c.src.Spans.Snapshot()
+	}
+	if c.src.SLO != nil {
+		b.SLO = c.src.SLO.Report()
+	}
+	if c.src.Health != nil {
+		b.Health = c.src.Health()
+	}
+	if c.src.Breakers != nil {
+		b.Breakers = c.src.Breakers()
+	}
+	if c.src.Stats != nil {
+		b.Stats = c.src.Stats()
+	}
+	b.Config = c.src.Config
+	if c.cfg.Profiles {
+		b.GoroutineProfile = profileText("goroutine")
+		b.HeapProfile = profileText("heap")
+	}
+
+	c.mu.Lock()
+	c.bundles = append(c.bundles, b)
+	if len(c.bundles) > c.cfg.Keep {
+		c.bundles = c.bundles[len(c.bundles)-c.cfg.Keep:]
+	}
+	c.mu.Unlock()
+
+	if c.cfg.Dir != "" {
+		if err := c.writeDisk(b); err != nil {
+			c.mu.Lock()
+			c.diskErr = err
+			c.mu.Unlock()
+		}
+	}
+	return b
+}
+
+// profileText renders one pprof profile as debug text.
+func profileText(name string) string {
+	p := pprof.Lookup(name)
+	if p == nil {
+		return ""
+	}
+	var sb strings.Builder
+	if err := p.WriteTo(&sb, 1); err != nil {
+		return fmt.Sprintf("profile %s: %v", name, err)
+	}
+	return sb.String()
+}
+
+// writeDisk persists one bundle as Dir/bundle-<seq>.json, written to a
+// temp file first so readers never see a torn bundle.
+func (c *Capturer) writeDisk(b *Bundle) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	final := filepath.Join(c.cfg.Dir, fmt.Sprintf("bundle-%d.json", b.Seq))
+	tmp := final + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final)
+}
+
+// Bundles returns the retained bundles, oldest first. Safe on nil.
+func (c *Capturer) Bundles() []*Bundle {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Bundle, len(c.bundles))
+	copy(out, c.bundles)
+	return out
+}
+
+// Latest returns the most recent bundle, nil when none was captured.
+func (c *Capturer) Latest() *Bundle {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.bundles) == 0 {
+		return nil
+	}
+	return c.bundles[len(c.bundles)-1]
+}
+
+// DiskErr returns the most recent disk-write failure, nil when disk
+// persistence is off or healthy.
+func (c *Capturer) DiskErr() error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.diskErr
+}
+
+// bundleIndex is the /debug/bundle listing.
+type bundleIndex struct {
+	SchemaVersion int           `json:"schema_version"`
+	Count         int           `json:"count"`
+	Bundles       []bundleEntry `json:"bundles"`
+}
+
+type bundleEntry struct {
+	Seq        int           `json:"seq"`
+	CapturedAt time.Duration `json:"captured_at_ns"`
+	WallTime   string        `json:"wall_time,omitempty"`
+	Reason     string        `json:"reason"`
+}
+
+// Handler serves the bundle ring:
+//
+//	GET /debug/bundle           → index of retained bundles
+//	GET /debug/bundle?latest=1  → the most recent bundle
+//	GET /debug/bundle?seq=N     → the bundle with that sequence number
+func Handler(c *Capturer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if r.URL.Query().Get("latest") != "" {
+			b := c.Latest()
+			if b == nil {
+				jsonError(w, "no bundles captured", http.StatusNotFound)
+				return
+			}
+			_ = enc.Encode(b)
+			return
+		}
+		if s := r.URL.Query().Get("seq"); s != "" {
+			seq, err := strconv.Atoi(s)
+			if err != nil {
+				jsonError(w, "bad seq", http.StatusBadRequest)
+				return
+			}
+			for _, b := range c.Bundles() {
+				if b.Seq == seq {
+					_ = enc.Encode(b)
+					return
+				}
+			}
+			jsonError(w, "bundle not found", http.StatusNotFound)
+			return
+		}
+		idx := bundleIndex{SchemaVersion: SchemaVersion, Bundles: []bundleEntry{}}
+		for _, b := range c.Bundles() {
+			idx.Bundles = append(idx.Bundles, bundleEntry{
+				Seq: b.Seq, CapturedAt: b.CapturedAt, WallTime: b.WallTime, Reason: b.Reason,
+			})
+		}
+		idx.Count = len(idx.Bundles)
+		_ = enc.Encode(idx)
+	})
+}
+
+// jsonError writes a JSON error body with the given status (the
+// handler's Content-Type is already set; http.Error would clobber it
+// with text/plain).
+func jsonError(w http.ResponseWriter, msg string, code int) {
+	w.WriteHeader(code)
+	fmt.Fprintf(w, "{\"error\":%q}\n", msg)
+}
+
+// ReadFile loads one bundle from disk (the tracetool -bundle entry
+// point) and validates its schema version.
+func ReadFile(path string) (*Bundle, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Bundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("blackbox: %s: %w", path, err)
+	}
+	if b.SchemaVersion == 0 {
+		return nil, fmt.Errorf("blackbox: %s: missing schema_version (not a bundle?)", path)
+	}
+	if b.SchemaVersion > SchemaVersion {
+		return nil, fmt.Errorf("blackbox: %s: schema version %d newer than this tool understands (%d)",
+			path, b.SchemaVersion, SchemaVersion)
+	}
+	return &b, nil
+}

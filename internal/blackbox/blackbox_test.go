@@ -1,0 +1,225 @@
+package blackbox
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"seqstream/internal/flight"
+)
+
+type fakeClock struct {
+	mu sync.Mutex
+	at time.Duration
+}
+
+func (c *fakeClock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.at
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.at += d
+	c.mu.Unlock()
+}
+
+func newCapturer(t *testing.T, cfg Config, src Sources) (*Capturer, *fakeClock) {
+	t.Helper()
+	clk := &fakeClock{}
+	c, err := New(cfg, clk.Now, src)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c, clk
+}
+
+func TestCaptureBasics(t *testing.T) {
+	rec, err := flight.New(func() time.Duration { return 0 }, 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Ring(0).Record(flight.Event{Op: flight.OpSubmit, Trace: 42})
+	c, _ := newCapturer(t, Config{}, Sources{
+		Flight: rec,
+		Stats:  func() any { return map[string]int{"requests": 7} },
+		Wall:   func() string { return "2026-08-08T00:00:00Z" },
+		Config: map[string]int{"disks": 4},
+	})
+	b := c.Capture("test trigger")
+	if b == nil || b.Seq != 1 || b.SchemaVersion != SchemaVersion {
+		t.Fatalf("bundle = %+v", b)
+	}
+	if b.Flight == nil || len(b.Flight.Rings) != 1 || len(b.Flight.Rings[0]) != 1 {
+		t.Fatalf("flight snapshot missing: %+v", b.Flight)
+	}
+	if b.WallTime == "" || b.Stats == nil || b.Config == nil {
+		t.Fatalf("sources missing: %+v", b)
+	}
+	// The bundle must round-trip through JSON.
+	data, err := json.Marshal(b)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Bundle
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Reason != "test trigger" {
+		t.Fatalf("round-trip reason = %q", back.Reason)
+	}
+}
+
+func TestCaptureThrottleAndFold(t *testing.T) {
+	c, clk := newCapturer(t, Config{MinInterval: time.Second}, Sources{})
+	b1 := c.Capture("alpha")
+	b2 := c.Capture("beta") // within MinInterval: folded
+	if b1 != b2 {
+		t.Fatalf("trigger within MinInterval made a new bundle")
+	}
+	if !strings.Contains(b1.Reason, "alpha") || !strings.Contains(b1.Reason, "beta") {
+		t.Fatalf("folded reason = %q", b1.Reason)
+	}
+	c.Capture("beta") // duplicate reason does not repeat
+	if strings.Count(b1.Reason, "beta") != 1 {
+		t.Fatalf("duplicate reason repeated: %q", b1.Reason)
+	}
+	clk.Advance(2 * time.Second)
+	b3 := c.Capture("gamma")
+	if b3 == b1 || b3.Seq != 2 {
+		t.Fatalf("post-interval capture did not make a new bundle: %+v", b3)
+	}
+}
+
+func TestRingBound(t *testing.T) {
+	c, clk := newCapturer(t, Config{Keep: 3, MinInterval: -1}, Sources{})
+	for i := 0; i < 10; i++ {
+		clk.Advance(time.Minute)
+		c.Capture("r")
+	}
+	got := c.Bundles()
+	if len(got) != 3 {
+		t.Fatalf("ring holds %d bundles, want 3", len(got))
+	}
+	if got[0].Seq != 8 || got[2].Seq != 10 {
+		t.Fatalf("ring kept wrong bundles: %d..%d", got[0].Seq, got[2].Seq)
+	}
+	if c.Latest().Seq != 10 {
+		t.Fatalf("latest = %d", c.Latest().Seq)
+	}
+}
+
+func TestDiskPersistence(t *testing.T) {
+	dir := t.TempDir()
+	c, clk := newCapturer(t, Config{Dir: dir, MinInterval: -1}, Sources{})
+	c.Capture("one")
+	clk.Advance(time.Minute)
+	c.Capture("two")
+	if err := c.DiskErr(); err != nil {
+		t.Fatalf("disk error: %v", err)
+	}
+	names, _ := filepath.Glob(filepath.Join(dir, "bundle-*.json"))
+	if len(names) != 2 {
+		t.Fatalf("wrote %d files, want 2: %v", len(names), names)
+	}
+	b, err := ReadFile(filepath.Join(dir, "bundle-2.json"))
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if b.Seq != 2 || b.Reason != "two" {
+		t.Fatalf("loaded bundle = %+v", b)
+	}
+	// No torn temp files left behind.
+	if tmp, _ := filepath.Glob(filepath.Join(dir, "*.tmp")); len(tmp) != 0 {
+		t.Fatalf("temp files left: %v", tmp)
+	}
+}
+
+func TestReadFileRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "x.json")
+	if err := os.WriteFile(p, []byte(`{"foo": 1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(p); err == nil {
+		t.Fatal("schema-less JSON accepted as a bundle")
+	}
+	if err := os.WriteFile(p, []byte(`{"schema_version": 999}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(p); err == nil {
+		t.Fatal("future schema version accepted")
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	c, _ := newCapturer(t, Config{Profiles: true}, Sources{})
+	b := c.Capture("p")
+	if !strings.Contains(b.GoroutineProfile, "goroutine") {
+		t.Fatalf("goroutine profile missing: %q", b.GoroutineProfile[:min(80, len(b.GoroutineProfile))])
+	}
+	if b.HeapProfile == "" {
+		t.Fatal("heap profile missing")
+	}
+}
+
+func TestHandler(t *testing.T) {
+	c, clk := newCapturer(t, Config{MinInterval: -1}, Sources{})
+	srv := httptest.NewServer(Handler(c))
+	defer srv.Close()
+
+	get := func(path string) (int, string, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, rerr := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if rerr != nil {
+				break
+			}
+		}
+		return resp.StatusCode, resp.Header.Get("Content-Type"), sb.String()
+	}
+
+	code, ct, body := get("/debug/bundle")
+	if code != 200 || !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("empty index: code=%d ct=%q", code, ct)
+	}
+	if !strings.Contains(body, `"count": 0`) {
+		t.Fatalf("empty index body: %s", body)
+	}
+	if code, ct, _ = get("/debug/bundle?latest=1"); code != 404 || !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("empty latest: code=%d ct=%q", code, ct)
+	}
+
+	c.Capture("first")
+	clk.Advance(time.Minute)
+	c.Capture("second")
+
+	if code, _, body = get("/debug/bundle"); code != 200 || !strings.Contains(body, `"count": 2`) {
+		t.Fatalf("index after captures: code=%d body=%s", code, body)
+	}
+	if code, _, body = get("/debug/bundle?latest=1"); code != 200 || !strings.Contains(body, `"second"`) {
+		t.Fatalf("latest: code=%d body=%s", code, body)
+	}
+	if code, _, body = get("/debug/bundle?seq=1"); code != 200 || !strings.Contains(body, `"first"`) {
+		t.Fatalf("seq=1: code=%d body=%s", code, body)
+	}
+	if code, _, _ = get("/debug/bundle?seq=99"); code != 404 {
+		t.Fatalf("missing seq: code=%d", code)
+	}
+	if code, _, _ = get("/debug/bundle?seq=x"); code != 400 {
+		t.Fatalf("bad seq: code=%d", code)
+	}
+}

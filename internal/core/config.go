@@ -182,6 +182,37 @@ type Config struct {
 	// complete.
 	SpecMinDelay time.Duration
 
+	// SLOTarget, when positive, attaches the SLO engine (package slo):
+	// every request gets a delivery deadline derived from SLOTarget and
+	// the classified rate R (a full read-ahead is due SLOTarget after
+	// submission, shorter requests proportionally sooner), every
+	// delivery is scored on-time/late/missed on the shard completion
+	// path, and the scores feed per-stream/per-disk/node SLIs plus
+	// multi-window burn-rate alerts (see Server.SLO). Zero disables the
+	// engine entirely.
+	SLOTarget time.Duration
+	// SLOLateFactor marks the late/missed boundary: a delivery beyond
+	// SLOLateFactor times its deadline counts missed (default
+	// slo.DefaultLateFactor).
+	SLOLateFactor float64
+	// SLOObjective is the on-time delivery objective in (0, 1) the burn
+	// rates measure against (default slo.DefaultObjective, 0.999).
+	SLOObjective float64
+	// SLOFastWindow/SLOMidWindow/SLOSlowWindow are the burn-rate
+	// horizons: the fast (paging) alert requires both the fast and mid
+	// windows to burn past SLOFastBurn, the slow (ticket) alert watches
+	// the slow window against SLOSlowBurn. Defaults 5m/1h/6h.
+	SLOFastWindow time.Duration
+	SLOMidWindow  time.Duration
+	SLOSlowWindow time.Duration
+	// SLOFastBurn/SLOSlowBurn are the alert thresholds (defaults
+	// slo.DefaultFastBurn 14.4 / slo.DefaultSlowBurn 6).
+	SLOFastBurn float64
+	SLOSlowBurn float64
+	// SLOMinSamples gates alerting on burn-window population (default
+	// slo.DefaultMinSamples).
+	SLOMinSamples int64
+
 	// WindowSpan, when positive, attaches sliding-window latency
 	// telemetry (see LatencyWindows): request latency node-wide and
 	// fetch latency node-wide plus per disk, observed beside the
@@ -342,6 +373,12 @@ func (c Config) Validate() error {
 		return errors.New("core: speculation min samples must be >= 0")
 	case c.SpecMinDelay < 0:
 		return errors.New("core: speculation min delay must be >= 0")
+	case c.SLOTarget < 0:
+		return errors.New("core: SLO target must be >= 0")
+	case c.SLOLateFactor < 0 || c.SLOObjective < 0 || c.SLOFastBurn < 0 || c.SLOSlowBurn < 0 || c.SLOMinSamples < 0:
+		return errors.New("core: SLO parameters must be >= 0")
+	case c.SLOFastWindow < 0 || c.SLOMidWindow < 0 || c.SLOSlowWindow < 0:
+		return errors.New("core: SLO burn-rate windows must be >= 0")
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"seqstream/internal/obs"
+	"seqstream/internal/slo"
 )
 
 // Obs bundles the scheduler's instruments: one counter per Stats
@@ -97,6 +98,42 @@ func NewObs(reg *obs.Registry, spans *obs.SpanLog) *Obs {
 		spans: spans,
 		reg:   reg,
 	}
+}
+
+// registerSLO exposes the SLO ledger's node-wide SLIs as registry
+// families: cumulative verdict counters plus the fast lateness window,
+// all via GaugeFunc — the ledger's state lives in per-disk scoring
+// shards (the authoritative atomics and windows), so the registry
+// merges them at scrape time rather than double-counting. The window
+// cannot register as a live histogram family for the same reason:
+// there is no node-wide *WindowedHistogram anymore, only the merged
+// snapshot. Re-registration rebinds to the newest server's ledger,
+// mirroring registerWindows.
+func (o *Obs) registerSLO(l *slo.Ledger) {
+	o.reg.GaugeFunc("seqstream_core_slo_on_time_total", "deliveries scored on time against their SLO deadline",
+		func() float64 { v, _, _ := l.Totals(); return float64(v) })
+	o.reg.GaugeFunc("seqstream_core_slo_late_total", "deliveries past their SLO deadline but within the miss boundary",
+		func() float64 { _, v, _ := l.Totals(); return float64(v) })
+	o.reg.GaugeFunc("seqstream_core_slo_missed_total", "deliveries past the SLO miss boundary or failed outright",
+		func() float64 { _, _, v := l.Totals(); return float64(v) })
+	o.reg.GaugeFunc("seqstream_core_slo_fast_window_deliveries", "deliveries scored in the fast burn window",
+		func() float64 { return float64(l.FastSnapshot().Count) })
+	o.reg.GaugeFunc("seqstream_core_slo_fast_window_violations", "late or missed deliveries in the fast burn window",
+		func() float64 {
+			s := l.FastSnapshot()
+			if v := s.Count - s.Buckets[0]; v > 0 {
+				return float64(v)
+			}
+			return 0
+		})
+	o.reg.GaugeFunc("seqstream_core_slo_fast_window_p99_lateness_seconds", "p99 delivery lateness past the SLO deadline in the fast burn window (0 = on time)",
+		func() float64 {
+			s := l.FastSnapshot()
+			if s.Count == 0 {
+				return 0
+			}
+			return s.Quantile(0.99).Seconds()
+		})
 }
 
 // registerWindows exposes the node-wide sliding windows as registry

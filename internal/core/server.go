@@ -10,6 +10,7 @@ import (
 	"seqstream/internal/blockdev"
 	"seqstream/internal/bufpool"
 	"seqstream/internal/invariants"
+	"seqstream/internal/slo"
 	"seqstream/internal/trace"
 )
 
@@ -97,6 +98,9 @@ type Stats struct {
 	SteeredFetches   int64 // fetches routed to a replica instead of the primary
 	Speculations     int64 // duplicate fetches issued on a replica for a slow leg
 	SpecWins         int64 // speculative legs that completed first and delivered
+	SLOOnTime        int64 // deliveries scored on time against their SLO deadline
+	SLOLate          int64 // deliveries past deadline but within the miss boundary
+	SLOMissed        int64 // deliveries past the miss boundary, or failed outright
 	MemoryInUse      int64
 	PeakMemory       int64
 	LiveBuffers      int64
@@ -129,6 +133,8 @@ func (st *Stats) add(o *Stats) {
 	st.SteeredFetches += o.SteeredFetches
 	st.Speculations += o.Speculations
 	st.SpecWins += o.SpecWins
+	// SLOOnTime/SLOLate/SLOMissed are filled from the SLO ledger's
+	// atomics, not summed across shards.
 }
 
 type offKey struct {
@@ -161,6 +167,11 @@ type Server struct {
 	// win holds the sliding-window latency telemetry when
 	// Config.WindowSpan is positive; nil-checked on every hot path.
 	win *LatencyWindows
+
+	// sloLedger is the SLO engine when Config.SLOTarget is positive;
+	// every slo.Ledger method is safe on the nil value, so scoring call
+	// sites stay unconditional.
+	sloLedger *slo.Ledger
 
 	// replicas holds the replica set of every primary disk when
 	// Config.Replicas > 1 (nil otherwise): replicas[d][0] == d, the
@@ -256,6 +267,28 @@ func NewServer(dev blockdev.Device, clock blockdev.Clock, cfg Config) (*Server, 
 			o.registerWindows(win)
 		}
 	}
+	if cfg.SLOTarget > 0 {
+		ledger, err := slo.NewLedger(slo.Config{
+			Target:        cfg.SLOTarget,
+			ReadAhead:     cfg.ReadAhead,
+			LateFactor:    cfg.SLOLateFactor,
+			Objective:     cfg.SLOObjective,
+			FastWindow:    cfg.SLOFastWindow,
+			MidWindow:     cfg.SLOMidWindow,
+			SlowWindow:    cfg.SLOSlowWindow,
+			FastBurn:      cfg.SLOFastBurn,
+			SlowBurn:      cfg.SLOSlowBurn,
+			WindowBuckets: cfg.WindowBuckets,
+			MinSamples:    cfg.SLOMinSamples,
+		}, clock.Now, dev.Disks())
+		if err != nil {
+			return nil, err
+		}
+		s.sloLedger = ledger
+		if o := cfg.Obs; o != nil {
+			o.registerSLO(ledger)
+		}
+	}
 	s.repumpFn = s.repumpPass
 	return s, nil
 }
@@ -263,6 +296,19 @@ func NewServer(dev blockdev.Device, clock blockdev.Clock, cfg Config) (*Server, 
 // shardFor routes a disk to its owning shard.
 func (s *Server) shardFor(disk int) *shard {
 	return s.shards[disk%len(s.shards)]
+}
+
+// flushSLOShard publishes the SLO pending batches of every disk the
+// given shard owns, so stats snapshots report exact totals. The caller
+// must hold that shard's lock — the same serialization scoring runs
+// under. A no-op without an SLO ledger.
+func (s *Server) flushSLOShard(shard int) {
+	if s.sloLedger == nil {
+		return
+	}
+	for d := shard; d < s.dev.Disks(); d += len(s.shards) {
+		s.sloLedger.Flush(d)
+	}
 }
 
 // Config returns the effective configuration.
@@ -283,6 +329,10 @@ func (s *Server) Disks() int { return s.dev.Disks() }
 // Config.WindowSpan enabled it. Every LatencyWindows accessor is safe
 // on the nil result.
 func (s *Server) Windows() *LatencyWindows { return s.win }
+
+// SLO returns the SLO ledger, nil unless Config.SLOTarget enabled it.
+// Every slo.Ledger accessor is safe on the nil result.
+func (s *Server) SLO() *slo.Ledger { return s.sloLedger }
 
 // BreakerInfo reports one disk's circuit-breaker state for the health
 // rollup.
@@ -331,6 +381,7 @@ func (s *Server) Stats() Stats {
 	var st Stats
 	for _, sh := range s.shards {
 		sh.mu.Lock()
+		s.flushSLOShard(sh.idx)
 		part := sh.stats
 		sh.mu.Unlock()
 		st.add(&part)
@@ -339,6 +390,7 @@ func (s *Server) Stats() Stats {
 	st.PeakMemory = s.peakMem.Load()
 	st.LiveBuffers = s.bufCount.Load()
 	st.DisksDegraded = s.degraded.Load()
+	st.SLOOnTime, st.SLOLate, st.SLOMissed = s.sloLedger.Totals()
 	return st
 }
 
@@ -364,6 +416,9 @@ func (s *Server) Snapshot() Snapshot {
 	var snap Snapshot
 	localDispatched := 0
 	var localMem int64
+	for _, sh := range s.shards {
+		s.flushSLOShard(sh.idx)
+	}
 	// Every shard lock was taken in the loop above; the per-iteration
 	// lock set is outside the flow model shardcheck can prove.
 	for _, sh := range s.shards {
@@ -378,6 +433,7 @@ func (s *Server) Snapshot() Snapshot {
 	snap.Stats.PeakMemory = s.peakMem.Load()
 	snap.Stats.LiveBuffers = s.bufCount.Load()
 	snap.Stats.DisksDegraded = s.degraded.Load()
+	snap.Stats.SLOOnTime, snap.Stats.SLOLate, snap.Stats.SLOMissed = s.sloLedger.Totals()
 	if invariants.Enabled {
 		// The only place all locks are held together: the shard-local
 		// accounting must sum to the global atomics.

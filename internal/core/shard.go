@@ -11,6 +11,7 @@ import (
 	"seqstream/internal/flight"
 	"seqstream/internal/invariants"
 	"seqstream/internal/obs"
+	"seqstream/internal/slo"
 	"seqstream/internal/trace"
 )
 
@@ -497,6 +498,7 @@ func (sh *shard) serveFromBuffer(st *stream, b *buffer, p pendingReq, now time.D
 	if w := sh.srv.win; w != nil {
 		w.observeRequest(now - p.start)
 	}
+	sh.scoreDelivery(st.slo, st.disk, int32(st.id), p.trace, p.off, p.length, now-p.start, true, now)
 	sh.srv.traceEvent(trace.Event{Kind: trace.KindClient, Stream: st.id, Disk: st.disk, Offset: p.off,
 		Length: p.length, Start: p.start, End: now, Hit: true})
 	// Deliver events are recorded at buffer granularity — the first
@@ -532,6 +534,51 @@ func (sh *shard) serveFromBuffer(st *stream, b *buffer, p pendingReq, now time.D
 	if !st.dispatched && !st.queued && sh.eligible(st) {
 		sh.enqueueCandidate(st)
 		sh.pump()
+	}
+}
+
+// scoreDelivery scores one successful delivery against the SLO engine
+// and records a flight event when it violated its deadline. A no-op
+// when Config.SLOTarget is off; lock-free and allocation-free
+// otherwise (the buffer-hit path runs through it). Caller holds sh.mu.
+//
+//lint:holds mu
+func (sh *shard) scoreDelivery(entry *slo.StreamLedger, disk int, stream int32, tr uint64, off, length int64, lat time.Duration, fromBuffer bool, now time.Duration) {
+	l := sh.srv.sloLedger
+	if l == nil {
+		return
+	}
+	v, late := l.Score(entry, disk, length, lat, fromBuffer)
+	if v == slo.OnTime {
+		return
+	}
+	// Violations are rare by construction (the objective is three
+	// nines), so recording each one cannot crowd the flight ring the
+	// way per-hit deliver events would.
+	if sh.fr != nil {
+		op := flight.OpSLOLate
+		if v == slo.Missed {
+			op = flight.OpSLOMiss
+		}
+		sh.fr.Record(flight.Event{Trace: tr, Op: op, Disk: uint16(disk),
+			Stream: stream, Offset: off, Length: length, T: now, Dur: late})
+	}
+}
+
+// scoreMiss books a failed delivery as an SLO miss (an errored request
+// can never meet its objective) and records the flight event. A no-op
+// when Config.SLOTarget is off. Caller holds sh.mu.
+//
+//lint:holds mu
+func (sh *shard) scoreMiss(entry *slo.StreamLedger, disk int, stream int32, tr uint64, off, length int64, lat time.Duration, now time.Duration) {
+	l := sh.srv.sloLedger
+	if l == nil {
+		return
+	}
+	late := l.ScoreError(entry, disk, length, lat)
+	if sh.fr != nil {
+		sh.fr.Record(flight.Event{Trace: tr, Op: flight.OpSLOMiss, Err: flight.ErrIO, Disk: uint16(disk),
+			Stream: stream, Offset: off, Length: length, T: now, Dur: late})
 	}
 }
 
@@ -598,6 +645,11 @@ func (sh *shard) onDirectDoneLocked(req Request, start time.Duration, pb *bufpoo
 	if w := srv.win; w != nil {
 		w.observeRequest(end - start)
 	}
+	if derr != nil {
+		sh.scoreMiss(nil, req.Disk, flight.NoStream, req.Trace, req.Offset, req.Length, end-start, end)
+	} else {
+		sh.scoreDelivery(nil, req.Disk, flight.NoStream, req.Trace, req.Offset, req.Length, end-start, false, end)
+	}
 	errMsg := ""
 	if derr != nil {
 		errMsg = derr.Error()
@@ -644,6 +696,7 @@ func (sh *shard) createStream(req Request, now time.Duration) {
 		nextFetch:  next,
 		lastActive: now,
 	}
+	st.slo = srv.sloLedger.Admit(int32(st.id), st.disk, now)
 	sh.streams[st.id] = st
 	sh.byExpected[key] = st
 	srv.liveStreams.Add(1)
@@ -1085,6 +1138,9 @@ func (sh *shard) onFetchTimeout(st *stream, b *buffer) {
 	sh.noteReadOutcome(b.readDisk, false, now)
 	var failed []pendingReq
 	st.queue, failed = splitCovered(st.queue, b)
+	for _, p := range failed {
+		sh.scoreMiss(st.slo, b.readDisk, int32(st.id), p.trace, p.off, p.length, now-p.start, now)
+	}
 	sh.freeBuffer(st, b, false)
 	if !b.inDevice && b.pbuf != nil {
 		b.pbuf.Release()
@@ -1249,6 +1305,9 @@ func (sh *shard) onFetchDoneLocked(st *stream, b *buffer, data []byte, derr erro
 		sh.noteReadOutcome(b.readDisk, false, now)
 		var failed []pendingReq
 		st.queue, failed = splitCovered(st.queue, b)
+		for _, p := range failed {
+			sh.scoreMiss(st.slo, b.readDisk, int32(st.id), p.trace, p.off, p.length, now-p.start, now)
+		}
 		sh.freeBuffer(st, b, false)
 		sh.parkStream(st)
 		sh.checkInvariants()
@@ -1438,6 +1497,7 @@ func (sh *shard) maybeRetire(st *stream) {
 	}
 	delete(sh.streams, st.id)
 	delete(sh.byExpected, offKey{disk: st.disk, off: st.nextClient})
+	sh.srv.sloLedger.Retire(st.slo)
 	sh.srv.liveStreams.Add(-1)
 	sh.stats.StreamsRetired++
 	if o := sh.srv.cfg.Obs; o != nil {
@@ -1505,6 +1565,7 @@ func (sh *shard) gcTick() {
 			}
 			delete(sh.streams, id)
 			delete(sh.byExpected, offKey{disk: st.disk, off: st.nextClient})
+			srv.sloLedger.Retire(st.slo)
 			srv.liveStreams.Add(-1)
 			sh.stats.StreamsGCed++
 			if o := srv.cfg.Obs; o != nil {

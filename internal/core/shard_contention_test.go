@@ -164,6 +164,17 @@ func TestBufferHitZeroAllocWithSpeculation(t *testing.T) {
 	})
 }
 
+// TestBufferHitZeroAllocWithSLO repeats the guard with the SLO engine
+// attached (flight recorder too, since violations record flight
+// events): scoring a delivery — deadline math, verdict counters,
+// lateness-window observes — must not cost the buffer-hit path an
+// allocation, or the ledger could never run always-on.
+func TestBufferHitZeroAllocWithSLO(t *testing.T) {
+	bufferHitZeroAlloc(t, true, true, func(c *Config) {
+		c.SLOTarget = 50 * time.Millisecond
+	})
+}
+
 func bufferHitZeroAlloc(t *testing.T, withFlight, withWindows bool, mutate ...func(*Config)) {
 	t.Helper()
 	cfg := DefaultConfig(64<<20, 1<<20)

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"seqstream/internal/bufpool"
+	"seqstream/internal/slo"
 )
 
 // pendingReq is a client request waiting for prefetched data.
@@ -48,6 +49,11 @@ type stream struct {
 	lastActive time.Duration
 	// totalFetched counts bytes of read-ahead issued for the stream.
 	totalFetched int64
+
+	// slo is the stream's SLO ledger entry, nil unless Config.SLOTarget
+	// enabled the engine. Admitted in createStream, retired with the
+	// stream; scoring through a nil entry is a no-op.
+	slo *slo.StreamLedger
 }
 
 // buffer is one staged I/O buffer in the buffered set (§4.3).

@@ -105,6 +105,14 @@ const (
 	// amortization actually happening, and a per-completion record
 	// would double the ring traffic for no information.
 	OpReap
+	// OpSLOLate: a delivery blew past its SLO deadline but landed
+	// within the miss boundary. Dur is the lateness (time past the
+	// deadline), not the request latency.
+	OpSLOLate
+	// OpSLOMiss: a delivery missed its SLO outright — either it landed
+	// beyond LateFactor times the deadline or the request failed. Dur
+	// is the lateness; Err carries the failure class when one applied.
+	OpSLOMiss
 
 	opSentinel // keep last
 )
@@ -165,6 +173,10 @@ func (o Op) String() string {
 		return "spec_win"
 	case OpReap:
 		return "reap"
+	case OpSLOLate:
+		return "slo_late"
+	case OpSLOMiss:
+		return "slo_miss"
 	default:
 		return "unknown"
 	}

@@ -6,11 +6,23 @@ import (
 	"sync"
 	"time"
 
+	"fmt"
+
 	"seqstream/internal/blockdev"
 	"seqstream/internal/core"
 	"seqstream/internal/flight"
 	"seqstream/internal/obs"
+	"seqstream/internal/slo"
 )
+
+// Capturer receives incident triggers: the engine calls Capture once
+// per newly raised anomaly and per newly tripped burn-rate alert,
+// outside its own lock. The blackbox package provides the production
+// implementation; the indirection keeps health free of a blackbox
+// dependency (and vice versa).
+type Capturer interface {
+	Capture(reason string)
+}
 
 // Defaults for Config zero fields.
 const (
@@ -117,6 +129,26 @@ type Engine struct {
 	armed      bool                   //lint:guardedby mu
 	closed     bool                   //lint:guardedby mu
 	cancel     func()                 //lint:guardedby mu
+	ledger     *slo.Ledger            //lint:guardedby mu
+	capturer   Capturer               //lint:guardedby mu
+}
+
+// SetSLO attaches an SLO ledger: every tick evaluates its burn rates
+// (recording alert-state transitions) and Report embeds its rollup,
+// with burn alerts folded into the verdicts. Call before Start.
+func (e *Engine) SetSLO(l *slo.Ledger) {
+	e.mu.Lock()
+	e.ledger = l
+	e.mu.Unlock()
+}
+
+// SetCapturer attaches an incident capturer, invoked (outside the
+// engine lock) on every newly raised anomaly and newly tripped
+// burn-rate alert. Call before Start.
+func (e *Engine) SetCapturer(c Capturer) {
+	e.mu.Lock()
+	e.capturer = c
+	e.mu.Unlock()
 }
 
 // NewEngine builds an engine over a recorder. srv may be nil (the
@@ -204,13 +236,16 @@ func (e *Engine) Close() {
 }
 
 // Tick polls every ring cursor once, feeds the new events through the
-// detectors in Seq order, and refreshes the active-anomaly set and
-// journal. Safe to call manually at any time, concurrently with the
-// scheduled loop.
+// detectors in Seq order, refreshes the active-anomaly set and
+// journal, and evaluates the SLO burn rates when a ledger is attached.
+// Newly raised anomalies and newly tripped burn alerts fire the
+// capturer — after the engine lock is released, so the capturer can
+// read the engine (and the scheduler) freely. Safe to call manually at
+// any time, concurrently with the scheduled loop.
 func (e *Engine) Tick() {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.closed {
+		e.mu.Unlock()
 		return
 	}
 	e.buf = e.buf[:0]
@@ -228,7 +263,27 @@ func (e *Engine) Tick() {
 		e.noteExemplar(&e.buf[i], now)
 	}
 	e.eventsSeen += uint64(len(e.buf))
-	e.refreshAnomalies(now)
+	raised := e.refreshAnomalies(now)
+	var reasons []string
+	for _, a := range raised {
+		if a.Disk != NoDisk {
+			reasons = append(reasons, fmt.Sprintf("anomaly raised: %s (disk %d): %s", a.Kind, a.Disk, a.Detail))
+		} else {
+			reasons = append(reasons, fmt.Sprintf("anomaly raised: %s: %s", a.Kind, a.Detail))
+		}
+	}
+	if e.ledger != nil {
+		for _, al := range e.ledger.Evaluate().Tripped {
+			reasons = append(reasons, al.Detail)
+		}
+	}
+	capturer := e.capturer
+	e.mu.Unlock()
+	if capturer != nil {
+		for _, r := range reasons {
+			capturer.Capture(r)
+		}
+	}
 }
 
 // noteExemplar keeps, per disk, the slowest recent traced event so a
@@ -252,17 +307,20 @@ func (e *Engine) noteExemplar(ev *flight.Event, now time.Duration) {
 }
 
 // refreshAnomalies diffs the detectors' findings against the active
-// set and journals every transition. Caller holds mu.
+// set, journals every transition, and returns the newly raised
+// anomalies (the capture triggers). Caller holds mu.
 //
 //lint:holds mu
-func (e *Engine) refreshAnomalies(now time.Duration) {
+func (e *Engine) refreshAnomalies(now time.Duration) []Anomaly {
 	findings := e.det.Findings()
 	next := make(map[anomalyKey]Anomaly, len(findings))
+	var raised []Anomaly
 	for _, a := range findings {
 		k := anomalyKey{a.Kind, a.Stream, a.Disk}
 		next[k] = a
 		if _, was := e.active[k]; !was {
 			e.journalAppend(JournalEntry{At: now, Change: "raised", Anomaly: a})
+			raised = append(raised, a)
 		}
 	}
 	for k, a := range e.active {
@@ -271,6 +329,7 @@ func (e *Engine) refreshAnomalies(now time.Duration) {
 		}
 	}
 	e.active = next
+	return raised
 }
 
 // journalAppend appends one entry, dropping the oldest past the cap.
@@ -361,6 +420,10 @@ type Report struct {
 	EventsSeen uint64         `json:"events_seen"`
 	EventsLost uint64         `json:"events_lost"`
 	Journal    []JournalEntry `json:"journal,omitempty"`
+	// SLO is the SLO ledger's rollup (SLIs + burn-rate status), nil
+	// when no ledger is attached. An active fast burn alert degrades
+	// the node verdict; an active slow alert marks it straggler.
+	SLO *slo.Report `json:"slo,omitempty"`
 }
 
 // windowStats converts a snapshot.
@@ -388,6 +451,17 @@ func (e *Engine) Report() Report {
 	}
 	for _, c := range e.cursors {
 		rep.EventsLost += c.Lost()
+	}
+	if e.ledger != nil {
+		// Report (the ledger's and this one) never consumes trip edges:
+		// only Tick's Evaluate does, so scraping cannot swallow a
+		// capture trigger.
+		rep.SLO = e.ledger.Report()
+		if rep.SLO.Burn.FastActive {
+			rep.Verdict = rep.Verdict.worse(VerdictDegraded)
+		} else if rep.SLO.Burn.SlowActive {
+			rep.Verdict = rep.Verdict.worse(VerdictStraggler)
+		}
 	}
 
 	var win *core.LatencyWindows

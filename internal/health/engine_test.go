@@ -392,7 +392,7 @@ func TestHandler(t *testing.T) {
 
 	w := httptest.NewRecorder()
 	h.ServeHTTP(w, httptest.NewRequest("GET", "/debug/health", nil))
-	if ct := w.Header().Get("Content-Type"); ct != "application/json" {
+	if ct := w.Header().Get("Content-Type"); ct != "application/json; charset=utf-8" {
 		t.Fatalf("content type %q", ct)
 	}
 	var rep Report

@@ -11,6 +11,14 @@ import (
 // Prometheus rendering: 0 healthy, 1 straggler, 2 degraded.
 func verdictValue(v Verdict) int { return v.rank() }
 
+// boolGauge renders a boolean as a 0/1 gauge value.
+func boolGauge(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // Handler serves the engine's rollup. JSON by default;
 // ?format=prom renders Prometheus text exposition (verdict gauges,
 // windowed quantiles, anomaly counts by kind, ring-loss counters) with
@@ -24,7 +32,7 @@ func Handler(e *Engine) http.Handler {
 			writeProm(w, rep)
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(rep)
@@ -83,6 +91,21 @@ func writeProm(w http.ResponseWriter, rep Report) {
 	fmt.Fprintf(w, "# TYPE seqstream_health_anomalies gauge\n")
 	for _, k := range kinds {
 		fmt.Fprintf(w, "seqstream_health_anomalies{kind=%q} %d\n", k, counts[k])
+	}
+
+	if rep.SLO != nil {
+		fmt.Fprintf(w, "# HELP seqstream_health_slo_on_time_ratio cumulative on-time delivery ratio\n")
+		fmt.Fprintf(w, "# TYPE seqstream_health_slo_on_time_ratio gauge\n")
+		fmt.Fprintf(w, "seqstream_health_slo_on_time_ratio %g\n", rep.SLO.Node.OnTimeRatio)
+		fmt.Fprintf(w, "# HELP seqstream_health_slo_burn_rate error-budget burn rate by window\n")
+		fmt.Fprintf(w, "# TYPE seqstream_health_slo_burn_rate gauge\n")
+		fmt.Fprintf(w, "seqstream_health_slo_burn_rate{window=\"fast\"} %g\n", rep.SLO.Burn.Fast.Burn)
+		fmt.Fprintf(w, "seqstream_health_slo_burn_rate{window=\"mid\"} %g\n", rep.SLO.Burn.Mid.Burn)
+		fmt.Fprintf(w, "seqstream_health_slo_burn_rate{window=\"slow\"} %g\n", rep.SLO.Burn.Slow.Burn)
+		fmt.Fprintf(w, "# HELP seqstream_health_slo_alert_active burn-rate alert state (1 active) by severity\n")
+		fmt.Fprintf(w, "# TYPE seqstream_health_slo_alert_active gauge\n")
+		fmt.Fprintf(w, "seqstream_health_slo_alert_active{severity=\"fast\"} %d\n", boolGauge(rep.SLO.Burn.FastActive))
+		fmt.Fprintf(w, "seqstream_health_slo_alert_active{severity=\"slow\"} %d\n", boolGauge(rep.SLO.Burn.SlowActive))
 	}
 
 	fmt.Fprintf(w, "# HELP seqstream_health_events_seen_total flight events consumed by the health engine\n")

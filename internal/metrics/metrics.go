@@ -113,6 +113,25 @@ func (l *LatencySummary) Quantile(p float64) time.Duration {
 	return l.max
 }
 
+// FractionUnder returns a lower bound on the fraction of samples at or
+// below d, from the histogram: only full power-of-two buckets whose
+// upper edge does not exceed d are counted, so samples in the bucket
+// straddling d are conservatively treated as over it. Zero with no
+// samples.
+func (l *LatencySummary) FractionUnder(d time.Duration) float64 {
+	if l.count == 0 || d <= 0 {
+		return 0
+	}
+	var under int64
+	for i, c := range l.buckets {
+		if i >= 62 || time.Duration(uint64(1)<<uint(i+1)) > d {
+			break
+		}
+		under += c
+	}
+	return float64(under) / float64(l.count)
+}
+
 // Merge folds other into l.
 func (l *LatencySummary) Merge(other *LatencySummary) {
 	if other == nil || other.count == 0 {

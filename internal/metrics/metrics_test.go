@@ -109,6 +109,30 @@ func TestLatencyMergeEmptyPair(t *testing.T) {
 	}
 }
 
+func TestLatencyFractionUnder(t *testing.T) {
+	var l LatencySummary
+	for i := 0; i < 90; i++ {
+		l.Observe(3 * time.Microsecond) // bucket [2048ns, 4096ns)
+	}
+	for i := 0; i < 10; i++ {
+		l.Observe(3 * time.Millisecond) // bucket [2^21, 2^22)ns
+	}
+	if got := l.FractionUnder(4096 * time.Nanosecond); got != 0.9 {
+		t.Errorf("FractionUnder(4096ns) = %v, want 0.9", got)
+	}
+	if got := l.FractionUnder(10 * time.Millisecond); got != 1.0 {
+		t.Errorf("FractionUnder(10ms) = %v, want 1", got)
+	}
+	// A deadline inside the fast bucket conservatively excludes it.
+	if got := l.FractionUnder(3 * time.Microsecond); got != 0 {
+		t.Errorf("FractionUnder(3µs) = %v, want the conservative 0", got)
+	}
+	var empty LatencySummary
+	if got := empty.FractionUnder(time.Second); got != 0 {
+		t.Errorf("empty FractionUnder = %v", got)
+	}
+}
+
 func TestLatencyQuantileSingleBucket(t *testing.T) {
 	// Samples confined to one bucket: every quantile is that bucket's
 	// top, clamped to the observed max.

@@ -28,6 +28,14 @@ type Obs struct {
 	// read by connection goroutines; Observe is nil-safe so the
 	// unattached case costs one nil check.
 	window *obs.WindowedHistogram
+
+	// sloDeadline, when attached, scores each successful wire response
+	// against the storage node's deadline model from the client's side
+	// of the socket: what the scheduler promised versus what the wire
+	// observed. Written before serving starts, like window.
+	sloDeadline   func(length int64) time.Duration
+	sloOnTime     *obs.Counter
+	sloViolations *obs.Counter
 }
 
 // NewObs registers the netserve metric families on reg. Registration
@@ -60,6 +68,35 @@ func (o *Obs) AttachWindow(reg *obs.Registry, now func() time.Duration, span tim
 	reg.Window("seqstream_netserve_request_latency_window_seconds",
 		"storage-node service time per wire request over the sliding window", w)
 	return nil
+}
+
+// AttachSLO adds wire-level delivery scoring: each successful response
+// is checked against the node's deadline model (core exposes it via
+// (*slo.Ledger).Deadline) and counted on-time or violated. These are
+// the counters an external probe would produce — they include queueing
+// and completion-path time the scheduler-side ledger scores too, so
+// the two views should track each other; divergence means time is
+// being lost between the shard completion path and the wire. Call
+// before the server starts accepting connections.
+func (o *Obs) AttachSLO(reg *obs.Registry, deadline func(length int64) time.Duration) {
+	o.sloDeadline = deadline
+	o.sloOnTime = reg.Counter("seqstream_netserve_slo_on_time_total",
+		"wire responses delivered within the stream deadline model")
+	o.sloViolations = reg.Counter("seqstream_netserve_slo_violations_total",
+		"wire responses delivered past the stream deadline model")
+}
+
+// scoreSLO counts one successful response against the deadline model.
+// Nil-safe: without AttachSLO it is a single nil check.
+func (o *Obs) scoreSLO(length int64, lat time.Duration) {
+	if o == nil || o.sloDeadline == nil {
+		return
+	}
+	if lat > o.sloDeadline(length) {
+		o.sloViolations.Inc()
+	} else {
+		o.sloOnTime.Inc()
+	}
 }
 
 // SetObs attaches instruments to the server; nil detaches. The

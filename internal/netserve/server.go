@@ -374,6 +374,7 @@ func (s *Server) handle(conn net.Conn, o *Obs) {
 						o.readBytes.Add(req.Length)
 						o.requestLatency.Observe(r.End - r.Start)
 						o.window.Observe(r.End - r.Start)
+						o.scoreSLO(req.Length, r.End-r.Start)
 					}
 					if wantData && r.Data != nil {
 						// The frame takes over the storage node's staged

@@ -339,6 +339,10 @@ func (r *Registry) sorted() []*metric {
 // WritePrometheus renders every family in the Prometheus text
 // exposition format (version 0.0.4). Histogram bucket edges and sums
 // are reported in seconds, the Prometheus convention for latency.
+// Each histogram family is followed by a derived <name>_quantiles
+// gauge family carrying p50/p95/p99 upper bounds computed at scrape
+// time, so dashboards get quantiles without histogram_quantile()
+// recording rules.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, m := range r.sorted() {
 		var err error
@@ -354,14 +358,51 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			}
 			err = writeScalar(w, m, "gauge", v)
 		case kindHistogram:
-			err = writeHistogram(w, m, m.hist.Snapshot())
+			s := m.hist.Snapshot()
+			if err = writeHistogram(w, m, s); err == nil {
+				err = writeQuantiles(w, m, s)
+			}
 		case kindWindow:
 			if win := r.winOf(m); win != nil {
-				err = writeHistogram(w, m, win.Snapshot())
+				s := win.Snapshot()
+				if err = writeHistogram(w, m, s); err == nil {
+					err = writeQuantiles(w, m, s)
+				}
 			}
 		}
 		if err != nil {
 			return fmt.Errorf("obs: %w", err)
+		}
+	}
+	return nil
+}
+
+// writeQuantiles emits the derived <name>_quantiles gauge family from
+// one histogram snapshot: bucket upper bounds in seconds, so the
+// values are directly comparable to the _bucket le edges. Empty
+// histograms are skipped — a zero quantile from zero samples reads as
+// "instant", not "no data".
+func writeQuantiles(w io.Writer, m *metric, s HistogramSnapshot) error {
+	if s.Count == 0 {
+		return nil
+	}
+	// The quantile points precomputed for every histogram family at
+	// exposition time.
+	scrapeQuantiles := []struct {
+		label string
+		p     float64
+	}{{"0.5", 0.5}, {"0.95", 0.95}, {"0.99", 0.99}}
+	name := m.name + "_quantiles"
+	if _, err := fmt.Fprintf(w, "# HELP %s scrape-time quantile upper bounds of %s\n", name, m.name); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", name); err != nil {
+		return err
+	}
+	for _, q := range scrapeQuantiles {
+		if _, err := fmt.Fprintf(w, "%s{quantile=%q} %s\n",
+			name, q.label, formatFloat(s.Quantile(q.p).Seconds())); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -97,6 +97,54 @@ func TestWritePrometheus(t *testing.T) {
 	}
 }
 
+// TestWritePrometheusQuantiles checks the derived _quantiles gauge
+// family emitted after each histogram (satellite: scrape-time p50/p95/
+// p99 precomputation).
+func TestWritePrometheusQuantiles(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("q_latency_seconds", "latency")
+	for i := 0; i < 99; i++ {
+		h.Observe(1500 * time.Nanosecond) // bucket [1024, 2048) → upper edge 2048ns
+	}
+	h.Observe(3 * time.Millisecond) // bucket [2^21, 2^22)ns → upper edge ~4.19ms
+
+	clk := &windowClock{}
+	w := newTestWindow(t, clk, time.Second, 4)
+	w.Observe(1500 * time.Nanosecond)
+	reg.Window("q_window_seconds", "windowed latency", w)
+
+	reg.Histogram("q_empty_seconds", "never observed")
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE q_latency_seconds_quantiles gauge",
+		`q_latency_seconds_quantiles{quantile="0.5"} 2.048e-06`,
+		`q_latency_seconds_quantiles{quantile="0.95"} 2.048e-06`,
+		`q_latency_seconds_quantiles{quantile="0.99"} 2.048e-06`,
+		"# TYPE q_window_seconds_quantiles gauge",
+		`q_window_seconds_quantiles{quantile="0.99"} 2.048e-06`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// 100 samples: the p-th sample for p=0.99 is sample 99, still in the
+	// low bucket; the straggler only surfaces at p=1.0 — but the slow
+	// bucket must appear in the histogram itself.
+	if !strings.Contains(out, `q_latency_seconds_bucket{le="0.004194304"} 100`) {
+		t.Errorf("slow bucket missing in:\n%s", out)
+	}
+	// Empty histograms emit no quantile family (zero would read as
+	// "instant", not "no data").
+	if strings.Contains(out, "q_empty_seconds_quantiles") {
+		t.Errorf("empty histogram emitted quantiles:\n%s", out)
+	}
+}
+
 func TestGaugeFuncReplacement(t *testing.T) {
 	reg := NewRegistry()
 	reg.GaugeFunc("replace_me", "", func() float64 { return 1 })

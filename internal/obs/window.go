@@ -90,7 +90,16 @@ func (w *WindowedHistogram) epochNow() int64 {
 // slice. Negative samples clamp to zero. Nil receivers are no-ops so
 // call sites can stay unconditional.
 func (w *WindowedHistogram) Observe(d time.Duration) {
-	if w == nil {
+	w.ObserveN(d, 1)
+}
+
+// ObserveN records n identical samples in one shot — the batched form
+// of Observe for callers that coalesce hot-path samples and publish
+// them periodically. Every sample lands in the flush-time slot, so
+// batches must stay small next to the slot width or the window skews.
+// Non-positive n is a no-op.
+func (w *WindowedHistogram) ObserveN(d time.Duration, n int64) {
+	if w == nil || n <= 0 {
 		return
 	}
 	if d < 0 {
@@ -121,9 +130,9 @@ func (w *WindowedHistogram) Observe(d time.Duration) {
 			break
 		}
 	}
-	s.count.Add(1)
-	s.sum.Add(int64(d))
-	s.buckets[histBucketOf(d)].Add(1)
+	s.count.Add(n)
+	s.sum.Add(n * int64(d))
+	s.buckets[histBucketOf(d)].Add(n)
 }
 
 // Snapshot merges every slot whose epoch still falls inside the window
@@ -149,6 +158,29 @@ func (w *WindowedHistogram) Snapshot() HistogramSnapshot {
 		}
 	}
 	return s
+}
+
+// Tally returns the window's sample count and its zero-bucket count
+// ([0, 2) ns) without copying the full bucket array — the cheap form
+// of Snapshot for ratio arithmetic over many windows, where callers
+// encode "good" samples as zero observations. Same approximate
+// contract as Snapshot.
+func (w *WindowedHistogram) Tally() (count, zero int64) {
+	if w == nil {
+		return 0, 0
+	}
+	nowE := w.epochNow()
+	minE := nowE - int64(len(w.slots)) + 1
+	for i := range w.slots {
+		sl := &w.slots[i]
+		e := sl.epoch.Load()
+		if e == 0 || e < minE || e > nowE {
+			continue
+		}
+		count += sl.count.Load()
+		zero += sl.buckets[0].Load()
+	}
+	return count, zero
 }
 
 // Mean returns the average sample in the snapshot, or zero with no

@@ -190,6 +190,79 @@ func TestWindowedHistogramConcurrent(t *testing.T) {
 	}
 }
 
+// TestWindowedHistogramRolloverConcurrent forces epoch rotation to
+// race: observers hammer the window while a driver goroutine jumps the
+// clock across slot boundaries (including multi-span leaps that make
+// every slot stale at once). The approximate contract allows samples
+// to be *dropped* during rotation, but never duplicated or fabricated
+// — a snapshot must not exceed the number of observations made, and
+// after a quiet full span the window must drain to empty (satellite:
+// rollover under concurrent observers, run under -race).
+func TestWindowedHistogramRolloverConcurrent(t *testing.T) {
+	clk := &windowClock{}
+	const span = 80 * time.Nanosecond // 4 slots × 20ns: tiny widths maximize rotations
+	w := newTestWindow(t, clk, span, 4)
+
+	var observed atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Counted before the observe so `observed` is always an
+				// upper bound on samples the window can hold.
+				observed.Add(1)
+				w.Observe(time.Millisecond)
+			}
+		}()
+	}
+	// The driver walks the clock one slot width at a time, snapshotting
+	// at every boundary, and every few steps leaps several spans ahead
+	// so rotation has to reclaim slots stamped many epochs back.
+	for step := 0; step < 400; step++ {
+		if step%16 == 15 {
+			clk.advance(3 * span)
+		} else {
+			clk.advance(span / 4)
+		}
+		s := w.Snapshot()
+		if s.Count > observed.Load() {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("snapshot fabricated samples: count %d > observed %d", s.Count, observed.Load())
+		}
+		var sum int64
+		for _, b := range s.Buckets {
+			sum += b
+		}
+		if sum < 0 || s.Count < 0 {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("negative snapshot: sum=%d count=%d", sum, s.Count)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Quiesced: a full span with no observations drains the window.
+	clk.advance(2 * span)
+	if s := w.Snapshot(); s.Count != 0 {
+		t.Fatalf("window did not drain after a quiet span: count=%d", s.Count)
+	}
+	// And the ring is still usable after the storm.
+	w.Observe(2 * time.Millisecond)
+	if s := w.Snapshot(); s.Count != 1 || s.Sum != 2*time.Millisecond {
+		t.Fatalf("post-storm observe lost: %+v", s)
+	}
+}
+
 func TestEWMA(t *testing.T) {
 	var nilE *EWMA
 	nilE.Observe(time.Second) // must not panic
